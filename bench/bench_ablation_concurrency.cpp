@@ -1,0 +1,132 @@
+// Ablation: which hardware structures buy which kind of memory concurrency?
+//
+// Section II of the paper asserts: "C_H can be contributed by caches with
+// multi-port, multi-bank or pipelined structures; C_M can be contributed by
+// non-blocking cache structures; out-of-order execution ... can increase
+// both." This bench makes those claims quantitative on the cycle-level
+// simulator: sweep one structure at a time and report the measured C-AMAT
+// decomposition from the HCD/MCD detector.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "c2b/sim/system/system.h"
+#include "c2b/trace/generators.h"
+
+namespace c2b::bench {
+namespace {
+
+sim::SystemConfig base_config() {
+  sim::SystemConfig config;
+  config.core.issue_width = 4;
+  config.core.rob_size = 128;
+  config.hierarchy.l1_geometry = {.size_bytes = 16 * 1024, .line_bytes = 64,
+                                  .associativity = 4};
+  config.hierarchy.l2_geometry = {.size_bytes = 256 * 1024, .line_bytes = 64,
+                                  .associativity = 8};
+  return config;
+}
+
+Trace mlp_heavy_trace() {
+  ZipfStreamGenerator::Params p;
+  p.working_set_lines = 1 << 14;
+  p.zipf_exponent = 0.4;
+  p.f_mem = 0.6;
+  p.seed = 17;
+  return ZipfStreamGenerator(p).generate(120'000);
+}
+
+struct Row {
+  std::string setting;
+  TimelineMetrics m;
+  double cpi;
+};
+
+Row run(const sim::SystemConfig& config, const Trace& trace, std::string setting) {
+  const sim::SystemResult r = sim::simulate_single_core(config, trace);
+  return {std::move(setting), r.cores[0].camat, r.cores[0].cpi};
+}
+
+Table to_table(const std::vector<Row>& rows) {
+  Table table({"setting", "C_H", "C_M", "pMR", "C-AMAT", "C", "CPI"}, 4);
+  for (const Row& r : rows) {
+    table.add_row({r.setting, r.m.camat_params.hit_concurrency,
+                   r.m.camat_params.miss_concurrency, r.m.camat_params.pure_miss_rate,
+                   r.m.camat_value, r.m.concurrency_c, r.cpi});
+  }
+  return table;
+}
+
+void bm_ablation_point(benchmark::State& state) {
+  const Trace trace = mlp_heavy_trace();
+  const auto config = base_config();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim::simulate_single_core(config, trace).cycles);
+}
+BENCHMARK(bm_ablation_point)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace c2b::bench
+
+int main(int argc, char** argv) {
+  using namespace c2b;
+  using namespace c2b::bench;
+
+  const Trace trace = mlp_heavy_trace();
+
+  // ---- Sweep 1: L1 banks x ports (hit concurrency C_H) ----
+  {
+    std::vector<Row> rows;
+    for (const std::uint32_t banks : {1u, 2u, 4u, 8u}) {
+      sim::SystemConfig config = base_config();
+      config.hierarchy.l1_banks = banks;
+      config.hierarchy.l1_ports_per_bank = 1;
+      rows.push_back(run(config, trace, std::to_string(banks) + " banks x 1 port"));
+    }
+    sim::SystemConfig wide = base_config();
+    wide.hierarchy.l1_banks = 4;
+    wide.hierarchy.l1_ports_per_bank = 4;
+    rows.push_back(run(wide, trace, "4 banks x 4 ports"));
+    emit("Ablation: cache banking/porting drives hit concurrency C_H", to_table(rows),
+         "ablation_banks_ch");
+  }
+
+  // ---- Sweep 2: MSHR entries (miss concurrency C_M) ----
+  {
+    std::vector<Row> rows;
+    for (const std::uint32_t mshrs : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      sim::SystemConfig config = base_config();
+      config.hierarchy.l1_mshr_entries = mshrs;
+      rows.push_back(run(config, trace, std::to_string(mshrs) + " MSHRs"));
+    }
+    emit("Ablation: non-blocking (MSHR) depth drives miss concurrency C_M",
+         to_table(rows), "ablation_mshr_cm");
+  }
+
+  // ---- Sweep 3: ROB size (out-of-order window feeds both) ----
+  {
+    std::vector<Row> rows;
+    for (const std::uint32_t rob : {8u, 32u, 128u, 512u}) {
+      sim::SystemConfig config = base_config();
+      config.core.rob_size = rob;
+      rows.push_back(run(config, trace, "ROB " + std::to_string(rob)));
+    }
+    emit("Ablation: out-of-order window (ROB) raises overall concurrency C",
+         to_table(rows), "ablation_rob_c");
+  }
+
+  // ---- Sweep 4: the workload side — dependent vs independent accesses ----
+  {
+    std::vector<Row> rows;
+    rows.push_back(run(base_config(), trace, "independent stream"));
+    const Trace chase = PointerChaseGenerator(1 << 14, 1, 3).generate(120'000);
+    rows.push_back(run(base_config(), chase, "dependent chase"));
+    emit("Ablation: with dependent accesses no structure can create concurrency",
+         to_table(rows), "ablation_dependency");
+  }
+
+  std::printf("[shape] C_H rises with banks/ports, C_M with MSHR depth, both with ROB;\n"
+              "        a dependent chase pins C to ~1 regardless of hardware — the\n"
+              "        program/hardware split of concurrency the paper builds on.\n");
+  return run_benchmarks(argc, argv);
+}

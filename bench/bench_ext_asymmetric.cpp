@@ -1,0 +1,88 @@
+// Extension bench (paper Section VII: "The extension of C²-Bound to
+// asymmetric CMP DSE is straightforward"): symmetric vs asymmetric optimal
+// designs across sequential fractions — the capacity/concurrency-aware
+// version of Hill & Marty's classic result. Expect the asymmetric chip's
+// edge to grow with f_seq, bought by a progressively bigger big core.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "c2b/core/asymmetric.h"
+
+namespace c2b::bench {
+namespace {
+
+AppProfile app_with_fseq(double f_seq) {
+  AppProfile app;
+  app.ic0 = 1e6;
+  app.f_mem = 0.35;
+  app.f_seq = f_seq;
+  app.overlap_ratio = 0.3;
+  app.working_set_lines0 = 1 << 15;
+  app.g = ScalingFunction::fixed();  // fixed problem isolates the Amdahl effect
+  app.hit_concurrency = 2.0;
+  app.miss_concurrency = 3.0;
+  app.pure_miss_fraction = 0.6;
+  app.pure_penalty_fraction = 0.8;
+  return app;
+}
+
+MachineProfile machine_profile() {
+  MachineProfile machine;
+  machine.chip.total_area = 128.0;
+  machine.chip.shared_area = 8.0;
+  machine.memory_contention = 0.05;
+  return machine;
+}
+
+void bm_asymmetric_optimize(benchmark::State& state) {
+  OptimizerOptions options;
+  options.n_max = 8;
+  options.nelder_mead_restarts = 1;
+  for (auto _ : state) {
+    const AsymmetricOptimizer opt(
+        AsymmetricC2BoundModel(app_with_fseq(0.2), machine_profile()), options);
+    benchmark::DoNotOptimize(opt.optimize().best.execution_time);
+  }
+}
+BENCHMARK(bm_asymmetric_optimize)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace c2b::bench
+
+int main(int argc, char** argv) {
+  using namespace c2b;
+  using namespace c2b::bench;
+
+  OptimizerOptions options;
+  options.n_max = 24;
+  options.nelder_mead_restarts = 2;
+
+  Table table({"f_seq", "sym: N / time", "asym: n_small + big(r) / time",
+               "asym speedup over sym"},
+              4);
+  for (const double f_seq : {0.02, 0.1, 0.2, 0.35, 0.5}) {
+    const AppProfile app = app_with_fseq(f_seq);
+    const MachineProfile machine = machine_profile();
+    const OptimalDesign sym = C2BoundOptimizer(C2BoundModel(app, machine), options).optimize();
+    const AsymmetricOptimum asym =
+        AsymmetricOptimizer(AsymmetricC2BoundModel(app, machine), options).optimize();
+
+    char sym_desc[64];
+    std::snprintf(sym_desc, sizeof sym_desc, "N=%.0f / %.3g", sym.best.design.n_cores,
+                  sym.best.execution_time);
+    char asym_desc[96];
+    std::snprintf(asym_desc, sizeof asym_desc, "n=%lld + big(r=%.1f) / %.3g",
+                  asym.best.design.n_small, asym.best.design.big_core_ratio,
+                  asym.best.execution_time);
+    table.add_row({f_seq, std::string(sym_desc), std::string(asym_desc),
+                   sym.best.execution_time / asym.best.execution_time});
+  }
+  emit("Extension: symmetric vs asymmetric C²-Bound optima (fixed problem)", table,
+       "ext_asymmetric");
+
+  std::printf("[shape] the asymmetric advantage grows with f_seq, and the optimizer\n"
+              "        buys a bigger big core as the serial phase lengthens — the\n"
+              "        Hill-Marty result, reproduced inside the C²-Bound framework.\n");
+  return run_benchmarks(argc, argv);
+}

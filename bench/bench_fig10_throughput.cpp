@@ -1,0 +1,37 @@
+// Fig. 10 reproduction: throughput W/T of scaling with g(N) = N^{3/2},
+// f_mem = 0.3, C in {1, 4, 8}. Expected shapes: higher C raises W/T; at
+// C = 1 roughly a hundred cores already reach the achievable throughput.
+
+#include "bench_util.h"
+#include "scaling_figures.h"
+
+namespace c2b::bench {
+namespace {
+
+void bm_throughput_sweep(benchmark::State& state) {
+  for (auto _ : state) {
+    const ScalingCurves curves = compute_scaling_curves(0.3, {8.0}, 1024);
+    benchmark::DoNotOptimize(curves.throughput[0].back());
+  }
+}
+BENCHMARK(bm_throughput_sweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace c2b::bench
+
+int main(int argc, char** argv) {
+  using namespace c2b::bench;
+  const ScalingCurves curves = compute_scaling_curves(/*f_mem=*/0.3);
+  emit("Fig. 10: W/T of memory-bounded scaling (g=N^1.5, f_mem=0.3)",
+       scaling_throughput_table(curves), "fig10_throughput_fmem03");
+  print_scaling_findings(curves, 0.3);
+
+  // Paper: higher concurrency -> uniformly higher W/T.
+  bool dominated = true;
+  for (std::size_t i = 0; i < curves.n.size(); ++i) {
+    if (curves.throughput[2][i] + 1e-12 < curves.throughput[0][i]) dominated = false;
+  }
+  std::printf("[shape] W/T(C=8) >= W/T(C=1) across the whole N sweep: %s\n",
+              dominated ? "yes" : "NO");
+  return run_benchmarks(argc, argv);
+}

@@ -1,0 +1,49 @@
+// Fig. 11 reproduction: throughput W/T of scaling with g(N) = N^{3/2},
+// f_mem = 0.9, C in {1, 4, 8}. Compared with Fig. 10, W/T must decrease
+// with the higher data-access frequency.
+
+#include "bench_util.h"
+#include "scaling_figures.h"
+
+namespace c2b::bench {
+namespace {
+
+void bm_throughput_sweep_hungry(benchmark::State& state) {
+  for (auto _ : state) {
+    const ScalingCurves curves = compute_scaling_curves(0.9, {8.0}, 1024);
+    benchmark::DoNotOptimize(curves.throughput[0].back());
+  }
+}
+BENCHMARK(bm_throughput_sweep_hungry)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace c2b::bench
+
+int main(int argc, char** argv) {
+  using namespace c2b::bench;
+  const ScalingCurves low = compute_scaling_curves(/*f_mem=*/0.3);
+  const ScalingCurves high = compute_scaling_curves(/*f_mem=*/0.9);
+  emit("Fig. 11: W/T of memory-bounded scaling (g=N^1.5, f_mem=0.9)",
+       scaling_throughput_table(high), "fig11_throughput_fmem09");
+  print_scaling_findings(high, 0.9);
+
+  // Paper: W/T decreases with f_mem (Fig. 10 vs Fig. 11) at matched
+  // absolute scale. Normalized curves share T(1); compare absolute W/T.
+  std::size_t decreased = 0;
+  std::size_t total = 0;
+  for (std::size_t ci = 0; ci < high.c_values.size(); ++ci) {
+    const c2b::C2BoundModel m_low = scaling_model(0.3, high.c_values[ci]);
+    const c2b::C2BoundModel m_high = scaling_model(0.9, high.c_values[ci]);
+    for (const double n : {16.0, 128.0, 1024.0}) {
+      const double budget = m_low.machine().chip.per_core_budget(n);
+      const c2b::DesignPoint d{.n_cores = n, .a0 = budget * 0.4, .a1 = budget * 0.2,
+                               .a2 = budget * 0.4};
+      ++total;
+      if (m_high.evaluate(d).throughput < m_low.evaluate(d).throughput) ++decreased;
+    }
+  }
+  std::printf("[shape] absolute W/T lower at f_mem=0.9 than 0.3 in %zu/%zu samples "
+              "(paper: 'W/T decreases with f_mem').\n",
+              decreased, total);
+  return run_benchmarks(argc, argv);
+}

@@ -1,0 +1,72 @@
+// Fig. 2 reproduction: the combined effect of process-level concurrency
+// (p = 1 vs p = N) and memory-level concurrency (C = 1 vs C > 1) on
+// program running time, for a fixed problem size. The four quadrants of
+// the paper's schematic become four model evaluations.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "c2b/core/c2bound.h"
+
+namespace c2b::bench {
+namespace {
+
+double running_time(double n, double concurrency) {
+  AppProfile app;
+  app.ic0 = 1e6;
+  app.f_mem = 0.4;
+  app.f_seq = 0.05;
+  app.overlap_ratio = 0.2;
+  app.working_set_lines0 = 1 << 16;
+  app.g = ScalingFunction::fixed();  // Fig. 2 fixes the problem size
+  app.hit_concurrency = concurrency;
+  app.miss_concurrency = concurrency;
+  app.pure_miss_fraction = 1.0;
+  app.pure_penalty_fraction = 1.0;
+
+  MachineProfile machine;
+  machine.chip.total_area = 256.0;
+  machine.chip.shared_area = 16.0;
+  const C2BoundModel model(app, machine);
+  const double budget = machine.chip.per_core_budget(n);
+  const DesignPoint d{.n_cores = n, .a0 = budget * 0.4, .a1 = budget * 0.2,
+                      .a2 = budget * 0.4};
+  // Fixed problem divided over n cores (Amdahl-style time factor inside
+  // evaluate(); g = 1 makes it f_seq + (1-f_seq)/n).
+  return model.evaluate(d).execution_time;
+}
+
+void bm_quadrants(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(running_time(16.0, 4.0));
+}
+BENCHMARK(bm_quadrants);
+
+}  // namespace
+}  // namespace c2b::bench
+
+int main(int argc, char** argv) {
+  using namespace c2b;
+  using namespace c2b::bench;
+
+  const double n = 16.0;
+  const double t_11 = running_time(1.0, 1.0);   // (a) p=1, C=1
+  const double t_n1 = running_time(n, 1.0);     // (b) p=N, C=1
+  const double t_nc = running_time(n, 4.0);     // (c) p=N, C=4
+  const double t_1c = running_time(1.0, 4.0);   //     p=1, C=4 (for completeness)
+
+  Table table({"case", "processes p", "memory concurrency C", "time (norm)"}, 4);
+  table.add_row({std::string("(a) serial, no MLP"), std::int64_t{1}, std::int64_t{1}, 1.0});
+  table.add_row({std::string("    serial, MLP"), std::int64_t{1}, std::int64_t{4},
+                 t_1c / t_11});
+  table.add_row({std::string("(b) parallel, no MLP"), std::int64_t{16}, std::int64_t{1},
+                 t_n1 / t_11});
+  table.add_row({std::string("(c) parallel, MLP"), std::int64_t{16}, std::int64_t{4},
+                 t_nc / t_11});
+  emit("Fig. 2: process-level vs memory-level concurrency (fixed problem size)", table,
+       "fig2_concurrency_demo");
+
+  std::printf("[shape] both levels of concurrency shorten the run; combining them is\n"
+              "        fastest: t(a)=1.00 > t(b)=%.2f > t(c)=%.2f.\n", t_n1 / t_11,
+              t_nc / t_11);
+  return run_benchmarks(argc, argv);
+}

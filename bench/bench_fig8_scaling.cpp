@@ -1,0 +1,28 @@
+// Fig. 8 reproduction: problem size W and execution time T of memory-bounded
+// scaling with g(N) = N^{3/2}, f_mem = 0.3, C in {1, 4, 8}.
+
+#include "bench_util.h"
+#include "scaling_figures.h"
+
+namespace c2b::bench {
+namespace {
+
+void bm_scaling_sweep(benchmark::State& state) {
+  for (auto _ : state) {
+    const ScalingCurves curves = compute_scaling_curves(0.3, {1.0, 4.0, 8.0}, 1024);
+    benchmark::DoNotOptimize(curves.t[0].back());
+  }
+}
+BENCHMARK(bm_scaling_sweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace c2b::bench
+
+int main(int argc, char** argv) {
+  using namespace c2b::bench;
+  const ScalingCurves curves = compute_scaling_curves(/*f_mem=*/0.3);
+  emit("Fig. 8: W and T of memory-bounded scaling (g=N^1.5, f_mem=0.3)",
+       scaling_time_table(curves), "fig8_scaling_fmem03");
+  print_scaling_findings(curves, 0.3);
+  return run_benchmarks(argc, argv);
+}

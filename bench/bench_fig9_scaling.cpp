@@ -1,0 +1,48 @@
+// Fig. 9 reproduction: problem size W and execution time T of memory-bounded
+// scaling with g(N) = N^{3/2}, f_mem = 0.9, C in {1, 4, 8}. Compared with
+// Fig. 8, execution time must increase with the higher data-access
+// frequency.
+
+#include "bench_util.h"
+#include "scaling_figures.h"
+
+namespace c2b::bench {
+namespace {
+
+void bm_model_evaluate(benchmark::State& state) {
+  const C2BoundModel model = scaling_model(0.9, 4.0);
+  const double budget = model.machine().chip.per_core_budget(64.0);
+  const c2b::DesignPoint d{.n_cores = 64, .a0 = budget * 0.4, .a1 = budget * 0.2,
+                           .a2 = budget * 0.4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.evaluate(d).execution_time);
+  }
+}
+BENCHMARK(bm_model_evaluate);
+
+}  // namespace
+}  // namespace c2b::bench
+
+int main(int argc, char** argv) {
+  using namespace c2b::bench;
+  const ScalingCurves low = compute_scaling_curves(/*f_mem=*/0.3);
+  const ScalingCurves high = compute_scaling_curves(/*f_mem=*/0.9);
+  emit("Fig. 9: W and T of memory-bounded scaling (g=N^1.5, f_mem=0.9)",
+       scaling_time_table(high), "fig9_scaling_fmem09");
+  print_scaling_findings(high, 0.9);
+
+  // Cross-figure check the paper calls out: T grows with f_mem.
+  std::size_t grew = 0;
+  for (std::size_t ci = 0; ci < high.c_values.size(); ++ci) {
+    const c2b::C2BoundModel m_low = scaling_model(0.3, high.c_values[ci]);
+    const c2b::C2BoundModel m_high = scaling_model(0.9, high.c_values[ci]);
+    const double budget = m_low.machine().chip.per_core_budget(64.0);
+    const c2b::DesignPoint d{.n_cores = 64, .a0 = budget * 0.4, .a1 = budget * 0.2,
+                             .a2 = budget * 0.4};
+    if (m_high.evaluate(d).execution_time > m_low.evaluate(d).execution_time) ++grew;
+  }
+  std::printf("[shape] absolute T grows with f_mem for %zu/%zu concurrency levels "
+              "(paper: 'T increases with f_mem').\n",
+              grew, high.c_values.size());
+  return run_benchmarks(argc, argv);
+}

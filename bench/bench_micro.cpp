@@ -1,0 +1,192 @@
+// Component micro-benchmarks: throughput of every substrate the
+// reproduction is built on. These are the numbers that determine how big a
+// design space the APS/full-factorial machinery can traverse per second.
+
+#include <benchmark/benchmark.h>
+
+#include "c2b/ann/mlp.h"
+#include "c2b/common/rng.h"
+#include "c2b/linalg/matrix.h"
+#include "c2b/sim/cache/cache.h"
+#include "c2b/sim/dram/dram.h"
+#include "c2b/sim/noc/noc.h"
+#include "c2b/sim/system/system.h"
+#include "c2b/solver/minimize.h"
+#include "c2b/solver/newton.h"
+#include "c2b/trace/generators.h"
+#include "c2b/trace/reuse.h"
+
+namespace c2b {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Cache substrate
+
+void bm_cache_probe_hit(benchmark::State& state) {
+  sim::CacheArray cache({.size_bytes = 32 * 1024, .line_bytes = 64, .associativity = 8});
+  for (std::uint64_t line = 0; line < 512; ++line) cache.fill(line * 64);
+  std::uint64_t address = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.probe(address));
+    address = (address + 64) % (512 * 64);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_cache_probe_hit);
+
+void bm_cache_fill_evict(benchmark::State& state) {
+  sim::CacheArray cache({.size_bytes = 8 * 1024, .line_bytes = 64, .associativity = 4});
+  std::uint64_t address = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.fill(address));
+    address += 64;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_cache_fill_evict);
+
+void bm_mshr_request(benchmark::State& state) {
+  sim::MshrFile mshr(16);
+  std::uint64_t line = 0, cycle = 0;
+  for (auto _ : state) {
+    const auto grant = mshr.request(line, cycle);
+    mshr.complete(line, grant.start_cycle + 100);
+    ++line;
+    cycle += 8;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_mshr_request);
+
+// ---------------------------------------------------------------------------
+// DRAM / NoC
+
+void bm_dram_access(benchmark::State& state) {
+  sim::DramModel dram(sim::DramConfig{});
+  Rng rng(1);
+  std::uint64_t cycle = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dram.access(rng.uniform_below(1 << 20), cycle));
+    cycle += 4;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_dram_access);
+
+void bm_noc_round_trip(benchmark::State& state) {
+  sim::MeshNoc noc({.nodes = 64});
+  std::uint32_t src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(noc.round_trip(src, 63 - src));
+    src = (src + 1) % 64;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_noc_round_trip);
+
+// ---------------------------------------------------------------------------
+// Trace substrate
+
+void bm_zipf_generator(benchmark::State& state) {
+  ZipfStreamGenerator::Params p;
+  p.f_mem = 0.5;
+  ZipfStreamGenerator generator(p);
+  for (auto _ : state) benchmark::DoNotOptimize(generator.next().address);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_zipf_generator);
+
+void bm_stack_distance(benchmark::State& state) {
+  StackDistanceAnalyzer analyzer(64);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.access(rng.zipf(1 << 16, 0.8) * 64));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_stack_distance);
+
+// ---------------------------------------------------------------------------
+// End-to-end simulator
+
+void bm_simulate_system(benchmark::State& state) {
+  const auto cores = static_cast<std::uint32_t>(state.range(0));
+  sim::SystemConfig config;
+  config.hierarchy.cores = cores;
+  config.hierarchy.noc.nodes = std::max(4u, cores);
+  std::vector<Trace> traces;
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    ZipfStreamGenerator::Params p;
+    p.f_mem = 0.4;
+    p.seed = c + 1;
+    traces.push_back(ZipfStreamGenerator(p).generate(20'000));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_system(config, traces).cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * 20'000 * cores);
+}
+BENCHMARK(bm_simulate_system)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Solvers
+
+void bm_newton_2x2(benchmark::State& state) {
+  ResidualFn f = [](const Vector& v) {
+    return Vector{v[0] * v[0] + v[1] * v[1] - 4.0, v[0] * v[1] - 1.0};
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(newton_solve(f, {2.0, 0.3}).residual_norm);
+  }
+}
+BENCHMARK(bm_newton_2x2);
+
+void bm_nelder_mead_rosenbrock(benchmark::State& state) {
+  MultiFn rosenbrock = [](const Vector& v) {
+    const double a = 1.0 - v[0];
+    const double b = v[1] - v[0] * v[0];
+    return a * a + 100.0 * b * b;
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nelder_mead_minimize(rosenbrock, {-1.2, 1.0}).value);
+  }
+  state.SetLabel("rosenbrock 2d");
+}
+BENCHMARK(bm_nelder_mead_rosenbrock)->Unit(benchmark::kMicrosecond);
+
+void bm_lu_solve_8x8(benchmark::State& state) {
+  Rng rng(9);
+  Matrix a(8, 8);
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 0; c < 8; ++c) a(r, c) = rng.normal() + (r == c ? 4.0 : 0.0);
+  const Vector b(8, 1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(lu_solve(a, b)[0]);
+}
+BENCHMARK(bm_lu_solve_8x8);
+
+// ---------------------------------------------------------------------------
+// ANN
+
+void bm_mlp_train_epoch(benchmark::State& state) {
+  MlpConfig config;
+  config.layer_sizes = {6, 16, 16, 1};
+  Mlp mlp(config);
+  Rng rng(3);
+  std::vector<Vector> x;
+  std::vector<double> y;
+  for (int i = 0; i < 128; ++i) {
+    Vector v(6);
+    for (double& d : v) d = rng.uniform(-1, 1);
+    x.push_back(v);
+    y.push_back(v[0] * v[1] + v[2]);
+  }
+  mlp.fit(x, y, 1);  // fit scaler
+  for (auto _ : state) benchmark::DoNotOptimize(mlp.train_epoch(x, y));
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(bm_mlp_train_epoch)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace c2b
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Table I reproduction: the g(N) scale factors of TMM, band-sparse SpMV,
+// stencil, and FFT, derived from their computation/memory complexities —
+// plus an empirical cross-check that the trace generators' footprints
+// actually grow the way the table's memory column says.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "c2b/laws/scaling.h"
+#include "c2b/trace/workloads.h"
+
+namespace c2b::bench {
+namespace {
+
+void bm_generator_throughput(benchmark::State& state) {
+  const c2b::WorkloadSpec spec = c2b::make_tmm_workload();
+  auto generator = spec.make_generator(1.0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator->next().address);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_generator_throughput);
+
+}  // namespace
+}  // namespace c2b::bench
+
+int main(int argc, char** argv) {
+  using namespace c2b;
+  using namespace c2b::bench;
+
+  Table table({"Application", "Computation", "Memory", "g(N)", "g(4)", "g(16)", "g(64)"}, 5);
+  for (const Table1Entry& row : table1_entries()) {
+    table.add_row({row.application, row.computation, row.memory, row.g_formula, row.g(4.0),
+                   row.g(16.0), row.g(64.0)});
+  }
+  emit("Table I: g(N) factors of some applications", table, "table1_gn");
+
+  // Empirical footprint growth: scaling each generator's footprint knob by
+  // s must multiply the distinct-lines count by ~s (the generators' `scale`
+  // parameter is the table's memory axis).
+  Table check({"workload", "lines @1x", "lines @4x", "ratio", "expected"}, 4);
+  for (const WorkloadSpec& spec :
+       {make_tmm_workload(96), make_stencil_workload(128), make_fft_workload(12),
+        make_band_sparse_workload(1 << 12, 8)}) {
+    const auto base = spec.make_generator(1.0, 1)->generate(600000).distinct_lines();
+    const auto big = spec.make_generator(4.0, 1)->generate(2400000).distinct_lines();
+    check.add_row({spec.name, static_cast<std::int64_t>(base), static_cast<std::int64_t>(big),
+                   static_cast<double>(big) / static_cast<double>(base), 4.0});
+  }
+  emit("Table I cross-check: generator footprint growth", check, "table1_footprints");
+
+  std::printf("[shape] all four Table I laws are at-least-linear, so all fall into the\n"
+              "        paper's case I (maximize W/T) of the APS algorithm.\n");
+  return run_benchmarks(argc, argv);
+}

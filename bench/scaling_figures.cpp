@@ -1,0 +1,38 @@
+#include "scaling_figures.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace c2b::bench {
+
+void print_scaling_findings(const ScalingCurves& curves, double f_mem) {
+  const std::size_t last = curves.n.size() - 1;
+  const std::size_t c_last = curves.c_values.size() - 1;
+
+  const double t_ratio = curves.t[0][last] / curves.t[c_last][last];
+  std::printf("[shape] f_mem=%.1f: at N=%d, T(C=%d)/T(C=%d) = %.2fx — higher memory\n"
+              "        concurrency flattens the time curve (paper: 'very significant').\n",
+              f_mem, static_cast<int>(curves.n[last]),
+              static_cast<int>(curves.c_values[0]),
+              static_cast<int>(curves.c_values[c_last]), t_ratio);
+
+  for (std::size_t ci = 0; ci < curves.c_values.size(); ++ci) {
+    const auto best =
+        std::max_element(curves.throughput[ci].begin(), curves.throughput[ci].end());
+    const std::size_t best_i =
+        static_cast<std::size_t>(best - curves.throughput[ci].begin());
+    // The N beyond which W/T stops improving by more than 2%.
+    std::size_t knee = best_i;
+    for (std::size_t i = 0; i + 1 < curves.throughput[ci].size(); ++i) {
+      if (curves.throughput[ci][i] >= *best * 0.98) {
+        knee = i;
+        break;
+      }
+    }
+    std::printf("[shape] C=%d: peak W/T %.3f at N=%d; within 2%% of peak from N=%d.\n",
+                static_cast<int>(curves.c_values[ci]), *best,
+                static_cast<int>(curves.n[best_i]), static_cast<int>(curves.n[knee]));
+  }
+}
+
+}  // namespace c2b::bench

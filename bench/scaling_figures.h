@@ -1,0 +1,121 @@
+#pragma once
+
+// Shared machinery for the paper's Figs. 8-11: memory-bounded scaling of
+// problem size W, execution time T, and throughput W/T versus core count N
+// at g(N) = N^{3/2} and memory concurrency C in {1, 4, 8}.
+//
+// The concurrency knob is realized exactly as the paper treats it: with
+// pure_miss_fraction = pure_penalty_fraction = 1 and C_H = C_M = C, Eq. (2)
+// collapses to C-AMAT = AMAT / C, so the three curves differ only in how
+// much of the (area- and capacity-dependent) AMAT concurrency hides.
+
+#include <string>
+#include <vector>
+
+#include "c2b/common/math_util.h"
+#include "c2b/common/table.h"
+#include "c2b/core/c2bound.h"
+
+namespace c2b::bench {
+
+struct ScalingCurves {
+  std::vector<double> n;                        ///< core counts
+  std::vector<double> w;                        ///< problem size (normalized)
+  std::vector<std::vector<double>> t;           ///< per C: time (normalized)
+  std::vector<std::vector<double>> throughput;  ///< per C: W/T (normalized)
+  std::vector<double> c_values;
+};
+
+inline C2BoundModel scaling_model(double f_mem, double concurrency) {
+  AppProfile app;
+  app.ic0 = 1e6;
+  app.f_mem = f_mem;
+  app.f_seq = 0.02;
+  app.overlap_ratio = 0.2;
+  app.working_set_lines0 = 1 << 14;
+  app.g = ScalingFunction::power(1.5);
+  app.hit_concurrency = concurrency;
+  app.miss_concurrency = concurrency;
+  app.pure_miss_fraction = 1.0;
+  app.pure_penalty_fraction = 1.0;
+
+  MachineProfile machine;
+  machine.chip.total_area = 8192.0;  // room for ~1000 cores like the figures
+  machine.chip.shared_area = 204.8;
+  // Shared memory-controller queueing: this is what caps W/T for C = 1
+  // around a hundred cores in the paper's Fig. 10 while higher C keeps
+  // scaling (the exposed penalty is divided by C_M).
+  machine.memory_contention = 0.02;
+  return C2BoundModel(app, machine);
+}
+
+/// Compute the Figs. 8-11 series. Area per core uses a fixed 40/20/40
+/// split of the budget at each N (the figures hold the allocation policy
+/// constant and vary N and C).
+inline ScalingCurves compute_scaling_curves(double f_mem,
+                                            std::vector<double> c_values = {1.0, 4.0, 8.0},
+                                            int n_max = 1024) {
+  ScalingCurves curves;
+  curves.c_values = c_values;
+  curves.t.resize(c_values.size());
+  curves.throughput.resize(c_values.size());
+
+  const std::vector<int> n_sweep = pow2_sweep(1, n_max);
+  // Common baseline: the C = 1, N = 1 time, so the absolute benefit of
+  // memory concurrency is visible in every curve (as in the paper's plots).
+  double t_baseline = 0.0;
+  for (const int n : n_sweep) {
+    const double n_d = n;
+    curves.n.push_back(n_d);
+    for (std::size_t ci = 0; ci < c_values.size(); ++ci) {
+      const C2BoundModel model = scaling_model(f_mem, c_values[ci]);
+      const double budget = model.machine().chip.per_core_budget(n_d);
+      const DesignPoint d{.n_cores = n_d,
+                          .a0 = budget * 0.4,
+                          .a1 = budget * 0.2,
+                          .a2 = budget * 0.4};
+      const Evaluation e = model.evaluate(d);
+      if (n == 1 && ci == 0) t_baseline = e.execution_time;
+      curves.t[ci].push_back(e.execution_time / t_baseline);
+      curves.throughput[ci].push_back(e.problem_size / e.execution_time * t_baseline /
+                                      1e6);
+      if (ci == 0) curves.w.push_back(e.problem_size / 1e6);
+    }
+  }
+  return curves;
+}
+
+/// Fig. 8/9 table: N, W, T per C.
+inline Table scaling_time_table(const ScalingCurves& curves) {
+  std::vector<std::string> headers{"N", "W (norm)"};
+  for (const double c : curves.c_values)
+    headers.push_back("T (C=" + std::to_string(static_cast<int>(c)) + ")");
+  Table table(std::move(headers), 5);
+  for (std::size_t i = 0; i < curves.n.size(); ++i) {
+    std::vector<Cell> row{static_cast<std::int64_t>(curves.n[i]), curves.w[i]};
+    for (std::size_t ci = 0; ci < curves.c_values.size(); ++ci)
+      row.emplace_back(curves.t[ci][i]);
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+/// Fig. 10/11 table: N, W/T per C.
+inline Table scaling_throughput_table(const ScalingCurves& curves) {
+  std::vector<std::string> headers{"N"};
+  for (const double c : curves.c_values)
+    headers.push_back("W/T (C=" + std::to_string(static_cast<int>(c)) + ")");
+  Table table(std::move(headers), 5);
+  for (std::size_t i = 0; i < curves.n.size(); ++i) {
+    std::vector<Cell> row{static_cast<std::int64_t>(curves.n[i])};
+    for (std::size_t ci = 0; ci < curves.c_values.size(); ++ci)
+      row.emplace_back(curves.throughput[ci][i]);
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+/// Shape checks printed under each figure (what EXPERIMENTS.md records).
+void print_scaling_findings(const ScalingCurves& curves, double f_mem);
+
+}  // namespace c2b::bench

@@ -1,0 +1,81 @@
+// Asymmetric CMP design with C²-Bound (the Section VII extension):
+// sweep the sequential fraction and watch the optimizer trade one big core
+// against a sea of small ones — Hill & Marty's question answered with the
+// capacity- and concurrency-aware machinery.
+//
+// Usage: ./build/examples/asymmetric_design [f_seq]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "c2b/core/asymmetric.h"
+
+namespace {
+
+c2b::AppProfile make_app(double f_seq) {
+  c2b::AppProfile app;
+  app.ic0 = 1e6;
+  app.f_mem = 0.35;
+  app.f_seq = f_seq;
+  app.overlap_ratio = 0.3;
+  app.working_set_lines0 = 1 << 15;
+  app.g = c2b::ScalingFunction::fixed();  // fixed problem: the Amdahl regime
+  app.hit_concurrency = 2.0;
+  app.miss_concurrency = 3.0;
+  app.pure_miss_fraction = 0.6;
+  app.pure_penalty_fraction = 0.8;
+  return app;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace c2b;
+
+  MachineProfile machine;
+  machine.chip.total_area = 128.0;
+  machine.chip.shared_area = 8.0;
+  machine.memory_contention = 0.05;
+
+  OptimizerOptions options;
+  options.n_max = 24;
+  options.nelder_mead_restarts = 2;
+
+  if (argc > 1) {
+    // Single-shot detailed design at the requested f_seq.
+    const double f_seq = std::atof(argv[1]);
+    const AsymmetricOptimizer optimizer(
+        AsymmetricC2BoundModel(make_app(f_seq), machine), options);
+    const AsymmetricOptimum result = optimizer.optimize();
+    const AsymmetricEvaluation& best = result.best;
+    std::printf("f_seq = %.2f: %lld small cores + 1 big core (r = %.2f)\n", f_seq,
+                best.design.n_small, best.design.big_core_ratio);
+    std::printf("  big core:   a0=%.2f a1=%.2f a2=%.2f  CPI_exe=%.3f  C-AMAT=%.2f\n",
+                best.big.a0, best.big.a1, best.big.a2, best.cpi_big, best.camat_big);
+    std::printf("  small core: a0=%.2f a1=%.2f a2=%.2f  CPI_exe=%.3f  C-AMAT=%.2f\n",
+                best.small.a0, best.small.a1, best.small.a2, best.cpi_small,
+                best.camat_small);
+    std::printf("  serial %.3g + parallel %.3g = %.3g cycles (speedup over big-serial "
+                "%.2fx)\n",
+                best.serial_time, best.parallel_time, best.execution_time,
+                best.speedup_vs_big_serial);
+    return 0;
+  }
+
+  std::printf("%-8s | %-28s | %-12s | %s\n", "f_seq", "asymmetric optimum",
+              "asym time", "symmetric time (best N)");
+  for (const double f_seq : {0.02, 0.1, 0.2, 0.35, 0.5}) {
+    const AppProfile app = make_app(f_seq);
+    const AsymmetricOptimum asym =
+        AsymmetricOptimizer(AsymmetricC2BoundModel(app, machine), options).optimize();
+    const OptimalDesign sym = C2BoundOptimizer(C2BoundModel(app, machine), options).optimize();
+    std::printf("%-8.2f | n=%-3lld + big r=%-6.2f        | %-12.4g | %.4g (N=%.0f)\n",
+                f_seq, asym.best.design.n_small, asym.best.design.big_core_ratio,
+                asym.best.execution_time, sym.best.execution_time,
+                sym.best.design.n_cores);
+  }
+  std::printf("\nreading: as f_seq grows, the asymmetric design buys a bigger big core\n"
+              "and pulls further ahead of the best symmetric chip — the serial phase\n"
+              "is where Pollack's sqrt returns are still worth paying for.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// The full APS (Analysis Plus Simulation) flow on a fluidanimate-like
+// workload — the paper's Fig. 12 case study as a narrative walkthrough:
+//
+//   characterize  -> measure f_mem, CPI_exe, C-AMAT components, working set
+//   optimize      -> solve the C²-Bound problem for (A0, A1, A2, N)
+//   simulate      -> sweep only issue width x ROB at the analytic point
+//
+// Usage: ./build/examples/dse_fluidanimate
+
+#include <cstdio>
+
+#include "c2b/aps/aps.h"
+
+int main() {
+  using namespace c2b;
+
+  DseContext context;
+  context.base.core.issue_width = 4;
+  context.base.core.rob_size = 128;
+  context.base.hierarchy.l1_geometry = {.size_bytes = 16 * 1024, .line_bytes = 64,
+                                        .associativity = 4};
+  context.base.hierarchy.l2_geometry = {.size_bytes = 256 * 1024, .line_bytes = 64,
+                                        .associativity = 8};
+  context.workload = make_fluidanimate_like_workload(1 << 14);
+  context.instructions0 = 24'000;
+  context.per_core_cap = 12'000;
+  context.chip.total_area = 26.0;  // grid axes = the buildable range (Eq. 12)
+  context.chip.shared_area = 2.0;
+
+  DseAxes axes;  // the six-parameter space of the paper's case study
+  const GridSpace space = make_design_space(axes);
+  std::printf("design space: %zu candidate chips "
+              "(A0 x A1 x A2 x N x issue x ROB)\n\n",
+              space.size());
+
+  // ---- Step 1 + 2 + 3: the APS pipeline ----
+  ApsOptions options;
+  options.characterize.instructions = 150'000;
+  options.characterize.use_simpoints = true;
+  options.characterize.simpoint.interval_length = 25'000;
+  const ApsResult aps = run_aps(context, space, options);
+
+  const Characterization& c = aps.characterization;
+  std::printf("step 1 — characterization (%zu simulator runs, %zu instructions):\n",
+              c.simulation_runs, c.simulated_instructions);
+  std::printf("  f_mem = %.3f   CPI_exe = %.3f   measured CPI = %.3f\n", c.app.f_mem,
+              c.cpi_exe, c.measured_cpi);
+  std::printf("  C-AMAT = %.2f cycles  (C_H = %.2f, C_M = %.2f, pMR/MR = %.2f)\n",
+              c.camat.camat_value, c.app.hit_concurrency, c.app.miss_concurrency,
+              c.app.pure_miss_fraction);
+  std::printf("  concurrency C = %.2f   overlap ratio = %.2f   working set = %.0f lines\n",
+              c.camat.concurrency_c, c.app.overlap_ratio, c.app.working_set_lines0);
+  std::printf("  L1 miss power law: MR(S) ~ %.3g * S^-%.2f\n\n", c.l1_power_law.alpha,
+              c.l1_power_law.beta);
+
+  const DesignPoint& best = aps.analytic.best.design;
+  std::printf("step 2 — C²-Bound analytic optimum (%s):\n",
+              aps.analytic.opt_case == OptimizationCase::kMaximizeThroughput
+                  ? "maximize W/T"
+                  : "minimize T");
+  std::printf("  N = %.0f cores, A0 = %.2f, A1 = %.2f, A2 = %.2f (area units)\n", best.n_cores,
+              best.a0, best.a1, best.a2);
+  std::printf("  predicted C-AMAT = %.2f, throughput = %.4f\n\n", aps.analytic.best.camat,
+              aps.analytic.best.throughput);
+
+  std::printf("step 3 — simulation, restricted to the analytic neighborhood:\n");
+  std::printf("  simulated %zu of %zu designs (narrowing %.0fx)\n",
+              aps.simulated_indices.size(), space.size(), aps.narrowing_factor);
+  const auto winner = space.point(aps.best_index);
+  std::printf("  winner: a0=%.2f a1=%.2f a2=%.2f N=%.0f issue=%.0f rob=%.0f "
+              "(%.0f cycles)\n",
+              winner[kAxisA0], winner[kAxisA1], winner[kAxisA2], winner[kAxisN],
+              winner[kAxisIssue], winner[kAxisRob], aps.best_time);
+  std::printf("\ntotal cost: %zu simulator invocations end to end.\n", aps.simulations);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Per-layer APC measurement (paper Section V / Fig. 13): which layer of the
+// memory hierarchy binds performance? APC_i is accesses per memory-active
+// cycle at layer i; the steep on-chip/off-chip cliff is why C²-Bound treats
+// the on-chip capacity as the binding memory bound.
+//
+// Usage: ./build/examples/memory_hierarchy_apc [workload]
+//   workload in {tmm, stencil, fft, band_sparse, pointer_chase,
+//                fluidanimate_like}; default: tmm. Also sweeps the L1 size
+//   to show how capacity moves the APC profile.
+
+#include <cstdio>
+#include <cstring>
+
+#include "c2b/sim/system/system.h"
+#include "c2b/trace/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace c2b;
+
+  const char* wanted = argc > 1 ? argv[1] : "tmm";
+  const auto catalog = workload_catalog();
+  const WorkloadSpec* spec = nullptr;
+  for (const WorkloadSpec& s : catalog)
+    if (s.name == wanted) spec = &s;
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s'; choices:", wanted);
+    for (const WorkloadSpec& s : catalog) std::fprintf(stderr, " %s", s.name.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  const Trace trace = spec->make_generator(1.0, 42)->generate(200'000);
+  std::printf("workload %s: %llu instructions, f_mem = %.2f, footprint = %llu lines\n\n",
+              spec->name.c_str(), (unsigned long long)trace.instruction_count(),
+              trace.f_mem(), (unsigned long long)trace.distinct_lines());
+
+  std::printf("%-10s %10s %10s %12s %10s %10s\n", "L1 size", "APC_1", "APC_2", "APC_3",
+              "L1 MR", "CPI");
+  for (const unsigned long long l1_kib : {8ull, 16ull, 32ull, 64ull, 128ull}) {
+    sim::SystemConfig config;
+    config.hierarchy.l1_geometry = {.size_bytes = l1_kib * 1024, .line_bytes = 64,
+                                    .associativity = 8};
+    config.hierarchy.l2_geometry = {.size_bytes = 1024 * 1024, .line_bytes = 64,
+                                    .associativity = 8};
+    const sim::SystemResult result = sim::simulate_single_core(config, trace);
+    const sim::HierarchyStats& h = result.hierarchy;
+    std::printf("%7lluKiB %10.4f %10.4f %12.4f %10.4f %10.3f\n", l1_kib, h.apc_l1,
+                h.apc_l2, h.apc_mem, h.l1_miss_ratio, result.cores[0].cpi);
+  }
+
+  std::printf("\nreading: APC_1 >> APC_2 > APC_3 — each level down the hierarchy\n"
+              "serves far fewer accesses per active cycle. Growing the L1 raises\n"
+              "APC_1 (more hits per busy cycle) and starves the lower levels, which\n"
+              "is exactly the capacity lever the C²-Bound optimizer trades against\n"
+              "core count.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Core allocation across co-scheduled applications (paper Fig. 7 use case).
+//
+// Three applications with different sequential fractions and memory
+// concurrencies share one CMP. The C²-Bound utility model hands cores out
+// by diminishing marginal return, so the demand profile — not a naive even
+// split — decides the partition. Usage:
+//
+//   ./build/examples/multi_task_allocation [total_cores]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "c2b/core/multitask.h"
+
+namespace {
+
+c2b::AppProfile make_app(double f_seq, double concurrency, double f_mem) {
+  c2b::AppProfile app;
+  app.ic0 = 1e6;
+  app.f_mem = f_mem;
+  app.f_seq = f_seq;
+  app.overlap_ratio = 0.3;
+  app.working_set_lines0 = 1 << 15;
+  app.g = c2b::ScalingFunction::linear();
+  app.hit_concurrency = concurrency;
+  app.miss_concurrency = concurrency;
+  app.pure_miss_fraction = 0.7;
+  app.pure_penalty_fraction = 0.8;
+  return app;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace c2b;
+  const long long total_cores = argc > 1 ? std::atoll(argv[1]) : 32;
+  if (total_cores < 3) {
+    std::fprintf(stderr, "need at least 3 cores (one per task)\n");
+    return 1;
+  }
+
+  const std::vector<TaskProfile> tasks{
+      {.name = "interactive-serial", .app = make_app(0.50, 1.0, 0.30), .priority = 1.0},
+      {.name = "analytics-parallel", .app = make_app(0.01, 8.0, 0.45), .priority = 1.0},
+      {.name = "batch-medium", .app = make_app(0.15, 2.0, 0.35), .priority = 1.0},
+  };
+
+  MachineProfile machine;
+  machine.chip.total_area = 512.0;
+  machine.chip.shared_area = 32.0;
+
+  const MultiTaskResult result = allocate_cores(tasks, machine, total_cores);
+
+  std::printf("partitioning %lld cores among %zu applications:\n\n", total_cores,
+              tasks.size());
+  std::printf("%-22s %6s %8s %12s %10s\n", "application", "cores", "share", "throughput",
+              "C");
+  for (const TaskAllocation& a : result.allocations) {
+    std::printf("%-22s %6lld %7.1f%% %12.3f %10.2f\n", a.name.c_str(), a.cores,
+                100.0 * static_cast<double>(a.cores) / static_cast<double>(total_cores),
+                a.throughput, a.concurrency_c);
+  }
+  std::printf("\naggregate utility: %.3f\n", result.aggregate_utility);
+  std::printf("\nreading: the app with a large sequential fraction and no memory\n"
+              "concurrency cannot use extra cores (Fig. 7 'app 1'); the parallel,\n"
+              "high-MLP app soaks up most of the chip ('app 2').\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Phase-adaptive reconfiguration (paper Sections IV-V): programs change
+// behavior phase by phase, and the lightweight HCD/MCD counters let the
+// runtime re-match hardware to the current phase.
+//
+// A phased workload alternates between a pointer-chasing phase (C ~ 1,
+// extra cores useless) and a high-MLP streaming phase (C >> 1, cores pay
+// off). We characterize each execution window with the on-line detector,
+// feed the measured profile to the C²-Bound optimizer, and print the
+// recommended configuration per window.
+//
+// Usage: ./build/examples/phase_adaptive
+
+#include <cstdio>
+#include <memory>
+
+#include "c2b/core/optimizer.h"
+#include "c2b/sim/system/system.h"
+#include "c2b/trace/generators.h"
+
+namespace {
+
+c2b::sim::SystemConfig monitoring_system() {
+  c2b::sim::SystemConfig config;
+  config.core.issue_width = 4;
+  config.core.rob_size = 128;
+  config.hierarchy.l1_geometry = {.size_bytes = 16 * 1024, .line_bytes = 64,
+                                  .associativity = 4};
+  config.hierarchy.l2_geometry = {.size_bytes = 256 * 1024, .line_bytes = 64,
+                                  .associativity = 8};
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  using namespace c2b;
+
+  // Two alternating phases of 60k instructions each.
+  constexpr std::uint64_t kPhaseLen = 60'000;
+  std::vector<PhasedGenerator::Phase> phases;
+  phases.push_back({std::make_shared<PointerChaseGenerator>(1 << 13, 2, 1), kPhaseLen});
+  ZipfStreamGenerator::Params zipf;
+  zipf.working_set_lines = 1 << 14;
+  zipf.zipf_exponent = 0.5;
+  zipf.f_mem = 0.6;
+  zipf.seed = 2;
+  phases.push_back({std::make_shared<ZipfStreamGenerator>(zipf), kPhaseLen});
+  PhasedGenerator generator(std::move(phases));
+
+  MachineProfile machine;
+  machine.chip.total_area = 256.0;
+  machine.chip.shared_area = 16.0;
+  // Shared-controller queueing: with C ~ 1 every queued cycle is exposed,
+  // so the optimizer backs off the core count; high C hides it.
+  machine.memory_contention = 0.3;
+
+  std::printf("%-8s %10s %8s %8s %8s | %-12s %6s\n", "window", "C-AMAT", "C", "C_H", "C_M",
+              "recommend", "cores");
+  for (int window = 0; window < 6; ++window) {
+    // Simulate this window in isolation and read the detector, as the
+    // hardware counters would be read and reset at a phase boundary.
+    const Trace trace = generator.generate(kPhaseLen);
+    const sim::SystemResult result =
+        sim::simulate_single_core(monitoring_system(), trace);
+    const TimelineMetrics& m = result.cores[0].camat;
+
+    // Feed the measured concurrency structure into the optimizer.
+    AppProfile app;
+    app.ic0 = 1e6;
+    app.f_mem = result.cores[0].f_mem;
+    app.f_seq = 0.05;
+    app.overlap_ratio = 0.3;
+    app.working_set_lines0 =
+        std::max<double>(1024.0, static_cast<double>(trace.distinct_lines()));
+    app.g = ScalingFunction::linear();
+    app.hit_concurrency = m.camat_params.hit_concurrency;
+    app.miss_concurrency = m.camat_params.miss_concurrency;
+    app.pure_miss_fraction =
+        m.amat_params.miss_rate > 0
+            ? std::min(1.0, m.camat_params.pure_miss_rate / m.amat_params.miss_rate)
+            : 0.5;
+    app.pure_penalty_fraction =
+        m.amat_params.miss_penalty > 0
+            ? std::min(1.5, m.camat_params.pure_miss_penalty / m.amat_params.miss_penalty)
+            : 0.8;
+
+    OptimizerOptions opts;
+    opts.n_max = 64;
+    const OptimalDesign design =
+        C2BoundOptimizer(C2BoundModel(app, machine), opts).optimize();
+
+    std::printf("%-8d %10.2f %8.2f %8.2f %8.2f | %-12s %6.0f\n", window, m.camat_value,
+                m.concurrency_c, m.camat_params.hit_concurrency,
+                m.camat_params.miss_concurrency,
+                design.opt_case == OptimizationCase::kMaximizeThroughput ? "max W/T"
+                                                                         : "min T",
+                design.best.design.n_cores);
+  }
+  std::printf("\nreading: chase windows (odd/even alternation) report C ~ 1 and earn a\n"
+              "small-core recommendation; streaming windows report C >> 1 and flip the\n"
+              "recommendation toward many cores — the dynamic matching of Section V.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: the three layers of the C²-Bound library in ~80 lines.
+//
+//   1. Metrics    — compute AMAT / C-AMAT / C on a concurrent access
+//                   timeline (the paper's Fig. 1 example).
+//   2. Laws       — Sun-Ni memory-bounded speedup and its Amdahl /
+//                   Gustafson special cases (Eq. 4).
+//   3. C²-Bound   — optimize a chip: how many cores, and how much area for
+//                   core logic vs L1 vs L2 (Eqs. 10-13).
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "c2b/core/optimizer.h"
+#include "c2b/laws/speedup.h"
+#include "c2b/metrics/timeline.h"
+
+int main() {
+  using namespace c2b;
+
+  // ---- 1. Metrics: analyze a concurrent access timeline ----
+  const TimelineMetrics m = analyze_timeline(figure1_example_timeline());
+  std::printf("Fig. 1 timeline:  AMAT = %.2f cycles, C-AMAT = %.2f cycles\n",
+              m.amat_value, m.camat_value);
+  std::printf("                  concurrency C = AMAT/C-AMAT = %.3f, APC = %.3f\n\n",
+              m.concurrency_c, m.apc);
+
+  // ---- 2. Laws: memory-bounded speedup ----
+  const double f_seq = 0.05;
+  std::printf("Speedup at N = 64, f_seq = %.2f:\n", f_seq);
+  std::printf("  Amdahl     (g = 1)      : %6.2f\n", amdahl_speedup(f_seq, 64));
+  std::printf("  Gustafson  (g = N)      : %6.2f\n", gustafson_speedup(f_seq, 64));
+  std::printf("  Sun-Ni     (g = N^1.5)  : %6.2f\n\n",
+              sunni_speedup(f_seq, ScalingFunction::power(1.5), 64));
+
+  // ---- 3. C²-Bound: optimize a many-core chip ----
+  AppProfile app;
+  app.ic0 = 1e6;
+  app.f_mem = 0.35;                 // 35% of instructions touch memory
+  app.f_seq = f_seq;
+  app.overlap_ratio = 0.25;         // the OoO core hides 25% of the stall
+  app.working_set_lines0 = 1 << 14; // 1 MiB footprint at N = 1
+  app.g = ScalingFunction::power(1.5);  // TMM-like capacity scaling
+  app.hit_concurrency = m.camat_params.hit_concurrency;   // from the detector
+  app.miss_concurrency = 2.0;
+  app.pure_miss_fraction = 0.6;
+  app.pure_penalty_fraction = 0.8;
+
+  MachineProfile machine;          // defaults: Pollack core, i7-like latencies
+  machine.chip.total_area = 256.0;
+  machine.chip.shared_area = 16.0;
+  machine.memory_contention = 0.05;  // shared memory controllers queue with N
+
+  const C2BoundOptimizer optimizer{C2BoundModel(app, machine)};
+  const OptimalDesign design = optimizer.optimize();
+
+  std::printf("C²-Bound optimum (%s):\n",
+              design.opt_case == OptimizationCase::kMaximizeThroughput
+                  ? "case I: maximize W/T"
+                  : "case II: minimize T");
+  std::printf("  cores N             = %.0f\n", design.best.design.n_cores);
+  std::printf("  core logic A0       = %.3f area units\n", design.best.design.a0);
+  std::printf("  private L1 A1       = %.3f area units\n", design.best.design.a1);
+  std::printf("  L2 slice   A2       = %.3f area units\n", design.best.design.a2);
+  std::printf("  analytic C-AMAT     = %.2f cycles (C = %.2f)\n", design.best.camat,
+              design.best.concurrency_c);
+  std::printf("  throughput W/T      = %.4f work/cycle\n", design.best.throughput);
+  std::printf("  area price lambda   = %.3g (marginal time per area unit)\n",
+              design.lambda);
+  return 0;
+}

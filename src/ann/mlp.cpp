@@ -1,0 +1,195 @@
+#include "c2b/ann/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "c2b/common/assert.h"
+
+namespace c2b {
+
+void FeatureScaler::fit(const std::vector<Vector>& samples) {
+  C2B_REQUIRE(!samples.empty(), "cannot fit a scaler on no samples");
+  const std::size_t dim = samples[0].size();
+  lo_.assign(dim, std::numeric_limits<double>::infinity());
+  hi_.assign(dim, -std::numeric_limits<double>::infinity());
+  for (const Vector& s : samples) {
+    C2B_REQUIRE(s.size() == dim, "inconsistent sample dimension");
+    for (std::size_t d = 0; d < dim; ++d) {
+      lo_[d] = std::min(lo_[d], s[d]);
+      hi_[d] = std::max(hi_[d], s[d]);
+    }
+  }
+}
+
+Vector FeatureScaler::transform(const Vector& x) const {
+  C2B_REQUIRE(fitted(), "scaler not fitted");
+  C2B_REQUIRE(x.size() == lo_.size(), "dimension mismatch");
+  Vector out(x.size());
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    const double span = hi_[d] - lo_[d];
+    out[d] = span <= 0.0 ? 0.0 : 2.0 * (x[d] - lo_[d]) / span - 1.0;
+  }
+  return out;
+}
+
+Mlp::Mlp(const MlpConfig& config) : config_(config), rng_(config.seed) {
+  C2B_REQUIRE(config_.layer_sizes.size() >= 2, "MLP needs input and output layers");
+  C2B_REQUIRE(config_.layer_sizes.back() == 1, "this MLP predicts a single scalar");
+  for (std::size_t l = 0; l + 1 < config_.layer_sizes.size(); ++l) {
+    const std::size_t fan_in = config_.layer_sizes[l];
+    const std::size_t fan_out = config_.layer_sizes[l + 1];
+    Matrix w(fan_out, fan_in + 1);  // +1 bias column
+    // Xavier/Glorot initialization keeps tanh activations in range.
+    const double scale = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+    for (std::size_t r = 0; r < w.rows(); ++r)
+      for (std::size_t c = 0; c < w.cols(); ++c) w(r, c) = rng_.uniform(-scale, scale);
+    weights_.push_back(std::move(w));
+    velocity_.emplace_back(fan_out, fan_in + 1, 0.0);
+  }
+}
+
+double Mlp::activate(double x) const {
+  switch (config_.hidden_activation) {
+    case Activation::kTanh:
+      return std::tanh(x);
+    case Activation::kRelu:
+      return x > 0.0 ? x : 0.0;
+    case Activation::kIdentity:
+      return x;
+  }
+  return x;
+}
+
+double Mlp::activate_derivative(double activated) const {
+  switch (config_.hidden_activation) {
+    case Activation::kTanh:
+      return 1.0 - activated * activated;
+    case Activation::kRelu:
+      return activated > 0.0 ? 1.0 : 0.0;
+    case Activation::kIdentity:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+Vector Mlp::forward(const Vector& scaled_input, std::vector<Vector>* layer_outputs) const {
+  Vector current = scaled_input;
+  if (layer_outputs) layer_outputs->push_back(current);
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    const Matrix& w = weights_[l];
+    Vector next(w.rows(), 0.0);
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+      double sum = w(r, w.cols() - 1);  // bias
+      for (std::size_t c = 0; c + 1 < w.cols(); ++c) sum += w(r, c) * current[c];
+      // Hidden layers use the configured activation; the output is linear.
+      next[r] = (l + 1 == weights_.size()) ? sum : activate(sum);
+    }
+    current = std::move(next);
+    if (layer_outputs) layer_outputs->push_back(current);
+  }
+  return current;
+}
+
+void Mlp::backward(const Vector& scaled_input, const std::vector<Vector>& layer_outputs,
+                   double error) {
+  (void)scaled_input;
+  // delta for the linear output layer is just the error.
+  Vector delta{error};
+  for (std::size_t l = weights_.size(); l-- > 0;) {
+    const Vector& input = layer_outputs[l];
+    Matrix& w = weights_[l];
+    Matrix& v = velocity_[l];
+
+    // Pre-compute delta for the layer below before mutating weights.
+    Vector next_delta;
+    if (l > 0) {
+      next_delta.assign(input.size(), 0.0);
+      for (std::size_t c = 0; c < input.size(); ++c) {
+        double sum = 0.0;
+        for (std::size_t r = 0; r < w.rows(); ++r) sum += w(r, c) * delta[r];
+        next_delta[c] = sum * activate_derivative(input[c]);
+      }
+    }
+
+    const double lr = config_.learning_rate;
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+      for (std::size_t c = 0; c < w.cols(); ++c) {
+        const double x = (c + 1 == w.cols()) ? 1.0 : input[c];
+        const double grad = delta[r] * x + config_.l2_penalty * w(r, c);
+        v(r, c) = config_.momentum * v(r, c) - lr * grad;
+        w(r, c) += v(r, c);
+      }
+    }
+    delta = std::move(next_delta);
+  }
+}
+
+double Mlp::train_epoch(const std::vector<Vector>& inputs, const std::vector<double>& targets) {
+  C2B_REQUIRE(inputs.size() == targets.size() && !inputs.empty(), "bad training batch");
+  C2B_REQUIRE(scaler_.fitted(), "call fit() (which fits the scaler) before train_epoch()");
+
+  std::vector<std::size_t> order(inputs.size());
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::size_t i = order.size() - 1; i > 0; --i)
+    std::swap(order[i], order[rng_.uniform_below(i + 1)]);
+
+  double squared_error = 0.0;
+  std::vector<Vector> layer_outputs;
+  for (const std::size_t idx : order) {
+    const Vector x = scaler_.transform(inputs[idx]);
+    const double target_norm = (targets[idx] - target_mean_) / target_scale_;
+    layer_outputs.clear();
+    const Vector out = forward(x, &layer_outputs);
+    const double error = out[0] - target_norm;
+    squared_error += error * error * target_scale_ * target_scale_;
+    backward(x, layer_outputs, error);
+  }
+  return squared_error / static_cast<double>(inputs.size());
+}
+
+void Mlp::fit(const std::vector<Vector>& inputs, const std::vector<double>& targets, int epochs) {
+  C2B_REQUIRE(inputs.size() == targets.size() && !inputs.empty(), "bad training set");
+  scaler_.fit(inputs);
+  // Normalize targets to zero mean / unit scale for stable gradients.
+  double mean = 0.0;
+  for (const double t : targets) mean += t;
+  mean /= static_cast<double>(targets.size());
+  double spread = 0.0;
+  for (const double t : targets) spread = std::max(spread, std::fabs(t - mean));
+  target_mean_ = mean;
+  target_scale_ = spread > 0.0 ? spread : 1.0;
+
+  double best = std::numeric_limits<double>::infinity();
+  int stale = 0;
+  for (int e = 0; e < epochs; ++e) {
+    const double mse = train_epoch(inputs, targets);
+    if (mse < best * 0.999) {
+      best = mse;
+      stale = 0;
+    } else if (++stale > 50) {
+      break;  // plateau
+    }
+  }
+}
+
+double Mlp::predict(const Vector& input) const {
+  const Vector out = forward(scaler_.transform(input), nullptr);
+  return out[0] * target_scale_ + target_mean_;
+}
+
+double Mlp::mean_relative_error(const std::vector<Vector>& inputs,
+                                const std::vector<double>& targets) const {
+  C2B_REQUIRE(inputs.size() == targets.size() && !inputs.empty(), "bad evaluation set");
+  double sum = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (std::fabs(targets[i]) < 1e-12) continue;
+    sum += std::fabs(predict(inputs[i]) - targets[i]) / std::fabs(targets[i]);
+    ++used;
+  }
+  return used == 0 ? 0.0 : sum / static_cast<double>(used);
+}
+
+}  // namespace c2b

@@ -1,0 +1,117 @@
+#include "c2b/aps/dse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "c2b/common/assert.h"
+#include "c2b/common/math_util.h"
+
+namespace c2b {
+namespace {
+
+/// Round a byte capacity to the nearest power of two, clamped so the
+/// geometry stays valid for the given line size and associativity.
+std::uint64_t pow2_capacity(double bytes, std::uint32_t line_bytes, std::uint32_t assoc) {
+  const std::uint64_t min_bytes = static_cast<std::uint64_t>(line_bytes) * assoc;
+  if (bytes <= static_cast<double>(min_bytes)) return min_bytes;
+  const double log2v = std::log2(bytes);
+  const auto rounded = static_cast<unsigned>(std::lround(log2v));
+  return std::max<std::uint64_t>(min_bytes, std::uint64_t{1} << rounded);
+}
+
+}  // namespace
+
+GridSpace make_design_space(const DseAxes& axes) {
+  return GridSpace({GridAxis{"a0", axes.a0}, GridAxis{"a1", axes.a1}, GridAxis{"a2", axes.a2},
+                    GridAxis{"n", axes.n}, GridAxis{"issue", axes.issue},
+                    GridAxis{"rob", axes.rob}});
+}
+
+sim::SystemConfig config_for_design(const DseContext& context,
+                                    const std::vector<double>& point) {
+  C2B_REQUIRE(point.size() == 6, "design point must have 6 coordinates");
+  const double a0 = point[kAxisA0];
+  const double a1 = point[kAxisA1];
+  const double a2 = point[kAxisA2];
+  const auto n = static_cast<std::uint32_t>(std::lround(point[kAxisN]));
+  const auto issue = static_cast<std::uint32_t>(std::lround(point[kAxisIssue]));
+  const auto rob = static_cast<std::uint32_t>(std::lround(point[kAxisRob]));
+  C2B_REQUIRE(n >= 1 && issue >= 1 && rob >= issue, "invalid discrete design values");
+
+  sim::SystemConfig config = context.base;
+  config.core.issue_width = issue;
+  config.core.rob_size = rob;
+  config.core.functional_units = static_cast<std::uint32_t>(
+      clamp(std::lround(2.0 * std::sqrt(a0)), 1, 16));
+
+  config.hierarchy.cores = n;
+  const std::uint32_t line = config.hierarchy.l1_geometry.line_bytes;
+  config.hierarchy.l1_geometry.size_bytes =
+      pow2_capacity(context.chip.l1_capacity_lines(a1) * line, line,
+                    config.hierarchy.l1_geometry.associativity);
+  config.hierarchy.l2_geometry.size_bytes =
+      pow2_capacity(context.chip.l2_capacity_lines(a2) * line * n, line,
+                    config.hierarchy.l2_geometry.associativity);
+  return config;
+}
+
+bool design_feasible(const DseContext& context, const std::vector<double>& point) {
+  C2B_REQUIRE(point.size() == 6, "design point must have 6 coordinates");
+  if (point[kAxisRob] < point[kAxisIssue]) return false;
+  const double n = point[kAxisN];
+  const double per_core = point[kAxisA0] + point[kAxisA1] + point[kAxisA2];
+  return n * per_core + context.chip.shared_area <= context.chip.total_area + 1e-9;
+}
+
+double simulate_design_time(const DseContext& context, const std::vector<double>& point) {
+  const sim::SystemConfig config = config_for_design(context, point);
+  const auto n = config.hierarchy.cores;
+  const double n_d = static_cast<double>(n);
+  const ScalingFunction& g = context.workload.g;
+  const double f_seq = context.workload.f_seq;
+
+  // Sun-Ni scaled problem: IC = g(N) * IC0; footprint grows by
+  // memory_scale(N) and is partitioned across the N cores.
+  const double ic_total = g(n_d) * static_cast<double>(context.instructions0);
+  const double serial_ic = f_seq * ic_total;
+  const double parallel_ic_per_core = (1.0 - f_seq) * ic_total / n_d;
+  const double per_core_footprint_scale = std::max(1.0, g.memory_scale(n_d) / n_d);
+
+  double total_cycles = 0.0;
+
+  // ---- Serial phase: one core, whole-footprint working set ----
+  if (serial_ic >= 1.0) {
+    const auto window = static_cast<std::uint64_t>(
+        clamp(serial_ic, 1000.0, static_cast<double>(context.per_core_cap)));
+    auto generator = context.workload.make_generator(std::max(1.0, g.memory_scale(n_d)),
+                                                     context.seed);
+    const Trace trace = generator->generate(window);
+    const sim::SystemResult result = sim::simulate_single_core(config, trace);
+    const double cpi = result.cores[0].cpi;
+    total_cycles += cpi * serial_ic;
+  }
+
+  // ---- Parallel phase: SPMD across all n cores ----
+  if (parallel_ic_per_core >= 1.0) {
+    const auto window = static_cast<std::uint64_t>(
+        clamp(parallel_ic_per_core, 1000.0, static_cast<double>(context.per_core_cap)));
+    std::vector<Trace> traces;
+    traces.reserve(n);
+    for (std::uint32_t c = 0; c < n; ++c) {
+      auto generator =
+          context.workload.make_generator(per_core_footprint_scale, context.seed + 17 * c + 1);
+      traces.push_back(generator->generate(window));
+    }
+    const sim::SystemResult result = sim::simulate_system(config, traces);
+    // Extrapolate the makespan linearly from the simulated window to the
+    // full per-core share.
+    const double scale = parallel_ic_per_core / static_cast<double>(window);
+    total_cycles += static_cast<double>(result.cycles) * scale;
+  }
+  C2B_ASSERT(total_cycles > 0.0, "design produced zero execution time");
+  // Time per unit work: divide by the work factor so rankings agree with
+  // the throughput objective of case I (see header).
+  return total_cycles / g(n_d);
+}
+
+}  // namespace c2b

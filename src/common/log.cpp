@@ -1,0 +1,46 @@
+#include "c2b/common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace c2b {
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, std::string_view component, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
+  const std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace c2b

@@ -1,0 +1,163 @@
+#include "c2b/core/asymmetric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "c2b/common/assert.h"
+#include "c2b/solver/minimize.h"
+
+namespace c2b {
+
+AsymmetricC2BoundModel::AsymmetricC2BoundModel(AppProfile app, MachineProfile machine)
+    : model_(std::move(app), std::move(machine)) {}
+
+AsymmetricEvaluation AsymmetricC2BoundModel::evaluate(const AsymmetricDesign& d) const {
+  C2B_REQUIRE(d.n_small >= 1, "need at least one small core");
+  C2B_REQUIRE(d.big_core_ratio >= 1.0, "the big core cannot be smaller than a small one");
+  C2B_REQUIRE(d.l1_fraction > 0.0 && d.l2_fraction > 0.0 && d.core_fraction() > 0.0,
+              "area fractions must be a positive simplex");
+
+  const AppProfile& app = model_.app();
+  const MachineProfile& machine = model_.machine();
+  const double n_small = static_cast<double>(d.n_small);
+  const double total_cores = n_small + 1.0;  // memory/compute units incl. big
+
+  const double unit =
+      (machine.chip.total_area - machine.chip.shared_area) / (n_small + d.big_core_ratio);
+  C2B_REQUIRE(unit > 0.0, "area budget exhausted");
+
+  auto split = [&](double core_area, double n_for_model) {
+    return DesignPoint{.n_cores = n_for_model,
+                       .a0 = core_area * d.core_fraction(),
+                       .a1 = core_area * d.l1_fraction,
+                       .a2 = core_area * d.l2_fraction};
+  };
+
+  AsymmetricEvaluation e;
+  e.design = d;
+  // Both core types see the capacity-scaled per-core working set at the
+  // chip's total core count (the problem is partitioned over all cores).
+  e.big = split(unit * d.big_core_ratio, total_cores);
+  e.small = split(unit, total_cores);
+
+  const Evaluation big_eval = model_.evaluate(e.big);
+  const Evaluation small_eval = model_.evaluate(e.small);
+  e.cpi_big = big_eval.cpi_exe;
+  e.cpi_small = small_eval.cpi_exe;
+  e.camat_big = big_eval.camat;
+  e.camat_small = small_eval.camat;
+
+  const double per_instr_big =
+      (big_eval.cpi_exe + big_eval.stall_per_instruction) * machine.cycle_time;
+  const double per_instr_small =
+      (small_eval.cpi_exe + small_eval.stall_per_instruction) * machine.cycle_time;
+
+  const double g_n = app.g(total_cores);
+  e.problem_size = g_n * app.ic0;
+
+  // Sequential phase: big core alone.
+  e.serial_time = app.f_seq * app.ic0 * per_instr_big;
+  // Parallel phase: aggregate instruction throughput of the heterogeneous
+  // pool (instructions/cycle), big core included.
+  const double throughput_pool = 1.0 / per_instr_big + n_small / per_instr_small;
+  e.parallel_time = (1.0 - app.f_seq) * g_n * app.ic0 / throughput_pool;
+  e.execution_time = e.serial_time + e.parallel_time;
+  e.throughput = e.problem_size / e.execution_time;
+  e.speedup_vs_big_serial = e.problem_size * per_instr_big / e.execution_time;
+  return e;
+}
+
+AsymmetricOptimizer::AsymmetricOptimizer(AsymmetricC2BoundModel model, OptimizerOptions options)
+    : model_(std::move(model)), options_(options) {
+  C2B_REQUIRE(options_.n_min >= 1, "n_min >= 1");
+}
+
+AsymmetricEvaluation AsymmetricOptimizer::best_allocation(long long n_small) const {
+  const ChipConstraints& chip = model_.machine().chip;
+  const double n = static_cast<double>(n_small);
+
+  // Inner variables: x = (log r, f1, f2); r in [1, budget-limited], the
+  // fractions on the open simplex. Penalty-guarded Nelder-Mead, restarted.
+  auto objective = [&](const Vector& x) {
+    const double r = std::exp(x[0]);
+    const double f1 = x[1];
+    const double f2 = x[2];
+    const double f0 = 1.0 - f1 - f2;
+    double penalty = 0.0;
+    auto violation = [](double v) { return v > 0.0 ? v : 0.0; };
+    penalty += violation(1.0 - r);
+    penalty += violation(f1 - 0.9) + violation(0.005 - f1);
+    penalty += violation(f2 - 0.9) + violation(0.005 - f2);
+    penalty += violation(0.01 - f0);
+    const double unit = (chip.total_area - chip.shared_area) / (n + r);
+    penalty += violation(chip.min_core_area - unit * f0);
+    penalty += violation(chip.min_l1_area - unit * f1);
+    penalty += violation(chip.min_l2_area - unit * f2);
+    if (penalty > 0.0) return 1e12 * (1.0 + penalty);
+    const AsymmetricDesign d{.n_small = n_small,
+                             .big_core_ratio = r,
+                             .l1_fraction = f1,
+                             .l2_fraction = f2};
+    return model_.evaluate(d).execution_time;
+  };
+
+  NelderMeadOptions nm;
+  nm.tolerance = 1e-11;
+  nm.initial_step = 0.25;
+  double best_value = std::numeric_limits<double>::infinity();
+  Vector best_x{std::log(4.0), 0.2, 0.4};
+  const int restarts = std::max(1, options_.nelder_mead_restarts);
+  for (int restart = 0; restart < restarts; ++restart) {
+    Vector start{std::log(2.0 + 3.0 * restart), 0.1 + 0.1 * restart, 0.25 + 0.1 * restart};
+    const NelderMeadResult res = nelder_mead_minimize(objective, std::move(start), nm);
+    if (res.value < best_value) {
+      best_value = res.value;
+      best_x = res.x;
+    }
+  }
+  const AsymmetricDesign d{.n_small = n_small,
+                           .big_core_ratio = std::exp(best_x[0]),
+                           .l1_fraction = best_x[1],
+                           .l2_fraction = best_x[2]};
+  return model_.evaluate(d);
+}
+
+AsymmetricOptimum AsymmetricOptimizer::optimize() const {
+  const ChipConstraints& chip = model_.machine().chip;
+  long long n_max = options_.n_max > 0 ? options_.n_max : chip.max_cores() - 1;
+  n_max = std::min(n_max, options_.n_cap);
+  C2B_REQUIRE(n_max >= options_.n_min, "no feasible small-core count in range");
+
+  AsymmetricOptimum result;
+  const double probe =
+      static_cast<double>(std::max<long long>(2, n_max));
+  result.opt_case = model_.app().g.at_least_linear(probe)
+                        ? OptimizationCase::kMaximizeThroughput
+                        : OptimizationCase::kMinimizeTime;
+
+  double best_score = -std::numeric_limits<double>::infinity();
+  bool have_best = false;
+  for (long long n = options_.n_min; n <= n_max; ++n) {
+    // Feasibility: the n small cores plus a minimal big core must fit.
+    const double min_per_core =
+        chip.min_core_area + chip.min_l1_area + chip.min_l2_area;
+    if ((static_cast<double>(n) + 1.0) * min_per_core + chip.shared_area >
+        chip.total_area)
+      break;
+    AsymmetricEvaluation eval = best_allocation(n);
+    const double score = result.opt_case == OptimizationCase::kMaximizeThroughput
+                             ? eval.throughput
+                             : -eval.execution_time;
+    result.per_small_count.push_back(eval);
+    if (score > best_score) {
+      best_score = score;
+      result.best = std::move(eval);
+      have_best = true;
+    }
+  }
+  C2B_REQUIRE(have_best, "no feasible asymmetric design found");
+  return result;
+}
+
+}  // namespace c2b

@@ -1,0 +1,47 @@
+#include "c2b/core/chip.h"
+
+#include <cmath>
+
+namespace c2b {
+
+void ChipConstraints::validate() const {
+  C2B_REQUIRE(total_area > 0.0, "total area must be positive");
+  C2B_REQUIRE(shared_area >= 0.0 && shared_area < total_area,
+              "shared area must fit inside the chip");
+  C2B_REQUIRE(l1_kib_per_area > 0.0 && l2_kib_per_area > 0.0, "densities must be positive");
+  C2B_REQUIRE(line_bytes > 0, "line size must be positive");
+  C2B_REQUIRE(min_core_area > 0.0 && min_l1_area > 0.0 && min_l2_area > 0.0,
+              "minimum areas must be positive");
+}
+
+double ChipConstraints::per_core_budget(double n) const {
+  C2B_REQUIRE(n >= 1.0, "core count must be >= 1");
+  return (total_area - shared_area) / n;
+}
+
+double ChipConstraints::area_residual(const DesignPoint& d) const {
+  return d.n_cores * d.per_core_area() + shared_area - total_area;
+}
+
+bool ChipConstraints::feasible(const DesignPoint& d, double tolerance) const {
+  if (d.n_cores < 1.0) return false;
+  if (d.a0 < min_core_area || d.a1 < min_l1_area || d.a2 < min_l2_area) return false;
+  return area_residual(d) <= tolerance;
+}
+
+double ChipConstraints::l1_capacity_lines(double a1) const {
+  C2B_REQUIRE(a1 > 0.0, "L1 area must be positive");
+  return a1 * l1_kib_per_area * 1024.0 / static_cast<double>(line_bytes);
+}
+
+double ChipConstraints::l2_capacity_lines(double a2) const {
+  C2B_REQUIRE(a2 > 0.0, "L2 area must be positive");
+  return a2 * l2_kib_per_area * 1024.0 / static_cast<double>(line_bytes);
+}
+
+long long ChipConstraints::max_cores() const {
+  const double per_core_min = min_core_area + min_l1_area + min_l2_area;
+  return static_cast<long long>(std::floor((total_area - shared_area) / per_core_min));
+}
+
+}  // namespace c2b

@@ -1,0 +1,92 @@
+#include "c2b/core/multitask.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "c2b/common/assert.h"
+
+namespace c2b {
+namespace {
+
+/// Utility of giving `n` cores to one task: the C²-Bound throughput on a
+/// chip slice proportional to n / total (area scales with the partition).
+double task_utility(const TaskProfile& task, const MachineProfile& machine, long long n,
+                    long long total_cores) {
+  MachineProfile slice = machine;
+  const double share = static_cast<double>(n) / static_cast<double>(total_cores);
+  slice.chip.total_area = machine.chip.total_area * share;
+  slice.chip.shared_area = machine.chip.shared_area * share;
+
+  const double per_core = slice.chip.per_core_budget(static_cast<double>(n));
+  // Fixed split within the slice: 40% core logic, 20% L1, 40% L2 — the
+  // allocator compares core *counts*; the area split is optimized later by
+  // the per-task C²-Bound optimizer if desired.
+  const DesignPoint d{.n_cores = static_cast<double>(n),
+                      .a0 = per_core * 0.4,
+                      .a1 = per_core * 0.2,
+                      .a2 = per_core * 0.4};
+  const C2BoundModel model(task.app, slice);
+  return task.priority * model.evaluate(d).throughput;
+}
+
+}  // namespace
+
+MultiTaskResult allocate_cores(const std::vector<TaskProfile>& tasks,
+                               const MachineProfile& machine, long long total_cores) {
+  C2B_REQUIRE(!tasks.empty(), "need at least one task");
+  C2B_REQUIRE(total_cores >= static_cast<long long>(tasks.size()),
+              "need at least one core per task");
+
+  const std::size_t k = tasks.size();
+  std::vector<long long> cores(k, 1);
+  std::vector<double> utility(k);
+  for (std::size_t t = 0; t < k; ++t)
+    utility[t] = task_utility(tasks[t], machine, 1, total_cores);
+
+  std::vector<double> last_gain(k, 0.0);
+  long long remaining = total_cores - static_cast<long long>(k);
+  while (remaining-- > 0) {
+    // Grant the next core to the task with the largest marginal gain.
+    std::size_t best_task = 0;
+    double best_gain = -std::numeric_limits<double>::infinity();
+    double best_new_utility = 0.0;
+    for (std::size_t t = 0; t < k; ++t) {
+      const double next = task_utility(tasks[t], machine, cores[t] + 1, total_cores);
+      const double gain = next - utility[t];
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_task = t;
+        best_new_utility = next;
+      }
+    }
+    cores[best_task] += 1;
+    utility[best_task] = best_new_utility;
+    last_gain[best_task] = best_gain;
+  }
+
+  MultiTaskResult result;
+  for (std::size_t t = 0; t < k; ++t) {
+    TaskAllocation alloc;
+    alloc.name = tasks[t].name;
+    alloc.cores = cores[t];
+    alloc.throughput = utility[t] / tasks[t].priority;
+    alloc.marginal_gain = last_gain[t];
+
+    MachineProfile slice = machine;
+    const double share = static_cast<double>(cores[t]) / static_cast<double>(total_cores);
+    slice.chip.total_area = machine.chip.total_area * share;
+    slice.chip.shared_area = machine.chip.shared_area * share;
+    const double per_core = slice.chip.per_core_budget(static_cast<double>(cores[t]));
+    const DesignPoint d{.n_cores = static_cast<double>(cores[t]),
+                        .a0 = per_core * 0.4,
+                        .a1 = per_core * 0.2,
+                        .a2 = per_core * 0.4};
+    alloc.concurrency_c = C2BoundModel(tasks[t].app, slice).evaluate(d).concurrency_c;
+
+    result.aggregate_utility += utility[t];
+    result.allocations.push_back(std::move(alloc));
+  }
+  return result;
+}
+
+}  // namespace c2b

@@ -1,0 +1,150 @@
+#include "c2b/core/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "c2b/common/assert.h"
+#include "c2b/common/math_util.h"
+#include "c2b/solver/lagrange.h"
+#include "c2b/solver/minimize.h"
+
+namespace c2b {
+
+C2BoundOptimizer::C2BoundOptimizer(C2BoundModel model, OptimizerOptions options)
+    : model_(std::move(model)), options_(options) {
+  C2B_REQUIRE(options_.n_min >= 1, "n_min >= 1");
+}
+
+OptimizationCase C2BoundOptimizer::classify() const {
+  const double n_max = static_cast<double>(
+      std::max<long long>(2, options_.n_max > 0 ? options_.n_max
+                                                : model_.machine().chip.max_cores()));
+  return model_.app().g.at_least_linear(n_max) ? OptimizationCase::kMaximizeThroughput
+                                               : OptimizationCase::kMinimizeTime;
+}
+
+Evaluation C2BoundOptimizer::best_allocation(long long n_cores) const {
+  C2B_REQUIRE(n_cores >= 1, "core count must be >= 1");
+  const ChipConstraints& chip = model_.machine().chip;
+  const double n = static_cast<double>(n_cores);
+  const double budget = chip.per_core_budget(n);
+  const double min_total = chip.min_core_area + chip.min_l1_area + chip.min_l2_area;
+  C2B_REQUIRE(budget >= min_total, "per-core budget below minimum areas — fewer cores needed");
+
+  // Inner problem over x = (a1, a2); a0 takes the remainder of the budget
+  // so Eq. (12) holds with equality. Out-of-bounds points get a smooth
+  // penalty so Nelder-Mead walks back into the feasible region.
+  auto objective = [&](const Vector& x) {
+    const double a1 = x[0];
+    const double a2 = x[1];
+    const double a0 = budget - a1 - a2;
+    double penalty = 0.0;
+    auto violation = [](double v) { return v > 0.0 ? v : 0.0; };
+    penalty += violation(chip.min_l1_area - a1);
+    penalty += violation(chip.min_l2_area - a2);
+    penalty += violation(chip.min_core_area - a0);
+    if (penalty > 0.0) return 1e12 * (1.0 + penalty);
+    const DesignPoint d{.n_cores = n, .a0 = a0, .a1 = a1, .a2 = a2};
+    return model_.evaluate(d).execution_time;
+  };
+
+  // Multi-start Nelder-Mead: the objective can have shallow basins where a
+  // miss curve saturates, so a few spread starting splits are cheap
+  // insurance.
+  NelderMeadOptions nm;
+  nm.tolerance = 1e-12;
+  nm.initial_step = 0.2;
+  double best_value = std::numeric_limits<double>::infinity();
+  Vector best_x = {budget * 0.2, budget * 0.4};
+  const int restarts = std::max(1, options_.nelder_mead_restarts);
+  for (int r = 0; r < restarts; ++r) {
+    const double l1_frac = 0.1 + 0.25 * r / static_cast<double>(restarts);
+    const double l2_frac = 0.2 + 0.4 * r / static_cast<double>(restarts);
+    Vector start = {budget * l1_frac, budget * l2_frac};
+    const NelderMeadResult res = nelder_mead_minimize(objective, std::move(start), nm);
+    if (res.value < best_value) {
+      best_value = res.value;
+      best_x = res.x;
+    }
+  }
+
+  DesignPoint d{.n_cores = n,
+                .a0 = budget - best_x[0] - best_x[1],
+                .a1 = best_x[0],
+                .a2 = best_x[1]};
+
+  if (options_.lagrange_polish) {
+    const PolishResult polished = lagrange_polish(d);
+    if (polished.converged && model_.machine().chip.feasible(polished.design, 1e-4)) {
+      const double polished_time = model_.evaluate(polished.design).execution_time;
+      if (polished_time <= best_value * (1.0 + 1e-9)) d = polished.design;
+    }
+  }
+  return model_.evaluate(d);
+}
+
+C2BoundOptimizer::PolishResult C2BoundOptimizer::lagrange_polish(const DesignPoint& start) const {
+  const ChipConstraints& chip = model_.machine().chip;
+  const double n = start.n_cores;
+
+  // Eq. (13): L(A0, A1, A2, lambda) = J_D + lambda [N(A0+A1+A2) + Ac - A].
+  ScalarField objective = [&](const Vector& x) {
+    const DesignPoint d{.n_cores = n, .a0 = x[0], .a1 = x[1], .a2 = x[2]};
+    if (x[0] <= 0.0 || x[1] <= 0.0 || x[2] <= 0.0) return 1e12;
+    return model_.evaluate(d).execution_time;
+  };
+  ScalarField constraint = [&](const Vector& x) {
+    return n * (x[0] + x[1] + x[2]) + chip.shared_area - chip.total_area;
+  };
+
+  NewtonOptions newton;
+  newton.max_iterations = 60;
+  newton.tolerance = 1e-7;
+  const LagrangeResult res = lagrange_stationary_point(
+      objective, {constraint}, {start.a0, start.a1, start.a2}, newton, 1e-5);
+
+  PolishResult out;
+  out.converged = res.converged;
+  if (res.converged) {
+    out.design = DesignPoint{.n_cores = n, .a0 = res.x[0], .a1 = res.x[1], .a2 = res.x[2]};
+    out.lambda = res.lambda.empty() ? 0.0 : res.lambda[0];
+  } else {
+    out.design = start;
+  }
+  return out;
+}
+
+OptimalDesign C2BoundOptimizer::optimize() const {
+  const ChipConstraints& chip = model_.machine().chip;
+  long long n_max = options_.n_max > 0 ? options_.n_max : chip.max_cores();
+  n_max = std::min(n_max, options_.n_cap);
+  C2B_REQUIRE(n_max >= options_.n_min, "no feasible core count in range");
+
+  OptimalDesign result;
+  result.opt_case = classify();
+
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (long long n = options_.n_min; n <= n_max; ++n) {
+    const double budget = chip.per_core_budget(static_cast<double>(n));
+    if (budget < chip.min_core_area + chip.min_l1_area + chip.min_l2_area) break;
+    Evaluation eval = best_allocation(n);
+    const double score = result.opt_case == OptimizationCase::kMaximizeThroughput
+                             ? eval.throughput
+                             : -eval.execution_time;
+    result.per_core_count.push_back(eval);
+    if (score > best_score) {
+      best_score = score;
+      result.best = std::move(eval);
+    }
+  }
+  C2B_REQUIRE(!result.per_core_count.empty(), "no feasible design found");
+
+  // Recover lambda (the area price) at the winner via one polish pass.
+  const PolishResult polished = lagrange_polish(result.best.design);
+  result.lagrange_converged = polished.converged;
+  result.lambda = polished.lambda;
+  return result;
+}
+
+}  // namespace c2b

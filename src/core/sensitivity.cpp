@@ -1,0 +1,134 @@
+#include "c2b/core/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "c2b/common/assert.h"
+
+namespace c2b {
+namespace {
+
+/// Central-difference elasticity of T with respect to one knob, where the
+/// knob is applied by `apply(profiles, multiplier)` returning a fresh model.
+double elasticity_of(const std::function<double(double)>& time_at_multiplier,
+                     double rel_step) {
+  const double up = time_at_multiplier(1.0 + rel_step);
+  const double down = time_at_multiplier(1.0 - rel_step);
+  C2B_ASSERT(up > 0.0 && down > 0.0, "perturbed time must stay positive");
+  return (std::log(up) - std::log(down)) / (std::log(1.0 + rel_step) - std::log(1.0 - rel_step));
+}
+
+}  // namespace
+
+std::vector<Elasticity> time_elasticities(const C2BoundModel& model, const DesignPoint& d,
+                                          double rel_step) {
+  C2B_REQUIRE(rel_step > 0.0 && rel_step < 0.5, "relative step in (0, 0.5)");
+  const AppProfile& app = model.app();
+  const MachineProfile& machine = model.machine();
+
+  std::vector<Elasticity> out;
+  auto add = [&](const std::string& name, double current,
+                 const std::function<double(double)>& time_fn) {
+    out.push_back({name, current, elasticity_of(time_fn, rel_step)});
+  };
+
+  // --- Design-point knobs (no model rebuild needed) ---
+  add("A0 (core area)", d.a0, [&](double m) {
+    DesignPoint p = d;
+    p.a0 *= m;
+    return model.evaluate(p).execution_time;
+  });
+  add("A1 (L1 area)", d.a1, [&](double m) {
+    DesignPoint p = d;
+    p.a1 *= m;
+    return model.evaluate(p).execution_time;
+  });
+  add("A2 (L2 area)", d.a2, [&](double m) {
+    DesignPoint p = d;
+    p.a2 *= m;
+    return model.evaluate(p).execution_time;
+  });
+  add("N (cores)", d.n_cores, [&](double m) {
+    DesignPoint p = d;
+    p.n_cores = std::max(1.0, p.n_cores * m);
+    return model.evaluate(p).execution_time;
+  });
+
+  // --- Application knobs (rebuild with a perturbed profile) ---
+  auto app_knob = [&](const std::string& name, double current,
+                      const std::function<void(AppProfile&, double)>& mutate) {
+    add(name, current, [&, mutate](double m) {
+      AppProfile perturbed = app;
+      mutate(perturbed, m);
+      return C2BoundModel(perturbed, machine).evaluate(d).execution_time;
+    });
+  };
+  app_knob("f_mem", app.f_mem,
+           [](AppProfile& a, double m) { a.f_mem = std::min(1.0, a.f_mem * m); });
+  app_knob("f_seq", app.f_seq,
+           [](AppProfile& a, double m) { a.f_seq = std::min(1.0, a.f_seq * m); });
+  app_knob("C_H (hit concurrency)", app.hit_concurrency,
+           [](AppProfile& a, double m) { a.hit_concurrency = std::max(1.0, a.hit_concurrency * m); });
+  app_knob("C_M (miss concurrency)", app.miss_concurrency, [](AppProfile& a, double m) {
+    a.miss_concurrency = std::max(1.0, a.miss_concurrency * m);
+  });
+  app_knob("working set", app.working_set_lines0,
+           [](AppProfile& a, double m) { a.working_set_lines0 *= m; });
+  app_knob("overlap ratio", app.overlap_ratio, [](AppProfile& a, double m) {
+    a.overlap_ratio = std::min(1.0, a.overlap_ratio * m);
+  });
+
+  // --- Machine knobs ---
+  auto machine_knob = [&](const std::string& name, double current,
+                          const std::function<void(MachineProfile&, double)>& mutate) {
+    add(name, current, [&, mutate](double m) {
+      MachineProfile perturbed = machine;
+      mutate(perturbed, m);
+      return C2BoundModel(app, perturbed).evaluate(d).execution_time;
+    });
+  };
+  machine_knob("memory latency", machine.memory_latency,
+               [](MachineProfile& p, double m) { p.memory_latency *= m; });
+  machine_knob("L2 latency", machine.l2_latency,
+               [](MachineProfile& p, double m) { p.l2_latency *= m; });
+  machine_knob("L1 hit time", machine.l1_hit_time,
+               [](MachineProfile& p, double m) { p.l1_hit_time *= m; });
+
+  std::sort(out.begin(), out.end(), [](const Elasticity& a, const Elasticity& b) {
+    return std::fabs(a.elasticity) > std::fabs(b.elasticity);
+  });
+  return out;
+}
+
+BindingBound classify_binding_bound(const std::vector<Elasticity>& elasticities) {
+  C2B_REQUIRE(!elasticities.empty(), "need at least one elasticity");
+  double compute = 0.0, latency = 0.0, capacity = 0.0;
+  for (const Elasticity& e : elasticities) {
+    const double magnitude = std::fabs(e.elasticity);
+    if (e.parameter.starts_with("A0")) compute += magnitude;
+    if (e.parameter.starts_with("memory latency") || e.parameter.starts_with("L2 latency") ||
+        e.parameter.starts_with("C_M") || e.parameter.starts_with("L1 hit time"))
+      latency += magnitude;
+    if (e.parameter.starts_with("A1") || e.parameter.starts_with("A2") ||
+        e.parameter.starts_with("working set"))
+      capacity += magnitude;
+  }
+  if (compute >= latency && compute >= capacity) return BindingBound::kCompute;
+  if (latency >= capacity) return BindingBound::kMemLatency;
+  return BindingBound::kMemCapacity;
+}
+
+const char* to_string(BindingBound bound) {
+  switch (bound) {
+    case BindingBound::kCompute:
+      return "compute-bound (core area / CPI_exe)";
+    case BindingBound::kMemLatency:
+      return "memory-latency-bound (latency / concurrency)";
+    case BindingBound::kMemCapacity:
+      return "memory-capacity-bound (cache area / working set)";
+  }
+  return "?";
+}
+
+}  // namespace c2b

@@ -1,0 +1,77 @@
+#pragma once
+
+// Feed-forward neural network with backpropagation — the machine-learning
+// DSE baseline the paper compares APS against (Ipek et al. [2]). A small
+// MLP is trained on (design point -> performance) samples and queried over
+// the whole space; the active-learning driver in src/aps grows the training
+// set until the prediction error matches APS's, counting how many
+// simulations that takes (the paper's 613).
+
+#include <cstddef>
+#include <vector>
+
+#include "c2b/common/rng.h"
+#include "c2b/linalg/matrix.h"
+
+namespace c2b {
+
+enum class Activation { kTanh, kRelu, kIdentity };
+
+struct MlpConfig {
+  std::vector<std::size_t> layer_sizes;  ///< e.g. {6, 16, 16, 1}
+  Activation hidden_activation = Activation::kTanh;
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  double l2_penalty = 1e-5;
+  std::uint64_t seed = 7;
+};
+
+/// Min/max feature scaling to [-1, 1], fitted on the training set and
+/// applied to every query (constant features map to 0).
+class FeatureScaler {
+ public:
+  void fit(const std::vector<Vector>& samples);
+  Vector transform(const Vector& x) const;
+  bool fitted() const noexcept { return !lo_.empty(); }
+
+ private:
+  Vector lo_, hi_;
+};
+
+class Mlp {
+ public:
+  explicit Mlp(const MlpConfig& config);
+
+  /// One SGD epoch over the batch (shuffled); returns the epoch's mean
+  /// squared error on raw (unscaled) targets.
+  double train_epoch(const std::vector<Vector>& inputs, const std::vector<double>& targets);
+
+  /// Train until `epochs` or an MSE plateau; inputs are raw design points —
+  /// the scaler and target normalization are fitted internally.
+  void fit(const std::vector<Vector>& inputs, const std::vector<double>& targets, int epochs);
+
+  double predict(const Vector& input) const;
+
+  /// Mean relative error |pred - truth| / |truth| over a labeled set.
+  double mean_relative_error(const std::vector<Vector>& inputs,
+                             const std::vector<double>& targets) const;
+
+  const MlpConfig& config() const noexcept { return config_; }
+
+ private:
+  Vector forward(const Vector& scaled_input, std::vector<Vector>* layer_outputs) const;
+  void backward(const Vector& scaled_input, const std::vector<Vector>& layer_outputs,
+                double error);
+  double activate(double x) const;
+  double activate_derivative(double activated) const;
+
+  MlpConfig config_;
+  std::vector<Matrix> weights_;  ///< weights_[l]: (out, in+1) with bias column
+  std::vector<Matrix> velocity_;
+  FeatureScaler scaler_;
+  double target_mean_ = 0.0;
+  double target_scale_ = 1.0;
+  mutable Rng rng_;
+};
+
+}  // namespace c2b

@@ -1,0 +1,45 @@
+#pragma once
+
+// APS step 1 — application characterization (paper Fig. 5 "input" box and
+// Fig. 6 lines 1-3).
+//
+// Runs the workload's trace through the cycle-level simulator twice (real
+// hierarchy + perfect-memory hierarchy) and through the stack-distance
+// analyzer, producing every input the analytic model needs:
+//   f_mem, CPI_exe, the five C-AMAT components, overlap ratio, working set,
+//   and fitted L1/L2 miss power laws. SimPoint sampling keeps this cheap
+//   for long traces (the paper's role for SimPoint [26]).
+
+#include "c2b/core/c2bound.h"
+#include "c2b/sim/system/system.h"
+#include "c2b/trace/reuse.h"
+#include "c2b/trace/simpoint.h"
+#include "c2b/trace/workloads.h"
+
+namespace c2b {
+
+struct CharacterizeOptions {
+  std::uint64_t instructions = 400'000;  ///< trace window length
+  bool use_simpoints = false;            ///< characterize representatives only
+  SimPointOptions simpoint{};
+  std::uint64_t seed = 1;
+};
+
+struct Characterization {
+  AppProfile app;              ///< ready to feed C2BoundModel
+  double measured_cpi = 0.0;   ///< with the real hierarchy
+  double cpi_exe = 0.0;        ///< with perfect memory (Pollack's LHS)
+  TimelineMetrics camat;       ///< detector output on the baseline config
+  PowerLawFit l1_power_law;    ///< miss-curve fit from stack distances
+  sim::HierarchyStats hierarchy;
+  std::size_t simulated_instructions = 0;
+  std::size_t simulation_runs = 0;  ///< how many simulator invocations it cost
+};
+
+/// Characterize `spec` on the given baseline machine. The AppProfile's
+/// f_seq and g come from the workload spec (single-threaded traces cannot
+/// reveal them); everything else is measured.
+Characterization characterize(const WorkloadSpec& spec, const sim::SystemConfig& baseline,
+                              const CharacterizeOptions& options = {});
+
+}  // namespace c2b

@@ -1,0 +1,71 @@
+#pragma once
+
+// The six-parameter CMP design space of the paper's Fig. 12 case study
+// (A0, A1, A2, N, issue width, ROB size), the mapping from a design point
+// to a simulator configuration, and the ground-truth evaluation of one
+// design: the Sun-Ni-scaled problem's execution time on the cycle-level
+// simulator (serial phase on one core + SPMD parallel phase on N cores,
+// linearly extrapolated from capped simulation windows so a full factorial
+// traversal stays affordable).
+
+#include <cstdint>
+#include <vector>
+
+#include "c2b/core/chip.h"
+#include "c2b/sim/system/system.h"
+#include "c2b/solver/grid.h"
+#include "c2b/trace/workloads.h"
+
+namespace c2b {
+
+/// Axis order inside the grid: a0, a1, a2, n, issue, rob.
+enum DseAxisIndex : std::size_t {
+  kAxisA0 = 0,
+  kAxisA1 = 1,
+  kAxisA2 = 2,
+  kAxisN = 3,
+  kAxisIssue = 4,
+  kAxisRob = 5,
+};
+
+struct DseAxes {
+  std::vector<double> a0{0.5, 1.0, 2.0, 4.0};
+  std::vector<double> a1{0.25, 0.5, 1.0, 2.0};
+  std::vector<double> a2{0.5, 1.0, 2.0, 4.0};
+  std::vector<double> n{1, 2, 4, 8};
+  std::vector<double> issue{2, 4, 8};
+  std::vector<double> rob{32, 128, 256};
+};
+
+GridSpace make_design_space(const DseAxes& axes);
+
+struct DseContext {
+  ChipConstraints chip{};            ///< densities for area -> capacity
+  sim::SystemConfig base{};          ///< latencies / DRAM / NoC template
+  WorkloadSpec workload;             ///< what runs on each candidate
+  std::uint64_t instructions0 = 60'000;  ///< IC0 of the scaled-down study
+  std::uint64_t per_core_cap = 40'000;   ///< simulation window cap per core
+  std::uint64_t seed = 99;
+};
+
+/// Translate a design point to a full simulator configuration. Cache sizes
+/// are rounded to powers of two (hardware-buildable geometry); functional
+/// units follow Pollack: fu = clamp(round(2 sqrt(A0)), 1, 16).
+sim::SystemConfig config_for_design(const DseContext& context,
+                                    const std::vector<double>& point);
+
+/// Eq. (12) as a grid filter: a candidate is buildable iff
+/// N (A0+A1+A2) + Ac <= A (and ROB >= issue width). The paper's design
+/// space is a chip's design space — configurations that do not fit on the
+/// die are not simulated by any method.
+bool design_feasible(const DseContext& context, const std::vector<double>& point);
+
+/// Ground-truth cost of this design: execution time (cycles) of the
+/// capacity-scaled problem divided by its work factor g(N) — i.e. inverse
+/// throughput, time per unit work. Lower is better. Normalizing by g(N)
+/// makes the metric consistent across core counts for BOTH cases of the
+/// paper's split (for fixed g it is plain time; for scalable g it ranks by
+/// W/T, which is what case I optimizes).
+double simulate_design_time(const DseContext& context, const std::vector<double>& point);
+
+}  // namespace c2b

@@ -1,0 +1,48 @@
+#pragma once
+
+// Lightweight contract-checking macros used across the library.
+//
+// C2B_REQUIRE  — precondition check, always on (throws std::invalid_argument).
+// C2B_ASSERT   — internal invariant check, always on (throws std::logic_error).
+//
+// Both are kept enabled in release builds: this library is an analytical /
+// simulation tool where a silently-wrong number is far more expensive than
+// the cost of a predictable branch.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace c2b::detail {
+
+[[noreturn]] inline void throw_require_failure(const char* expr, const char* file, int line,
+                                               const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_assert_failure(const char* expr, const char* file, int line,
+                                              const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace c2b::detail
+
+#define C2B_REQUIRE(expr, msg)                                                \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::c2b::detail::throw_require_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                         \
+  } while (false)
+
+#define C2B_ASSERT(expr, msg)                                                \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::c2b::detail::throw_assert_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,48 @@
+#pragma once
+
+// Minimal leveled logger. Thread-safe at the line level; writes to stderr so
+// stdout stays clean for experiment tables and CSV output.
+
+#include <sstream>
+#include <string_view>
+
+namespace c2b {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarn so
+/// library users see problems but not chatter.
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+/// Emit one log line (used by the C2B_LOG macro; callable directly too).
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, component_, os_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace c2b
+
+#define C2B_LOG(level, component)                        \
+  if (static_cast<int>(level) < static_cast<int>(::c2b::log_threshold())) { \
+  } else                                                 \
+    ::c2b::detail::LogStream(level, component)

@@ -1,0 +1,45 @@
+#pragma once
+
+// Small numeric helpers shared across modules.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace c2b {
+
+/// Relative-plus-absolute tolerance comparison suitable for quantities that
+/// may legitimately be zero.
+inline bool almost_equal(double a, double b, double rel = 1e-9, double abs = 1e-12) noexcept {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs) return true;
+  return diff <= rel * std::max(std::fabs(a), std::fabs(b));
+}
+
+/// Linearly spaced vector of `count` points over [lo, hi] inclusive.
+std::vector<double> linspace(double lo, double hi, std::size_t count);
+
+/// Log-spaced vector of `count` points over [lo, hi] inclusive (lo, hi > 0).
+std::vector<double> logspace(double lo, double hi, std::size_t count);
+
+/// Integer geometric sweep: 1, 2, 4, ... capped at hi (used for core-count
+/// axes in the figure reproductions).
+std::vector<int> pow2_sweep(int lo, int hi);
+
+inline double clamp(double x, double lo, double hi) noexcept {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// True if `value` is a power of two (> 0).
+constexpr bool is_pow2(std::size_t value) noexcept {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// floor(log2(value)) for value > 0.
+constexpr unsigned floor_log2(std::size_t value) noexcept {
+  unsigned result = 0;
+  while (value >>= 1) ++result;
+  return result;
+}
+
+}  // namespace c2b

@@ -1,0 +1,41 @@
+#pragma once
+
+// Console table and CSV writers. Every bench binary prints the paper's
+// rows/series through these so the reproduction output is uniform and easy
+// to diff or re-plot.
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace c2b {
+
+/// One table cell: text, integer, or floating point (printed with a
+/// per-table precision).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int precision = 4);
+
+  Table& add_row(std::vector<Cell> cells);
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render as an aligned, boxed console table.
+  std::string to_string() const;
+  /// Render as RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  std::string to_csv() const;
+  /// Write CSV to a path, creating parent directories. Returns false (and
+  /// logs) on I/O failure rather than throwing — bench output should not die
+  /// on a read-only filesystem.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::string format_cell(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+}  // namespace c2b

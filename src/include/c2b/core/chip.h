@@ -1,0 +1,55 @@
+#pragma once
+
+// Physical chip model (paper Eq. 12 and Fig. 3):
+//     A = N (A0 + A1 + A2) + Ac
+// A0 core logic, A1 private L1, A2 per-core L2 slice, Ac shared functions
+// (interconnect, memory controllers, test/debug). Area is in abstract
+// "area units"; cache densities convert area to capacity.
+
+#include <cstdint>
+
+#include "c2b/common/assert.h"
+
+namespace c2b {
+
+/// One candidate design: core count plus the per-core area split.
+struct DesignPoint {
+  double n_cores = 1.0;
+  double a0 = 1.0;  ///< core logic area
+  double a1 = 0.5;  ///< private L1 area
+  double a2 = 1.0;  ///< per-core L2 slice area
+
+  double per_core_area() const noexcept { return a0 + a1 + a2; }
+};
+
+struct ChipConstraints {
+  double total_area = 256.0;   ///< A
+  double shared_area = 16.0;   ///< Ac
+  double l1_kib_per_area = 16.0;  ///< L1 density (KiB of cache per area unit)
+  double l2_kib_per_area = 48.0;  ///< L2 density (denser than L1)
+  std::uint32_t line_bytes = 64;
+
+  double min_core_area = 0.25;  ///< smallest buildable core
+  double min_l1_area = 0.05;
+  double min_l2_area = 0.05;
+
+  void validate() const;
+
+  /// Area available per core at core count n: (A - Ac) / n.
+  [[nodiscard]] double per_core_budget(double n) const;
+
+  /// Eq. (12) residual: N(A0+A1+A2) + Ac - A (zero when feasible with
+  /// equality).
+  [[nodiscard]] double area_residual(const DesignPoint& d) const;
+
+  [[nodiscard]] bool feasible(const DesignPoint& d, double tolerance = 1e-6) const;
+
+  /// Convert cache areas to capacities in lines.
+  [[nodiscard]] double l1_capacity_lines(double a1) const;
+  [[nodiscard]] double l2_capacity_lines(double a2) const;
+
+  /// Largest integer core count that leaves every core its minimum areas.
+  [[nodiscard]] long long max_cores() const;
+};
+
+}  // namespace c2b

@@ -1,0 +1,39 @@
+#pragma once
+
+// Analytic cache-capacity -> miss-rate model.
+//
+// The C²-Bound objective (Eq. 10) needs C-AMAT as a *function of the areas*
+// A1, A2 and of the capacity-scaled working set. We use the classic
+// power-law miss curve ("square-root rule" for beta = 0.5):
+//
+//     MR(S, W) = mr_floor                        for S >= W
+//     MR(S, W) = min(mr_cap, alpha * (S/W)^-beta) otherwise
+//
+// with S the cache capacity in lines and W the working set in lines.
+// alpha/beta are fitted per workload from the stack-distance curve the
+// trace substrate measures (fit_miss_power_law), closing the loop between
+// the analytic model and the simulator.
+
+#include "c2b/common/assert.h"
+#include "c2b/common/math_util.h"
+
+namespace c2b {
+
+struct MissModel {
+  double alpha = 0.05;    ///< miss ratio at S == W before flooring
+  double beta = 0.5;      ///< capacity sensitivity
+  double mr_cap = 1.0;    ///< upper clamp (compulsory+conflict saturation)
+  double mr_floor = 0.0;  ///< cold-miss floor once the working set fits
+
+  /// Miss ratio for a cache of `capacity_lines` against `working_set_lines`.
+  [[nodiscard]] double miss_rate(double capacity_lines, double working_set_lines) const {
+    C2B_REQUIRE(capacity_lines > 0.0, "capacity must be positive");
+    C2B_REQUIRE(working_set_lines > 0.0, "working set must be positive");
+    C2B_REQUIRE(alpha >= 0.0 && beta >= 0.0, "invalid miss-model parameters");
+    if (capacity_lines >= working_set_lines) return mr_floor;
+    const double mr = alpha * std::pow(capacity_lines / working_set_lines, -beta);
+    return clamp(mr, mr_floor, mr_cap);
+  }
+};
+
+}  // namespace c2b

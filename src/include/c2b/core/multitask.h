@@ -1,0 +1,46 @@
+#pragma once
+
+// Multi-application core partitioning (paper Fig. 7): divide a CMP's N
+// cores among concurrently-running applications so demand matches supply.
+// An application with a large sequential fraction and low memory
+// concurrency gains little from extra cores (diminishing marginal
+// utility); one with small f_seq and high C soaks them up productively.
+//
+// The allocator greedily hands cores to the application with the largest
+// marginal throughput gain — optimal when per-app utility is concave in
+// the core count, which Sun-Ni speedups with f_seq > 0 are.
+
+#include <string>
+#include <vector>
+
+#include "c2b/core/c2bound.h"
+
+namespace c2b {
+
+struct TaskProfile {
+  std::string name;
+  AppProfile app;
+  double priority = 1.0;  ///< weight in the aggregate objective
+};
+
+struct TaskAllocation {
+  std::string name;
+  long long cores = 0;
+  double throughput = 0.0;       ///< at the allocated core count
+  double marginal_gain = 0.0;    ///< utility gained by the last core granted
+  double concurrency_c = 1.0;    ///< the app's C at its allocation
+};
+
+struct MultiTaskResult {
+  std::vector<TaskAllocation> allocations;
+  double aggregate_utility = 0.0;
+};
+
+/// Partition `total_cores` among the tasks (each gets >= 1). Utility of a
+/// task with n cores is priority * throughput(n) from the C²-Bound model
+/// under an even area split of the chip (each task's partition behaves as a
+/// proportionally-sized chip).
+MultiTaskResult allocate_cores(const std::vector<TaskProfile>& tasks,
+                               const MachineProfile& machine, long long total_cores);
+
+}  // namespace c2b

@@ -1,0 +1,80 @@
+#pragma once
+
+// The C²-Bound DSE optimizer (paper Section III-C and the APS algorithm's
+// analytic half, Fig. 6 lines 5-13):
+//
+//   min  J_D (Eq. 10)     s.t.  N (A0+A1+A2) + Ac = A (Eq. 12)
+//
+// solved by a case split on the scaling law:
+//   case I  (g(N) >= O(N)):  no finite N minimizes time — maximize W/T;
+//   case II (g(N) <  O(N)):  minimize execution time T.
+//
+// For a fixed N the area split is continuous: the inner problem
+// (A0, A1, A2) on the simplex A0+A1+A2 = (A-Ac)/N is solved with
+// Nelder–Mead (robust) and optionally polished with the Eq. (13) Lagrange
+// stationarity system via Newton (exactly the paper's method); the outer
+// integer N is scanned exactly. The optimizer returns the winning design,
+// the per-N frontier (for the figures), and the area-price multiplier λ.
+
+#include <vector>
+
+#include "c2b/core/c2bound.h"
+#include "c2b/linalg/matrix.h"
+
+namespace c2b {
+
+enum class OptimizationCase {
+  kMinimizeTime,        ///< case II: g < O(N)
+  kMaximizeThroughput,  ///< case I: g >= O(N)
+};
+
+struct OptimizerOptions {
+  long long n_min = 1;
+  long long n_max = 0;  ///< 0 -> derive from chip minimum areas (capped below)
+  long long n_cap = 1024;
+  bool lagrange_polish = true;
+  int nelder_mead_restarts = 3;
+};
+
+struct OptimalDesign {
+  Evaluation best;
+  OptimizationCase opt_case = OptimizationCase::kMinimizeTime;
+  /// The Eq. (13) multiplier at the optimum (marginal cost of area), when
+  /// the Lagrange polish converged.
+  double lambda = 0.0;
+  bool lagrange_converged = false;
+  /// Best-allocation evaluation at every scanned core count (the frontier
+  /// Figs. 8-11 plot).
+  std::vector<Evaluation> per_core_count;
+};
+
+class C2BoundOptimizer {
+ public:
+  explicit C2BoundOptimizer(C2BoundModel model, OptimizerOptions options = {});
+
+  /// Best feasible area split at a fixed core count (inner problem). For a
+  /// fixed N, min T and max W/T coincide (W depends only on N), so the
+  /// inner problem always minimizes J_D.
+  Evaluation best_allocation(long long n_cores) const;
+
+  /// Full case-split optimization (Fig. 6 lines 5-13).
+  OptimalDesign optimize() const;
+
+  /// Which case the application's g(N) falls into.
+  OptimizationCase classify() const;
+
+  const C2BoundModel& model() const noexcept { return model_; }
+
+ private:
+  struct PolishResult {
+    DesignPoint design;
+    double lambda = 0.0;
+    bool converged = false;
+  };
+  PolishResult lagrange_polish(const DesignPoint& start) const;
+
+  C2BoundModel model_;
+  OptimizerOptions options_;
+};
+
+}  // namespace c2b

@@ -1,0 +1,43 @@
+#pragma once
+
+// Elasticity analysis of the C²-Bound objective.
+//
+// For a design point d and each model parameter x, the elasticity
+//     e_x = (x / T) * dT/dx  ~=  % change in execution time per % change in x
+// says which bound actually binds: a latency-bound design has large
+// |e_{C_M}| and |e_{memory_latency}|; a capacity-bound one large |e_{A1/A2}|
+// and |e_{working set}|; a compute-bound one large |e_{A0}|. This is the
+// quantitative form of the paper's Section V discussion ("which layer of a
+// memory hierarchy is the primary performance bound"), and doubles as a
+// design-debugging tool: the optimizer's answer plus *why*.
+
+#include <string>
+#include <vector>
+
+#include "c2b/core/c2bound.h"
+
+namespace c2b {
+
+struct Elasticity {
+  std::string parameter;
+  double value = 0.0;       ///< parameter's current value
+  double elasticity = 0.0;  ///< d(log T) / d(log x) at the design point
+};
+
+/// All parameter elasticities of execution time at `d`, sorted by
+/// decreasing |elasticity|. `rel_step` is the relative perturbation used
+/// for the central differences.
+std::vector<Elasticity> time_elasticities(const C2BoundModel& model, const DesignPoint& d,
+                                          double rel_step = 0.02);
+
+/// The dominant bound at a design point, from the elasticity profile.
+enum class BindingBound {
+  kCompute,      ///< core area / CPI_exe dominates
+  kMemLatency,   ///< memory latency / concurrency dominates
+  kMemCapacity,  ///< cache capacity / working set dominates
+};
+BindingBound classify_binding_bound(const std::vector<Elasticity>& elasticities);
+
+const char* to_string(BindingBound bound);
+
+}  // namespace c2b

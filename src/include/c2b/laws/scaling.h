@@ -1,0 +1,81 @@
+#pragma once
+
+// Problem-size scaling functions g(N) (paper Section II-B, Table I).
+//
+// g(N) = h(N*M) / h(M) is the factor by which the problem grows when the
+// aggregate memory grows N-fold, where W = h(M) maps memory footprint to
+// work. For power-law h(x) = a x^b, g(N) = N^b independent of M; for
+// FFT-like h(x) = a x log2 x the factor depends on the base memory size M
+// and equals 2N at the paper's normalization point M = N.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace c2b {
+
+/// g(N): parallel problem-size increase factor under N-fold memory.
+class ScalingFunction {
+ public:
+  /// g(N) = 1 — fixed problem size (Amdahl regime).
+  static ScalingFunction fixed();
+  /// g(N) = N — memory-linear scaling (Gustafson regime).
+  static ScalingFunction linear();
+  /// g(N) = N^b for any rational exponent b >= 0.
+  static ScalingFunction power(double exponent);
+  /// FFT-like h(M) = M log2 M: g(N) = N (log2 N + log2 M) / log2 M.
+  /// `base_memory` is M (> 1). At M = N this is the paper's g(N) = 2N.
+  static ScalingFunction fft_like(double base_memory);
+  /// Derive from complexity pair: W ~ n^comp, M ~ n^mem  =>  g(N) = N^{comp/mem}.
+  /// (Table I: TMM comp=3 mem=2 -> N^{3/2}; stencil/band-sparse 1/1 -> N.)
+  static ScalingFunction from_complexity(double computation_exponent, double memory_exponent);
+  /// Arbitrary user-supplied g; must satisfy g(1) = 1 and g > 0.
+  /// `capacity_driven` selects memory_scale(N) = N (default) vs 1.
+  static ScalingFunction custom(std::function<double(double)> fn, std::string description,
+                                bool capacity_driven = true);
+
+  /// Evaluate g at a (possibly fractional) core/memory multiple n >= 1.
+  double operator()(double n) const;
+
+  /// Total data-footprint growth factor h^{-1}(g(N) W0) / h^{-1}(W0) at the
+  /// same point: how much the problem's *memory* grows when its work grows
+  /// by g(N). For every capacity-driven law (power with b > 0, linear, FFT)
+  /// this is N — the problem is sized to fill the N-fold memory; for the
+  /// fixed law it is 1. The C²-Bound miss model uses this to derive the
+  /// per-core working set ws0 * memory_scale(N) / N.
+  double memory_scale(double n) const;
+
+  /// Local growth exponent d(log g)/d(log N) at n; the paper's case split
+  /// "g(N) >= O(N)" is `growth_exponent(n) >= 1`.
+  double growth_exponent(double n) const;
+
+  /// True when g grows at least linearly over [1, n_max] (case I of the APS
+  /// algorithm: optimize W/T). False -> case II (minimize T).
+  bool at_least_linear(double n_max = 1024.0) const;
+
+  const std::string& description() const noexcept { return description_; }
+
+ private:
+  ScalingFunction(std::function<double(double)> fn, std::string description,
+                  bool capacity_driven = true);
+
+  std::function<double(double)> fn_;
+  std::string description_;
+  bool capacity_driven_ = true;  ///< memory_scale = N (true) or 1 (false)
+};
+
+/// One row of the paper's Table I.
+struct Table1Entry {
+  std::string application;
+  std::string computation;  ///< complexity as printed in the paper
+  std::string memory;
+  std::string g_formula;    ///< the paper's g(N) column
+  ScalingFunction g;
+};
+
+/// The four applications of Table I with their derived g(N). The FFT row is
+/// materialized at the paper's normalization M = N (so g(N) = 2N, pinned to
+/// g(1) = 1); use ScalingFunction::fft_like for a fixed base memory instead.
+std::vector<Table1Entry> table1_entries();
+
+}  // namespace c2b

@@ -1,0 +1,72 @@
+#pragma once
+
+// Cycle-timeline analysis of concurrent memory accesses (paper Fig. 1).
+//
+// An access occupies `hit_cycles` consecutive cycles of hit/lookup activity
+// starting at `start_cycle`; if it misses, `miss_penalty_cycles` of miss
+// activity follow immediately. From a set of such (possibly overlapping)
+// accesses the analyzer derives every quantity in Eqs. (1)–(3):
+//
+//  * hit cycle           — a cycle with >= 1 access in hit activity
+//  * pure-miss cycle     — a cycle with >= 1 miss activity and NO hit activity
+//  * C_H                 — hit access-cycles / distinct hit cycles
+//  * C_M                 — pure-miss access-cycles / distinct pure-miss cycles
+//  * pure miss           — a missed access with >= 1 pure-miss cycle
+//  * pMR                 — pure misses / accesses
+//  * pAMP                — pure-miss cycles per pure miss
+//
+// With these definitions the identity
+//     C-AMAT = memory-active cycles / accesses = 1 / APC
+// holds exactly; the property tests sweep random timelines to verify it.
+//
+// The same analyzer backs both offline trace analysis and the on-line
+// HCD/MCD detector model in src/sim/detector (which reproduces these numbers
+// incrementally with bounded hardware state).
+
+#include <cstdint>
+#include <vector>
+
+#include "c2b/metrics/amat.h"
+
+namespace c2b {
+
+/// One memory access on the cycle timeline.
+struct TimelineAccess {
+  std::uint64_t start_cycle = 0;
+  std::uint32_t hit_cycles = 1;          ///< lookup/hit activity duration (H)
+  std::uint32_t miss_penalty_cycles = 0; ///< 0 for a hit
+};
+
+/// All quantities derivable from one timeline.
+struct TimelineMetrics {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t pure_misses = 0;
+
+  std::uint64_t hit_cycle_count = 0;        ///< distinct cycles with hit activity
+  std::uint64_t hit_access_cycles = 0;      ///< Σ per-cycle hit concurrency
+  std::uint64_t pure_miss_cycle_count = 0;  ///< distinct pure-miss cycles
+  std::uint64_t pure_miss_access_cycles = 0;
+  std::uint64_t memory_active_cycles = 0;   ///< cycles with any activity
+
+  AmatParams amat_params;    ///< measured H (mean), MR, AMP
+  CamatParams camat_params;  ///< measured H, C_H, pMR, pAMP, C_M
+
+  double amat_value = 0.0;
+  double camat_value = 0.0;   ///< via Eq. (2) from camat_params
+  double camat_direct = 0.0;  ///< memory-active cycles / accesses (identity)
+  double apc = 0.0;           ///< accesses / memory-active cycles
+  double concurrency_c = 1.0; ///< Eq. (3)
+};
+
+/// Analyze a batch of accesses. The accesses need not be sorted.
+/// Throws std::invalid_argument on an empty batch or zero-length hits.
+TimelineMetrics analyze_timeline(const std::vector<TimelineAccess>& accesses);
+
+/// The paper's Fig. 1 worked example (5 accesses, H = 3): A1/A2 hit at cycle
+/// 1, A3/A4 at cycle 3 (A3 misses with a 3-cycle penalty, A4 with 1), A5
+/// hits at cycle 4. Yields AMAT = 3.8, C-AMAT = 1.6, C_H = 5/2, C_M = 1,
+/// pMR = 1/5, pAMP = 2.
+std::vector<TimelineAccess> figure1_example_timeline();
+
+}  // namespace c2b

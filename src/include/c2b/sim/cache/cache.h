@@ -1,0 +1,173 @@
+#pragma once
+
+// Set-associative cache tag array with selectable replacement policy
+// (true-LRU, tree-PLRU, random), dirty-line tracking for write-back
+// traffic, plus the structures that give a modern cache its *concurrency*:
+// banked/ported access scheduling (hit concurrency, C_H) and miss status
+// holding registers (miss concurrency, C_M). This is the simulator's
+// substitute for the cache models of GEM5 — deliberately detailed exactly
+// where C-AMAT is sensitive.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "c2b/common/assert.h"
+
+namespace c2b::sim {
+
+enum class ReplacementPolicy : std::uint8_t {
+  kLru,       ///< true LRU (per-way timestamps)
+  kTreePlru,  ///< tree pseudo-LRU (requires power-of-two associativity)
+  kRandom,    ///< xorshift victim selection (deterministic per array)
+};
+
+struct CacheGeometry {
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t associativity = 8;
+
+  std::uint64_t lines() const { return size_bytes / line_bytes; }
+  std::uint64_t sets() const { return lines() / associativity; }
+  void validate() const;
+};
+
+/// Tag array: probe/fill under the configured replacement policy.
+/// Addresses are byte addresses; set indexing uses the line number's low
+/// bits.
+class CacheArray {
+ public:
+  explicit CacheArray(const CacheGeometry& geometry,
+                      ReplacementPolicy policy = ReplacementPolicy::kLru);
+
+  /// Probe for the line containing `byte_address`; on hit the recency state
+  /// updates and, if `mark_dirty`, the line becomes dirty. True on hit.
+  bool probe(std::uint64_t byte_address, bool mark_dirty = false);
+
+  /// Probe without updating recency (for inspection/tests).
+  bool contains(std::uint64_t byte_address) const;
+  /// Dirty state of a resident line (false if absent).
+  bool is_dirty(std::uint64_t byte_address) const;
+
+  struct Evicted {
+    std::uint64_t address = 0;  ///< line-aligned byte address
+    bool dirty = false;         ///< needs write-back
+  };
+
+  /// Insert the line (most-recently-used); returns the displaced victim if
+  /// a valid line was evicted. `dirty` marks the incoming line (write
+  /// allocate).
+  std::optional<Evicted> fill(std::uint64_t byte_address, bool dirty = false);
+
+  /// Invalidate a line if present (coherence). The dirty payload, if any,
+  /// is the caller's problem (the directory models the forward).
+  bool invalidate(std::uint64_t byte_address);
+
+  const CacheGeometry& geometry() const noexcept { return geometry_; }
+  ReplacementPolicy policy() const noexcept { return policy_; }
+
+  std::uint64_t probe_count() const noexcept { return probes_; }
+  std::uint64_t hit_count() const noexcept { return hits_; }
+  std::uint64_t dirty_evictions() const noexcept { return dirty_evictions_; }
+  double miss_ratio() const noexcept {
+    return probes_ == 0 ? 0.0 : 1.0 - static_cast<double>(hits_) / static_cast<double>(probes_);
+  }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t last_used = 0;  ///< LRU timestamp
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint64_t line_of(std::uint64_t byte_address) const {
+    return byte_address / geometry_.line_bytes;
+  }
+  std::size_t set_of(std::uint64_t line) const { return line % geometry_.sets(); }
+  std::uint64_t tag_of(std::uint64_t line) const { return line / geometry_.sets(); }
+
+  Way* find_way(std::uint64_t byte_address);
+  const Way* find_way(std::uint64_t byte_address) const;
+  /// Victim way index within a set per the policy (prefers invalid ways).
+  std::uint32_t pick_victim(std::size_t set);
+  /// Policy bookkeeping on a touch of way `way` in `set`.
+  void note_use(std::size_t set, std::uint32_t way);
+
+  CacheGeometry geometry_;
+  ReplacementPolicy policy_;
+  std::vector<Way> ways_;            ///< ways_[set * assoc + way], stable slots
+  std::vector<std::uint64_t> plru_;  ///< per-set PLRU bit tree (bit i = node i)
+  std::uint64_t clock_ = 0;          ///< LRU timestamp source
+  std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;  ///< xorshift for kRandom
+  std::uint64_t probes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t dirty_evictions_ = 0;
+};
+
+/// Multi-bank, multi-port cycle scheduler: up to `ports` accesses per bank
+/// per cycle; excess requests slip to the next cycle. This is the hardware
+/// feature that makes C_H > 1 possible while still being finite.
+class BankPortScheduler {
+ public:
+  BankPortScheduler(std::uint32_t banks, std::uint32_t ports_per_bank);
+
+  /// Reserve a slot on the bank serving `line` at or after `earliest`;
+  /// returns the cycle in which the access starts.
+  std::uint64_t schedule(std::uint64_t line, std::uint64_t earliest);
+
+  std::uint32_t banks() const noexcept { return static_cast<std::uint32_t>(state_.size()); }
+  /// Total cycles requests spent waiting for a port (contention measure).
+  std::uint64_t contention_cycles() const noexcept { return contention_cycles_; }
+
+ private:
+  struct BankState {
+    std::uint64_t cycle = 0;   ///< cycle the port counter refers to
+    std::uint32_t used = 0;    ///< ports consumed in that cycle
+  };
+  std::vector<BankState> state_;
+  std::uint32_t ports_;
+  std::uint64_t contention_cycles_ = 0;
+};
+
+/// Miss status holding registers: bound the number of outstanding misses
+/// (non-blocking cache). Secondary misses to an in-flight line merge.
+class MshrFile {
+ public:
+  explicit MshrFile(std::uint32_t entries);
+
+  struct Grant {
+    std::uint64_t start_cycle = 0;  ///< when the miss can begin service
+    bool merged = false;            ///< piggybacked on an in-flight miss
+    std::uint64_t merged_completion = 0;  ///< valid when merged
+  };
+
+  /// Request an entry for a miss to `line` observed at `cycle`. If the line
+  /// is already in flight the request merges and completes with the primary
+  /// miss. If the file is full, service is delayed until the earliest entry
+  /// retires.
+  Grant request(std::uint64_t line, std::uint64_t cycle);
+
+  /// Record the primary miss's completion cycle (fills the entry's slot
+  /// until then).
+  void complete(std::uint64_t line, std::uint64_t completion_cycle);
+
+  std::uint32_t capacity() const noexcept { return capacity_; }
+  std::uint64_t full_stall_events() const noexcept { return full_stalls_; }
+  std::uint64_t merge_count() const noexcept { return merges_; }
+
+ private:
+  void retire_before(std::uint64_t cycle);
+
+  struct Entry {
+    std::uint64_t line = 0;
+    std::uint64_t completion = 0;  ///< 0 while unknown (service in progress)
+  };
+  std::vector<Entry> entries_;  ///< live entries (small; linear scan)
+  std::uint32_t capacity_;
+  std::uint64_t full_stalls_ = 0;
+  std::uint64_t merges_ = 0;
+};
+
+}  // namespace c2b::sim

@@ -1,0 +1,82 @@
+#pragma once
+
+// Directory-based cache coherence for the private L1s (MESI-flavored).
+//
+// The shared L2 is inclusive and each line's home slice keeps a directory
+// entry: a sharer bitmask over cores plus the identity of an exclusive
+// owner when some L1 holds the line modified. The timing hierarchy asks
+// the directory what a read or write implies (invalidations to fan out,
+// an owner to fetch dirty data from) and charges NoC latency accordingly;
+// the directory updates its bookkeeping in the same call.
+//
+// States are tracked per (line, core) implicitly:
+//   owner set            -> that core holds M/E;
+//   sharers, no owner    -> S in every listed core;
+//   no entry             -> uncached in all L1s (L2/DRAM only).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "c2b/common/assert.h"
+
+namespace c2b::sim {
+
+class Directory {
+ public:
+  static constexpr std::uint32_t kMaxCores = 64;
+  static constexpr std::uint32_t kNoOwner = 0xFFFFFFFF;
+
+  explicit Directory(std::uint32_t cores);
+
+  struct ReadOutcome {
+    bool owner_transfer = false;     ///< a remote M copy must be downgraded
+    std::uint32_t previous_owner = kNoOwner;
+  };
+  /// Core `core` reads `line`: records it as a sharer; if another core held
+  /// the line modified, reports the required owner->requestor transfer and
+  /// downgrades the owner to sharer.
+  ReadOutcome on_read(std::uint32_t core, std::uint64_t line);
+
+  struct WriteOutcome {
+    std::uint64_t invalidated_mask = 0;  ///< cores whose S copy died
+    bool owner_transfer = false;         ///< a remote M copy was stolen
+    std::uint32_t previous_owner = kNoOwner;
+  };
+  /// Core `core` writes `line`: becomes exclusive owner; every other sharer
+  /// is invalidated (their mask is returned so the caller can drop the L1
+  /// copies and charge the NoC fan-out).
+  WriteOutcome on_write(std::uint32_t core, std::uint64_t line);
+
+  /// Core `core` evicted `line` from its L1 (silent eviction of S/M).
+  void on_evict(std::uint32_t core, std::uint64_t line);
+
+  /// Is this core currently recorded as holding the line (any state)?
+  bool is_sharer(std::uint32_t core, std::uint64_t line) const;
+  /// Current exclusive owner, or kNoOwner.
+  std::uint32_t owner_of(std::uint64_t line) const;
+  /// Number of cores holding the line.
+  std::uint32_t sharer_count(std::uint64_t line) const;
+
+  // Statistics.
+  std::uint64_t invalidations_sent() const noexcept { return invalidations_; }
+  std::uint64_t ownership_transfers() const noexcept { return transfers_; }
+  std::uint64_t upgrade_requests() const noexcept { return upgrades_; }
+  std::size_t tracked_lines() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t sharers = 0;         ///< bit per core
+    std::uint32_t owner = kNoOwner;    ///< valid only while a core holds M
+  };
+
+  void check_core(std::uint32_t core) const;
+
+  std::uint32_t cores_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::uint64_t invalidations_ = 0;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t upgrades_ = 0;
+};
+
+}  // namespace c2b::sim

@@ -1,0 +1,59 @@
+#pragma once
+
+// Hardware prefetching for the private L1s.
+//
+// Two classic policies over the miss stream (no PCs in our traces, so
+// detection is address-stream based, like early tagged/stream prefetchers):
+//   * next-line: on a miss to line X, fetch X+1 .. X+degree;
+//   * stride:    a small table of recent miss streams; when a stream's
+//     delta repeats (confidence >= threshold), fetch ahead along it.
+//
+// Prefetches matter to C-AMAT in both directions: a useful prefetch turns
+// a future pure miss into a hit (raising APC), while a useless one burns
+// L2/DRAM bandwidth and can evict live lines — the ablation bench
+// quantifies both edges.
+
+#include <cstdint>
+#include <vector>
+
+#include "c2b/common/assert.h"
+
+namespace c2b::sim {
+
+enum class PrefetchKind : std::uint8_t { kNone, kNextLine, kStride };
+
+struct PrefetcherConfig {
+  PrefetchKind kind = PrefetchKind::kNone;
+  std::uint32_t degree = 2;          ///< lines fetched ahead per trigger
+  std::uint32_t stream_table = 8;    ///< tracked streams (stride kind)
+  std::uint32_t confidence = 2;      ///< repeats before a stride stream fires
+};
+
+/// Address-stream prefetch engine for one core. Feed it every L1 miss line;
+/// it returns the lines to fetch (possibly empty).
+class Prefetcher {
+ public:
+  explicit Prefetcher(const PrefetcherConfig& config);
+
+  /// Observe a demand miss to `line`; returns candidate prefetch lines.
+  std::vector<std::uint64_t> on_miss(std::uint64_t line);
+
+  std::uint64_t triggers() const noexcept { return triggers_; }
+  const PrefetcherConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Stream {
+    std::uint64_t last_line = 0;
+    std::int64_t stride = 0;
+    std::uint32_t hits = 0;  ///< consecutive stride confirmations
+    bool valid = false;
+    std::uint64_t lru = 0;
+  };
+
+  PrefetcherConfig config_;
+  std::vector<Stream> streams_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t triggers_ = 0;
+};
+
+}  // namespace c2b::sim

@@ -1,0 +1,107 @@
+#pragma once
+
+// On-line C-AMAT analyzer (paper Fig. 4).
+//
+// The hardware the paper sketches has two halves:
+//  * HCD (Hit Concurrency Detector) — counts the total hit cycles and
+//    per-cycle hit concurrency, and tells the MCD whether a cycle has any
+//    hit activity;
+//  * MCD (Miss Concurrency Detector) — with the HCD's hit information and
+//    the MSHR's miss information, counts pure-miss cycles and attributes
+//    them to in-flight misses.
+//
+// This class is the software model of that unit: the core reports each
+// access's (start, hit-duration, miss-penalty) as it issues, and the
+// detector folds cycles into running counters once they pass a finalize
+// watermark, keeping only a bounded window of live cycle state — as a
+// hardware table would. Its finalized numbers match the offline
+// analyze_timeline() exactly (tested property).
+
+#include <cstdint>
+#include <deque>
+
+#include "c2b/metrics/timeline.h"
+
+namespace c2b::sim {
+
+class CamatDetector {
+ public:
+  /// Report one memory access: hit/lookup activity in
+  /// [start, start+hit_cycles) and, if a miss, miss activity in
+  /// [start+hit_cycles, start+hit_cycles+miss_penalty_cycles).
+  void record_access(std::uint64_t start_cycle, std::uint32_t hit_cycles,
+                     std::uint32_t miss_penalty_cycles);
+
+  /// Fold all cycles strictly below `watermark` into the running counters.
+  /// Only call with watermarks <= the start of every future access (the
+  /// core guarantees this by finalizing at issue time minus max latency).
+  void advance(std::uint64_t watermark);
+
+  /// Finalize everything and return the full metrics snapshot.
+  TimelineMetrics finalize();
+
+  /// Running counters (valid for finalized cycles; cheap to poll, which is
+  /// what the phase-adaptive reconfiguration example does).
+  std::uint64_t finalized_accesses() const noexcept { return finalized_accesses_; }
+  std::uint64_t live_cycle_window() const noexcept { return window_.size(); }
+
+ private:
+  struct CycleActivity {
+    std::uint32_t hits = 0;
+    std::uint32_t misses = 0;
+  };
+  struct PendingMiss {
+    std::uint64_t miss_start = 0;
+    std::uint32_t miss_cycles = 0;
+  };
+
+  /// Live cycle table: a dense ring over [window_base_, window_base_ +
+  /// window_.size()). O(1) per touched cycle — the hardware analogue is a
+  /// small SRAM of per-cycle counters; a tree here would make every miss
+  /// penalty cycle cost a log-time allocation.
+  CycleActivity& cycle_slot(std::uint64_t cycle);
+  const CycleActivity* find_cycle(std::uint64_t cycle) const;
+
+  std::deque<CycleActivity> window_;
+  std::uint64_t window_base_ = 0;
+  bool window_anchored_ = false;  ///< window_base_ valid once first access seen
+  std::deque<PendingMiss> pending_misses_;
+
+  // Finalized accumulators (the paper's lightweight counters).
+  std::uint64_t finalized_accesses_ = 0;
+  std::uint64_t total_hit_duration_ = 0;
+  std::uint64_t total_miss_penalty_ = 0;
+  std::uint64_t miss_count_ = 0;
+  std::uint64_t pure_miss_count_ = 0;
+  std::uint64_t per_access_pure_cycles_ = 0;
+  std::uint64_t hit_cycle_count_ = 0;
+  std::uint64_t hit_access_cycles_ = 0;
+  std::uint64_t pure_miss_cycle_count_ = 0;
+  std::uint64_t pure_miss_access_cycles_ = 0;
+  std::uint64_t memory_active_cycles_ = 0;
+};
+
+/// Union-of-intervals busy-cycle counter for one memory level; divides into
+/// the access count to give APC_i (Fig. 13). Intervals may arrive slightly
+/// out of order; overlap with already-covered cycles is not double counted
+/// (starts are clamped to the covered frontier, which is exact when
+/// intervals arrive sorted by start — the simulator's issue order).
+class ApcCounter {
+ public:
+  void add_interval(std::uint64_t start, std::uint64_t end);
+
+  std::uint64_t accesses() const noexcept { return accesses_; }
+  std::uint64_t busy_cycles() const noexcept { return busy_cycles_; }
+  /// Accesses per memory-active cycle at this level.
+  double apc() const noexcept {
+    return busy_cycles_ == 0 ? 0.0
+                             : static_cast<double>(accesses_) / static_cast<double>(busy_cycles_);
+  }
+
+ private:
+  std::uint64_t accesses_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+  std::uint64_t frontier_ = 0;  ///< first cycle not yet covered
+};
+
+}  // namespace c2b::sim

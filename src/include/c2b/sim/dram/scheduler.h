@@ -1,0 +1,63 @@
+#pragma once
+
+// Trace-driven DRAM command scheduling study (the DRAMSim2 role the
+// integrated timing model cannot play: reordering requests).
+//
+// The integrated DramModel resolves each access immediately in arrival
+// order (FCFS per bank). Real controllers reorder: FR-FCFS serves row-
+// buffer hits first and only then the oldest request, trading fairness for
+// row locality. This module replays a recorded request trace under a
+// chosen policy with a finite reorder queue and reports per-request
+// latencies — quantifying what the in-order approximation leaves on the
+// table, and supplying AMP inputs for the analytic model.
+
+#include <cstdint>
+#include <vector>
+
+#include "c2b/sim/dram/dram.h"
+
+namespace c2b::sim {
+
+enum class DramPolicy : std::uint8_t {
+  kFcfs,    ///< strictly oldest-first
+  kFrFcfs,  ///< row hits first, then oldest-first
+};
+
+struct DramRequest {
+  std::uint64_t line = 0;
+  std::uint64_t arrival = 0;
+};
+
+struct DramCompletion {
+  std::uint64_t start = 0;  ///< column command issue cycle
+  std::uint64_t done = 0;   ///< data burst complete
+};
+
+struct DramScheduleStats {
+  std::uint64_t requests = 0;
+  std::uint64_t row_hits = 0;
+  double mean_latency = 0.0;     ///< done - arrival, averaged
+  double p95_latency = 0.0;
+  std::uint64_t makespan = 0;    ///< last completion cycle
+  double row_hit_ratio() const noexcept {
+    return requests == 0 ? 0.0 : static_cast<double>(row_hits) / static_cast<double>(requests);
+  }
+};
+
+struct DramScheduleResult {
+  std::vector<DramCompletion> completions;  ///< parallel to the input order
+  DramScheduleStats stats;
+};
+
+struct DramSchedulerConfig {
+  DramConfig timing{};
+  DramPolicy policy = DramPolicy::kFrFcfs;
+  std::uint32_t queue_depth = 16;  ///< reorder window (requests visible at once)
+};
+
+/// Replay `requests` (any order; sorted internally by arrival) under the
+/// configured policy and timing. Deterministic.
+DramScheduleResult schedule_dram_trace(const DramSchedulerConfig& config,
+                                       std::vector<DramRequest> requests);
+
+}  // namespace c2b::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+// Cartesian-product sweeps over discrete design spaces. The full-factorial
+// DSE (the paper's 10^6-point ground truth), the APS neighborhood
+// refinement, and the ANN training-pool enumeration all iterate design
+// points through this one mechanism.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "c2b/common/assert.h"
+
+namespace c2b {
+
+/// One named discrete axis of a design space (e.g. "N" -> {1,2,4,...,512}).
+struct GridAxis {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// A rectangular discrete design space: the cross product of its axes.
+class GridSpace {
+ public:
+  GridSpace() = default;
+  explicit GridSpace(std::vector<GridAxis> axes);
+
+  std::size_t axis_count() const noexcept { return axes_.size(); }
+  const GridAxis& axis(std::size_t i) const;
+  /// Index of the named axis; throws if absent.
+  std::size_t axis_index(const std::string& name) const;
+
+  /// Total number of points (product of axis sizes).
+  std::size_t size() const noexcept { return total_; }
+
+  /// Decode a flat index into one value per axis.
+  std::vector<double> point(std::size_t flat_index) const;
+  /// Per-axis value indices for a flat index.
+  std::vector<std::size_t> indices(std::size_t flat_index) const;
+  /// Inverse of indices().
+  std::size_t flat_index(const std::vector<std::size_t>& idx) const;
+
+  /// Visit every point: fn(flat_index, values).
+  void for_each(const std::function<void(std::size_t, const std::vector<double>&)>& fn) const;
+
+  /// Flat indices of the axis-aligned neighborhood around `center` with the
+  /// given per-axis radius (in value-index steps), clipped at the borders.
+  /// This is the "adjacent regions in the design space" the APS algorithm
+  /// (Fig. 6, line 15) simulates.
+  std::vector<std::size_t> neighborhood(std::size_t center, std::size_t radius) const;
+
+  /// Flat index of the grid point nearest (per-axis, relative error) to a
+  /// continuous point, used to snap the analytic optimum onto the grid.
+  std::size_t nearest(const std::vector<double>& continuous_point) const;
+
+ private:
+  std::vector<GridAxis> axes_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace c2b

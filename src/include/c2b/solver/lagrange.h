@@ -1,0 +1,40 @@
+#pragma once
+
+// Lagrange-multiplier assembly for equality-constrained minimization:
+//     min f(x)  s.t.  g_k(x) = 0, k = 0..m-1
+// The stationarity conditions  ∇f + Σ λ_k ∇g_k = 0,  g(x) = 0  are packed
+// into one square residual and solved with the Newton machinery. This is
+// exactly the Eq. (13) structure of the paper:
+//     L(A1, A2, λ, N) = J_D + λ [N(A0+A1+A2) + Ac − A].
+
+#include <functional>
+#include <vector>
+
+#include "c2b/solver/newton.h"
+
+namespace c2b {
+
+/// Objective/constraint signature for the Lagrange machinery.
+using ScalarField = std::function<double(const Vector&)>;
+
+struct LagrangeResult {
+  Vector x;                ///< stationary point (primal variables)
+  Vector lambda;           ///< multipliers, one per constraint
+  double objective = 0.0;  ///< f at the stationary point
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Find a stationary point of the Lagrangian starting from (x0, lambda0 = 0).
+/// Returns a KKT point for equality constraints; the caller decides whether
+/// it is a min/max (the C²-Bound optimizer checks the g(N) case split per
+/// the paper's Fig. 6 before interpreting the point).
+LagrangeResult lagrange_stationary_point(const ScalarField& objective,
+                                         const std::vector<ScalarField>& constraints, Vector x0,
+                                         const NewtonOptions& newton = {},
+                                         double gradient_step = 1e-6);
+
+/// Finite-difference gradient of a scalar field (central differences).
+Vector numeric_gradient(const ScalarField& f, const Vector& x, double rel_step = 1e-6);
+
+}  // namespace c2b

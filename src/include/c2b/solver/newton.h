@@ -1,0 +1,44 @@
+#pragma once
+
+// Damped Newton's method for square nonlinear systems F(x) = 0, with a
+// central-difference numeric Jacobian. This is the "efficient solver for the
+// nonlinear equation set" the paper's Fig. 5 methodology calls for: the
+// stationarity conditions of the Lagrangian (Eq. 13) are assembled into a
+// residual vector and driven to zero here.
+
+#include <functional>
+
+#include "c2b/linalg/matrix.h"
+
+namespace c2b {
+
+/// Residual of a square system: maps x (n entries) to F(x) (n entries).
+using ResidualFn = std::function<Vector(const Vector&)>;
+
+struct NewtonOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-10;        ///< stop when ||F||_inf below this
+  double step_tolerance = 1e-14;   ///< stop when ||dx||_inf below this
+  double fd_step = 1e-6;           ///< relative finite-difference step
+  int max_backtracks = 40;         ///< Armijo-style halving steps
+  double min_damping = 1e-12;      ///< abort the line search below this
+};
+
+struct NewtonResult {
+  Vector x;                  ///< final iterate
+  double residual_norm = 0;  ///< ||F(x)||_inf at the final iterate
+  int iterations = 0;
+  bool converged = false;
+  std::string message;
+};
+
+/// Central-difference Jacobian of `f` at `x`.
+Matrix numeric_jacobian(const ResidualFn& f, const Vector& x, double rel_step = 1e-6);
+
+/// Solve F(x) = 0 starting from `x0`. Each iteration solves J dx = -F via LU
+/// and backtracks on the step until the residual norm decreases (simple but
+/// robust globalization). Never throws on non-convergence — inspect
+/// `converged`; throws only on malformed input.
+NewtonResult newton_solve(const ResidualFn& f, Vector x0, const NewtonOptions& options = {});
+
+}  // namespace c2b

@@ -1,0 +1,31 @@
+#pragma once
+
+// Binary trace serialization. Traces can be expensive to generate (or may
+// come from an external profiler); this module persists them in a compact,
+// versioned, endianness-pinned format:
+//
+//   header:  magic "C2BT", u32 version, u64 record count, name length+bytes
+//   records: u8 kind | u8 flags (bit0 = depends_on_prev_mem) | u64 address
+//
+// Readers validate the magic/version and record count; a truncated or
+// corrupted file produces a clean exception, never a partial trace.
+
+#include <iosfwd>
+#include <string>
+
+#include "c2b/trace/trace.h"
+
+namespace c2b {
+
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/// Serialize to a stream / file. Throws std::runtime_error on I/O failure.
+void write_trace(std::ostream& out, const Trace& trace);
+void save_trace(const std::string& path, const Trace& trace);
+
+/// Deserialize from a stream / file. Throws std::runtime_error on malformed
+/// input (bad magic, unsupported version, truncation, invalid record kind).
+Trace read_trace(std::istream& in);
+Trace load_trace(const std::string& path);
+
+}  // namespace c2b

@@ -1,0 +1,102 @@
+#include "c2b/laws/scaling.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "c2b/common/assert.h"
+
+namespace c2b {
+
+ScalingFunction::ScalingFunction(std::function<double(double)> fn, std::string description,
+                                 bool capacity_driven)
+    : fn_(std::move(fn)), description_(std::move(description)), capacity_driven_(capacity_driven) {}
+
+ScalingFunction ScalingFunction::fixed() {
+  return ScalingFunction([](double) { return 1.0; }, "g(N) = 1 (fixed size, Amdahl)",
+                         /*capacity_driven=*/false);
+}
+
+ScalingFunction ScalingFunction::linear() {
+  return ScalingFunction([](double n) { return n; }, "g(N) = N (memory-linear, Gustafson)");
+}
+
+ScalingFunction ScalingFunction::power(double exponent) {
+  C2B_REQUIRE(exponent >= 0.0, "scaling exponent must be non-negative");
+  std::ostringstream os;
+  os << "g(N) = N^" << exponent;
+  return ScalingFunction([exponent](double n) { return std::pow(n, exponent); }, os.str(),
+                         /*capacity_driven=*/exponent > 0.0);
+}
+
+ScalingFunction ScalingFunction::fft_like(double base_memory) {
+  C2B_REQUIRE(base_memory > 1.0, "FFT-like scaling needs base memory > 1");
+  const double log_m = std::log2(base_memory);
+  std::ostringstream os;
+  os << "g(N) = N(log2 N + log2 M)/log2 M, M = " << base_memory;
+  return ScalingFunction(
+      [log_m](double n) { return n * (std::log2(n) + log_m) / log_m; }, os.str());
+}
+
+ScalingFunction ScalingFunction::from_complexity(double computation_exponent,
+                                                 double memory_exponent) {
+  C2B_REQUIRE(memory_exponent > 0.0, "memory exponent must be positive");
+  C2B_REQUIRE(computation_exponent > 0.0, "computation exponent must be positive");
+  return power(computation_exponent / memory_exponent);
+}
+
+ScalingFunction ScalingFunction::custom(std::function<double(double)> fn, std::string description,
+                                        bool capacity_driven) {
+  C2B_REQUIRE(static_cast<bool>(fn), "custom scaling function must be callable");
+  return ScalingFunction(std::move(fn), std::move(description), capacity_driven);
+}
+
+double ScalingFunction::operator()(double n) const {
+  C2B_REQUIRE(n >= 1.0, "g(N) defined for N >= 1");
+  return fn_(n);
+}
+
+double ScalingFunction::memory_scale(double n) const {
+  C2B_REQUIRE(n >= 1.0, "memory scale defined for N >= 1");
+  return capacity_driven_ ? n : 1.0;
+}
+
+double ScalingFunction::growth_exponent(double n) const {
+  C2B_REQUIRE(n >= 1.0, "growth exponent defined for N >= 1");
+  // d log g / d log N via central differences in log space. At the left
+  // boundary fall back to a forward difference.
+  const double h = 0.05;
+  const double log_n = std::log(std::max(n, 1.0 + 1e-9));
+  const double hi = std::exp(log_n + h);
+  const double lo_raw = std::exp(log_n - h);
+  const double lo = std::max(lo_raw, 1.0);
+  const double g_hi = fn_(hi);
+  const double g_lo = fn_(lo);
+  C2B_ASSERT(g_hi > 0.0 && g_lo > 0.0, "g(N) must be positive");
+  return (std::log(g_hi) - std::log(g_lo)) / (std::log(hi) - std::log(lo));
+}
+
+bool ScalingFunction::at_least_linear(double n_max) const {
+  // Sample the growth exponent across the range; the paper's case split is
+  // asymptotic, so we require linear-or-faster growth throughout.
+  for (double n = 2.0; n <= n_max; n *= 2.0) {
+    if (growth_exponent(n) < 1.0 - 1e-6) return false;
+  }
+  return true;
+}
+
+std::vector<Table1Entry> table1_entries() {
+  std::vector<Table1Entry> rows;
+  rows.push_back({"TMM (tiled matrix multiplication)", "N^3", "N^2", "N^{3/2}",
+                  ScalingFunction::from_complexity(3.0, 2.0)});
+  rows.push_back({"Band sparse matrix multiplication", "N", "N", "N", ScalingFunction::linear()});
+  rows.push_back({"Stencil", "N", "N", "N", ScalingFunction::linear()});
+  // FFT at the paper's normalization M = N: g(N) = N(log2 N + log2 N)/log2 N
+  // = 2N, pinned to g(1) = 1 so the Sun-Ni boundary condition holds.
+  rows.push_back({"FFT (fast Fourier transform)", "N", "N log2 N", "2N",
+                  ScalingFunction::custom(
+                      [](double n) { return n <= 1.0 ? 1.0 : 2.0 * n; },
+                      "g(N) = 2N (FFT at M = N; g(1) pinned to 1)")});
+  return rows;
+}
+
+}  // namespace c2b

@@ -1,0 +1,116 @@
+#include "c2b/metrics/timeline.h"
+
+#include <algorithm>
+#include <map>
+
+#include "c2b/common/assert.h"
+
+namespace c2b {
+
+TimelineMetrics analyze_timeline(const std::vector<TimelineAccess>& accesses) {
+  C2B_REQUIRE(!accesses.empty(), "cannot analyze an empty timeline");
+
+  // Sparse per-cycle activity counters: cycle -> (hit count, miss count).
+  // A std::map keeps this robust to timelines with huge gaps; batches are
+  // typically analyzed in windows so the map stays small.
+  struct CycleActivity {
+    std::uint32_t hits = 0;
+    std::uint32_t misses = 0;
+  };
+  std::map<std::uint64_t, CycleActivity> activity;
+
+  std::uint64_t total_hit_duration = 0;
+  std::uint64_t total_miss_penalty = 0;
+  std::uint64_t miss_count = 0;
+
+  for (const TimelineAccess& access : accesses) {
+    C2B_REQUIRE(access.hit_cycles > 0, "an access needs at least one hit/lookup cycle");
+    total_hit_duration += access.hit_cycles;
+    for (std::uint32_t i = 0; i < access.hit_cycles; ++i)
+      ++activity[access.start_cycle + i].hits;
+    if (access.miss_penalty_cycles > 0) {
+      ++miss_count;
+      total_miss_penalty += access.miss_penalty_cycles;
+      const std::uint64_t miss_start = access.start_cycle + access.hit_cycles;
+      for (std::uint32_t i = 0; i < access.miss_penalty_cycles; ++i)
+        ++activity[miss_start + i].misses;
+    }
+  }
+
+  TimelineMetrics m;
+  m.accesses = accesses.size();
+  m.misses = miss_count;
+
+  for (const auto& [cycle, counters] : activity) {
+    (void)cycle;
+    ++m.memory_active_cycles;
+    if (counters.hits > 0) {
+      ++m.hit_cycle_count;
+      m.hit_access_cycles += counters.hits;
+    } else if (counters.misses > 0) {
+      ++m.pure_miss_cycle_count;
+      m.pure_miss_access_cycles += counters.misses;
+    }
+  }
+
+  // Per-access pure-miss attribution (an access is a *pure miss* iff at
+  // least one of its miss cycles is a pure-miss cycle), and pAMP counts the
+  // per-access pure-miss cycles so that pMR*pAMP/C_M telescopes exactly to
+  // pure-miss cycles / accesses.
+  std::uint64_t per_access_pure_cycles = 0;
+  for (const TimelineAccess& access : accesses) {
+    if (access.miss_penalty_cycles == 0) continue;
+    const std::uint64_t miss_start = access.start_cycle + access.hit_cycles;
+    std::uint64_t pure_cycles = 0;
+    for (std::uint32_t i = 0; i < access.miss_penalty_cycles; ++i) {
+      const auto it = activity.find(miss_start + i);
+      if (it != activity.end() && it->second.hits == 0) ++pure_cycles;
+    }
+    if (pure_cycles > 0) {
+      ++m.pure_misses;
+      per_access_pure_cycles += pure_cycles;
+    }
+  }
+
+  const auto accesses_d = static_cast<double>(m.accesses);
+  m.amat_params.hit_time = static_cast<double>(total_hit_duration) / accesses_d;
+  m.amat_params.miss_rate = static_cast<double>(m.misses) / accesses_d;
+  m.amat_params.miss_penalty =
+      m.misses == 0 ? 0.0 : static_cast<double>(total_miss_penalty) / static_cast<double>(m.misses);
+  m.amat_value = amat(m.amat_params);
+
+  m.camat_params.hit_time = m.amat_params.hit_time;
+  m.camat_params.hit_concurrency =
+      m.hit_cycle_count == 0
+          ? 1.0
+          : static_cast<double>(m.hit_access_cycles) / static_cast<double>(m.hit_cycle_count);
+  m.camat_params.pure_miss_rate = static_cast<double>(m.pure_misses) / accesses_d;
+  m.camat_params.pure_miss_penalty =
+      m.pure_misses == 0
+          ? 0.0
+          : static_cast<double>(per_access_pure_cycles) / static_cast<double>(m.pure_misses);
+  m.camat_params.miss_concurrency =
+      m.pure_miss_cycle_count == 0 ? 1.0
+                                   : static_cast<double>(per_access_pure_cycles) /
+                                         static_cast<double>(m.pure_miss_cycle_count);
+  m.camat_value = camat(m.camat_params);
+  m.camat_direct = static_cast<double>(m.memory_active_cycles) / accesses_d;
+  m.apc = accesses_d / static_cast<double>(m.memory_active_cycles);
+  m.concurrency_c = m.camat_value > 0.0 ? m.amat_value / m.camat_value : 1.0;
+  return m;
+}
+
+std::vector<TimelineAccess> figure1_example_timeline() {
+  // Cycle-by-cycle this reproduces the paper's Fig. 1: hit phases of
+  // concurrency 2 (cycles 1-2), 4 (cycle 3), 3 (cycles 4-5), 1 (cycle 6),
+  // and one 2-cycle pure-miss phase (cycles 7-8) belonging to access 3.
+  return {
+      {.start_cycle = 1, .hit_cycles = 3, .miss_penalty_cycles = 0},  // A1 hit 1-3
+      {.start_cycle = 1, .hit_cycles = 3, .miss_penalty_cycles = 0},  // A2 hit 1-3
+      {.start_cycle = 3, .hit_cycles = 3, .miss_penalty_cycles = 3},  // A3 lookup 3-5, miss 6-8
+      {.start_cycle = 3, .hit_cycles = 3, .miss_penalty_cycles = 1},  // A4 lookup 3-5, miss 6
+      {.start_cycle = 4, .hit_cycles = 3, .miss_penalty_cycles = 0},  // A5 hit 4-6
+  };
+}
+
+}  // namespace c2b

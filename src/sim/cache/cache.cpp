@@ -1,0 +1,230 @@
+#include "c2b/sim/cache/cache.h"
+
+#include <algorithm>
+
+#include "c2b/common/math_util.h"
+
+namespace c2b::sim {
+
+void CacheGeometry::validate() const {
+  C2B_REQUIRE(line_bytes > 0 && is_pow2(line_bytes), "line size must be a power of two");
+  C2B_REQUIRE(size_bytes >= line_bytes, "cache smaller than one line");
+  C2B_REQUIRE(size_bytes % line_bytes == 0, "size must be a multiple of the line size");
+  C2B_REQUIRE(associativity >= 1, "associativity must be >= 1");
+  C2B_REQUIRE(lines() % associativity == 0, "lines must divide evenly into sets");
+  C2B_REQUIRE(sets() >= 1, "cache must have at least one set");
+}
+
+CacheArray::CacheArray(const CacheGeometry& geometry, ReplacementPolicy policy)
+    : geometry_(geometry), policy_(policy) {
+  geometry_.validate();
+  C2B_REQUIRE(policy_ != ReplacementPolicy::kTreePlru || is_pow2(geometry_.associativity),
+              "tree-PLRU requires power-of-two associativity");
+  ways_.resize(geometry_.sets() * geometry_.associativity);
+  if (policy_ == ReplacementPolicy::kTreePlru) plru_.assign(geometry_.sets(), 0);
+}
+
+CacheArray::Way* CacheArray::find_way(std::uint64_t byte_address) {
+  const std::uint64_t line = line_of(byte_address);
+  const std::size_t set = set_of(line);
+  const std::uint64_t tag = tag_of(line);
+  Way* base = ways_.data() + set * geometry_.associativity;
+  for (std::uint32_t i = 0; i < geometry_.associativity; ++i)
+    if (base[i].valid && base[i].tag == tag) return base + i;
+  return nullptr;
+}
+
+const CacheArray::Way* CacheArray::find_way(std::uint64_t byte_address) const {
+  return const_cast<CacheArray*>(this)->find_way(byte_address);
+}
+
+void CacheArray::note_use(std::size_t set, std::uint32_t way) {
+  switch (policy_) {
+    case ReplacementPolicy::kLru:
+      ways_[set * geometry_.associativity + way].last_used = ++clock_;
+      break;
+    case ReplacementPolicy::kTreePlru: {
+      // Walk root->leaf; at each node record "went the other way" so the
+      // PLRU victim path points away from this way.
+      std::uint64_t& tree = plru_[set];
+      std::uint32_t node = 1;  // 1-based heap index
+      for (std::uint32_t span = geometry_.associativity / 2; span >= 1; span /= 2) {
+        const bool right = (way / span) & 1;
+        if (right) {
+          tree &= ~(std::uint64_t{1} << node);  // bit 0 => victim goes left
+        } else {
+          tree |= (std::uint64_t{1} << node);   // bit 1 => victim goes right
+        }
+        node = 2 * node + (right ? 1 : 0);
+      }
+      break;
+    }
+    case ReplacementPolicy::kRandom:
+      break;  // stateless
+  }
+}
+
+std::uint32_t CacheArray::pick_victim(std::size_t set) {
+  Way* base = ways_.data() + set * geometry_.associativity;
+  for (std::uint32_t i = 0; i < geometry_.associativity; ++i)
+    if (!base[i].valid) return i;
+
+  switch (policy_) {
+    case ReplacementPolicy::kLru: {
+      std::uint32_t victim = 0;
+      for (std::uint32_t i = 1; i < geometry_.associativity; ++i)
+        if (base[i].last_used < base[victim].last_used) victim = i;
+      return victim;
+    }
+    case ReplacementPolicy::kTreePlru: {
+      const std::uint64_t tree = plru_[set];
+      std::uint32_t node = 1;
+      std::uint32_t way = 0;
+      for (std::uint32_t span = geometry_.associativity / 2; span >= 1; span /= 2) {
+        const bool right = (tree >> node) & 1;
+        if (right) way += span;
+        node = 2 * node + (right ? 1 : 0);
+      }
+      return way;
+    }
+    case ReplacementPolicy::kRandom: {
+      // xorshift64*
+      rng_state_ ^= rng_state_ >> 12;
+      rng_state_ ^= rng_state_ << 25;
+      rng_state_ ^= rng_state_ >> 27;
+      return static_cast<std::uint32_t>((rng_state_ * 0x2545F4914F6CDD1Dull) %
+                                        geometry_.associativity);
+    }
+  }
+  return 0;
+}
+
+bool CacheArray::probe(std::uint64_t byte_address, bool mark_dirty) {
+  ++probes_;
+  Way* way = find_way(byte_address);
+  if (way == nullptr) return false;
+  ++hits_;
+  if (mark_dirty) way->dirty = true;
+  const std::size_t set = set_of(line_of(byte_address));
+  note_use(set, static_cast<std::uint32_t>(way - (ways_.data() + set * geometry_.associativity)));
+  return true;
+}
+
+bool CacheArray::contains(std::uint64_t byte_address) const {
+  return find_way(byte_address) != nullptr;
+}
+
+bool CacheArray::is_dirty(std::uint64_t byte_address) const {
+  const Way* way = find_way(byte_address);
+  return way != nullptr && way->dirty;
+}
+
+std::optional<CacheArray::Evicted> CacheArray::fill(std::uint64_t byte_address, bool dirty) {
+  const std::uint64_t line = line_of(byte_address);
+  const std::size_t set = set_of(line);
+  const std::uint64_t tag = tag_of(line);
+
+  // If already present (e.g. a merged miss filled first), refresh state.
+  if (Way* existing = find_way(byte_address)) {
+    existing->dirty = existing->dirty || dirty;
+    note_use(set, static_cast<std::uint32_t>(
+                      existing - (ways_.data() + set * geometry_.associativity)));
+    return std::nullopt;
+  }
+
+  const std::uint32_t victim_index = pick_victim(set);
+  Way& victim = ways_[set * geometry_.associativity + victim_index];
+  std::optional<Evicted> evicted;
+  if (victim.valid) {
+    const std::uint64_t victim_line = victim.tag * geometry_.sets() + set;
+    evicted = Evicted{victim_line * geometry_.line_bytes, victim.dirty};
+    if (victim.dirty) ++dirty_evictions_;
+  }
+  victim = Way{.tag = tag, .last_used = 0, .valid = true, .dirty = dirty};
+  note_use(set, victim_index);
+  return evicted;
+}
+
+bool CacheArray::invalidate(std::uint64_t byte_address) {
+  Way* way = find_way(byte_address);
+  if (way == nullptr) return false;
+  *way = Way{};
+  return true;
+}
+
+BankPortScheduler::BankPortScheduler(std::uint32_t banks, std::uint32_t ports_per_bank)
+    : ports_(ports_per_bank) {
+  C2B_REQUIRE(banks >= 1, "need at least one bank");
+  C2B_REQUIRE(ports_per_bank >= 1, "need at least one port per bank");
+  state_.resize(banks);
+}
+
+std::uint64_t BankPortScheduler::schedule(std::uint64_t line, std::uint64_t earliest) {
+  BankState& bank = state_[line % state_.size()];
+  if (earliest > bank.cycle) {
+    bank.cycle = earliest;
+    bank.used = 1;
+    return earliest;
+  }
+  // earliest <= bank.cycle: the bank is already busy at/after our arrival.
+  if (bank.used < ports_) {
+    ++bank.used;
+    contention_cycles_ += bank.cycle - earliest;
+    return bank.cycle;
+  }
+  ++bank.cycle;
+  bank.used = 1;
+  contention_cycles_ += bank.cycle - earliest;
+  return bank.cycle;
+}
+
+MshrFile::MshrFile(std::uint32_t entries) : capacity_(entries) {
+  C2B_REQUIRE(entries >= 1, "MSHR file needs at least one entry");
+  entries_.reserve(entries);
+}
+
+void MshrFile::retire_before(std::uint64_t cycle) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [cycle](const Entry& e) {
+                                  return e.completion != 0 && e.completion <= cycle;
+                                }),
+                 entries_.end());
+}
+
+MshrFile::Grant MshrFile::request(std::uint64_t line, std::uint64_t cycle) {
+  retire_before(cycle);
+  for (const Entry& e : entries_) {
+    if (e.line == line) {
+      ++merges_;
+      return {.start_cycle = cycle, .merged = true, .merged_completion = e.completion};
+    }
+  }
+  std::uint64_t start = cycle;
+  if (entries_.size() >= capacity_) {
+    // Structural stall: wait until the earliest known completion frees a slot.
+    std::uint64_t earliest = 0;
+    for (const Entry& e : entries_) {
+      if (e.completion == 0) continue;
+      if (earliest == 0 || e.completion < earliest) earliest = e.completion;
+    }
+    ++full_stalls_;
+    if (earliest > start) start = earliest;
+    retire_before(start);
+    // If everything in flight had unknown completion we overwrite the oldest
+    // entry (bounded state; should not happen in the normal flow).
+    if (entries_.size() >= capacity_) entries_.erase(entries_.begin());
+  }
+  entries_.push_back({line, 0});
+  return {.start_cycle = start, .merged = false, .merged_completion = 0};
+}
+
+void MshrFile::complete(std::uint64_t line, std::uint64_t completion_cycle) {
+  for (Entry& e : entries_) {
+    if (e.line == line && e.completion == 0) {
+      e.completion = completion_cycle;
+      return;
+    }
+  }
+}
+
+}  // namespace c2b::sim

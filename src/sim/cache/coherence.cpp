@@ -1,0 +1,81 @@
+#include "c2b/sim/cache/coherence.h"
+
+#include <bit>
+
+namespace c2b::sim {
+
+Directory::Directory(std::uint32_t cores) : cores_(cores) {
+  C2B_REQUIRE(cores >= 1 && cores <= kMaxCores, "directory supports 1..64 cores");
+}
+
+void Directory::check_core(std::uint32_t core) const {
+  C2B_REQUIRE(core < cores_, "core id out of range");
+}
+
+Directory::ReadOutcome Directory::on_read(std::uint32_t core, std::uint64_t line) {
+  check_core(core);
+  Entry& entry = entries_[line];
+  ReadOutcome outcome;
+  if (entry.owner != kNoOwner && entry.owner != core) {
+    // Remote modified copy: downgrade the owner to sharer, forward data.
+    outcome.owner_transfer = true;
+    outcome.previous_owner = entry.owner;
+    ++transfers_;
+    entry.owner = kNoOwner;
+  } else if (entry.owner == core) {
+    // Reading our own M copy changes nothing.
+    return outcome;
+  }
+  entry.sharers |= (std::uint64_t{1} << core);
+  return outcome;
+}
+
+Directory::WriteOutcome Directory::on_write(std::uint32_t core, std::uint64_t line) {
+  check_core(core);
+  Entry& entry = entries_[line];
+  WriteOutcome outcome;
+  if (entry.owner == core) return outcome;  // already exclusive here
+
+  if (entry.owner != kNoOwner) {
+    outcome.owner_transfer = true;
+    outcome.previous_owner = entry.owner;
+    ++transfers_;
+  }
+  const std::uint64_t self_bit = std::uint64_t{1} << core;
+  outcome.invalidated_mask = entry.sharers & ~self_bit;
+  const auto killed = static_cast<std::uint32_t>(std::popcount(outcome.invalidated_mask));
+  invalidations_ += killed;
+  if ((entry.sharers & self_bit) != 0 && killed > 0) ++upgrades_;  // S -> M upgrade
+
+  entry.sharers = self_bit;
+  entry.owner = core;
+  return outcome;
+}
+
+void Directory::on_evict(std::uint32_t core, std::uint64_t line) {
+  check_core(core);
+  const auto it = entries_.find(line);
+  if (it == entries_.end()) return;
+  it->second.sharers &= ~(std::uint64_t{1} << core);
+  if (it->second.owner == core) it->second.owner = kNoOwner;
+  if (it->second.sharers == 0) entries_.erase(it);
+}
+
+bool Directory::is_sharer(std::uint32_t core, std::uint64_t line) const {
+  check_core(core);
+  const auto it = entries_.find(line);
+  return it != entries_.end() && (it->second.sharers >> core) & 1;
+}
+
+std::uint32_t Directory::owner_of(std::uint64_t line) const {
+  const auto it = entries_.find(line);
+  return it == entries_.end() ? kNoOwner : it->second.owner;
+}
+
+std::uint32_t Directory::sharer_count(std::uint64_t line) const {
+  const auto it = entries_.find(line);
+  return it == entries_.end() ? 0u
+                              : static_cast<std::uint32_t>(std::popcount(it->second.sharers));
+}
+
+}  // namespace c2b::sim

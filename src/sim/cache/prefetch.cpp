@@ -1,0 +1,77 @@
+#include "c2b/sim/cache/prefetch.h"
+
+#include <cstdlib>
+#include <limits>
+
+namespace c2b::sim {
+
+Prefetcher::Prefetcher(const PrefetcherConfig& config) : config_(config) {
+  C2B_REQUIRE(config_.degree >= 1, "prefetch degree must be >= 1");
+  C2B_REQUIRE(config_.stream_table >= 1, "need at least one stream entry");
+  C2B_REQUIRE(config_.confidence >= 1, "confidence threshold must be >= 1");
+  if (config_.kind == PrefetchKind::kStride) streams_.resize(config_.stream_table);
+}
+
+std::vector<std::uint64_t> Prefetcher::on_miss(std::uint64_t line) {
+  std::vector<std::uint64_t> out;
+  switch (config_.kind) {
+    case PrefetchKind::kNone:
+      return out;
+
+    case PrefetchKind::kNextLine:
+      ++triggers_;
+      out.reserve(config_.degree);
+      for (std::uint32_t d = 1; d <= config_.degree; ++d) out.push_back(line + d);
+      return out;
+
+    case PrefetchKind::kStride: {
+      ++clock_;
+      // Find the stream whose last line is nearest this miss (within a
+      // generous window), else allocate the LRU entry.
+      Stream* best = nullptr;
+      std::uint64_t best_distance = 256;  // lines; beyond this, new stream
+      for (Stream& stream : streams_) {
+        if (!stream.valid) continue;
+        const std::uint64_t distance = line > stream.last_line
+                                           ? line - stream.last_line
+                                           : stream.last_line - line;
+        if (distance <= best_distance) {
+          best_distance = distance;
+          best = &stream;
+        }
+      }
+      if (best == nullptr) {
+        Stream* lru = &streams_[0];
+        for (Stream& stream : streams_)
+          if (!stream.valid || stream.lru < lru->lru) lru = &stream;
+        *lru = Stream{.last_line = line, .stride = 0, .hits = 0, .valid = true, .lru = clock_};
+        return out;
+      }
+
+      const std::int64_t delta =
+          static_cast<std::int64_t>(line) - static_cast<std::int64_t>(best->last_line);
+      if (delta != 0 && delta == best->stride) {
+        if (best->hits < std::numeric_limits<std::uint32_t>::max()) ++best->hits;
+      } else {
+        best->stride = delta;
+        best->hits = delta == 0 ? best->hits : 1;
+      }
+      best->last_line = line;
+      best->lru = clock_;
+
+      if (best->stride != 0 && best->hits >= config_.confidence) {
+        ++triggers_;
+        out.reserve(config_.degree);
+        for (std::uint32_t d = 1; d <= config_.degree; ++d) {
+          const std::int64_t target =
+              static_cast<std::int64_t>(line) + best->stride * static_cast<std::int64_t>(d);
+          if (target >= 0) out.push_back(static_cast<std::uint64_t>(target));
+        }
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace c2b::sim

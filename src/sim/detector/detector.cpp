@@ -1,0 +1,144 @@
+#include "c2b/sim/detector/detector.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "c2b/common/assert.h"
+
+namespace c2b::sim {
+
+CamatDetector::CycleActivity& CamatDetector::cycle_slot(std::uint64_t cycle) {
+  if (!window_anchored_) {
+    window_base_ = cycle;
+    window_anchored_ = true;
+  }
+  C2B_ASSERT(cycle >= window_base_,
+             "access touches an already-finalized cycle (advance() watermark too eager)");
+  const std::uint64_t offset = cycle - window_base_;
+  if (offset >= window_.size()) window_.resize(offset + 1);
+  return window_[offset];
+}
+
+const CamatDetector::CycleActivity* CamatDetector::find_cycle(std::uint64_t cycle) const {
+  if (!window_anchored_ || cycle < window_base_) return nullptr;
+  const std::uint64_t offset = cycle - window_base_;
+  if (offset >= window_.size()) return nullptr;
+  return &window_[offset];
+}
+
+void CamatDetector::record_access(std::uint64_t start_cycle, std::uint32_t hit_cycles,
+                                  std::uint32_t miss_penalty_cycles) {
+  C2B_REQUIRE(hit_cycles > 0, "an access needs at least one hit/lookup cycle");
+  ++finalized_accesses_;
+  total_hit_duration_ += hit_cycles;
+  for (std::uint32_t i = 0; i < hit_cycles; ++i) ++cycle_slot(start_cycle + i).hits;
+  if (miss_penalty_cycles > 0) {
+    ++miss_count_;
+    total_miss_penalty_ += miss_penalty_cycles;
+    const std::uint64_t miss_start = start_cycle + hit_cycles;
+    for (std::uint32_t i = 0; i < miss_penalty_cycles; ++i)
+      ++cycle_slot(miss_start + i).misses;
+    pending_misses_.push_back({miss_start, miss_penalty_cycles});
+  }
+}
+
+void CamatDetector::advance(std::uint64_t watermark) {
+  // Pass 1 (MCD): finalize in-flight misses whose whole penalty interval is
+  // below the watermark — their cycle entries are still live, so the pure
+  // classification is exact.
+  for (auto it = pending_misses_.begin(); it != pending_misses_.end();) {
+    const std::uint64_t miss_end = it->miss_start + it->miss_cycles;
+    if (miss_end > watermark) {
+      ++it;
+      continue;
+    }
+    std::uint64_t pure_cycles = 0;
+    for (std::uint32_t i = 0; i < it->miss_cycles; ++i) {
+      const CycleActivity* activity = find_cycle(it->miss_start + i);
+      if (activity != nullptr && activity->hits == 0 && activity->misses > 0) ++pure_cycles;
+    }
+    if (pure_cycles > 0) {
+      ++pure_miss_count_;
+      per_access_pure_cycles_ += pure_cycles;
+    }
+    it = pending_misses_.erase(it);
+  }
+
+  // Pass 2 (HCD + cycle classification): retire cycle entries below the
+  // watermark, but only those no pending miss still needs to inspect.
+  std::uint64_t protect_from = watermark;
+  for (const PendingMiss& pm : pending_misses_)
+    protect_from = std::min(protect_from, pm.miss_start);
+
+  while (window_anchored_ && !window_.empty() && window_base_ < protect_from) {
+    const CycleActivity activity = window_.front();
+    window_.pop_front();
+    ++window_base_;
+    if (activity.hits == 0 && activity.misses == 0) continue;  // idle slot
+    ++memory_active_cycles_;
+    if (activity.hits > 0) {
+      ++hit_cycle_count_;
+      hit_access_cycles_ += activity.hits;
+    } else {
+      ++pure_miss_cycle_count_;
+      pure_miss_access_cycles_ += activity.misses;
+    }
+  }
+}
+
+TimelineMetrics CamatDetector::finalize() {
+  advance(std::numeric_limits<std::uint64_t>::max());
+  C2B_ASSERT(pending_misses_.empty() && window_.empty(), "detector finalize left live state");
+
+  TimelineMetrics m;
+  m.accesses = finalized_accesses_;
+  m.misses = miss_count_;
+  m.pure_misses = pure_miss_count_;
+  m.hit_cycle_count = hit_cycle_count_;
+  m.hit_access_cycles = hit_access_cycles_;
+  m.pure_miss_cycle_count = pure_miss_cycle_count_;
+  m.pure_miss_access_cycles = pure_miss_access_cycles_;
+  m.memory_active_cycles = memory_active_cycles_;
+  if (m.accesses == 0) return m;  // pure-compute window: everything zero
+
+  const auto accesses_d = static_cast<double>(m.accesses);
+  m.amat_params.hit_time = static_cast<double>(total_hit_duration_) / accesses_d;
+  m.amat_params.miss_rate = static_cast<double>(miss_count_) / accesses_d;
+  m.amat_params.miss_penalty =
+      miss_count_ == 0
+          ? 0.0
+          : static_cast<double>(total_miss_penalty_) / static_cast<double>(miss_count_);
+  m.amat_value = amat(m.amat_params);
+
+  m.camat_params.hit_time = m.amat_params.hit_time;
+  m.camat_params.hit_concurrency =
+      hit_cycle_count_ == 0
+          ? 1.0
+          : static_cast<double>(hit_access_cycles_) / static_cast<double>(hit_cycle_count_);
+  m.camat_params.pure_miss_rate = static_cast<double>(pure_miss_count_) / accesses_d;
+  m.camat_params.pure_miss_penalty =
+      pure_miss_count_ == 0 ? 0.0
+                            : static_cast<double>(per_access_pure_cycles_) /
+                                  static_cast<double>(pure_miss_count_);
+  m.camat_params.miss_concurrency =
+      pure_miss_cycle_count_ == 0 ? 1.0
+                                  : static_cast<double>(per_access_pure_cycles_) /
+                                        static_cast<double>(pure_miss_cycle_count_);
+  m.camat_value = camat(m.camat_params);
+  m.camat_direct = static_cast<double>(memory_active_cycles_) / accesses_d;
+  m.apc = accesses_d / static_cast<double>(memory_active_cycles_);
+  m.concurrency_c = m.camat_value > 0.0 ? m.amat_value / m.camat_value : 1.0;
+  return m;
+}
+
+void ApcCounter::add_interval(std::uint64_t start, std::uint64_t end) {
+  C2B_REQUIRE(end > start, "interval must be non-empty");
+  ++accesses_;
+  const std::uint64_t effective_start = std::max(start, frontier_);
+  if (end > effective_start) {
+    busy_cycles_ += end - effective_start;
+    frontier_ = end;
+  }
+}
+
+}  // namespace c2b::sim

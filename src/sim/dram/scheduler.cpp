@@ -1,0 +1,143 @@
+#include "c2b/sim/dram/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "c2b/common/assert.h"
+#include "c2b/common/stats.h"
+
+namespace c2b::sim {
+namespace {
+
+struct BankState {
+  std::uint64_t open_row = 0;
+  bool has_open_row = false;
+  std::uint64_t ready = 0;
+};
+
+struct Pending {
+  DramRequest request;
+  std::size_t original_index = 0;
+};
+
+}  // namespace
+
+DramScheduleResult schedule_dram_trace(const DramSchedulerConfig& config,
+                                       std::vector<DramRequest> requests) {
+  config.timing.validate();
+  C2B_REQUIRE(config.queue_depth >= 1, "reorder queue needs at least one slot");
+  DramScheduleResult result;
+  result.completions.resize(requests.size());
+  if (requests.empty()) return result;
+
+  // Stable sort by arrival; keep the original index for the output mapping.
+  std::vector<Pending> sorted(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) sorted[i] = {requests[i], i};
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Pending& a, const Pending& b) {
+                     return a.request.arrival < b.request.arrival;
+                   });
+
+  std::vector<BankState> banks(config.timing.banks);
+  std::uint64_t bus_free = 0;
+  std::uint64_t now = sorted.front().request.arrival;
+
+  std::vector<Pending> queue;  // requests visible to the scheduler
+  std::size_t next_feed = 0;
+  std::vector<double> latencies;
+  latencies.reserve(requests.size());
+
+  auto row_of = [&](std::uint64_t line) { return line / config.timing.lines_per_row; };
+  auto bank_of = [&](std::uint64_t row) { return row % config.timing.banks; };
+
+  while (next_feed < sorted.size() || !queue.empty()) {
+    // Admit arrived requests into the reorder window.
+    while (next_feed < sorted.size() && queue.size() < config.queue_depth &&
+           sorted[next_feed].request.arrival <= now) {
+      queue.push_back(sorted[next_feed++]);
+    }
+    if (queue.empty()) {
+      // Jump to the next arrival.
+      now = std::max(now, sorted[next_feed].request.arrival);
+      continue;
+    }
+
+    // The controller decides when the oldest visible request could actually
+    // issue — by then, later arrivals are visible too (this is what enables
+    // FR-FCFS to bypass a conflicting older request with a younger row hit).
+    {
+      std::size_t oldest = 0;
+      for (std::size_t i = 1; i < queue.size(); ++i)
+        if (queue[i].request.arrival < queue[oldest].request.arrival) oldest = i;
+      const std::uint64_t oldest_row = row_of(queue[oldest].request.line);
+      const std::uint64_t horizon = std::max(
+          {now, banks[bank_of(oldest_row)].ready, queue[oldest].request.arrival});
+      while (next_feed < sorted.size() && queue.size() < config.queue_depth &&
+             sorted[next_feed].request.arrival <= horizon) {
+        queue.push_back(sorted[next_feed++]);
+      }
+    }
+
+    // Pick per policy among visible requests.
+    std::size_t pick = 0;
+    if (config.policy == DramPolicy::kFrFcfs) {
+      std::size_t oldest_hit = queue.size();
+      for (std::size_t i = 0; i < queue.size(); ++i) {
+        const std::uint64_t row = row_of(queue[i].request.line);
+        const BankState& bank = banks[bank_of(row)];
+        if (bank.has_open_row && bank.open_row == row) {
+          if (oldest_hit == queue.size() ||
+              queue[i].request.arrival < queue[oldest_hit].request.arrival)
+            oldest_hit = i;
+        }
+      }
+      if (oldest_hit < queue.size()) {
+        pick = oldest_hit;
+      } else {
+        for (std::size_t i = 1; i < queue.size(); ++i)
+          if (queue[i].request.arrival < queue[pick].request.arrival) pick = i;
+      }
+    } else {  // FCFS: strictly oldest
+      for (std::size_t i = 1; i < queue.size(); ++i)
+        if (queue[i].request.arrival < queue[pick].request.arrival) pick = i;
+    }
+
+    const Pending chosen = queue[pick];
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    const std::uint64_t row = row_of(chosen.request.line);
+    BankState& bank = banks[bank_of(row)];
+    const std::uint64_t start = std::max({now, bank.ready, chosen.request.arrival});
+    std::uint64_t column_ready;
+    if (bank.has_open_row && bank.open_row == row) {
+      ++result.stats.row_hits;
+      column_ready = start + config.timing.t_cas;
+    } else if (!bank.has_open_row) {
+      column_ready = start + config.timing.t_rcd + config.timing.t_cas;
+    } else {
+      column_ready = start + config.timing.t_rp + config.timing.t_rcd + config.timing.t_cas;
+    }
+    bank.open_row = row;
+    bank.has_open_row = true;
+    bank.ready = column_ready;
+
+    const std::uint64_t burst_start = std::max(column_ready, bus_free);
+    const std::uint64_t done = burst_start + config.timing.t_bus;
+    bus_free = done;
+    // The controller can overlap the next pick with this service; advance
+    // `now` only to the command issue point, not the data burst.
+    now = std::max(now, start + 1);
+
+    result.completions[chosen.original_index] = {start, done};
+    latencies.push_back(static_cast<double>(done - chosen.request.arrival));
+    result.stats.makespan = std::max(result.stats.makespan, done);
+  }
+
+  result.stats.requests = requests.size();
+  result.stats.mean_latency = mean_of(latencies);
+  result.stats.p95_latency = percentile_of(latencies, 95.0);
+  return result;
+}
+
+}  // namespace c2b::sim

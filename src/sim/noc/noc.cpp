@@ -1,0 +1,47 @@
+#include "c2b/sim/noc/noc.h"
+
+#include <cmath>
+
+namespace c2b::sim {
+
+void NocConfig::validate() const {
+  C2B_REQUIRE(nodes >= 1, "mesh needs at least one node");
+  C2B_REQUIRE(hop_latency >= 1, "hop latency must be positive");
+  C2B_REQUIRE(congestion_per_load >= 0.0, "congestion factor must be non-negative");
+}
+
+MeshNoc::MeshNoc(const NocConfig& config) : config_(config) {
+  config_.validate();
+  side_ = static_cast<std::uint32_t>(std::ceil(std::sqrt(static_cast<double>(config_.nodes))));
+  if (side_ == 0) side_ = 1;
+}
+
+std::uint32_t MeshNoc::hops_between(std::uint32_t a, std::uint32_t b) const {
+  const std::uint32_t ax = a % side_, ay = a / side_;
+  const std::uint32_t bx = b % side_, by = b / side_;
+  const std::uint32_t dx = ax > bx ? ax - bx : bx - ax;
+  const std::uint32_t dy = ay > by ? ay - by : by - ay;
+  return dx + dy;
+}
+
+std::uint64_t MeshNoc::latency(std::uint32_t src_node, std::uint32_t dst_node) const {
+  C2B_REQUIRE(src_node < config_.nodes && dst_node < config_.nodes, "node out of range");
+  const std::uint32_t hops = hops_between(src_node, dst_node);
+  const double congestion = config_.congestion_per_load * average_hops();
+  return config_.injection_latency + static_cast<std::uint64_t>(hops) * config_.hop_latency +
+         static_cast<std::uint64_t>(congestion);
+}
+
+std::uint64_t MeshNoc::round_trip(std::uint32_t src_node, std::uint32_t dst_node) {
+  const std::uint64_t one_way = latency(src_node, dst_node);
+  messages_ += 2;
+  total_hops_ += 2ull * hops_between(src_node, dst_node);
+  return 2 * one_way;
+}
+
+double MeshNoc::average_hops() const noexcept {
+  return messages_ == 0 ? 0.0
+                        : static_cast<double>(total_hops_) / static_cast<double>(messages_);
+}
+
+}  // namespace c2b::sim

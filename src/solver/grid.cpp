@@ -1,0 +1,119 @@
+#include "c2b/solver/grid.h"
+
+#include <cmath>
+
+namespace c2b {
+
+GridSpace::GridSpace(std::vector<GridAxis> axes) : axes_(std::move(axes)) {
+  C2B_REQUIRE(!axes_.empty(), "grid space needs at least one axis");
+  total_ = 1;
+  for (const auto& ax : axes_) {
+    C2B_REQUIRE(!ax.values.empty(), "grid axis '" + ax.name + "' has no values");
+    total_ *= ax.values.size();
+  }
+}
+
+const GridAxis& GridSpace::axis(std::size_t i) const {
+  C2B_REQUIRE(i < axes_.size(), "axis index out of range");
+  return axes_[i];
+}
+
+std::size_t GridSpace::axis_index(const std::string& name) const {
+  for (std::size_t i = 0; i < axes_.size(); ++i)
+    if (axes_[i].name == name) return i;
+  throw std::invalid_argument("GridSpace: no axis named '" + name + "'");
+}
+
+std::vector<std::size_t> GridSpace::indices(std::size_t flat_index) const {
+  C2B_REQUIRE(flat_index < total_, "flat index out of range");
+  std::vector<std::size_t> idx(axes_.size());
+  // Row-major: the last axis varies fastest.
+  for (std::size_t i = axes_.size(); i-- > 0;) {
+    const std::size_t sz = axes_[i].values.size();
+    idx[i] = flat_index % sz;
+    flat_index /= sz;
+  }
+  return idx;
+}
+
+std::vector<double> GridSpace::point(std::size_t flat_index) const {
+  const auto idx = indices(flat_index);
+  std::vector<double> values(axes_.size());
+  for (std::size_t i = 0; i < axes_.size(); ++i) values[i] = axes_[i].values[idx[i]];
+  return values;
+}
+
+std::size_t GridSpace::flat_index(const std::vector<std::size_t>& idx) const {
+  C2B_REQUIRE(idx.size() == axes_.size(), "index rank mismatch");
+  std::size_t flat = 0;
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    C2B_REQUIRE(idx[i] < axes_[i].values.size(), "axis index out of range");
+    flat = flat * axes_[i].values.size() + idx[i];
+  }
+  return flat;
+}
+
+void GridSpace::for_each(
+    const std::function<void(std::size_t, const std::vector<double>&)>& fn) const {
+  std::vector<std::size_t> idx(axes_.size(), 0);
+  std::vector<double> values(axes_.size());
+  for (std::size_t i = 0; i < axes_.size(); ++i) values[i] = axes_[i].values[0];
+  for (std::size_t flat = 0; flat < total_; ++flat) {
+    fn(flat, values);
+    // Odometer increment (last axis fastest) keeps values in sync without
+    // re-decoding the flat index every step.
+    for (std::size_t i = axes_.size(); i-- > 0;) {
+      if (++idx[i] < axes_[i].values.size()) {
+        values[i] = axes_[i].values[idx[i]];
+        break;
+      }
+      idx[i] = 0;
+      values[i] = axes_[i].values[0];
+    }
+  }
+}
+
+std::vector<std::size_t> GridSpace::neighborhood(std::size_t center, std::size_t radius) const {
+  const auto center_idx = indices(center);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(axes_.size());
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    const std::size_t lo = center_idx[i] >= radius ? center_idx[i] - radius : 0;
+    const std::size_t hi = std::min(center_idx[i] + radius, axes_[i].values.size() - 1);
+    ranges[i] = {lo, hi};
+  }
+  std::vector<std::size_t> result;
+  std::vector<std::size_t> idx(axes_.size());
+  for (std::size_t i = 0; i < axes_.size(); ++i) idx[i] = ranges[i].first;
+  for (;;) {
+    result.push_back(flat_index(idx));
+    std::size_t d = axes_.size();
+    while (d-- > 0) {
+      if (++idx[d] <= ranges[d].second) break;
+      idx[d] = ranges[d].first;
+      if (d == 0) return result;
+    }
+    if (d == static_cast<std::size_t>(-1)) return result;
+  }
+}
+
+std::size_t GridSpace::nearest(const std::vector<double>& continuous_point) const {
+  C2B_REQUIRE(continuous_point.size() == axes_.size(), "point rank mismatch");
+  std::vector<std::size_t> idx(axes_.size());
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_j = 0;
+    for (std::size_t j = 0; j < axes_[i].values.size(); ++j) {
+      const double v = axes_[i].values[j];
+      const double scale = std::max({std::fabs(v), std::fabs(continuous_point[i]), 1e-12});
+      const double err = std::fabs(v - continuous_point[i]) / scale;
+      if (err < best) {
+        best = err;
+        best_j = j;
+      }
+    }
+    idx[i] = best_j;
+  }
+  return flat_index(idx);
+}
+
+}  // namespace c2b

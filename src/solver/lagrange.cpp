@@ -1,0 +1,61 @@
+#include "c2b/solver/lagrange.h"
+
+#include <cmath>
+
+#include "c2b/common/assert.h"
+
+namespace c2b {
+
+Vector numeric_gradient(const ScalarField& f, const Vector& x, double rel_step) {
+  Vector grad(x.size());
+  Vector probe = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double h = rel_step * std::max(1.0, std::fabs(x[i]));
+    probe[i] = x[i] + h;
+    const double fp = f(probe);
+    probe[i] = x[i] - h;
+    const double fm = f(probe);
+    probe[i] = x[i];
+    grad[i] = (fp - fm) / (2.0 * h);
+  }
+  return grad;
+}
+
+LagrangeResult lagrange_stationary_point(const ScalarField& objective,
+                                         const std::vector<ScalarField>& constraints, Vector x0,
+                                         const NewtonOptions& newton, double gradient_step) {
+  C2B_REQUIRE(!x0.empty(), "lagrange needs a non-empty start point");
+  const std::size_t n = x0.size();
+  const std::size_t m = constraints.size();
+
+  // Unknowns: [x (n entries), lambda (m entries)].
+  // Residual: [∇f(x) + Σ λ_k ∇g_k(x); g(x)].
+  ResidualFn residual = [&, n, m](const Vector& z) {
+    const Vector x(z.begin(), z.begin() + static_cast<std::ptrdiff_t>(n));
+    Vector out(n + m, 0.0);
+    const Vector grad_f = numeric_gradient(objective, x, gradient_step);
+    for (std::size_t i = 0; i < n; ++i) out[i] = grad_f[i];
+    for (std::size_t k = 0; k < m; ++k) {
+      const double lambda_k = z[n + k];
+      const Vector grad_g = numeric_gradient(constraints[k], x, gradient_step);
+      for (std::size_t i = 0; i < n; ++i) out[i] += lambda_k * grad_g[i];
+      out[n + k] = constraints[k](x);
+    }
+    return out;
+  };
+
+  Vector z0(n + m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) z0[i] = x0[i];
+
+  const NewtonResult solved = newton_solve(residual, std::move(z0), newton);
+
+  LagrangeResult result;
+  result.converged = solved.converged;
+  result.iterations = solved.iterations;
+  result.x.assign(solved.x.begin(), solved.x.begin() + static_cast<std::ptrdiff_t>(n));
+  result.lambda.assign(solved.x.begin() + static_cast<std::ptrdiff_t>(n), solved.x.end());
+  result.objective = objective(result.x);
+  return result;
+}
+
+}  // namespace c2b

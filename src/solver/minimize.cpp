@@ -1,0 +1,183 @@
+#include "c2b/solver/minimize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "c2b/common/assert.h"
+
+namespace c2b {
+
+ScalarMinResult golden_section_minimize(const ScalarFn& f, double lo, double hi, double tolerance,
+                                        int max_iterations) {
+  C2B_REQUIRE(hi >= lo, "golden section requires hi >= lo");
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  ScalarMinResult result;
+
+  double a = lo, b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  result.evaluations = 2;
+
+  for (int iter = 0; iter < max_iterations && (b - a) > tolerance; ++iter) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+    ++result.evaluations;
+  }
+  if (f1 <= f2) {
+    result.x = x1;
+    result.value = f1;
+  } else {
+    result.x = x2;
+    result.value = f2;
+  }
+  return result;
+}
+
+IntMinResult integer_minimize(const std::function<double(long long)>& f, long long lo,
+                              long long hi) {
+  C2B_REQUIRE(hi >= lo, "integer_minimize requires hi >= lo");
+  IntMinResult best{lo, f(lo)};
+  for (long long x = lo + 1; x <= hi; ++x) {
+    const double v = f(x);
+    if (v < best.value) best = {x, v};
+  }
+  return best;
+}
+
+NelderMeadResult nelder_mead_minimize(const MultiFn& f, Vector x0,
+                                      const NelderMeadOptions& options) {
+  C2B_REQUIRE(!x0.empty(), "nelder-mead needs a non-empty start point");
+  const std::size_t n = x0.size();
+
+  // Initial simplex: x0 plus one perturbed vertex per dimension.
+  std::vector<Vector> simplex;
+  simplex.reserve(n + 1);
+  simplex.push_back(x0);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector v = x0;
+    const double step = options.initial_step * std::max(1.0, std::fabs(v[i]));
+    v[i] += step;
+    simplex.push_back(std::move(v));
+  }
+  std::vector<double> values(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) values[i] = f(simplex[i]);
+
+  NelderMeadResult result;
+  std::vector<std::size_t> order(n + 1);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    for (std::size_t i = 0; i <= n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    const std::size_t best = order[0];
+    const std::size_t worst = order[n];
+    const std::size_t second_worst = order[n - 1];
+
+    result.iterations = iter;
+    if (std::fabs(values[worst] - values[best]) <=
+        options.tolerance * (std::fabs(values[best]) + options.tolerance)) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    Vector centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += simplex[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto along = [&](double coeff) {
+      Vector v(n);
+      for (std::size_t d = 0; d < n; ++d)
+        v[d] = centroid[d] + coeff * (centroid[d] - simplex[worst][d]);
+      return v;
+    };
+
+    const Vector reflected = along(1.0);
+    const double fr = f(reflected);
+    if (fr < values[best]) {
+      const Vector expanded = along(2.0);
+      const double fe = f(expanded);
+      if (fe < fr) {
+        simplex[worst] = expanded;
+        values[worst] = fe;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = fr;
+      }
+    } else if (fr < values[second_worst]) {
+      simplex[worst] = reflected;
+      values[worst] = fr;
+    } else {
+      const Vector contracted = along(fr < values[worst] ? 0.5 : -0.5);
+      const double fc = f(contracted);
+      if (fc < std::min(fr, values[worst])) {
+        simplex[worst] = contracted;
+        values[worst] = fc;
+      } else {
+        // Shrink towards the best vertex.
+        for (std::size_t i = 0; i <= n; ++i) {
+          if (i == best) continue;
+          for (std::size_t d = 0; d < n; ++d)
+            simplex[i][d] = simplex[best][d] + 0.5 * (simplex[i][d] - simplex[best][d]);
+          values[i] = f(simplex[i]);
+        }
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i)
+    if (values[i] < values[best]) best = i;
+  result.x = simplex[best];
+  result.value = values[best];
+  return result;
+}
+
+BisectResult bisect_root(const ScalarFn& f, double lo, double hi, double tolerance,
+                         int max_iterations) {
+  C2B_REQUIRE(hi >= lo, "bisect requires hi >= lo");
+  BisectResult result;
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return {lo, 0.0, true};
+  if (fhi == 0.0) return {hi, 0.0, true};
+  if (flo * fhi > 0.0) {
+    result.x = std::fabs(flo) < std::fabs(fhi) ? lo : hi;
+    result.fx = std::fabs(flo) < std::fabs(fhi) ? flo : fhi;
+    return result;  // not bracketed; converged stays false
+  }
+  double a = lo, b = hi;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    const double mid = 0.5 * (a + b);
+    const double fmid = f(mid);
+    if (fmid == 0.0 || (b - a) * 0.5 < tolerance) {
+      return {mid, fmid, true};
+    }
+    if (flo * fmid < 0.0) {
+      b = mid;
+    } else {
+      a = mid;
+      flo = fmid;
+    }
+  }
+  const double mid = 0.5 * (a + b);
+  return {mid, f(mid), true};
+}
+
+}  // namespace c2b

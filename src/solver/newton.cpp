@@ -1,0 +1,91 @@
+#include "c2b/solver/newton.h"
+
+#include <cmath>
+
+#include "c2b/common/assert.h"
+#include "c2b/common/log.h"
+
+namespace c2b {
+
+Matrix numeric_jacobian(const ResidualFn& f, const Vector& x, double rel_step) {
+  C2B_REQUIRE(!x.empty(), "jacobian of empty vector");
+  const std::size_t n = x.size();
+  const Vector f0 = f(x);
+  C2B_REQUIRE(f0.size() == n, "residual must be square (len(F) == len(x))");
+
+  Matrix jac(n, n);
+  Vector probe = x;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double h = rel_step * std::max(1.0, std::fabs(x[j]));
+    probe[j] = x[j] + h;
+    const Vector fp = f(probe);
+    probe[j] = x[j] - h;
+    const Vector fm = f(probe);
+    probe[j] = x[j];
+    const double inv2h = 1.0 / (2.0 * h);
+    for (std::size_t i = 0; i < n; ++i) jac(i, j) = (fp[i] - fm[i]) * inv2h;
+  }
+  return jac;
+}
+
+NewtonResult newton_solve(const ResidualFn& f, Vector x0, const NewtonOptions& options) {
+  C2B_REQUIRE(!x0.empty(), "newton_solve needs a non-empty start point");
+  NewtonResult result;
+  result.x = std::move(x0);
+
+  Vector residual = f(result.x);
+  C2B_REQUIRE(residual.size() == result.x.size(), "residual must be square");
+  result.residual_norm = norm_inf(residual);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    if (result.residual_norm <= options.tolerance) {
+      result.converged = true;
+      result.message = "residual tolerance reached";
+      return result;
+    }
+
+    Matrix jac = numeric_jacobian(f, result.x, options.fd_step);
+    Vector rhs(residual.size());
+    for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] = -residual[i];
+
+    Vector step;
+    try {
+      step = LuDecomposition(std::move(jac)).solve(rhs);
+    } catch (const std::runtime_error&) {
+      result.message = "singular Jacobian";
+      return result;
+    }
+
+    // Backtracking: accept the longest damped step that reduces ||F||.
+    double damping = 1.0;
+    bool accepted = false;
+    for (int bt = 0; bt <= options.max_backtracks && damping >= options.min_damping; ++bt) {
+      const Vector candidate = axpy(damping, step, result.x);
+      const Vector cand_res = f(candidate);
+      const double cand_norm = norm_inf(cand_res);
+      if (cand_norm < result.residual_norm || cand_norm <= options.tolerance) {
+        result.x = candidate;
+        residual = cand_res;
+        result.residual_norm = cand_norm;
+        accepted = true;
+        break;
+      }
+      damping *= 0.5;
+    }
+    ++result.iterations;
+    if (!accepted) {
+      result.message = "line search stalled";
+      return result;
+    }
+    if (damping * norm_inf(step) <= options.step_tolerance) {
+      result.converged = result.residual_norm <= options.tolerance * 1e3;
+      result.message = "step size underflow";
+      return result;
+    }
+  }
+  result.converged = result.residual_norm <= options.tolerance;
+  result.message = result.converged ? "converged at iteration cap" : "iteration cap reached";
+  return result;
+}
+
+}  // namespace c2b

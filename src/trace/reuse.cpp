@@ -1,0 +1,130 @@
+#include "c2b/trace/reuse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "c2b/common/assert.h"
+#include "c2b/common/math_util.h"
+
+namespace c2b {
+
+StackDistanceAnalyzer::StackDistanceAnalyzer(std::uint32_t line_bytes) : line_bytes_(line_bytes) {
+  C2B_REQUIRE(line_bytes > 0, "line size must be positive");
+  fenwick_.push_back(0);  // 1-based
+  raw_distance_counts_.assign(1, 0);
+}
+
+void StackDistanceAnalyzer::fenwick_add(std::size_t position, std::int64_t delta) {
+  for (std::size_t i = position; i < fenwick_.size(); i += i & (~i + 1)) fenwick_[i] += delta;
+}
+
+std::int64_t StackDistanceAnalyzer::fenwick_prefix_sum(std::size_t position) const {
+  std::int64_t sum = 0;
+  for (std::size_t i = std::min(position, fenwick_.size() - 1); i > 0; i -= i & (~i + 1))
+    sum += fenwick_[i];
+  return sum;
+}
+
+std::uint64_t StackDistanceAnalyzer::access(std::uint64_t byte_address) {
+  const std::uint64_t line = byte_address / line_bytes_;
+  ++time_;
+  // Extend the BIT to cover position `time_`. A new node at index i spans
+  // (i - lowbit(i), i]; it must be born holding the sum of the already-
+  // present entries in that range, not zero.
+  {
+    const std::size_t i = time_;
+    const std::size_t lowbit = i & (~i + 1);
+    const std::int64_t spanned =
+        fenwick_prefix_sum(i - 1) - fenwick_prefix_sum(i - lowbit);
+    fenwick_.push_back(spanned);
+  }
+
+  std::uint64_t distance = kColdMiss;
+  const auto it = last_access_.find(line);
+  if (it == last_access_.end()) {
+    ++cold_misses_;
+  } else {
+    // Distinct lines touched strictly after the previous access to `line`:
+    // each line's most-recent access holds a +1 marker, so a suffix sum of
+    // markers after `prev` counts exactly the distinct intervening lines.
+    const std::uint64_t prev = it->second;
+    distance = static_cast<std::uint64_t>(fenwick_prefix_sum(time_ - 1) -
+                                          fenwick_prefix_sum(prev));
+    fenwick_add(prev, -1);  // retire the old marker
+  }
+  fenwick_add(time_, +1);
+  last_access_[line] = time_;
+
+  if (distance != kColdMiss) {
+    const unsigned bucket = distance == 0 ? 0 : floor_log2(distance) + 1;
+    if (histogram_.size() <= bucket) histogram_.resize(bucket + 1, 0);
+    ++histogram_[bucket];
+    if (distance < kExactCap) {
+      if (raw_distance_counts_.size() <= distance) raw_distance_counts_.resize(distance + 1, 0);
+      ++raw_distance_counts_[distance];
+    }
+  }
+  return distance;
+}
+
+void StackDistanceAnalyzer::consume(const Trace& trace) {
+  for (const TraceRecord& r : trace.records)
+    if (r.kind != InstrKind::kCompute) access(r.address);
+}
+
+double StackDistanceAnalyzer::miss_ratio_for(std::uint64_t lines) const {
+  if (time_ == 0) return 0.0;
+  // Hits are accesses with distance < lines. Exact counts cover distances
+  // below kExactCap; beyond that the pow2 histogram is used (conservative:
+  // a bucket straddling `lines` counts as misses).
+  std::uint64_t hits = 0;
+  const std::uint64_t exact_limit = std::min<std::uint64_t>(lines, raw_distance_counts_.size());
+  for (std::uint64_t d = 0; d < exact_limit; ++d) hits += raw_distance_counts_[d];
+  if (lines > kExactCap) {
+    for (std::size_t bucket = 0; bucket < histogram_.size(); ++bucket) {
+      const std::uint64_t bucket_lo = bucket == 0 ? 0 : (std::uint64_t{1} << (bucket - 1));
+      if (bucket_lo >= kExactCap && bucket_lo < lines) hits += histogram_[bucket];
+    }
+  }
+  return 1.0 - static_cast<double>(hits) / static_cast<double>(time_);
+}
+
+std::vector<std::pair<std::uint64_t, double>> StackDistanceAnalyzer::miss_ratio_curve() const {
+  std::vector<std::pair<std::uint64_t, double>> curve;
+  const std::uint64_t max_lines =
+      std::max<std::uint64_t>(2, std::uint64_t{1} << (histogram_.empty() ? 1 : histogram_.size()));
+  for (std::uint64_t lines = 1; lines <= max_lines; lines *= 2)
+    curve.emplace_back(lines, miss_ratio_for(lines));
+  return curve;
+}
+
+PowerLawFit fit_miss_power_law(const std::vector<std::pair<std::uint64_t, double>>& curve) {
+  // Least squares on log MR = log alpha - beta log S over points with
+  // 0 < MR < 1 (saturated ends carry no slope information).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (const auto& [lines, mr] : curve) {
+    if (mr <= 1e-9 || mr >= 1.0 - 1e-9) continue;
+    const double x = std::log(static_cast<double>(lines));
+    const double y = std::log(mr);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  PowerLawFit fit;
+  if (n >= 2) {
+    const double denom = static_cast<double>(n) * sxx - sx * sx;
+    if (std::fabs(denom) > 1e-12) {
+      const double slope = (static_cast<double>(n) * sxy - sx * sy) / denom;
+      const double intercept = (sy - slope * sx) / static_cast<double>(n);
+      fit.beta = -slope;
+      fit.alpha = std::exp(intercept);
+    }
+  }
+  if (fit.beta < 0.0) fit.beta = 0.0;  // guard against pathological curves
+  return fit;
+}
+
+}  // namespace c2b

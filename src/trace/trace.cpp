@@ -1,0 +1,34 @@
+#include "c2b/trace/trace.h"
+
+#include <unordered_set>
+
+namespace c2b {
+
+std::uint64_t Trace::memory_access_count() const noexcept {
+  std::uint64_t count = 0;
+  for (const TraceRecord& r : records)
+    if (r.kind != InstrKind::kCompute) ++count;
+  return count;
+}
+
+double Trace::f_mem() const noexcept {
+  if (records.empty()) return 0.0;
+  return static_cast<double>(memory_access_count()) / static_cast<double>(records.size());
+}
+
+std::uint64_t Trace::distinct_lines(std::uint32_t line_bytes) const {
+  std::unordered_set<std::uint64_t> lines;
+  for (const TraceRecord& r : records)
+    if (r.kind != InstrKind::kCompute) lines.insert(r.address / line_bytes);
+  return lines.size();
+}
+
+Trace TraceGenerator::generate(std::uint64_t count) {
+  Trace trace;
+  trace.name = name();
+  trace.records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) trace.records.push_back(next());
+  return trace;
+}
+
+}  // namespace c2b

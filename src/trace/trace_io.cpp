@@ -1,0 +1,108 @@
+#include "c2b/trace/trace_io.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "c2b/common/assert.h"
+
+namespace c2b {
+namespace {
+
+constexpr std::array<char, 4> kMagic{'C', '2', 'B', 'T'};
+
+void put_u32(std::ostream& out, std::uint32_t value) {
+  // Little-endian, explicitly.
+  for (int i = 0; i < 4; ++i) out.put(static_cast<char>((value >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::ostream& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) out.put(static_cast<char>((value >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    const int byte = in.get();
+    if (byte == std::char_traits<char>::eof()) throw std::runtime_error("trace: truncated u32");
+    value |= static_cast<std::uint32_t>(byte & 0xFF) << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    const int byte = in.get();
+    if (byte == std::char_traits<char>::eof()) throw std::runtime_error("trace: truncated u64");
+    value |= static_cast<std::uint64_t>(byte & 0xFF) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  out.write(kMagic.data(), kMagic.size());
+  put_u32(out, kTraceFormatVersion);
+  put_u64(out, trace.records.size());
+  put_u32(out, static_cast<std::uint32_t>(trace.name.size()));
+  out.write(trace.name.data(), static_cast<std::streamsize>(trace.name.size()));
+  for (const TraceRecord& r : trace.records) {
+    out.put(static_cast<char>(r.kind));
+    out.put(static_cast<char>(r.depends_on_prev_mem ? 1 : 0));
+    put_u64(out, r.address);
+  }
+  if (!out) throw std::runtime_error("trace: write failed");
+}
+
+Trace read_trace(std::istream& in) {
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) throw std::runtime_error("trace: bad magic");
+  const std::uint32_t version = get_u32(in);
+  if (version != kTraceFormatVersion)
+    throw std::runtime_error("trace: unsupported version " + std::to_string(version));
+  const std::uint64_t count = get_u64(in);
+  const std::uint32_t name_len = get_u32(in);
+  if (name_len > (1u << 20)) throw std::runtime_error("trace: implausible name length");
+
+  Trace trace;
+  trace.name.resize(name_len);
+  in.read(trace.name.data(), name_len);
+  if (!in) throw std::runtime_error("trace: truncated name");
+
+  trace.records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const int kind_byte = in.get();
+    const int flags_byte = in.get();
+    if (kind_byte == std::char_traits<char>::eof() ||
+        flags_byte == std::char_traits<char>::eof())
+      throw std::runtime_error("trace: truncated record");
+    if (kind_byte < 0 || kind_byte > 2)
+      throw std::runtime_error("trace: invalid record kind " + std::to_string(kind_byte));
+    TraceRecord record;
+    record.kind = static_cast<InstrKind>(kind_byte);
+    record.depends_on_prev_mem = (flags_byte & 1) != 0;
+    record.address = get_u64(in);
+    trace.records.push_back(record);
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace: cannot open '" + path + "' for writing");
+  write_trace(out, trace);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot open '" + path + "' for reading");
+  return read_trace(in);
+}
+
+}  // namespace c2b

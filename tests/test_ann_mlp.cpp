@@ -1,0 +1,140 @@
+#include "c2b/ann/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "c2b/common/rng.h"
+
+namespace c2b {
+namespace {
+
+TEST(FeatureScaler, MapsToMinusOneOne) {
+  FeatureScaler scaler;
+  scaler.fit({{0.0, 10.0}, {4.0, 20.0}});
+  const Vector lo = scaler.transform({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(lo[0], -1.0);
+  EXPECT_DOUBLE_EQ(lo[1], -1.0);
+  const Vector hi = scaler.transform({4.0, 20.0});
+  EXPECT_DOUBLE_EQ(hi[0], 1.0);
+  EXPECT_DOUBLE_EQ(hi[1], 1.0);
+  const Vector mid = scaler.transform({2.0, 15.0});
+  EXPECT_DOUBLE_EQ(mid[0], 0.0);
+  EXPECT_DOUBLE_EQ(mid[1], 0.0);
+}
+
+TEST(FeatureScaler, ConstantFeatureMapsToZero) {
+  FeatureScaler scaler;
+  scaler.fit({{5.0}, {5.0}});
+  EXPECT_DOUBLE_EQ(scaler.transform({5.0})[0], 0.0);
+}
+
+TEST(FeatureScaler, GuardsMisuse) {
+  FeatureScaler scaler;
+  EXPECT_THROW((void)scaler.transform({1.0}), std::invalid_argument);
+  EXPECT_THROW(scaler.fit({}), std::invalid_argument);
+}
+
+MlpConfig small_config(std::size_t inputs) {
+  MlpConfig config;
+  config.layer_sizes = {inputs, 12, 1};
+  config.learning_rate = 0.02;
+  config.seed = 3;
+  return config;
+}
+
+TEST(Mlp, LearnsLinearFunction) {
+  Mlp mlp(small_config(2));
+  Rng rng(1);
+  std::vector<Vector> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-2, 2), b = rng.uniform(-2, 2);
+    x.push_back({a, b});
+    y.push_back(3.0 * a - 2.0 * b + 1.0);
+  }
+  mlp.fit(x, y, 600);
+  EXPECT_LT(mlp.mean_relative_error(x, y), 0.08);
+}
+
+TEST(Mlp, LearnsQuadraticSurface) {
+  Mlp mlp(small_config(1));
+  std::vector<Vector> x;
+  std::vector<double> y;
+  for (double v = -2.0; v <= 2.0; v += 0.05) {
+    x.push_back({v});
+    y.push_back(v * v + 1.0);
+  }
+  mlp.fit(x, y, 1500);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    worst = std::max(worst, std::fabs(mlp.predict(x[i]) - y[i]));
+  EXPECT_LT(worst, 0.4);
+}
+
+TEST(Mlp, LearnsXorWithTanh) {
+  MlpConfig config;
+  config.layer_sizes = {2, 8, 1};
+  config.learning_rate = 0.05;
+  config.seed = 11;
+  Mlp mlp(config);
+  const std::vector<Vector> x{{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const std::vector<double> y{0, 1, 1, 0};
+  mlp.fit(x, y, 4000);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(mlp.predict(x[i]), y[i], 0.25) << "pattern " << i;
+}
+
+TEST(Mlp, MoreDataImprovesGeneralization) {
+  auto make_set = [](int n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::pair<std::vector<Vector>, std::vector<double>> set;
+    for (int i = 0; i < n; ++i) {
+      const double a = rng.uniform(0.5, 4.0), b = rng.uniform(0.5, 4.0);
+      set.first.push_back({a, b});
+      set.second.push_back(a * b + std::sqrt(a));
+    }
+    return set;
+  };
+  const auto test_set = make_set(100, 99);
+
+  Mlp sparse(small_config(2));
+  const auto tiny = make_set(8, 1);
+  sparse.fit(tiny.first, tiny.second, 800);
+
+  Mlp dense(small_config(2));
+  const auto big = make_set(300, 2);
+  dense.fit(big.first, big.second, 800);
+
+  EXPECT_LT(dense.mean_relative_error(test_set.first, test_set.second),
+            sparse.mean_relative_error(test_set.first, test_set.second));
+}
+
+TEST(Mlp, DeterministicForSeed) {
+  const auto make = [] {
+    Mlp mlp(small_config(1));
+    std::vector<Vector> x{{0.0}, {1.0}, {2.0}};
+    std::vector<double> y{1.0, 2.0, 3.0};
+    mlp.fit(x, y, 100);
+    return mlp.predict({1.5});
+  };
+  EXPECT_DOUBLE_EQ(make(), make());
+}
+
+TEST(Mlp, RejectsBadConfigurations) {
+  MlpConfig config;
+  config.layer_sizes = {3};
+  EXPECT_THROW(Mlp{config}, std::invalid_argument);
+  config.layer_sizes = {3, 4, 2};  // multi-output unsupported
+  EXPECT_THROW(Mlp{config}, std::invalid_argument);
+}
+
+TEST(Mlp, RejectsBadTrainingSets) {
+  Mlp mlp(small_config(1));
+  EXPECT_THROW(mlp.fit({}, {}, 10), std::invalid_argument);
+  EXPECT_THROW(mlp.fit({{1.0}}, {1.0, 2.0}, 10), std::invalid_argument);
+  EXPECT_THROW((void)mlp.train_epoch({{1.0}}, {1.0}), std::invalid_argument);  // fit first
+}
+
+}  // namespace
+}  // namespace c2b

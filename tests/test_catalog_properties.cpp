@@ -1,0 +1,96 @@
+// Catalog-wide property sweep: every synthetic workload, pushed through the
+// full simulator, must satisfy the structural invariants the C-AMAT theory
+// and the machine model promise — this is the reproduction's broadest
+// integration net.
+
+#include <gtest/gtest.h>
+
+#include "c2b/sim/system/system.h"
+#include "c2b/trace/workloads.h"
+
+namespace c2b {
+namespace {
+
+sim::SystemConfig reference_system() {
+  sim::SystemConfig config;
+  config.hierarchy.l1_geometry = {.size_bytes = 16 * 1024, .line_bytes = 64,
+                                  .associativity = 4};
+  config.hierarchy.l2_geometry = {.size_bytes = 512 * 1024, .line_bytes = 64,
+                                  .associativity = 8};
+  return config;
+}
+
+class CatalogProperty : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  WorkloadSpec spec() const { return workload_catalog()[GetParam()]; }
+};
+
+TEST_P(CatalogProperty, SimulatorInvariantsHold) {
+  const WorkloadSpec workload = spec();
+  const Trace trace = workload.make_generator(1.0, 21)->generate(80'000);
+  const sim::SystemResult r = sim::simulate_single_core(reference_system(), trace);
+  const TimelineMetrics& m = r.cores[0].camat;
+
+  // Everything retired.
+  EXPECT_EQ(r.cores[0].instructions, trace.records.size()) << workload.name;
+  // f_mem measured by the core matches the trace's own mix.
+  EXPECT_NEAR(r.cores[0].f_mem, trace.f_mem(), 1e-9) << workload.name;
+  // The C-AMAT decomposition identity and bounds.
+  EXPECT_NEAR(m.camat_value, m.camat_direct, 1e-9) << workload.name;
+  EXPECT_GE(m.concurrency_c, 1.0 - 1e-9) << workload.name;
+  EXPECT_LE(m.camat_value, m.amat_value + 1e-9) << workload.name;
+  EXPECT_GE(m.camat_params.hit_concurrency, 1.0) << workload.name;
+  // APC ordering down the hierarchy — meaningful only when the L1 actually
+  // filters traffic (an all-miss chase keeps L1 busy for the whole DRAM
+  // round trip, legitimately inverting the ratio).
+  if (r.hierarchy.dram_accesses > 100 && r.hierarchy.l1_miss_ratio < 0.5) {
+    EXPECT_GT(r.hierarchy.apc_l1, r.hierarchy.apc_mem) << workload.name;
+  }
+  // Miss ratios are probabilities.
+  EXPECT_GE(r.hierarchy.l1_miss_ratio, 0.0) << workload.name;
+  EXPECT_LE(r.hierarchy.l1_miss_ratio, 1.0) << workload.name;
+}
+
+TEST_P(CatalogProperty, PerfectMemoryIsALowerBound) {
+  const WorkloadSpec workload = spec();
+  const Trace trace = workload.make_generator(1.0, 22)->generate(50'000);
+  sim::SystemConfig real = reference_system();
+  sim::SystemConfig perfect = reference_system();
+  perfect.hierarchy.perfect_memory = true;
+  const double cpi_real = sim::simulate_single_core(real, trace).cores[0].cpi;
+  const double cpi_perfect = sim::simulate_single_core(perfect, trace).cores[0].cpi;
+  EXPECT_LE(cpi_perfect, cpi_real + 1e-9) << workload.name;
+}
+
+TEST_P(CatalogProperty, BiggerL1NeverHurtsMissRatio) {
+  const WorkloadSpec workload = spec();
+  const Trace trace = workload.make_generator(1.0, 23)->generate(50'000);
+  sim::SystemConfig small = reference_system();
+  small.hierarchy.l1_geometry.size_bytes = 4 * 1024;
+  sim::SystemConfig big = reference_system();
+  big.hierarchy.l1_geometry.size_bytes = 64 * 1024;
+  const double mr_small = sim::simulate_single_core(small, trace).hierarchy.l1_miss_ratio;
+  const double mr_big = sim::simulate_single_core(big, trace).hierarchy.l1_miss_ratio;
+  // LRU inclusion property (same associativity shape, more sets): allow a
+  // hair of slack for set-mapping artifacts.
+  EXPECT_LE(mr_big, mr_small + 0.02) << workload.name;
+}
+
+TEST_P(CatalogProperty, DeterministicAcrossRuns) {
+  const WorkloadSpec workload = spec();
+  const Trace trace = workload.make_generator(1.0, 24)->generate(30'000);
+  const auto a = sim::simulate_single_core(reference_system(), trace);
+  const auto b = sim::simulate_single_core(reference_system(), trace);
+  EXPECT_EQ(a.cycles, b.cycles) << workload.name;
+  EXPECT_DOUBLE_EQ(a.cores[0].camat.camat_value, b.cores[0].camat.camat_value)
+      << workload.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, CatalogProperty,
+                         ::testing::Range<std::size_t>(0, 10),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return workload_catalog()[info.param].name;
+                         });
+
+}  // namespace
+}  // namespace c2b

@@ -1,0 +1,128 @@
+#include "c2b/core/asymmetric.h"
+
+#include <gtest/gtest.h>
+
+#include "c2b/core/optimizer.h"
+
+namespace c2b {
+namespace {
+
+AppProfile app_profile(double f_seq, ScalingFunction g = ScalingFunction::linear()) {
+  AppProfile app;
+  app.ic0 = 1e6;
+  app.f_mem = 0.35;
+  app.f_seq = f_seq;
+  app.overlap_ratio = 0.3;
+  app.working_set_lines0 = 1 << 15;
+  app.g = std::move(g);
+  app.hit_concurrency = 2.0;
+  app.miss_concurrency = 3.0;
+  app.pure_miss_fraction = 0.6;
+  app.pure_penalty_fraction = 0.8;
+  return app;
+}
+
+MachineProfile machine_profile() {
+  MachineProfile machine;
+  machine.chip.total_area = 128.0;
+  machine.chip.shared_area = 8.0;
+  machine.memory_contention = 0.05;
+  return machine;
+}
+
+TEST(Asymmetric, AreaAccountingClosesTheBudget) {
+  const AsymmetricC2BoundModel model(app_profile(0.2), machine_profile());
+  const AsymmetricDesign d{.n_small = 7, .big_core_ratio = 5.0, .l1_fraction = 0.2,
+                           .l2_fraction = 0.3};
+  const AsymmetricEvaluation e = model.evaluate(d);
+  const double used = e.big.per_core_area() + 7.0 * e.small.per_core_area() +
+                      machine_profile().chip.shared_area;
+  EXPECT_NEAR(used, machine_profile().chip.total_area, 1e-9);
+  EXPECT_NEAR(e.big.per_core_area(), 5.0 * e.small.per_core_area(), 1e-9);
+}
+
+TEST(Asymmetric, BigCoreIsFasterSerially) {
+  const AsymmetricC2BoundModel model(app_profile(0.2), machine_profile());
+  const AsymmetricEvaluation e = model.evaluate(
+      {.n_small = 7, .big_core_ratio = 6.0, .l1_fraction = 0.2, .l2_fraction = 0.3});
+  EXPECT_LT(e.cpi_big, e.cpi_small);
+  EXPECT_LE(e.camat_big, e.camat_small + 1e-9);
+}
+
+TEST(Asymmetric, TimeDecomposes) {
+  const AsymmetricC2BoundModel model(app_profile(0.3), machine_profile());
+  const AsymmetricEvaluation e = model.evaluate(
+      {.n_small = 4, .big_core_ratio = 4.0, .l1_fraction = 0.2, .l2_fraction = 0.3});
+  EXPECT_NEAR(e.execution_time, e.serial_time + e.parallel_time, 1e-9);
+  EXPECT_GT(e.serial_time, 0.0);
+  EXPECT_GT(e.parallel_time, 0.0);
+  EXPECT_NEAR(e.throughput, e.problem_size / e.execution_time, 1e-9);
+}
+
+TEST(Asymmetric, InvalidDesignsThrow) {
+  const AsymmetricC2BoundModel model(app_profile(0.2), machine_profile());
+  EXPECT_THROW((void)model.evaluate({.n_small = 0}), std::invalid_argument);
+  EXPECT_THROW((void)model.evaluate({.n_small = 2, .big_core_ratio = 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW((void)model.evaluate({.n_small = 2, .big_core_ratio = 2.0,
+                                     .l1_fraction = 0.6, .l2_fraction = 0.5}),
+               std::invalid_argument);
+}
+
+TEST(Asymmetric, OptimizerRespectsBounds) {
+  OptimizerOptions options;
+  options.n_max = 16;
+  options.nelder_mead_restarts = 2;
+  const AsymmetricOptimizer opt(
+      AsymmetricC2BoundModel(app_profile(0.25), machine_profile()), options);
+  const AsymmetricEvaluation e = opt.best_allocation(8);
+  EXPECT_GE(e.design.big_core_ratio, 1.0);
+  EXPECT_GT(e.design.l1_fraction, 0.0);
+  EXPECT_GT(e.design.l2_fraction, 0.0);
+  EXPECT_GT(e.design.core_fraction(), 0.0);
+}
+
+TEST(Asymmetric, HighFseqFavorsBiggerBigCore) {
+  OptimizerOptions options;
+  options.n_max = 12;
+  options.nelder_mead_restarts = 2;
+  const AsymmetricOptimizer serial_heavy(
+      AsymmetricC2BoundModel(app_profile(0.4, ScalingFunction::fixed()), machine_profile()),
+      options);
+  const AsymmetricOptimizer parallel_heavy(
+      AsymmetricC2BoundModel(app_profile(0.02, ScalingFunction::fixed()), machine_profile()),
+      options);
+  const AsymmetricEvaluation serial_best = serial_heavy.best_allocation(8);
+  const AsymmetricEvaluation parallel_best = parallel_heavy.best_allocation(8);
+  EXPECT_GT(serial_best.design.big_core_ratio, parallel_best.design.big_core_ratio * 0.9);
+}
+
+TEST(Asymmetric, BeatsSymmetricWhenSequentialPartIsLarge) {
+  // The Hill-Marty insight: with a hefty sequential fraction, an asymmetric
+  // chip (big core for the serial phase) outruns the best symmetric chip.
+  AppProfile app = app_profile(0.35, ScalingFunction::fixed());
+  const MachineProfile machine = machine_profile();
+
+  OptimizerOptions options;
+  options.n_max = 24;
+  options.nelder_mead_restarts = 2;
+  const OptimalDesign symmetric =
+      C2BoundOptimizer(C2BoundModel(app, machine), options).optimize();
+  const AsymmetricOptimum asymmetric =
+      AsymmetricOptimizer(AsymmetricC2BoundModel(app, machine), options).optimize();
+  EXPECT_LT(asymmetric.best.execution_time, symmetric.best.execution_time);
+}
+
+TEST(Asymmetric, OptimizeProducesFrontier) {
+  OptimizerOptions options;
+  options.n_max = 10;
+  options.nelder_mead_restarts = 1;
+  const AsymmetricOptimizer opt(
+      AsymmetricC2BoundModel(app_profile(0.1), machine_profile()), options);
+  const AsymmetricOptimum result = opt.optimize();
+  EXPECT_EQ(result.per_small_count.size(), 10u);
+  EXPECT_GE(result.best.design.n_small, 1);
+}
+
+}  // namespace
+}  // namespace c2b

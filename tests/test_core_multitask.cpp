@@ -1,0 +1,92 @@
+#include "c2b/core/multitask.h"
+
+#include <gtest/gtest.h>
+
+namespace c2b {
+namespace {
+
+AppProfile profile(double f_seq, double hit_c, double miss_c) {
+  AppProfile app;
+  app.ic0 = 1e6;
+  app.f_mem = 0.4;
+  app.f_seq = f_seq;
+  app.overlap_ratio = 0.3;
+  app.working_set_lines0 = 1 << 15;
+  app.g = ScalingFunction::linear();
+  app.hit_concurrency = hit_c;
+  app.miss_concurrency = miss_c;
+  app.pure_miss_fraction = 0.6;
+  app.pure_penalty_fraction = 0.8;
+  return app;
+}
+
+MachineProfile big_chip() {
+  MachineProfile machine;
+  machine.chip.total_area = 256.0;
+  machine.chip.shared_area = 16.0;
+  return machine;
+}
+
+std::vector<TaskProfile> figure7_tasks() {
+  // App 1: large f_seq, C ~ 1 -> deserves few cores.
+  // App 2: small f_seq, high C -> deserves many cores.
+  // App 3: in between.
+  return {
+      {.name = "app1_serial_lowC", .app = profile(0.5, 1.0, 1.0), .priority = 1.0},
+      {.name = "app2_parallel_highC", .app = profile(0.01, 4.0, 8.0), .priority = 1.0},
+      {.name = "app3_middle", .app = profile(0.15, 2.0, 2.0), .priority = 1.0},
+  };
+}
+
+TEST(MultiTask, AllCoresHandedOut) {
+  const MultiTaskResult r = allocate_cores(figure7_tasks(), big_chip(), 32);
+  long long total = 0;
+  for (const TaskAllocation& a : r.allocations) {
+    EXPECT_GE(a.cores, 1);
+    total += a.cores;
+  }
+  EXPECT_EQ(total, 32);
+}
+
+TEST(MultiTask, Figure7Ordering) {
+  // The paper's qualitative result: app2 (low f_seq, high C) gets the most
+  // cores, app1 (high f_seq, low C) the fewest, app3 in between.
+  const MultiTaskResult r = allocate_cores(figure7_tasks(), big_chip(), 32);
+  ASSERT_EQ(r.allocations.size(), 3u);
+  const long long app1 = r.allocations[0].cores;
+  const long long app2 = r.allocations[1].cores;
+  const long long app3 = r.allocations[2].cores;
+  EXPECT_GT(app2, app3);
+  EXPECT_GE(app3, app1);
+  EXPECT_GT(app2, 2 * app1);
+}
+
+TEST(MultiTask, ConcurrencyReportedPerTask) {
+  const MultiTaskResult r = allocate_cores(figure7_tasks(), big_chip(), 16);
+  EXPECT_LT(r.allocations[0].concurrency_c, r.allocations[1].concurrency_c);
+}
+
+TEST(MultiTask, PriorityShiftsCores) {
+  auto tasks = figure7_tasks();
+  const MultiTaskResult even = allocate_cores(tasks, big_chip(), 24);
+  tasks[0].priority = 50.0;  // make the serial app precious
+  const MultiTaskResult skewed = allocate_cores(tasks, big_chip(), 24);
+  EXPECT_GE(skewed.allocations[0].cores, even.allocations[0].cores);
+}
+
+TEST(MultiTask, MinimumOneCoreEach) {
+  const MultiTaskResult r = allocate_cores(figure7_tasks(), big_chip(), 3);
+  for (const TaskAllocation& a : r.allocations) EXPECT_EQ(a.cores, 1);
+  EXPECT_THROW(allocate_cores(figure7_tasks(), big_chip(), 2), std::invalid_argument);
+  EXPECT_THROW(allocate_cores({}, big_chip(), 4), std::invalid_argument);
+}
+
+TEST(MultiTask, AggregateUtilityIsSumOfTaskUtilities) {
+  const MultiTaskResult r = allocate_cores(figure7_tasks(), big_chip(), 12);
+  double sum = 0.0;
+  for (const TaskAllocation& a : r.allocations) sum += a.throughput;  // priority = 1
+  EXPECT_NEAR(r.aggregate_utility, sum, sum * 1e-9);
+}
+
+}  // namespace
+}  // namespace c2b

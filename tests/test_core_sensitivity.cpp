@@ -1,0 +1,116 @@
+#include "c2b/core/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+namespace c2b {
+namespace {
+
+AppProfile base_app() {
+  AppProfile app;
+  app.ic0 = 1e6;
+  app.f_mem = 0.35;
+  app.f_seq = 0.05;
+  app.overlap_ratio = 0.3;
+  app.working_set_lines0 = 1 << 15;
+  app.g = ScalingFunction::linear();
+  app.hit_concurrency = 2.0;
+  app.miss_concurrency = 3.0;
+  app.pure_miss_fraction = 0.6;
+  app.pure_penalty_fraction = 0.8;
+  return app;
+}
+
+MachineProfile base_machine() {
+  MachineProfile machine;
+  machine.chip.total_area = 128.0;
+  machine.chip.shared_area = 8.0;
+  return machine;
+}
+
+TEST(Sensitivity, SignsMakePhysicalSense) {
+  const C2BoundModel model(base_app(), base_machine());
+  // Caches sized inside the responsive region of their miss power laws (a
+  // saturated miss curve legitimately has zero marginal utility).
+  const DesignPoint d{.n_cores = 4, .a0 = 4.0, .a1 = 4.0, .a2 = 16.0};
+  const auto elasticities = time_elasticities(model, d);
+
+  auto find = [&](const std::string& prefix) {
+    for (const Elasticity& e : elasticities)
+      if (e.parameter.starts_with(prefix)) return e.elasticity;
+    ADD_FAILURE() << "missing parameter " << prefix;
+    return 0.0;
+  };
+  // More resources -> less time (negative elasticity).
+  EXPECT_LT(find("A0"), 0.0);
+  EXPECT_LT(find("A1"), 0.0);
+  EXPECT_LT(find("A2"), 0.0);
+  EXPECT_LT(find("C_H"), 0.0);
+  EXPECT_LT(find("C_M"), 0.0);
+  EXPECT_LT(find("overlap"), 0.0);
+  // More demand / latency -> more time (positive elasticity).
+  EXPECT_GT(find("f_mem"), 0.0);
+  EXPECT_GT(find("memory latency"), 0.0);
+  EXPECT_GT(find("working set"), 0.0);
+}
+
+TEST(Sensitivity, SortedByMagnitude) {
+  const C2BoundModel model(base_app(), base_machine());
+  const auto elasticities =
+      time_elasticities(model, {.n_cores = 8, .a0 = 2.0, .a1 = 1.0, .a2 = 2.0});
+  for (std::size_t i = 1; i < elasticities.size(); ++i)
+    EXPECT_GE(std::fabs(elasticities[i - 1].elasticity),
+              std::fabs(elasticities[i].elasticity));
+}
+
+TEST(Sensitivity, MemoryHungryAppIsLatencyOrCapacityBound) {
+  AppProfile hungry = base_app();
+  hungry.f_mem = 0.9;
+  hungry.working_set_lines0 = 1 << 20;
+  hungry.hit_concurrency = 1.0;
+  hungry.miss_concurrency = 1.0;
+  const C2BoundModel model(hungry, base_machine());
+  const auto elasticities =
+      time_elasticities(model, {.n_cores = 8, .a0 = 4.0, .a1 = 0.2, .a2 = 0.5});
+  const BindingBound bound = classify_binding_bound(elasticities);
+  EXPECT_NE(bound, BindingBound::kCompute);
+}
+
+TEST(Sensitivity, ComputeHeavyAppIsComputeBound) {
+  AppProfile lean = base_app();
+  lean.f_mem = 0.02;
+  lean.working_set_lines0 = 256;  // fits everywhere
+  const C2BoundModel model(lean, base_machine());
+  const auto elasticities =
+      time_elasticities(model, {.n_cores = 8, .a0 = 1.0, .a1 = 1.0, .a2 = 2.0});
+  EXPECT_EQ(classify_binding_bound(elasticities), BindingBound::kCompute);
+  EXPECT_STREQ(to_string(BindingBound::kCompute), "compute-bound (core area / CPI_exe)");
+}
+
+TEST(Sensitivity, ElasticityMatchesClosedFormForPollack) {
+  // With f_mem = 0 and phi0 = 0, T ~ A0^-1/2: elasticity must be -0.5.
+  AppProfile pure = base_app();
+  pure.f_mem = 0.0;
+  MachineProfile machine = base_machine();
+  machine.pollack.phi0 = 0.0;
+  const C2BoundModel model(pure, machine);
+  const auto elasticities =
+      time_elasticities(model, {.n_cores = 4, .a0 = 2.0, .a1 = 1.0, .a2 = 2.0});
+  for (const Elasticity& e : elasticities) {
+    if (e.parameter.starts_with("A0")) {
+      EXPECT_NEAR(e.elasticity, -0.5, 1e-3);
+    }
+    if (e.parameter.starts_with("f_mem")) {
+      EXPECT_NEAR(e.elasticity, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Sensitivity, RejectsBadStep) {
+  const C2BoundModel model(base_app(), base_machine());
+  EXPECT_THROW((void)time_elasticities(model, {.n_cores = 2, .a0 = 1, .a1 = 1, .a2 = 1}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(classify_binding_bound({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace c2b

@@ -1,0 +1,159 @@
+#include "c2b/sim/cache/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace c2b::sim {
+namespace {
+
+CacheGeometry tiny_geometry(std::uint64_t size = 512, std::uint32_t assoc = 2) {
+  return {.size_bytes = size, .line_bytes = 64, .associativity = assoc};
+}
+
+TEST(CacheGeometry, DerivedQuantities) {
+  const CacheGeometry g{.size_bytes = 32 * 1024, .line_bytes = 64, .associativity = 8};
+  EXPECT_EQ(g.lines(), 512u);
+  EXPECT_EQ(g.sets(), 64u);
+  g.validate();
+}
+
+TEST(CacheGeometry, InvalidGeometriesThrow) {
+  CacheGeometry bad_line{.size_bytes = 1024, .line_bytes = 48, .associativity = 2};
+  EXPECT_THROW(bad_line.validate(), std::invalid_argument);
+  CacheGeometry too_small{.size_bytes = 32, .line_bytes = 64, .associativity = 1};
+  EXPECT_THROW(too_small.validate(), std::invalid_argument);
+  CacheGeometry ragged{.size_bytes = 192, .line_bytes = 64, .associativity = 2};
+  EXPECT_THROW(ragged.validate(), std::invalid_argument);
+}
+
+TEST(CacheArray, MissThenHit) {
+  CacheArray cache(tiny_geometry());
+  EXPECT_FALSE(cache.probe(0));
+  cache.fill(0);
+  EXPECT_TRUE(cache.probe(0));
+  EXPECT_TRUE(cache.probe(63));  // same line
+  EXPECT_FALSE(cache.probe(64));
+  EXPECT_EQ(cache.probe_count(), 4u);
+  EXPECT_EQ(cache.hit_count(), 2u);
+  EXPECT_DOUBLE_EQ(cache.miss_ratio(), 0.5);
+}
+
+TEST(CacheArray, LruEvictionOrder) {
+  // 2-way, 4 sets (512B): lines mapping to set 0 are 0, 4, 8, ...
+  CacheArray cache(tiny_geometry());
+  const std::uint64_t set_stride = 4 * 64;  // sets * line
+  cache.fill(0 * set_stride);
+  cache.fill(1 * set_stride);
+  // Touch line 0 so line 1 becomes LRU.
+  EXPECT_TRUE(cache.probe(0 * set_stride));
+  const auto evicted = cache.fill(2 * set_stride);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->address, 1 * set_stride);
+  EXPECT_FALSE(evicted->dirty);
+  EXPECT_TRUE(cache.probe(0 * set_stride));
+  EXPECT_FALSE(cache.probe(1 * set_stride));
+  EXPECT_TRUE(cache.probe(2 * set_stride));
+}
+
+TEST(CacheArray, FillExistingLineDoesNotEvict) {
+  CacheArray cache(tiny_geometry());
+  cache.fill(0);
+  EXPECT_FALSE(cache.fill(0).has_value());
+}
+
+TEST(CacheArray, InvalidateRemovesLine) {
+  CacheArray cache(tiny_geometry());
+  cache.fill(0);
+  EXPECT_TRUE(cache.invalidate(0));
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_FALSE(cache.invalidate(0));  // already gone
+}
+
+TEST(CacheArray, WorkingSetLargerThanCacheThrashes) {
+  CacheArray cache(tiny_geometry(512, 2));  // 8 lines
+  // Stream over 32 lines repeatedly: almost everything misses.
+  for (int rep = 0; rep < 10; ++rep) {
+    for (std::uint64_t line = 0; line < 32; ++line) {
+      if (!cache.probe(line * 64)) cache.fill(line * 64);
+    }
+  }
+  EXPECT_GT(cache.miss_ratio(), 0.9);
+}
+
+TEST(CacheArray, WorkingSetWithinCacheHitsAfterWarmup) {
+  CacheArray cache(tiny_geometry(512, 2));  // 8 lines
+  for (int rep = 0; rep < 10; ++rep) {
+    for (std::uint64_t line = 0; line < 8; ++line) {
+      if (!cache.probe(line * 64)) cache.fill(line * 64);
+    }
+  }
+  // Only the 8 cold misses.
+  EXPECT_EQ(cache.probe_count() - cache.hit_count(), 8u);
+}
+
+TEST(BankPortScheduler, SameCycleUpToPortLimit) {
+  BankPortScheduler sched(1, 2);
+  EXPECT_EQ(sched.schedule(0, 10), 10u);
+  EXPECT_EQ(sched.schedule(0, 10), 10u);   // second port
+  EXPECT_EQ(sched.schedule(0, 10), 11u);   // spills to next cycle
+  EXPECT_GT(sched.contention_cycles(), 0u);
+}
+
+TEST(BankPortScheduler, DifferentBanksDoNotConflict) {
+  BankPortScheduler sched(4, 1);
+  EXPECT_EQ(sched.schedule(0, 5), 5u);
+  EXPECT_EQ(sched.schedule(1, 5), 5u);
+  EXPECT_EQ(sched.schedule(2, 5), 5u);
+  EXPECT_EQ(sched.schedule(3, 5), 5u);
+  EXPECT_EQ(sched.contention_cycles(), 0u);
+}
+
+TEST(BankPortScheduler, LaterArrivalResetsWindow) {
+  BankPortScheduler sched(1, 1);
+  EXPECT_EQ(sched.schedule(0, 3), 3u);
+  EXPECT_EQ(sched.schedule(0, 10), 10u);  // no phantom backlog
+}
+
+TEST(Mshr, PrimaryThenMergedSecondary) {
+  MshrFile mshr(4);
+  const auto primary = mshr.request(7, 100);
+  EXPECT_FALSE(primary.merged);
+  EXPECT_EQ(primary.start_cycle, 100u);
+  mshr.complete(7, 150);
+  const auto secondary = mshr.request(7, 110);
+  EXPECT_TRUE(secondary.merged);
+  EXPECT_EQ(secondary.merged_completion, 150u);
+  EXPECT_EQ(mshr.merge_count(), 1u);
+}
+
+TEST(Mshr, EntryRetiresAfterCompletion) {
+  MshrFile mshr(2);
+  mshr.request(1, 0);
+  mshr.complete(1, 50);
+  // At cycle 60 the entry is gone; a new request to the same line is primary.
+  const auto again = mshr.request(1, 60);
+  EXPECT_FALSE(again.merged);
+}
+
+TEST(Mshr, FullFileDelaysService) {
+  MshrFile mshr(2);
+  mshr.request(1, 0);
+  mshr.complete(1, 100);
+  mshr.request(2, 0);
+  mshr.complete(2, 200);
+  // Third distinct miss at cycle 10 must wait for the earliest retire (100).
+  const auto grant = mshr.request(3, 10);
+  EXPECT_FALSE(grant.merged);
+  EXPECT_EQ(grant.start_cycle, 100u);
+  EXPECT_EQ(mshr.full_stall_events(), 1u);
+}
+
+TEST(Mshr, CapacityBoundsOutstanding) {
+  MshrFile mshr(1);
+  mshr.request(1, 0);
+  mshr.complete(1, 30);
+  const auto g2 = mshr.request(2, 5);
+  EXPECT_GE(g2.start_cycle, 30u);
+}
+
+}  // namespace
+}  // namespace c2b::sim

@@ -1,0 +1,185 @@
+#include "c2b/sim/cache/coherence.h"
+
+#include <gtest/gtest.h>
+
+#include "c2b/sim/system/system.h"
+#include "c2b/trace/trace.h"
+
+namespace c2b::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Directory unit behavior
+
+TEST(Directory, ReadSharingAccumulates) {
+  Directory dir(4);
+  dir.on_read(0, 100);
+  dir.on_read(1, 100);
+  dir.on_read(2, 100);
+  EXPECT_EQ(dir.sharer_count(100), 3u);
+  EXPECT_TRUE(dir.is_sharer(1, 100));
+  EXPECT_EQ(dir.owner_of(100), Directory::kNoOwner);
+  EXPECT_EQ(dir.invalidations_sent(), 0u);
+}
+
+TEST(Directory, WriteInvalidatesOtherSharers) {
+  Directory dir(4);
+  dir.on_read(0, 7);
+  dir.on_read(1, 7);
+  dir.on_read(2, 7);
+  const auto w = dir.on_write(1, 7);
+  EXPECT_EQ(w.invalidated_mask, 0b101u);  // cores 0 and 2
+  EXPECT_FALSE(w.owner_transfer);
+  EXPECT_EQ(dir.owner_of(7), 1u);
+  EXPECT_EQ(dir.sharer_count(7), 1u);
+  EXPECT_EQ(dir.invalidations_sent(), 2u);
+  EXPECT_EQ(dir.upgrade_requests(), 1u);  // core 1 upgraded S -> M
+}
+
+TEST(Directory, WriteToOwnModifiedLineIsFree) {
+  Directory dir(2);
+  dir.on_write(0, 9);
+  const auto again = dir.on_write(0, 9);
+  EXPECT_EQ(again.invalidated_mask, 0u);
+  EXPECT_FALSE(again.owner_transfer);
+  EXPECT_EQ(dir.ownership_transfers(), 0u);
+}
+
+TEST(Directory, ReadOfRemoteModifiedTransfersOwnership) {
+  Directory dir(2);
+  dir.on_write(0, 5);
+  const auto r = dir.on_read(1, 5);
+  EXPECT_TRUE(r.owner_transfer);
+  EXPECT_EQ(r.previous_owner, 0u);
+  EXPECT_EQ(dir.owner_of(5), Directory::kNoOwner);  // downgraded to shared
+  EXPECT_EQ(dir.sharer_count(5), 2u);
+  EXPECT_EQ(dir.ownership_transfers(), 1u);
+}
+
+TEST(Directory, WriteStealsRemoteOwnership) {
+  Directory dir(2);
+  dir.on_write(0, 5);
+  const auto w = dir.on_write(1, 5);
+  EXPECT_TRUE(w.owner_transfer);
+  EXPECT_EQ(w.previous_owner, 0u);
+  EXPECT_EQ(w.invalidated_mask, 0b1u);  // core 0's copy dies
+  EXPECT_EQ(dir.owner_of(5), 1u);
+}
+
+TEST(Directory, EvictionClearsState) {
+  Directory dir(2);
+  dir.on_read(0, 3);
+  dir.on_read(1, 3);
+  dir.on_evict(0, 3);
+  EXPECT_FALSE(dir.is_sharer(0, 3));
+  EXPECT_TRUE(dir.is_sharer(1, 3));
+  dir.on_evict(1, 3);
+  EXPECT_EQ(dir.tracked_lines(), 0u);  // entry reclaimed
+  // A later write finds no stale sharers.
+  EXPECT_EQ(dir.on_write(0, 3).invalidated_mask, 0u);
+}
+
+TEST(Directory, BoundsChecked) {
+  EXPECT_THROW(Directory(0), std::invalid_argument);
+  EXPECT_THROW(Directory(65), std::invalid_argument);
+  Directory dir(2);
+  EXPECT_THROW(dir.on_read(2, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through the hierarchy/system
+
+SystemConfig coherent_system(std::uint32_t cores) {
+  SystemConfig config;
+  config.hierarchy.cores = cores;
+  config.hierarchy.coherence = true;
+  config.hierarchy.l1_geometry = {.size_bytes = 8 * 1024, .line_bytes = 64, .associativity = 4};
+  config.hierarchy.l2_geometry = {.size_bytes = 256 * 1024, .line_bytes = 64,
+                                  .associativity = 8};
+  config.hierarchy.noc.nodes = std::max(4u, cores);
+  return config;
+}
+
+/// Each core alternates load/store on ONE shared line, with filler computes.
+/// The accesses are dependent (lock-style read-modify-write chain): without
+/// the dependency a deep ROB simply overlaps the invalidation latency away.
+Trace ping_pong_trace(std::uint64_t address, std::uint64_t n) {
+  Trace t;
+  t.name = "ping_pong";
+  for (std::uint64_t i = 0; i < n; ++i) {
+    t.records.push_back(
+        {.kind = InstrKind::kLoad, .depends_on_prev_mem = true, .address = address});
+    t.records.push_back({.kind = InstrKind::kCompute});
+    t.records.push_back(
+        {.kind = InstrKind::kStore, .depends_on_prev_mem = true, .address = address});
+    t.records.push_back({.kind = InstrKind::kCompute});
+  }
+  return t;
+}
+
+TEST(CoherentSystem, PingPongGeneratesInvalidations) {
+  const SystemConfig config = coherent_system(2);
+  const std::vector<Trace> traces{ping_pong_trace(0, 4000), ping_pong_trace(0, 4000)};
+  const sim::SystemResult r = simulate_system(config, traces);
+  EXPECT_GT(r.hierarchy.coherence_invalidations, 100u);
+  EXPECT_GT(r.hierarchy.coherence_owner_transfers, 100u);
+}
+
+TEST(CoherentSystem, DisjointLinesStayQuiet) {
+  const SystemConfig config = coherent_system(2);
+  const std::vector<Trace> traces{ping_pong_trace(0, 4000), ping_pong_trace(1 << 16, 4000)};
+  const sim::SystemResult r = simulate_system(config, traces);
+  EXPECT_EQ(r.hierarchy.coherence_invalidations, 0u);
+  EXPECT_EQ(r.hierarchy.coherence_owner_transfers, 0u);
+}
+
+TEST(CoherentSystem, SharingIsSlowerThanPrivacy) {
+  const SystemConfig config = coherent_system(2);
+  const sim::SystemResult shared = simulate_system(
+      config, {ping_pong_trace(0, 4000), ping_pong_trace(0, 4000)});
+  const sim::SystemResult disjoint = simulate_system(
+      config, {ping_pong_trace(0, 4000), ping_pong_trace(1 << 16, 4000)});
+  EXPECT_GT(shared.cycles, disjoint.cycles * 2);
+}
+
+TEST(CoherentSystem, FalseSharingBehavesLikeSharing) {
+  // Two different addresses in the SAME 64-byte line ping-pong as hard as
+  // true sharing does.
+  const SystemConfig config = coherent_system(2);
+  const sim::SystemResult false_shared = simulate_system(
+      config, {ping_pong_trace(0, 3000), ping_pong_trace(32, 3000)});
+  EXPECT_GT(false_shared.hierarchy.coherence_invalidations, 100u);
+}
+
+TEST(CoherentSystem, ReadOnlySharingCostsNothing) {
+  Trace reader;
+  for (int i = 0; i < 8000; ++i) {
+    reader.records.push_back({.kind = InstrKind::kLoad, .address = 0});
+    reader.records.push_back({.kind = InstrKind::kCompute});
+  }
+  const SystemConfig config = coherent_system(2);
+  const sim::SystemResult r = simulate_system(config, {reader, reader});
+  EXPECT_EQ(r.hierarchy.coherence_invalidations, 0u);
+  // After the cold miss everything hits locally.
+  EXPECT_LT(r.hierarchy.l1_miss_ratio, 0.01);
+}
+
+TEST(CoherentSystem, CoherenceOffMatchesOldBehavior) {
+  SystemConfig off = coherent_system(2);
+  off.hierarchy.coherence = false;
+  const sim::SystemResult r = simulate_system(
+      off, {ping_pong_trace(0, 2000), ping_pong_trace(0, 2000)});
+  EXPECT_EQ(r.hierarchy.coherence_invalidations, 0u);
+  EXPECT_EQ(r.hierarchy.coherence_owner_transfers, 0u);
+}
+
+TEST(CoherentSystem, RejectsTooManyCores) {
+  SystemConfig config = coherent_system(2);
+  config.hierarchy.cores = 65;
+  config.hierarchy.coherence = true;
+  Trace t = ping_pong_trace(0, 10);
+  EXPECT_THROW(simulate_system(config, {t}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace c2b::sim

@@ -1,0 +1,126 @@
+#include "c2b/sim/detector/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "c2b/common/rng.h"
+#include "c2b/metrics/timeline.h"
+
+namespace c2b::sim {
+namespace {
+
+TEST(Detector, MatchesFigure1Example) {
+  CamatDetector detector;
+  for (const TimelineAccess& a : figure1_example_timeline())
+    detector.record_access(a.start_cycle, a.hit_cycles, a.miss_penalty_cycles);
+  const TimelineMetrics m = detector.finalize();
+  EXPECT_DOUBLE_EQ(m.camat_value, 1.6);
+  EXPECT_DOUBLE_EQ(m.amat_value, 3.8);
+  EXPECT_DOUBLE_EQ(m.camat_params.hit_concurrency, 2.5);
+  EXPECT_DOUBLE_EQ(m.camat_params.miss_concurrency, 1.0);
+  EXPECT_EQ(m.pure_misses, 1u);
+}
+
+TEST(Detector, EmptyDetectorFinalizesToZero) {
+  CamatDetector detector;
+  const TimelineMetrics m = detector.finalize();
+  EXPECT_EQ(m.accesses, 0u);
+  EXPECT_DOUBLE_EQ(m.camat_value, 0.0);
+}
+
+TEST(Detector, IncrementalAdvanceEqualsOneShot) {
+  const auto accesses = figure1_example_timeline();
+  CamatDetector incremental;
+  for (const TimelineAccess& a : accesses) {
+    incremental.record_access(a.start_cycle, a.hit_cycles, a.miss_penalty_cycles);
+    incremental.advance(a.start_cycle);  // watermark: nothing future-dated
+  }
+  const TimelineMetrics inc = incremental.finalize();
+  const TimelineMetrics ref = analyze_timeline(accesses);
+  EXPECT_DOUBLE_EQ(inc.camat_value, ref.camat_value);
+  EXPECT_EQ(inc.pure_misses, ref.pure_misses);
+  EXPECT_EQ(inc.hit_cycle_count, ref.hit_cycle_count);
+}
+
+TEST(Detector, AdvanceBoundsLiveWindow) {
+  CamatDetector detector;
+  for (std::uint64_t i = 0; i < 1000; ++i) detector.record_access(i * 4, 3, 0);
+  detector.advance(900 * 4);
+  // The live cycle table must not retain the already-finalized prefix.
+  EXPECT_LT(detector.live_cycle_window(), 400u);
+}
+
+// Property: on random access streams the online detector must produce
+// exactly the offline analyzer's numbers, regardless of how advance() is
+// interleaved.
+class DetectorEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DetectorEquivalence, OnlineEqualsOffline) {
+  Rng rng(GetParam());
+  std::vector<TimelineAccess> accesses;
+  CamatDetector detector;
+  std::uint64_t t = 0;
+  const int count = 50 + static_cast<int>(rng.uniform_below(300));
+  for (int i = 0; i < count; ++i) {
+    t += rng.uniform_below(5);
+    TimelineAccess a;
+    a.start_cycle = t;
+    a.hit_cycles = 1 + static_cast<std::uint32_t>(rng.uniform_below(3));
+    a.miss_penalty_cycles =
+        rng.bernoulli(0.35) ? 1 + static_cast<std::uint32_t>(rng.uniform_below(30)) : 0;
+    accesses.push_back(a);
+    detector.record_access(a.start_cycle, a.hit_cycles, a.miss_penalty_cycles);
+    if (rng.bernoulli(0.3)) detector.advance(t);  // random interleaved folding
+  }
+  const TimelineMetrics online = detector.finalize();
+  const TimelineMetrics offline = analyze_timeline(accesses);
+
+  EXPECT_EQ(online.accesses, offline.accesses);
+  EXPECT_EQ(online.misses, offline.misses);
+  EXPECT_EQ(online.pure_misses, offline.pure_misses);
+  EXPECT_EQ(online.hit_cycle_count, offline.hit_cycle_count);
+  EXPECT_EQ(online.hit_access_cycles, offline.hit_access_cycles);
+  EXPECT_EQ(online.pure_miss_cycle_count, offline.pure_miss_cycle_count);
+  EXPECT_EQ(online.memory_active_cycles, offline.memory_active_cycles);
+  EXPECT_DOUBLE_EQ(online.camat_value, offline.camat_value);
+  EXPECT_DOUBLE_EQ(online.amat_value, offline.amat_value);
+  EXPECT_DOUBLE_EQ(online.apc, offline.apc);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStreams, DetectorEquivalence,
+                         ::testing::Range<std::uint64_t>(100, 124));
+
+// ---------------------------------------------------------------------------
+// APC counter
+
+TEST(ApcCounter, DisjointIntervals) {
+  ApcCounter apc;
+  apc.add_interval(0, 10);
+  apc.add_interval(20, 30);
+  EXPECT_EQ(apc.accesses(), 2u);
+  EXPECT_EQ(apc.busy_cycles(), 20u);
+  EXPECT_DOUBLE_EQ(apc.apc(), 0.1);
+}
+
+TEST(ApcCounter, OverlapNotDoubleCounted) {
+  ApcCounter apc;
+  apc.add_interval(0, 10);
+  apc.add_interval(5, 15);
+  EXPECT_EQ(apc.busy_cycles(), 15u);
+  EXPECT_DOUBLE_EQ(apc.apc(), 2.0 / 15.0);
+}
+
+TEST(ApcCounter, ContainedIntervalAddsNothing) {
+  ApcCounter apc;
+  apc.add_interval(0, 100);
+  apc.add_interval(10, 50);
+  EXPECT_EQ(apc.busy_cycles(), 100u);
+  EXPECT_EQ(apc.accesses(), 2u);
+}
+
+TEST(ApcCounter, EmptyIntervalThrows) {
+  ApcCounter apc;
+  EXPECT_THROW(apc.add_interval(5, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace c2b::sim

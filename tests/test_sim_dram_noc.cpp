@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "c2b/sim/dram/dram.h"
+#include "c2b/sim/noc/noc.h"
+
+namespace c2b::sim {
+namespace {
+
+DramConfig small_dram() {
+  return {.banks = 2, .lines_per_row = 4, .t_cas = 10, .t_rcd = 10, .t_rp = 10, .t_bus = 2};
+}
+
+TEST(Dram, FirstAccessPaysActivate) {
+  DramModel dram(small_dram());
+  // Empty bank: tRCD + tCAS + bus = 22.
+  EXPECT_EQ(dram.access(0, 100), 100u + 10 + 10 + 2);
+  EXPECT_EQ(dram.stats().row_empty, 1u);
+}
+
+TEST(Dram, RowHitIsCheap) {
+  DramModel dram(small_dram());
+  const std::uint64_t first = dram.access(0, 0);
+  // Line 1 is in the same 4-line row: only tCAS + bus once the bank is free.
+  const std::uint64_t second = dram.access(1, first);
+  EXPECT_EQ(second - first, 10u + 2u);
+  EXPECT_EQ(dram.stats().row_hits, 1u);
+}
+
+TEST(Dram, RowConflictPaysPrecharge) {
+  DramModel dram(small_dram());
+  const std::uint64_t first = dram.access(0, 0);  // row 0, bank 0
+  // Row 2 also maps to bank 0 (rows rotate across 2 banks): conflict.
+  const std::uint64_t second = dram.access(2 * 4, first);
+  EXPECT_EQ(second - first, 10u + 10u + 10u + 2u);
+  EXPECT_EQ(dram.stats().row_conflicts, 1u);
+}
+
+TEST(Dram, BankParallelismOverlapsActivates) {
+  DramModel dram(small_dram());
+  // Rows 0 and 1 map to different banks; issued together they overlap all
+  // but the serialized bus bursts.
+  const std::uint64_t a = dram.access(0, 0);
+  const std::uint64_t b = dram.access(4, 0);
+  EXPECT_EQ(a, 22u);
+  EXPECT_EQ(b, 24u);  // same column timing, waits only for the bus
+}
+
+TEST(Dram, BusSerializesBursts) {
+  DramModel dram(small_dram());
+  dram.access(0, 0);
+  dram.access(1, 0);
+  dram.access(2, 0);
+  // All in one row; each burst occupies the bus for t_bus.
+  EXPECT_EQ(dram.stats().busy_cycle_estimate, 3u * 2u);
+}
+
+TEST(Dram, AverageLatencyTracksLoad) {
+  DramModel unloaded(small_dram());
+  unloaded.access(0, 0);
+  DramModel loaded(small_dram());
+  for (int i = 0; i < 64; ++i) loaded.access(0, 0);  // all at cycle 0
+  EXPECT_GT(loaded.stats().average_latency(), unloaded.stats().average_latency());
+}
+
+TEST(Dram, StatsRatios) {
+  DramModel dram(small_dram());
+  dram.access(0, 0);
+  dram.access(1, 100);
+  dram.access(2, 200);
+  const DramStats& s = dram.stats();
+  EXPECT_EQ(s.accesses, 3u);
+  // Lines 1 and 2 sit in line-0's 4-line row: two row hits out of three.
+  EXPECT_NEAR(s.row_hit_ratio(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Dram, InvalidConfigThrows) {
+  DramConfig bad = small_dram();
+  bad.banks = 0;
+  EXPECT_THROW(DramModel{bad}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// NoC
+
+TEST(Noc, ZeroDistanceToSelf) {
+  MeshNoc noc({.nodes = 16, .hop_latency = 2, .injection_latency = 1,
+               .congestion_per_load = 0.0});
+  EXPECT_EQ(noc.latency(5, 5), 1u);  // injection only
+}
+
+TEST(Noc, ManhattanHops) {
+  MeshNoc noc({.nodes = 16, .hop_latency = 2, .injection_latency = 1,
+               .congestion_per_load = 0.0});
+  // 4x4 mesh: node 0 is (0,0), node 15 is (3,3) -> 6 hops.
+  EXPECT_EQ(noc.latency(0, 15), 1u + 6u * 2u);
+  // node 0 -> node 3 is (3,0): 3 hops.
+  EXPECT_EQ(noc.latency(0, 3), 1u + 3u * 2u);
+}
+
+TEST(Noc, RoundTripIsTwiceOneWay) {
+  MeshNoc noc({.nodes = 16, .hop_latency = 2, .injection_latency = 1,
+               .congestion_per_load = 0.0});
+  EXPECT_EQ(noc.round_trip(0, 3), 2u * noc.latency(0, 3));
+}
+
+TEST(Noc, CongestionGrowsWithTraffic) {
+  MeshNoc noc({.nodes = 16, .hop_latency = 2, .injection_latency = 1,
+               .congestion_per_load = 1.0});
+  const std::uint64_t before = noc.latency(0, 15);
+  for (int i = 0; i < 100; ++i) noc.round_trip(0, 15);
+  EXPECT_GT(noc.latency(0, 15), before);
+  EXPECT_NEAR(noc.average_hops(), 6.0, 1e-9);
+}
+
+TEST(Noc, SliceInterleaving) {
+  MeshNoc noc({.nodes = 8});
+  EXPECT_EQ(noc.slice_of(0), 0u);
+  EXPECT_EQ(noc.slice_of(7), 7u);
+  EXPECT_EQ(noc.slice_of(8), 0u);
+}
+
+TEST(Noc, NodeOutOfRangeThrows) {
+  MeshNoc noc({.nodes = 4});
+  EXPECT_THROW((void)noc.latency(0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace c2b::sim

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "c2b/common/rng.h"
+#include "c2b/sim/cache/cache.h"
+#include "c2b/sim/system/system.h"
+#include "c2b/trace/generators.h"
+
+namespace c2b::sim {
+namespace {
+
+CacheGeometry geometry(std::uint64_t size = 2048, std::uint32_t assoc = 4) {
+  return {.size_bytes = size, .line_bytes = 64, .associativity = assoc};
+}
+
+// ---------------------------------------------------------------------------
+// Dirty tracking / write-back bookkeeping
+
+TEST(DirtyLines, WriteProbeMarksDirty) {
+  CacheArray cache(geometry());
+  cache.fill(0);
+  EXPECT_FALSE(cache.is_dirty(0));
+  cache.probe(0, /*mark_dirty=*/true);
+  EXPECT_TRUE(cache.is_dirty(0));
+  EXPECT_FALSE(cache.is_dirty(64));  // absent line is not dirty
+}
+
+TEST(DirtyLines, WriteAllocateFillIsDirty) {
+  CacheArray cache(geometry());
+  cache.fill(0, /*dirty=*/true);
+  EXPECT_TRUE(cache.is_dirty(0));
+}
+
+TEST(DirtyLines, DirtyVictimReported) {
+  CacheArray cache(geometry(512, 2));  // 4 sets, 2 ways
+  const std::uint64_t stride = 4 * 64;
+  cache.fill(0 * stride, true);
+  cache.fill(1 * stride, false);
+  cache.probe(1 * stride);  // make line 0 the LRU victim
+  const auto evicted = cache.fill(2 * stride);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->address, 0u);
+  EXPECT_TRUE(evicted->dirty);
+  EXPECT_EQ(cache.dirty_evictions(), 1u);
+}
+
+TEST(DirtyLines, RefillMergesDirtyBit) {
+  CacheArray cache(geometry());
+  cache.fill(0, true);
+  cache.fill(0, false);  // re-fill clean must not launder the dirty bit
+  EXPECT_TRUE(cache.is_dirty(0));
+}
+
+TEST(DirtyLines, WritebacksFlowThroughHierarchy) {
+  SystemConfig config;
+  config.hierarchy.l1_geometry = {.size_bytes = 4 * 1024, .line_bytes = 64,
+                                  .associativity = 4};
+  config.hierarchy.l2_geometry = {.size_bytes = 64 * 1024, .line_bytes = 64,
+                                  .associativity = 8};
+  ZipfStreamGenerator::Params p;
+  p.working_set_lines = 1 << 13;  // thrash both levels
+  p.zipf_exponent = 0.2;
+  p.f_mem = 0.8;
+  p.write_ratio = 0.5;
+  p.seed = 3;
+  const Trace t = ZipfStreamGenerator(p).generate(60000);
+  const SystemResult r = simulate_single_core(config, t);
+  EXPECT_GT(r.hierarchy.l1_writebacks, 1000u);
+  EXPECT_GT(r.hierarchy.l2_writebacks, 500u);
+  // Read-only version generates none.
+  ZipfStreamGenerator::Params ro = p;
+  ro.write_ratio = 0.0;
+  const SystemResult clean = simulate_single_core(config, ZipfStreamGenerator(ro).generate(60000));
+  EXPECT_EQ(clean.hierarchy.l1_writebacks, 0u);
+  EXPECT_EQ(clean.hierarchy.l2_writebacks, 0u);
+}
+
+TEST(DirtyLines, WritebackTrafficSlowsDemandMisses) {
+  SystemConfig config;
+  config.hierarchy.l1_geometry = {.size_bytes = 4 * 1024, .line_bytes = 64,
+                                  .associativity = 4};
+  config.hierarchy.l2_geometry = {.size_bytes = 64 * 1024, .line_bytes = 64,
+                                  .associativity = 8};
+  ZipfStreamGenerator::Params p;
+  p.working_set_lines = 1 << 13;
+  p.zipf_exponent = 0.2;
+  p.f_mem = 0.8;
+  p.seed = 3;
+  p.write_ratio = 0.0;
+  const SystemResult reads = simulate_single_core(config, ZipfStreamGenerator(p).generate(50000));
+  p.write_ratio = 0.6;
+  const SystemResult writes = simulate_single_core(config, ZipfStreamGenerator(p).generate(50000));
+  EXPECT_GT(writes.cores[0].cpi, reads.cores[0].cpi);
+}
+
+// ---------------------------------------------------------------------------
+// Replacement policies
+
+TEST(Replacement, PlruRequiresPow2Associativity) {
+  CacheGeometry g{.size_bytes = 192 * 4, .line_bytes = 64, .associativity = 3};
+  EXPECT_THROW(CacheArray(g, ReplacementPolicy::kTreePlru), std::invalid_argument);
+  CacheArray ok(geometry(2048, 4), ReplacementPolicy::kTreePlru);
+  EXPECT_EQ(ok.policy(), ReplacementPolicy::kTreePlru);
+}
+
+TEST(Replacement, PlruNeverEvictsMostRecentlyUsed) {
+  CacheArray cache(geometry(512, 8), ReplacementPolicy::kTreePlru);  // 1 set, 8 ways
+  for (std::uint64_t line = 0; line < 8; ++line) cache.fill(line * 64);
+  Rng rng(4);
+  std::uint64_t last_touched = 0;
+  for (int i = 0; i < 400; ++i) {
+    last_touched = rng.uniform_below(8);
+    if (!cache.probe(last_touched * 64)) cache.fill(last_touched * 64);
+    const std::uint64_t incoming = 8 + rng.uniform_below(100);
+    const auto evicted = cache.fill(incoming * 64);
+    if (evicted.has_value()) {
+      EXPECT_NE(evicted->address, last_touched * 64) << "PLRU evicted the MRU line";
+    }
+    cache.invalidate(incoming * 64);  // keep the resident set stable
+  }
+}
+
+TEST(Replacement, AllPoliciesCaptureSmallLoop) {
+  for (const auto policy : {ReplacementPolicy::kLru, ReplacementPolicy::kTreePlru,
+                            ReplacementPolicy::kRandom}) {
+    CacheArray cache(geometry(2048, 4), policy);  // 32 lines
+    for (int rep = 0; rep < 50; ++rep) {
+      for (std::uint64_t line = 0; line < 16; ++line) {
+        if (!cache.probe(line * 64)) cache.fill(line * 64);
+      }
+    }
+    EXPECT_LT(cache.miss_ratio(), 0.05) << "policy " << static_cast<int>(policy);
+  }
+}
+
+TEST(Replacement, LruBeatsRandomOnLoopingReuse) {
+  // A looping working set slightly larger than one set's capacity is LRU's
+  // worst case... but with a Zipf-skewed stream LRU's recency tracking wins.
+  auto run = [&](ReplacementPolicy policy) {
+    CacheArray cache(geometry(4096, 4), policy);  // 64 lines
+    Rng rng(9);
+    for (int i = 0; i < 40000; ++i) {
+      const std::uint64_t line = rng.zipf(512, 1.0);
+      if (!cache.probe(line * 64)) cache.fill(line * 64);
+    }
+    return cache.miss_ratio();
+  };
+  EXPECT_LT(run(ReplacementPolicy::kLru), run(ReplacementPolicy::kRandom) + 0.02);
+}
+
+TEST(Replacement, RandomIsDeterministicPerArray) {
+  auto run = [] {
+    CacheArray cache(geometry(512, 4), ReplacementPolicy::kRandom);
+    std::vector<std::uint64_t> evictions;
+    for (std::uint64_t line = 0; line < 64; ++line) {
+      const auto evicted = cache.fill(line * 64 * 2);  // all map to few sets
+      if (evicted.has_value()) evictions.push_back(evicted->address);
+    }
+    return evictions;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace c2b::sim

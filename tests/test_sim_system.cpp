@@ -1,0 +1,217 @@
+#include "c2b/sim/system/system.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "c2b/trace/generators.h"
+
+namespace c2b::sim {
+namespace {
+
+SystemConfig small_system(std::uint32_t cores = 1) {
+  SystemConfig config;
+  config.core.issue_width = 4;
+  config.core.rob_size = 128;
+  config.core.functional_units = 4;
+  config.hierarchy.cores = cores;
+  config.hierarchy.l1_geometry = {.size_bytes = 8 * 1024, .line_bytes = 64, .associativity = 4};
+  config.hierarchy.l2_geometry = {.size_bytes = 128 * 1024, .line_bytes = 64,
+                                  .associativity = 8};
+  config.hierarchy.noc.nodes = std::max(4u, cores);
+  return config;
+}
+
+Trace compute_only(std::uint64_t n) {
+  Trace t;
+  t.name = "compute";
+  t.records.assign(n, {.kind = InstrKind::kCompute});
+  return t;
+}
+
+TEST(System, ComputeOnlyHitsIssueWidthLimit) {
+  const SystemConfig config = small_system();
+  const SystemResult r = simulate_single_core(config, compute_only(40000));
+  // 4-wide with 4 FUs: CPI -> 0.25.
+  EXPECT_NEAR(r.cores[0].cpi, 0.25, 0.02);
+  EXPECT_EQ(r.cores[0].instructions, 40000u);
+  EXPECT_DOUBLE_EQ(r.cores[0].f_mem, 0.0);
+}
+
+TEST(System, FunctionalUnitsGateComputeThroughput) {
+  SystemConfig config = small_system();
+  config.core.functional_units = 1;
+  const SystemResult r = simulate_single_core(config, compute_only(20000));
+  EXPECT_NEAR(r.cores[0].cpi, 1.0, 0.05);  // one compute per cycle
+}
+
+TEST(System, PerfectMemoryBeatsRealMemory) {
+  ZipfStreamGenerator::Params p;
+  p.working_set_lines = 1 << 14;  // far larger than L1
+  p.f_mem = 0.5;
+  p.seed = 3;
+  const Trace t = ZipfStreamGenerator(p).generate(60000);
+
+  SystemConfig real = small_system();
+  SystemConfig perfect = small_system();
+  perfect.hierarchy.perfect_memory = true;
+  const SystemResult r_real = simulate_single_core(real, t);
+  const SystemResult r_perfect = simulate_single_core(perfect, t);
+  EXPECT_LT(r_perfect.cores[0].cpi, r_real.cores[0].cpi);
+  EXPECT_DOUBLE_EQ(r_perfect.hierarchy.l1_miss_ratio, 0.0);
+  EXPECT_GT(r_real.hierarchy.l1_miss_ratio, 0.01);
+}
+
+TEST(System, LargerL1ReducesMissRatio) {
+  ZipfStreamGenerator::Params p;
+  p.working_set_lines = 1 << 12;
+  p.zipf_exponent = 0.6;
+  p.f_mem = 0.6;
+  p.seed = 7;
+  const Trace t = ZipfStreamGenerator(p).generate(60000);
+
+  SystemConfig small_l1 = small_system();
+  SystemConfig big_l1 = small_system();
+  big_l1.hierarchy.l1_geometry.size_bytes = 64 * 1024;
+  const SystemResult r_small = simulate_single_core(small_l1, t);
+  const SystemResult r_big = simulate_single_core(big_l1, t);
+  EXPECT_LT(r_big.hierarchy.l1_miss_ratio, r_small.hierarchy.l1_miss_ratio);
+  EXPECT_LE(r_big.cores[0].cpi, r_small.cores[0].cpi * 1.02);
+}
+
+TEST(System, PointerChaseHasNoMemoryConcurrency) {
+  const Trace chase = PointerChaseGenerator(1 << 12, 2, 5).generate(40000);
+  const SystemResult r = simulate_single_core(small_system(), chase);
+  // Dependent misses cannot overlap: C stays near 1.
+  EXPECT_LT(r.cores[0].camat.concurrency_c, 1.6);
+  EXPECT_GT(r.cores[0].camat.concurrency_c, 0.99);
+}
+
+TEST(System, IndependentStreamHasMemoryConcurrency) {
+  ZipfStreamGenerator::Params p;
+  p.working_set_lines = 1 << 14;
+  p.zipf_exponent = 0.3;  // poor locality -> many misses
+  p.f_mem = 0.7;
+  p.seed = 11;
+  const Trace t = ZipfStreamGenerator(p).generate(60000);
+  const SystemResult r = simulate_single_core(small_system(), t);
+  EXPECT_GT(r.cores[0].camat.concurrency_c, 1.5);
+  EXPECT_GT(r.hierarchy.l1_mshr_merges + r.cores[0].camat.pure_misses, 0u);
+}
+
+TEST(System, DependentChaseSlowerThanIndependentStream) {
+  // Same miss pressure, opposite dependency structure.
+  const Trace chase = PointerChaseGenerator(1 << 13, 0, 5).generate(30000);
+  ZipfStreamGenerator::Params p;
+  p.working_set_lines = 1 << 13;
+  p.zipf_exponent = 0.0;  // uniform, similar miss ratio
+  p.f_mem = 1.0;
+  p.seed = 6;
+  const Trace stream = ZipfStreamGenerator(p).generate(30000);
+  const SystemResult r_chase = simulate_single_core(small_system(), chase);
+  const SystemResult r_stream = simulate_single_core(small_system(), stream);
+  EXPECT_GT(r_chase.cores[0].cpi, 1.5 * r_stream.cores[0].cpi);
+}
+
+TEST(System, DetectorCamatConsistentWithApc) {
+  ZipfStreamGenerator::Params p;
+  p.f_mem = 0.5;
+  p.seed = 9;
+  const Trace t = ZipfStreamGenerator(p).generate(40000);
+  const SystemResult r = simulate_single_core(small_system(), t);
+  const TimelineMetrics& m = r.cores[0].camat;
+  EXPECT_NEAR(m.camat_value, m.camat_direct, 1e-9);
+  EXPECT_NEAR(m.apc * m.camat_direct, 1.0, 1e-9);
+}
+
+TEST(System, ApcDecreasesDownTheHierarchy) {
+  ZipfStreamGenerator::Params p;
+  p.working_set_lines = 1 << 15;  // misses reach DRAM
+  p.zipf_exponent = 0.4;
+  p.f_mem = 0.6;
+  p.seed = 13;
+  const Trace t = ZipfStreamGenerator(p).generate(80000);
+  const SystemResult r = simulate_single_core(small_system(), t);
+  ASSERT_GT(r.hierarchy.dram_accesses, 0u);
+  EXPECT_GT(r.hierarchy.apc_l1, r.hierarchy.apc_l2);
+  EXPECT_GT(r.hierarchy.apc_l2, r.hierarchy.apc_mem);
+}
+
+TEST(System, MultiCoreSharesL2AndFinishes) {
+  const SystemConfig config = small_system(4);
+  std::vector<Trace> traces;
+  for (int c = 0; c < 4; ++c) {
+    ZipfStreamGenerator::Params p;
+    p.working_set_lines = 1 << 12;
+    p.f_mem = 0.5;
+    p.seed = 20 + static_cast<std::uint64_t>(c);
+    traces.push_back(ZipfStreamGenerator(p).generate(20000));
+  }
+  const SystemResult r = simulate_system(config, traces);
+  ASSERT_EQ(r.cores.size(), 4u);
+  for (const CoreResult& core : r.cores) EXPECT_EQ(core.instructions, 20000u);
+  // Write-back traffic shares the DRAM bus with demand misses, so the
+  // saturated aggregate IPC is modest — but all cores must finish.
+  EXPECT_GT(r.aggregate_ipc(), 0.1);
+  EXPECT_EQ(r.cycles, std::max({r.cores[0].cycles, r.cores[1].cycles, r.cores[2].cycles,
+                                r.cores[3].cycles}));
+}
+
+TEST(System, ContentionSlowsSharedHierarchy) {
+  // One core running alone vs the same trace with 3 co-runners.
+  ZipfStreamGenerator::Params p;
+  p.working_set_lines = 1 << 14;
+  p.zipf_exponent = 0.2;
+  p.f_mem = 0.8;
+  p.seed = 33;
+  const Trace t = ZipfStreamGenerator(p).generate(30000);
+
+  const SystemResult alone = simulate_single_core(small_system(4), t);
+  std::vector<Trace> contended{t};
+  for (int c = 1; c < 4; ++c) {
+    ZipfStreamGenerator::Params q = p;
+    q.seed = 100 + static_cast<std::uint64_t>(c);
+    contended.push_back(ZipfStreamGenerator(q).generate(30000));
+  }
+  const SystemResult shared = simulate_system(small_system(4), contended);
+  EXPECT_GT(shared.cores[0].cycles, alone.cores[0].cycles);
+}
+
+TEST(System, RobLimitsMemoryParallelism) {
+  ZipfStreamGenerator::Params p;
+  p.working_set_lines = 1 << 15;
+  p.zipf_exponent = 0.1;
+  p.f_mem = 0.9;
+  p.seed = 44;
+  const Trace t = ZipfStreamGenerator(p).generate(30000);
+  SystemConfig tiny_rob = small_system();
+  tiny_rob.core.rob_size = 8;
+  SystemConfig big_rob = small_system();
+  big_rob.core.rob_size = 256;
+  const SystemResult r_tiny = simulate_single_core(tiny_rob, t);
+  const SystemResult r_big = simulate_single_core(big_rob, t);
+  EXPECT_LT(r_big.cores[0].cpi, r_tiny.cores[0].cpi);
+}
+
+TEST(System, ValidationRejectsBadInput) {
+  SystemConfig config = small_system();
+  EXPECT_THROW(simulate_system(config, {}), std::invalid_argument);
+  const Trace t = compute_only(10);
+  EXPECT_THROW(simulate_system(config, {t, t}), std::invalid_argument);  // 2 traces, 1 core
+  config.core.issue_width = 0;
+  EXPECT_THROW(simulate_single_core(config, t), std::invalid_argument);
+}
+
+TEST(System, DeterministicAcrossRuns) {
+  ZipfStreamGenerator::Params p;
+  p.f_mem = 0.5;
+  p.seed = 55;
+  const Trace t = ZipfStreamGenerator(p).generate(20000);
+  const SystemResult a = simulate_single_core(small_system(), t);
+  const SystemResult b = simulate_single_core(small_system(), t);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.cores[0].camat.camat_value, b.cores[0].camat.camat_value);
+}
+
+}  // namespace
+}  // namespace c2b::sim

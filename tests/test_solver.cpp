@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "c2b/solver/grid.h"
+#include "c2b/solver/lagrange.h"
+#include "c2b/solver/minimize.h"
+#include "c2b/solver/newton.h"
+
+namespace c2b {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Newton
+
+TEST(Newton, SolvesLinearSystemInOneStep) {
+  // F(x) = A x - b with A = [[2,1],[1,3]], b = [3,5].
+  ResidualFn f = [](const Vector& x) {
+    return Vector{2 * x[0] + x[1] - 3.0, x[0] + 3 * x[1] - 5.0};
+  };
+  const NewtonResult r = newton_solve(f, {0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 0.8, 1e-8);
+  EXPECT_NEAR(r.x[1], 1.4, 1e-8);
+  EXPECT_LE(r.iterations, 3);
+}
+
+TEST(Newton, SolvesNonlinearSystem) {
+  // x^2 + y^2 = 4, x y = 1 (first-quadrant root).
+  ResidualFn f = [](const Vector& v) {
+    return Vector{v[0] * v[0] + v[1] * v[1] - 4.0, v[0] * v[1] - 1.0};
+  };
+  const NewtonResult r = newton_solve(f, {2.0, 0.3});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0] * r.x[0] + r.x[1] * r.x[1], 4.0, 1e-7);
+  EXPECT_NEAR(r.x[0] * r.x[1], 1.0, 1e-7);
+}
+
+TEST(Newton, ScalarCubeRoot) {
+  ResidualFn f = [](const Vector& v) { return Vector{v[0] * v[0] * v[0] - 27.0}; };
+  const NewtonResult r = newton_solve(f, {5.0});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-7);
+}
+
+TEST(Newton, ReportsSingularJacobian) {
+  ResidualFn f = [](const Vector& v) { return Vector{0.0 * v[0] + 1.0}; };  // F' == 0
+  const NewtonResult r = newton_solve(f, {1.0});
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Newton, NumericJacobianMatchesAnalytic) {
+  ResidualFn f = [](const Vector& v) {
+    return Vector{std::sin(v[0]) + v[1], v[0] * v[1]};
+  };
+  const Vector x{0.7, -1.2};
+  const Matrix j = numeric_jacobian(f, x);
+  EXPECT_NEAR(j(0, 0), std::cos(0.7), 1e-6);
+  EXPECT_NEAR(j(0, 1), 1.0, 1e-6);
+  EXPECT_NEAR(j(1, 0), -1.2, 1e-6);
+  EXPECT_NEAR(j(1, 1), 0.7, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar / simplex minimizers
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+  const auto r = golden_section_minimize([](double x) { return (x - 2.5) * (x - 2.5); }, 0, 10);
+  EXPECT_NEAR(r.x, 2.5, 1e-6);
+  EXPECT_NEAR(r.value, 0.0, 1e-10);
+}
+
+TEST(GoldenSection, BoundaryMinimum) {
+  const auto r = golden_section_minimize([](double x) { return x; }, 1.0, 5.0);
+  EXPECT_NEAR(r.x, 1.0, 1e-5);
+}
+
+TEST(IntegerMinimize, ExactScan) {
+  const auto r = integer_minimize(
+      [](long long x) { return static_cast<double>((x - 7) * (x - 7)); }, -10, 20);
+  EXPECT_EQ(r.x, 7);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+TEST(IntegerMinimize, SinglePoint) {
+  const auto r = integer_minimize([](long long) { return 3.0; }, 5, 5);
+  EXPECT_EQ(r.x, 5);
+}
+
+TEST(NelderMead, Rosenbrock2D) {
+  MultiFn rosenbrock = [](const Vector& v) {
+    const double a = 1.0 - v[0];
+    const double b = v[1] - v[0] * v[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opts;
+  opts.max_iterations = 5000;
+  const auto r = nelder_mead_minimize(rosenbrock, {-1.2, 1.0}, opts);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, Quadratic3D) {
+  MultiFn f = [](const Vector& v) {
+    return (v[0] - 1) * (v[0] - 1) + 2 * (v[1] + 2) * (v[1] + 2) + 0.5 * v[2] * v[2];
+  };
+  const auto r = nelder_mead_minimize(f, {0.0, 0.0, 5.0});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -2.0, 1e-4);
+  EXPECT_NEAR(r.x[2], 0.0, 1e-4);
+}
+
+TEST(Bisect, FindsBracketedRoot) {
+  const auto r = bisect_root([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bisect, UnbracketedReportsFailure) {
+  const auto r = bisect_root([](double x) { return x * x + 1.0; }, -1.0, 1.0);
+  EXPECT_FALSE(r.converged);
+}
+
+// ---------------------------------------------------------------------------
+// Grid space
+
+GridSpace small_space() {
+  return GridSpace({GridAxis{"x", {1.0, 2.0, 3.0}}, GridAxis{"y", {10.0, 20.0}}});
+}
+
+TEST(GridSpace, SizeAndDecode) {
+  const GridSpace g = small_space();
+  EXPECT_EQ(g.size(), 6u);
+  EXPECT_EQ(g.point(0), (std::vector<double>{1.0, 10.0}));
+  EXPECT_EQ(g.point(5), (std::vector<double>{3.0, 20.0}));
+  EXPECT_EQ(g.axis_index("y"), 1u);
+  EXPECT_THROW(g.axis_index("z"), std::invalid_argument);
+}
+
+TEST(GridSpace, FlatIndexRoundTrip) {
+  const GridSpace g = small_space();
+  for (std::size_t flat = 0; flat < g.size(); ++flat)
+    EXPECT_EQ(g.flat_index(g.indices(flat)), flat);
+}
+
+TEST(GridSpace, ForEachVisitsAllInOrder) {
+  const GridSpace g = small_space();
+  std::size_t expected = 0;
+  g.for_each([&](std::size_t flat, const std::vector<double>& values) {
+    EXPECT_EQ(flat, expected++);
+    EXPECT_EQ(values, g.point(flat));
+  });
+  EXPECT_EQ(expected, g.size());
+}
+
+TEST(GridSpace, NeighborhoodClipsAtBorders) {
+  const GridSpace g = small_space();
+  const auto corner = g.neighborhood(0, 1);
+  EXPECT_EQ(corner.size(), 4u);  // 2x2 block
+  const auto center = g.neighborhood(g.flat_index({1, 0}), 1);
+  EXPECT_EQ(center.size(), 6u);  // 3x2 block
+}
+
+TEST(GridSpace, NearestSnapsPerAxis) {
+  const GridSpace g = small_space();
+  const std::size_t flat = g.nearest({2.4, 19.0});
+  EXPECT_EQ(g.point(flat), (std::vector<double>{2.0, 20.0}));
+}
+
+// ---------------------------------------------------------------------------
+// Lagrange
+
+TEST(Lagrange, QuadraticWithLinearConstraint) {
+  // min x^2 + y^2 s.t. x + y = 2  ->  x = y = 1, lambda = -2.
+  ScalarField f = [](const Vector& v) { return v[0] * v[0] + v[1] * v[1]; };
+  ScalarField g = [](const Vector& v) { return v[0] + v[1] - 2.0; };
+  const LagrangeResult r = lagrange_stationary_point(f, {g}, {0.3, 0.9});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-6);
+  EXPECT_NEAR(r.lambda[0], -2.0, 1e-5);
+  EXPECT_NEAR(r.objective, 2.0, 1e-8);
+}
+
+TEST(Lagrange, CircleConstraintMaxAndMin) {
+  // Stationary points of x + y on x^2 + y^2 = 2 are (1,1) and (-1,-1); from
+  // a start near (1,1) Newton lands on that one.
+  ScalarField f = [](const Vector& v) { return v[0] + v[1]; };
+  ScalarField g = [](const Vector& v) { return v[0] * v[0] + v[1] * v[1] - 2.0; };
+  const LagrangeResult r = lagrange_stationary_point(f, {g}, {0.9, 1.1});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(std::fabs(r.x[0]), 1.0, 1e-5);
+  EXPECT_NEAR(r.x[0], r.x[1], 1e-5);
+}
+
+TEST(Lagrange, GradientHelper) {
+  ScalarField f = [](const Vector& v) { return v[0] * v[0] * v[1]; };
+  const Vector grad = numeric_gradient(f, {2.0, 3.0});
+  EXPECT_NEAR(grad[0], 12.0, 1e-5);
+  EXPECT_NEAR(grad[1], 4.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace c2b

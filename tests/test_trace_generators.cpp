@@ -1,0 +1,234 @@
+#include "c2b/trace/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "c2b/trace/workloads.h"
+
+namespace c2b {
+namespace {
+
+TEST(TraceBasics, FMemAndDistinctLines) {
+  Trace t;
+  t.records = {{.kind = InstrKind::kCompute},
+               {.kind = InstrKind::kLoad, .address = 0},
+               {.kind = InstrKind::kStore, .address = 64},
+               {.kind = InstrKind::kLoad, .address = 65}};
+  EXPECT_EQ(t.memory_access_count(), 3u);
+  EXPECT_DOUBLE_EQ(t.f_mem(), 0.75);
+  EXPECT_EQ(t.distinct_lines(64), 2u);  // lines 0 and 1 (64 and 65 share)
+}
+
+TEST(TiledMatMul, MixAndDeterminism) {
+  TiledMatMulGenerator a(16, 4), b(16, 4);
+  const Trace ta = a.generate(5000);
+  const Trace tb = b.generate(5000);
+  for (std::size_t i = 0; i < ta.records.size(); ++i) {
+    EXPECT_EQ(ta.records[i].kind, tb.records[i].kind);
+    EXPECT_EQ(ta.records[i].address, tb.records[i].address);
+  }
+  // Inner loop: 1 C-load + per k (2 loads + 2 computes) + 1 store.
+  EXPECT_GT(ta.f_mem(), 0.4);
+  EXPECT_LT(ta.f_mem(), 0.7);
+}
+
+TEST(TiledMatMul, TouchesThreeMatrices) {
+  TiledMatMulGenerator g(8, 4);
+  const Trace t = g.generate(20000);
+  // Footprint: 3 matrices x 64 doubles = 3 * 8 * 8 * 8 bytes = 1536 bytes
+  // = 24 lines.
+  EXPECT_EQ(t.distinct_lines(64), 24u);
+}
+
+TEST(TiledMatMul, ResetRestartsStream) {
+  TiledMatMulGenerator g(8, 2);
+  const Trace first = g.generate(100);
+  g.reset();
+  const Trace again = g.generate(100);
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_EQ(first.records[i].address, again.records[i].address);
+}
+
+TEST(TiledMatMul, InvalidParamsThrow) {
+  EXPECT_THROW(TiledMatMulGenerator(4, 8), std::invalid_argument);
+  EXPECT_THROW(TiledMatMulGenerator(0, 1), std::invalid_argument);
+}
+
+TEST(Stencil, FivePointPattern) {
+  StencilGenerator g(16);
+  // One refill = 5 loads + 5 computes + 1 store = 11 records.
+  const Trace t = g.generate(11);
+  int loads = 0, stores = 0, computes = 0;
+  for (const auto& r : t.records) {
+    if (r.kind == InstrKind::kLoad) ++loads;
+    if (r.kind == InstrKind::kStore) ++stores;
+    if (r.kind == InstrKind::kCompute) ++computes;
+  }
+  EXPECT_EQ(loads, 5);
+  EXPECT_EQ(stores, 1);
+  EXPECT_EQ(computes, 5);
+}
+
+TEST(Stencil, NeighborsAreAdjacent) {
+  StencilGenerator g(16);
+  const Trace t = g.generate(5);  // the five loads of the first point
+  const std::uint64_t center = t.records[0].address;
+  EXPECT_EQ(t.records[1].address, center - 16 * 8);  // north
+  EXPECT_EQ(t.records[2].address, center + 16 * 8);  // south
+  EXPECT_EQ(t.records[3].address, center - 8);       // west
+  EXPECT_EQ(t.records[4].address, center + 8);       // east
+}
+
+TEST(Stencil, TooSmallGridThrows) { EXPECT_THROW(StencilGenerator(2), std::invalid_argument); }
+
+TEST(Fft, ButterflyStridePattern) {
+  FftGenerator g(4);  // 16 elements
+  const Trace t = g.generate(10);  // first butterfly: 2 loads, 6 computes, 2 stores
+  EXPECT_EQ(t.records[0].kind, InstrKind::kLoad);
+  EXPECT_EQ(t.records[1].kind, InstrKind::kLoad);
+  // Stage 0: partner is 1 element (16 bytes) away.
+  EXPECT_EQ(t.records[1].address - t.records[0].address, 16u);
+  EXPECT_EQ(t.records[8].kind, InstrKind::kStore);
+}
+
+TEST(Fft, FootprintMatchesSize) {
+  FftGenerator g(6);  // 64 complex doubles = 1024 bytes = 16 lines
+  const Trace t = g.generate(60000);
+  EXPECT_EQ(t.distinct_lines(64), 16u);
+}
+
+TEST(BandSparse, RowStructure) {
+  BandSparseGenerator g(100, 2);
+  // Row 0 at the boundary: columns 0..2 -> 3 (A,x) pairs + computes + 1 store.
+  const Trace t = g.generate(13);
+  int loads = 0, stores = 0;
+  for (const auto& r : t.records) {
+    if (r.kind == InstrKind::kLoad) ++loads;
+    if (r.kind == InstrKind::kStore) ++stores;
+  }
+  EXPECT_EQ(loads, 6);
+  EXPECT_EQ(stores, 1);
+}
+
+TEST(BandSparse, InvalidBandThrows) {
+  EXPECT_THROW(BandSparseGenerator(10, 11), std::invalid_argument);
+  EXPECT_THROW(BandSparseGenerator(10, 0), std::invalid_argument);
+}
+
+TEST(PointerChase, DependentLoadsCoverWholeSet) {
+  PointerChaseGenerator g(64, 1, /*seed=*/9);
+  const Trace t = g.generate(64 * 2);
+  std::set<std::uint64_t> lines;
+  for (const auto& r : t.records) {
+    if (r.kind != InstrKind::kLoad) continue;
+    EXPECT_TRUE(r.depends_on_prev_mem);
+    lines.insert(r.address / 64);
+  }
+  // Sattolo cycle: all 64 lines visited before repeating.
+  EXPECT_EQ(lines.size(), 64u);
+}
+
+TEST(PointerChase, ComputePadding) {
+  PointerChaseGenerator g(16, 3, 1);
+  const Trace t = g.generate(8);
+  EXPECT_EQ(t.records[0].kind, InstrKind::kLoad);
+  EXPECT_EQ(t.records[1].kind, InstrKind::kCompute);
+  EXPECT_EQ(t.records[2].kind, InstrKind::kCompute);
+  EXPECT_EQ(t.records[3].kind, InstrKind::kCompute);
+  EXPECT_EQ(t.records[4].kind, InstrKind::kLoad);
+}
+
+TEST(ZipfStream, FMemMatchesKnob) {
+  ZipfStreamGenerator::Params p;
+  p.f_mem = 0.4;
+  p.seed = 3;
+  ZipfStreamGenerator g(p);
+  const Trace t = g.generate(50000);
+  EXPECT_NEAR(t.f_mem(), 0.4, 0.02);
+}
+
+TEST(ZipfStream, WriteRatioMatchesKnob) {
+  ZipfStreamGenerator::Params p;
+  p.f_mem = 1.0;
+  p.write_ratio = 0.25;
+  p.seed = 4;
+  ZipfStreamGenerator g(p);
+  const Trace t = g.generate(40000);
+  std::uint64_t stores = 0;
+  for (const auto& r : t.records) stores += (r.kind == InstrKind::kStore);
+  EXPECT_NEAR(static_cast<double>(stores) / 40000.0, 0.25, 0.01);
+}
+
+TEST(ZipfStream, SkewConcentratesAccesses) {
+  ZipfStreamGenerator::Params p;
+  p.working_set_lines = 1 << 14;
+  p.zipf_exponent = 1.1;
+  p.f_mem = 1.0;
+  p.seed = 5;
+  ZipfStreamGenerator g(p);
+  const Trace t = g.generate(30000);
+  // With heavy skew the touched set is far smaller than the working set.
+  EXPECT_LT(t.distinct_lines(64), (1u << 14) / 2);
+}
+
+TEST(ZipfStream, HigherExponentMeansMoreLocality) {
+  auto footprint = [](double s) {
+    ZipfStreamGenerator::Params p;
+    p.working_set_lines = 1 << 14;
+    p.zipf_exponent = s;
+    p.f_mem = 1.0;
+    p.seed = 6;
+    ZipfStreamGenerator g(p);
+    return g.generate(30000).distinct_lines(64);
+  };
+  EXPECT_GT(footprint(0.2), footprint(1.2));
+}
+
+TEST(Phased, AlternatesBetweenGenerators) {
+  std::vector<PhasedGenerator::Phase> phases;
+  phases.push_back({std::make_shared<PointerChaseGenerator>(32, 0, 1), 10});
+  ZipfStreamGenerator::Params zp;
+  zp.f_mem = 1.0;
+  zp.seed = 2;
+  phases.push_back({std::make_shared<ZipfStreamGenerator>(zp), 10});
+  PhasedGenerator g(std::move(phases));
+  const Trace t = g.generate(40);
+  // First 10 records come from the chase (all dependent loads).
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(t.records[i].depends_on_prev_mem);
+  // Next 10 from the zipf stream (independent).
+  for (int i = 10; i < 20; ++i) EXPECT_FALSE(t.records[i].depends_on_prev_mem);
+  // Then back to the chase.
+  for (int i = 20; i < 30; ++i) EXPECT_TRUE(t.records[i].depends_on_prev_mem);
+}
+
+TEST(Phased, InvalidPhasesThrow) {
+  EXPECT_THROW(PhasedGenerator({}), std::invalid_argument);
+  std::vector<PhasedGenerator::Phase> zero_len;
+  zero_len.push_back({std::make_shared<PointerChaseGenerator>(8, 0, 1), 0});
+  EXPECT_THROW(PhasedGenerator(std::move(zero_len)), std::invalid_argument);
+}
+
+TEST(WorkloadCatalog, AllSpecsGenerate) {
+  for (const WorkloadSpec& spec : workload_catalog()) {
+    auto gen = spec.make_generator(1.0, 11);
+    ASSERT_NE(gen, nullptr) << spec.name;
+    const Trace t = gen->generate(5000);
+    EXPECT_EQ(t.records.size(), 5000u) << spec.name;
+    EXPECT_GT(t.f_mem(), 0.0) << spec.name;
+    EXPECT_GE(spec.f_seq, 0.0);
+    EXPECT_LE(spec.f_seq, 1.0);
+    EXPECT_DOUBLE_EQ(spec.g(1.0), 1.0) << spec.name;
+  }
+}
+
+TEST(WorkloadCatalog, ScaleGrowsFootprint) {
+  const WorkloadSpec spec = make_stencil_workload(64);
+  const auto small = spec.make_generator(1.0, 1)->generate(400000).distinct_lines(64);
+  const auto big = spec.make_generator(4.0, 1)->generate(400000).distinct_lines(64);
+  EXPECT_NEAR(static_cast<double>(big) / static_cast<double>(small), 4.0, 0.8);
+}
+
+}  // namespace
+}  // namespace c2b

@@ -1,0 +1,85 @@
+#include "c2b/trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "c2b/trace/generators.h"
+
+namespace c2b {
+namespace {
+
+Trace sample_trace() {
+  PointerChaseGenerator chase(64, 1, 5);
+  Trace t = chase.generate(500);
+  t.name = "sample/chase";
+  return t;
+}
+
+TEST(TraceIo, StreamRoundTrip) {
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  const Trace loaded = read_trace(buffer);
+  EXPECT_EQ(loaded.name, original.name);
+  ASSERT_EQ(loaded.records.size(), original.records.size());
+  for (std::size_t i = 0; i < original.records.size(); ++i) {
+    EXPECT_EQ(loaded.records[i].kind, original.records[i].kind);
+    EXPECT_EQ(loaded.records[i].address, original.records[i].address);
+    EXPECT_EQ(loaded.records[i].depends_on_prev_mem, original.records[i].depends_on_prev_mem);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace original = sample_trace();
+  const std::string path = testing::TempDir() + "/c2b_trace_io_test.bin";
+  save_trace(path, original);
+  const Trace loaded = load_trace(path);
+  EXPECT_EQ(loaded.records.size(), original.records.size());
+  EXPECT_EQ(loaded.name, original.name);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  Trace empty;
+  empty.name = "empty";
+  std::stringstream buffer;
+  write_trace(buffer, empty);
+  const Trace loaded = read_trace(buffer);
+  EXPECT_TRUE(loaded.records.empty());
+  EXPECT_EQ(loaded.name, "empty");
+}
+
+TEST(TraceIo, BadMagicRejected) {
+  std::stringstream buffer("NOPE not a trace");
+  EXPECT_THROW((void)read_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, TruncationRejected) {
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW((void)read_trace(truncated), std::runtime_error);
+}
+
+TEST(TraceIo, CorruptKindRejected) {
+  Trace one;
+  one.records.push_back({.kind = InstrKind::kLoad, .address = 64});
+  std::stringstream buffer;
+  write_trace(buffer, one);
+  std::string bytes = buffer.str();
+  // The record kind byte sits right after the header (magic 4 + version 4 +
+  // count 8 + name length 4 + empty name).
+  bytes[4 + 4 + 8 + 4] = 7;
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW((void)read_trace(corrupted), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_trace("/nonexistent/dir/trace.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace c2b

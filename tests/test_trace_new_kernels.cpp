@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "c2b/trace/generators.h"
+#include "c2b/trace/reuse.h"
+#include "c2b/trace/workloads.h"
+
+namespace c2b {
+namespace {
+
+TEST(Gups, LoadComputeStoreTriplets) {
+  GupsGenerator g(1 << 10, 3);
+  const Trace t = g.generate(9);
+  for (int i = 0; i < 9; i += 3) {
+    EXPECT_EQ(t.records[i].kind, InstrKind::kLoad);
+    EXPECT_EQ(t.records[i + 1].kind, InstrKind::kCompute);
+    EXPECT_EQ(t.records[i + 2].kind, InstrKind::kStore);
+    EXPECT_EQ(t.records[i].address, t.records[i + 2].address);  // read-modify-write
+  }
+}
+
+TEST(Gups, NearZeroLocality) {
+  GupsGenerator g(1 << 14, 7);
+  StackDistanceAnalyzer stack(64);
+  stack.consume(g.generate(30000));
+  // Every store re-touches its load's line (distance 0), so the floor is a
+  // ~50% hit ratio; the loads themselves are uniform over 16k lines and a
+  // 4k-line cache catches few of them.
+  EXPECT_GT(stack.miss_ratio_for(1 << 12), 0.3);
+  EXPECT_LT(stack.miss_ratio_for(1 << 12), 0.55);
+  EXPECT_GT(stack.miss_ratio_for(1 << 8), stack.miss_ratio_for(1 << 12) - 1e-9);
+}
+
+TEST(Gups, DeterministicPerSeedAndResets) {
+  GupsGenerator a(1 << 10, 9), b(1 << 10, 9);
+  const Trace ta = a.generate(300);
+  const Trace tb = b.generate(300);
+  for (std::size_t i = 0; i < 300; ++i) EXPECT_EQ(ta.records[i].address, tb.records[i].address);
+  a.reset();
+  const Trace again = a.generate(300);
+  EXPECT_EQ(again.records[17].address, ta.records[17].address);
+}
+
+TEST(Reduction, SequentialAddresses) {
+  ReductionGenerator g(1000);
+  const Trace t = g.generate(8);
+  EXPECT_EQ(t.records[0].kind, InstrKind::kLoad);
+  EXPECT_EQ(t.records[2].kind, InstrKind::kLoad);
+  EXPECT_EQ(t.records[2].address - t.records[0].address, 8u);  // next double
+}
+
+TEST(Reduction, WrapsAround) {
+  ReductionGenerator g(4);
+  const Trace t = g.generate(10);
+  EXPECT_EQ(t.records[8].address, t.records[0].address);  // 5th load wraps
+}
+
+TEST(Transpose, ReadRowWriteColumn) {
+  TransposeGenerator g(64, 8);
+  const Trace t = g.generate(4);
+  EXPECT_EQ(t.records[0].kind, InstrKind::kLoad);
+  EXPECT_EQ(t.records[1].kind, InstrKind::kStore);
+  // Consecutive input reads are contiguous, output writes stride by a row.
+  EXPECT_EQ(t.records[2].address - t.records[0].address, 8u);
+  EXPECT_EQ(t.records[3].address - t.records[1].address, 64u * 8u);
+}
+
+TEST(Transpose, CoversBothMatrices) {
+  TransposeGenerator g(16, 4);
+  const Trace t = g.generate(16 * 16 * 2);
+  // 2 matrices x 16x16 doubles = 4096 bytes = 64 lines.
+  EXPECT_EQ(t.distinct_lines(64), 64u);
+}
+
+TEST(Frontier, MixOfSequentialAndRandom) {
+  FrontierGenerator::Params p;
+  p.vertices = 1 << 12;
+  p.neighbors_per_vertex = 4;
+  p.seed = 3;
+  FrontierGenerator g(p);
+  const Trace t = g.generate(20000);
+  EXPECT_GT(t.f_mem(), 0.4);
+  // The frontier array is read sequentially: the first load of consecutive
+  // refills advances by one element.
+  EXPECT_EQ(t.records[0].kind, InstrKind::kLoad);
+}
+
+TEST(Frontier, ValidatesParams) {
+  FrontierGenerator::Params p;
+  p.vertices = 1;
+  EXPECT_THROW(FrontierGenerator{p}, std::invalid_argument);
+  p.vertices = 64;
+  p.neighbors_per_vertex = 0;
+  EXPECT_THROW(FrontierGenerator{p}, std::invalid_argument);
+}
+
+TEST(NewWorkloads, CatalogEntriesGenerate) {
+  for (const WorkloadSpec& spec :
+       {make_gups_workload(1 << 12), make_reduction_workload(1 << 12),
+        make_transpose_workload(128), make_frontier_workload(1 << 12)}) {
+    auto gen = spec.make_generator(1.0, 5);
+    const Trace t = gen->generate(4000);
+    EXPECT_EQ(t.records.size(), 4000u) << spec.name;
+    EXPECT_GT(t.f_mem(), 0.0) << spec.name;
+  }
+  EXPECT_EQ(workload_catalog().size(), 10u);
+}
+
+TEST(NewWorkloads, LocalityOrdering) {
+  // Reduction (streaming reuse-none but sequential lines: 8 accesses/line)
+  // beats GUPS (random) under a small cache.
+  auto miss_at = [](TraceGenerator& g, std::uint64_t lines) {
+    StackDistanceAnalyzer stack(64);
+    stack.consume(g.generate(30000));
+    return stack.miss_ratio_for(lines);
+  };
+  ReductionGenerator reduction(1 << 14);
+  GupsGenerator gups(1 << 14, 5);
+  EXPECT_LT(miss_at(reduction, 256), miss_at(gups, 256));
+}
+
+}  // namespace
+}  // namespace c2b

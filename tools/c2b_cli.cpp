@@ -1,0 +1,341 @@
+// c2b — the C²-Bound command-line tool.
+//
+//   c2b workloads
+//       List the built-in synthetic workloads.
+//   c2b characterize --workload <name> [--instructions N] [--simpoints]
+//       Trace + simulate the workload and print its measured AppProfile.
+//   c2b optimize [--f-mem F] [--f-seq F] [--ch C] [--cm C] [--overlap R]
+//                [--working-set LINES] [--g fixed|linear|power:<b>|fft:<M>]
+//                [--area A] [--shared-area A] [--contention Q] [--n-max N]
+//                [--asymmetric] [--objective time|energy|edp|ed2p]
+//       Solve the C²-Bound chip-design problem for the given profile and
+//       print the optimum, the per-N frontier, and the elasticity profile.
+//   c2b simulate --workload <name> [--cores N] [--l1-kib K] [--l2-kib K]
+//                [--issue W] [--rob R] [--prefetch none|nextline|stride]
+//                [--coherence] [--instructions N]
+//       Run the cycle-level simulator and print CPI, C-AMAT, APC per layer.
+//   c2b trace --workload <name> --out <file> [--instructions N] [--scale S]
+//       Generate a trace and save it in the binary trace format.
+//
+// Every command prints plain text to stdout; exit code 0 on success.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "c2b/aps/characterize.h"
+#include "c2b/core/asymmetric.h"
+#include "c2b/core/energy.h"
+#include "c2b/core/optimizer.h"
+#include "c2b/core/sensitivity.h"
+#include "c2b/sim/system/system.h"
+#include "c2b/trace/trace_io.h"
+#include "c2b/trace/workloads.h"
+#include "cli_args.h"
+
+namespace c2b::cli {
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: c2b <command> [flags]\n"
+               "commands: workloads | characterize | optimize | simulate | trace\n"
+               "run `c2b <command> --help` is not needed — see the header of\n"
+               "tools/c2b_cli.cpp or README.md for the flag lists.\n");
+  return 2;
+}
+
+const WorkloadSpec* find_workload(const std::vector<WorkloadSpec>& catalog,
+                                  const std::string& name) {
+  for (const WorkloadSpec& spec : catalog)
+    if (spec.name == name) return &spec;
+  return nullptr;
+}
+
+ScalingFunction parse_g(const std::string& text) {
+  if (text == "fixed") return ScalingFunction::fixed();
+  if (text == "linear") return ScalingFunction::linear();
+  if (text.rfind("power:", 0) == 0) return ScalingFunction::power(std::stod(text.substr(6)));
+  if (text.rfind("fft:", 0) == 0) return ScalingFunction::fft_like(std::stod(text.substr(4)));
+  throw std::invalid_argument("unknown g(N) spec '" + text +
+                              "' (want fixed|linear|power:<b>|fft:<M>)");
+}
+
+sim::SystemConfig default_system() {
+  sim::SystemConfig config;
+  config.hierarchy.l1_geometry = {.size_bytes = 16 * 1024, .line_bytes = 64,
+                                  .associativity = 4};
+  config.hierarchy.l2_geometry = {.size_bytes = 512 * 1024, .line_bytes = 64,
+                                  .associativity = 8};
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+
+int cmd_workloads() {
+  std::printf("%-20s %-8s %-10s %s\n", "name", "f_seq", "g(N)", "emulates");
+  for (const WorkloadSpec& spec : workload_catalog()) {
+    std::printf("%-20s %-8.2f %-10s %s\n", spec.name.c_str(), spec.f_seq,
+                spec.g.description().substr(0, 10).c_str(), spec.emulates.c_str());
+  }
+  return 0;
+}
+
+int cmd_characterize(const Args& args) {
+  const std::string name = args.get("workload", std::string("fluidanimate_like"));
+  const auto catalog = workload_catalog();
+  const WorkloadSpec* spec = find_workload(catalog, name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s' (see `c2b workloads`)\n", name.c_str());
+    return 2;
+  }
+  CharacterizeOptions options;
+  options.instructions =
+      static_cast<std::uint64_t>(args.get("instructions", 200'000LL));
+  options.use_simpoints = args.has("simpoints");
+  args.mark_used("simpoints");
+  args.finish();
+
+  const Characterization c = characterize(*spec, default_system(), options);
+  std::printf("workload: %s (%s)\n", spec->name.c_str(), spec->emulates.c_str());
+  std::printf("simulated %zu instructions in %zu runs\n\n", c.simulated_instructions,
+              c.simulation_runs);
+  std::printf("f_mem                 %8.3f\n", c.app.f_mem);
+  std::printf("CPI (measured)        %8.3f\n", c.measured_cpi);
+  std::printf("CPI_exe (perfect mem) %8.3f\n", c.cpi_exe);
+  std::printf("AMAT                  %8.3f cycles\n", c.camat.amat_value);
+  std::printf("C-AMAT                %8.3f cycles\n", c.camat.camat_value);
+  std::printf("concurrency C         %8.3f\n", c.camat.concurrency_c);
+  std::printf("C_H / C_M             %8.3f / %.3f\n", c.app.hit_concurrency,
+              c.app.miss_concurrency);
+  std::printf("pMR/MR, pAMP/AMP      %8.3f / %.3f\n", c.app.pure_miss_fraction,
+              c.app.pure_penalty_fraction);
+  std::printf("overlap ratio         %8.3f\n", c.app.overlap_ratio);
+  std::printf("working set           %8.0f lines\n", c.app.working_set_lines0);
+  std::printf("L1 miss power law     MR(S) ~ %.4g * S^-%.3f\n", c.l1_power_law.alpha,
+              c.l1_power_law.beta);
+  std::printf("APC per layer         L1 %.3f | L2 %.4f | DRAM %.4f\n", c.hierarchy.apc_l1,
+              c.hierarchy.apc_l2, c.hierarchy.apc_mem);
+  return 0;
+}
+
+AppProfile profile_from_flags(const Args& args) {
+  AppProfile app;
+  app.ic0 = args.get("ic0", 1e6);
+  app.f_mem = args.get("f-mem", 0.35);
+  app.f_seq = args.get("f-seq", 0.05);
+  app.overlap_ratio = args.get("overlap", 0.3);
+  app.working_set_lines0 = args.get("working-set", 32768.0);
+  app.g = parse_g(args.get("g", std::string("power:1.5")));
+  app.hit_concurrency = args.get("ch", 2.0);
+  app.miss_concurrency = args.get("cm", 3.0);
+  app.pure_miss_fraction = args.get("pure-miss-fraction", 0.6);
+  app.pure_penalty_fraction = args.get("pure-penalty-fraction", 0.8);
+  return app;
+}
+
+MachineProfile machine_from_flags(const Args& args) {
+  MachineProfile machine;
+  machine.chip.total_area = args.get("area", 256.0);
+  machine.chip.shared_area = args.get("shared-area", 16.0);
+  machine.memory_contention = args.get("contention", 0.05);
+  machine.memory_latency = args.get("memory-latency", machine.memory_latency);
+  return machine;
+}
+
+int cmd_optimize(const Args& args) {
+  const AppProfile app = profile_from_flags(args);
+  const MachineProfile machine = machine_from_flags(args);
+  OptimizerOptions options;
+  options.n_max = args.get("n-max", 0LL);
+  const std::string objective = args.get("objective", std::string("time"));
+  const bool asymmetric = args.has("asymmetric");
+  args.mark_used("asymmetric");
+  args.finish();
+
+  if (asymmetric) {
+    const AsymmetricOptimizer optimizer(AsymmetricC2BoundModel(app, machine), options);
+    const AsymmetricOptimum result = optimizer.optimize();
+    std::printf("asymmetric optimum (%s):\n",
+                result.opt_case == OptimizationCase::kMaximizeThroughput ? "max W/T"
+                                                                         : "min T");
+    std::printf("  small cores n      = %lld\n", result.best.design.n_small);
+    std::printf("  big core ratio r   = %.2f small-core equivalents\n",
+                result.best.design.big_core_ratio);
+    std::printf("  area fractions     = core %.2f | L1 %.2f | L2 %.2f\n",
+                result.best.design.core_fraction(), result.best.design.l1_fraction,
+                result.best.design.l2_fraction);
+    std::printf("  serial / parallel  = %.3g / %.3g cycles\n", result.best.serial_time,
+                result.best.parallel_time);
+    std::printf("  time, throughput   = %.4g cycles, %.4g work/cycle\n",
+                result.best.execution_time, result.best.throughput);
+    return 0;
+  }
+
+  if (objective != "time") {
+    DesignObjective parsed = DesignObjective::kEdp;
+    if (objective == "energy") parsed = DesignObjective::kEnergy;
+    else if (objective == "edp") parsed = DesignObjective::kEdp;
+    else if (objective == "ed2p") parsed = DesignObjective::kEd2p;
+    else {
+      std::fprintf(stderr, "unknown objective '%s'\n", objective.c_str());
+      return 2;
+    }
+    const EnergyAwareOptimizer optimizer(
+        EnergyAwareModel(C2BoundModel(app, machine), EnergyModel{}), options);
+    const EnergyOptimum result = optimizer.optimize(parsed);
+    const DesignPoint& d = result.best.performance.design;
+    std::printf("%s-optimal design:\n", objective.c_str());
+    std::printf("  N = %.0f, A0 = %.3f, A1 = %.3f, A2 = %.3f\n", d.n_cores, d.a0, d.a1,
+                d.a2);
+    std::printf("  time %.4g cycles | energy %.4g | EDP %.4g | power %.4g\n",
+                result.best.performance.execution_time, result.best.total_energy,
+                result.best.edp, result.best.average_power);
+    return 0;
+  }
+
+  const C2BoundOptimizer optimizer(C2BoundModel(app, machine), options);
+  const OptimalDesign result = optimizer.optimize();
+  std::printf("C²-Bound optimum (%s):\n",
+              result.opt_case == OptimizationCase::kMaximizeThroughput
+                  ? "case I: maximize W/T"
+                  : "case II: minimize T");
+  const DesignPoint& d = result.best.design;
+  std::printf("  N = %.0f cores, A0 = %.3f, A1 = %.3f, A2 = %.3f (area units)\n", d.n_cores,
+              d.a0, d.a1, d.a2);
+  std::printf("  C-AMAT %.3f cycles (C = %.2f), L1 MR %.4f, L2 local MR %.4f\n",
+              result.best.camat, result.best.concurrency_c, result.best.l1_miss_rate,
+              result.best.l2_local_miss_rate);
+  std::printf("  time %.4g cycles | throughput %.4g | Sun-Ni speedup %.2f\n",
+              result.best.execution_time, result.best.throughput,
+              result.best.speedup_vs_serial);
+  std::printf("  area price lambda = %.4g\n\n", result.lambda);
+
+  const C2BoundModel model(app, machine);
+  const auto elasticities = time_elasticities(model, d);
+  std::printf("elasticities at the optimum (d log T / d log x):\n");
+  for (const Elasticity& e : elasticities)
+    std::printf("  %-24s %+8.4f  (at %.4g)\n", e.parameter.c_str(), e.elasticity, e.value);
+  std::printf("binding bound: %s\n", to_string(classify_binding_bound(elasticities)));
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const std::string name = args.get("workload", std::string("stencil"));
+  const auto catalog = workload_catalog();
+  const WorkloadSpec* spec = find_workload(catalog, name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s' (see `c2b workloads`)\n", name.c_str());
+    return 2;
+  }
+
+  sim::SystemConfig config = default_system();
+  const auto cores = static_cast<std::uint32_t>(args.get("cores", 1LL));
+  config.hierarchy.cores = cores;
+  config.hierarchy.l1_geometry.size_bytes =
+      static_cast<std::uint64_t>(args.get("l1-kib", 16LL)) * 1024;
+  config.hierarchy.l2_geometry.size_bytes =
+      static_cast<std::uint64_t>(args.get("l2-kib", 512LL)) * 1024;
+  config.core.issue_width = static_cast<std::uint32_t>(args.get("issue", 4LL));
+  config.core.rob_size = static_cast<std::uint32_t>(args.get("rob", 128LL));
+  config.hierarchy.coherence = args.has("coherence");
+  args.mark_used("coherence");
+  const std::string prefetch = args.get("prefetch", std::string("none"));
+  if (prefetch == "nextline") config.hierarchy.l1_prefetch.kind = sim::PrefetchKind::kNextLine;
+  else if (prefetch == "stride") config.hierarchy.l1_prefetch.kind = sim::PrefetchKind::kStride;
+  else if (prefetch != "none") {
+    std::fprintf(stderr, "unknown prefetch kind '%s'\n", prefetch.c_str());
+    return 2;
+  }
+  const auto instructions =
+      static_cast<std::uint64_t>(args.get("instructions", 100'000LL));
+  args.finish();
+
+  std::vector<Trace> traces;
+  for (std::uint32_t c = 0; c < cores; ++c)
+    traces.push_back(spec->make_generator(1.0, 7 + c)->generate(instructions));
+  const sim::SystemResult result = sim::simulate_system(config, traces);
+
+  std::printf("workload %s on %u core(s), %llu instructions each\n", spec->name.c_str(),
+              cores, static_cast<unsigned long long>(instructions));
+  std::printf("makespan          %llu cycles (aggregate IPC %.3f)\n",
+              static_cast<unsigned long long>(result.cycles), result.aggregate_ipc());
+  const sim::CoreResult& core0 = result.cores[0];
+  std::printf("core 0: CPI %.3f | f_mem %.3f | AMAT %.2f | C-AMAT %.2f | C %.2f\n",
+              core0.cpi, core0.f_mem, core0.camat.amat_value, core0.camat.camat_value,
+              core0.camat.concurrency_c);
+  const sim::HierarchyStats& h = result.hierarchy;
+  std::printf("L1 MR %.4f | L2 local MR %.4f | DRAM accesses %llu (row hit %.2f)\n",
+              h.l1_miss_ratio, h.l2_miss_ratio,
+              static_cast<unsigned long long>(h.dram_accesses), h.dram_row_hit_ratio);
+  std::printf("APC: L1 %.3f | L2 %.4f | DRAM %.4f\n", h.apc_l1, h.apc_l2, h.apc_mem);
+  std::printf("writebacks: L1->L2 %llu | L2->DRAM %llu\n",
+              static_cast<unsigned long long>(h.l1_writebacks),
+              static_cast<unsigned long long>(h.l2_writebacks));
+  if (config.hierarchy.l1_prefetch.kind != sim::PrefetchKind::kNone)
+    std::printf("prefetch: issued %llu, useful %llu (accuracy %.2f)\n",
+                static_cast<unsigned long long>(h.prefetches_issued),
+                static_cast<unsigned long long>(h.prefetch_useful_hits),
+                h.prefetch_accuracy);
+  if (config.hierarchy.coherence)
+    std::printf("coherence: invalidations %llu, owner transfers %llu, upgrades %llu\n",
+                static_cast<unsigned long long>(h.coherence_invalidations),
+                static_cast<unsigned long long>(h.coherence_owner_transfers),
+                static_cast<unsigned long long>(h.coherence_upgrades));
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  const std::string name = args.get("workload", std::string("stencil"));
+  const std::string out = args.get("out", std::string(""));
+  if (out.empty()) {
+    std::fprintf(stderr, "trace: --out <file> is required\n");
+    return 2;
+  }
+  const auto catalog = workload_catalog();
+  const WorkloadSpec* spec = find_workload(catalog, name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s' (see `c2b workloads`)\n", name.c_str());
+    return 2;
+  }
+  const auto instructions =
+      static_cast<std::uint64_t>(args.get("instructions", 100'000LL));
+  const double scale = args.get("scale", 1.0);
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", 1LL));
+  args.finish();
+
+  Trace trace = spec->make_generator(scale, seed)->generate(instructions);
+  trace.name = spec->name;
+  save_trace(out, trace);
+  std::printf("wrote %llu records (%llu distinct lines, f_mem %.3f) to %s\n",
+              static_cast<unsigned long long>(trace.records.size()),
+              static_cast<unsigned long long>(trace.distinct_lines()), trace.f_mem(),
+              out.c_str());
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const std::set<std::string> boolean_flags{"simpoints", "asymmetric", "coherence"};
+  const Args args(argc, argv, 2, boolean_flags);
+  if (command == "workloads") return cmd_workloads();
+  if (command == "characterize") return cmd_characterize(args);
+  if (command == "optimize") return cmd_optimize(args);
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "trace") return cmd_trace(args);
+  return usage();
+}
+
+}  // namespace
+}  // namespace c2b::cli
+
+int main(int argc, char** argv) {
+  try {
+    return c2b::cli::run(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "c2b: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,85 @@
+#pragma once
+
+// Minimal flag parser for the c2b command-line tool: supports
+// `--flag value`, `--flag=value`, and boolean `--flag`. Unknown flags are
+// an error (typos should not silently do nothing).
+
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace c2b::cli {
+
+class Args {
+ public:
+  /// Parse argv[first..). `boolean_flags` take no value.
+  Args(int argc, char** argv, int first, std::set<std::string> boolean_flags = {});
+
+  bool has(const std::string& flag) const { return values_.count(flag) > 0; }
+
+  std::string get(const std::string& flag, const std::string& fallback) const;
+  double get(const std::string& flag, double fallback) const;
+  long long get(const std::string& flag, long long fallback) const;
+
+  /// Flags that were parsed but never queried — call at the end to reject
+  /// typos (`finish()` throws listing them).
+  void mark_used(const std::string& flag) const { used_.insert(flag); }
+  void finish() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+inline Args::Args(int argc, char** argv, int first, std::set<std::string> boolean_flags) {
+  for (int i = first; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0)
+      throw std::invalid_argument("expected a --flag, got '" + token + "'");
+    token.erase(0, 2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      values_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    if (boolean_flags.count(token) > 0) {
+      values_[token] = "true";
+      continue;
+    }
+    if (i + 1 >= argc)
+      throw std::invalid_argument("flag --" + token + " needs a value");
+    values_[token] = argv[++i];
+  }
+}
+
+inline std::string Args::get(const std::string& flag, const std::string& fallback) const {
+  mark_used(flag);
+  const auto it = values_.find(flag);
+  return it == values_.end() ? fallback : it->second;
+}
+
+inline double Args::get(const std::string& flag, double fallback) const {
+  mark_used(flag);
+  const auto it = values_.find(flag);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+inline long long Args::get(const std::string& flag, long long fallback) const {
+  mark_used(flag);
+  const auto it = values_.find(flag);
+  return it == values_.end() ? fallback : std::stoll(it->second);
+}
+
+inline void Args::finish() const {
+  std::string unknown;
+  for (const auto& [flag, value] : values_) {
+    (void)value;
+    if (used_.count(flag) == 0) unknown += " --" + flag;
+  }
+  if (!unknown.empty()) throw std::invalid_argument("unknown flag(s):" + unknown);
+}
+
+}  // namespace c2b::cli
