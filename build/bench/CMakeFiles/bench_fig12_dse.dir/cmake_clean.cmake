@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_dse.dir/bench_fig12_dse.cpp.o"
+  "CMakeFiles/bench_fig12_dse.dir/bench_fig12_dse.cpp.o.d"
+  "bench_fig12_dse"
+  "bench_fig12_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

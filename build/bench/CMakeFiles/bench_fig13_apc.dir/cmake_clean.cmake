@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_apc.dir/bench_fig13_apc.cpp.o"
+  "CMakeFiles/bench_fig13_apc.dir/bench_fig13_apc.cpp.o.d"
+  "bench_fig13_apc"
+  "bench_fig13_apc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_apc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_multitask.cpp" "bench/CMakeFiles/bench_fig7_multitask.dir/bench_fig7_multitask.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_multitask.dir/bench_fig7_multitask.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/c2b_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/aps/CMakeFiles/c2b_aps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/c2b_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/c2b_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/c2b_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/c2b_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/laws/CMakeFiles/c2b_laws.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/c2b_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/c2b_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/c2b_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/c2b_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_multitask.dir/bench_fig7_multitask.cpp.o"
+  "CMakeFiles/bench_fig7_multitask.dir/bench_fig7_multitask.cpp.o.d"
+  "bench_fig7_multitask"
+  "bench_fig7_multitask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_multitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_gn.dir/bench_table1_gn.cpp.o"
+  "CMakeFiles/bench_table1_gn.dir/bench_table1_gn.cpp.o.d"
+  "bench_table1_gn"
+  "bench_table1_gn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_gn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

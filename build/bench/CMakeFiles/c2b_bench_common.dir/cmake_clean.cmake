@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libc2b_bench_common.a"
+  "../lib/libc2b_bench_common.pdb"
+  "CMakeFiles/c2b_bench_common.dir/scaling_figures.cpp.o"
+  "CMakeFiles/c2b_bench_common.dir/scaling_figures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2b_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

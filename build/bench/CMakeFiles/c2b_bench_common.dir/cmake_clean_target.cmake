@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libc2b_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asymmetric_design.dir/asymmetric_design.cpp.o"
+  "CMakeFiles/asymmetric_design.dir/asymmetric_design.cpp.o.d"
+  "asymmetric_design"
+  "asymmetric_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asymmetric_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

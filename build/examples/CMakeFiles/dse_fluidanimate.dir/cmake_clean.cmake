@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_fluidanimate.dir/dse_fluidanimate.cpp.o"
+  "CMakeFiles/dse_fluidanimate.dir/dse_fluidanimate.cpp.o.d"
+  "dse_fluidanimate"
+  "dse_fluidanimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_fluidanimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_pareto.dir/energy_pareto.cpp.o"
+  "CMakeFiles/energy_pareto.dir/energy_pareto.cpp.o.d"
+  "energy_pareto"
+  "energy_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_hierarchy_apc.dir/memory_hierarchy_apc.cpp.o"
+  "CMakeFiles/memory_hierarchy_apc.dir/memory_hierarchy_apc.cpp.o.d"
+  "memory_hierarchy_apc"
+  "memory_hierarchy_apc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_hierarchy_apc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

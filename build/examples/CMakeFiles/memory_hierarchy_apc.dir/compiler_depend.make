@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for memory_hierarchy_apc.
+# This may be replaced when dependencies are built.

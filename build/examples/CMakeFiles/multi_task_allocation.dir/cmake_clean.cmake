@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_task_allocation.dir/multi_task_allocation.cpp.o"
+  "CMakeFiles/multi_task_allocation.dir/multi_task_allocation.cpp.o.d"
+  "multi_task_allocation"
+  "multi_task_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_task_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_adaptive.dir/phase_adaptive.cpp.o"
+  "CMakeFiles/phase_adaptive.dir/phase_adaptive.cpp.o.d"
+  "phase_adaptive"
+  "phase_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2b_ann.dir/mlp.cpp.o"
+  "CMakeFiles/c2b_ann.dir/mlp.cpp.o.d"
+  "libc2b_ann.a"
+  "libc2b_ann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2b_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

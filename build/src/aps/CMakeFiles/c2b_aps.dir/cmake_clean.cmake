@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2b_aps.dir/aps.cpp.o"
+  "CMakeFiles/c2b_aps.dir/aps.cpp.o.d"
+  "CMakeFiles/c2b_aps.dir/characterize.cpp.o"
+  "CMakeFiles/c2b_aps.dir/characterize.cpp.o.d"
+  "CMakeFiles/c2b_aps.dir/dse.cpp.o"
+  "CMakeFiles/c2b_aps.dir/dse.cpp.o.d"
+  "libc2b_aps.a"
+  "libc2b_aps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2b_aps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2b_common.dir/log.cpp.o"
+  "CMakeFiles/c2b_common.dir/log.cpp.o.d"
+  "CMakeFiles/c2b_common.dir/math_util.cpp.o"
+  "CMakeFiles/c2b_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/c2b_common.dir/rng.cpp.o"
+  "CMakeFiles/c2b_common.dir/rng.cpp.o.d"
+  "CMakeFiles/c2b_common.dir/stats.cpp.o"
+  "CMakeFiles/c2b_common.dir/stats.cpp.o.d"
+  "CMakeFiles/c2b_common.dir/table.cpp.o"
+  "CMakeFiles/c2b_common.dir/table.cpp.o.d"
+  "libc2b_common.a"
+  "libc2b_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2b_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

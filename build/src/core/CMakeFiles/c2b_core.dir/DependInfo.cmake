@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/asymmetric.cpp" "src/core/CMakeFiles/c2b_core.dir/asymmetric.cpp.o" "gcc" "src/core/CMakeFiles/c2b_core.dir/asymmetric.cpp.o.d"
+  "/root/repo/src/core/c2bound.cpp" "src/core/CMakeFiles/c2b_core.dir/c2bound.cpp.o" "gcc" "src/core/CMakeFiles/c2b_core.dir/c2bound.cpp.o.d"
+  "/root/repo/src/core/capacity.cpp" "src/core/CMakeFiles/c2b_core.dir/capacity.cpp.o" "gcc" "src/core/CMakeFiles/c2b_core.dir/capacity.cpp.o.d"
+  "/root/repo/src/core/chip.cpp" "src/core/CMakeFiles/c2b_core.dir/chip.cpp.o" "gcc" "src/core/CMakeFiles/c2b_core.dir/chip.cpp.o.d"
+  "/root/repo/src/core/energy.cpp" "src/core/CMakeFiles/c2b_core.dir/energy.cpp.o" "gcc" "src/core/CMakeFiles/c2b_core.dir/energy.cpp.o.d"
+  "/root/repo/src/core/multitask.cpp" "src/core/CMakeFiles/c2b_core.dir/multitask.cpp.o" "gcc" "src/core/CMakeFiles/c2b_core.dir/multitask.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/c2b_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/c2b_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/c2b_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/c2b_core.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/c2b_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/laws/CMakeFiles/c2b_laws.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/c2b_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/c2b_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/c2b_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

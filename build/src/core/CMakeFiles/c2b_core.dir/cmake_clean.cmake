@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2b_core.dir/asymmetric.cpp.o"
+  "CMakeFiles/c2b_core.dir/asymmetric.cpp.o.d"
+  "CMakeFiles/c2b_core.dir/c2bound.cpp.o"
+  "CMakeFiles/c2b_core.dir/c2bound.cpp.o.d"
+  "CMakeFiles/c2b_core.dir/capacity.cpp.o"
+  "CMakeFiles/c2b_core.dir/capacity.cpp.o.d"
+  "CMakeFiles/c2b_core.dir/chip.cpp.o"
+  "CMakeFiles/c2b_core.dir/chip.cpp.o.d"
+  "CMakeFiles/c2b_core.dir/energy.cpp.o"
+  "CMakeFiles/c2b_core.dir/energy.cpp.o.d"
+  "CMakeFiles/c2b_core.dir/multitask.cpp.o"
+  "CMakeFiles/c2b_core.dir/multitask.cpp.o.d"
+  "CMakeFiles/c2b_core.dir/optimizer.cpp.o"
+  "CMakeFiles/c2b_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/c2b_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/c2b_core.dir/sensitivity.cpp.o.d"
+  "libc2b_core.a"
+  "libc2b_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2b_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2b_laws.dir/scaling.cpp.o"
+  "CMakeFiles/c2b_laws.dir/scaling.cpp.o.d"
+  "CMakeFiles/c2b_laws.dir/speedup.cpp.o"
+  "CMakeFiles/c2b_laws.dir/speedup.cpp.o.d"
+  "libc2b_laws.a"
+  "libc2b_laws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2b_laws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2b_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/c2b_linalg.dir/matrix.cpp.o.d"
+  "libc2b_linalg.a"
+  "libc2b_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2b_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

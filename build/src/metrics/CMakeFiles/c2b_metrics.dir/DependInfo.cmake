@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/amat.cpp" "src/metrics/CMakeFiles/c2b_metrics.dir/amat.cpp.o" "gcc" "src/metrics/CMakeFiles/c2b_metrics.dir/amat.cpp.o.d"
+  "/root/repo/src/metrics/timeline.cpp" "src/metrics/CMakeFiles/c2b_metrics.dir/timeline.cpp.o" "gcc" "src/metrics/CMakeFiles/c2b_metrics.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/c2b_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

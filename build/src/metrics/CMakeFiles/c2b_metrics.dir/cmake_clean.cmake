@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2b_metrics.dir/amat.cpp.o"
+  "CMakeFiles/c2b_metrics.dir/amat.cpp.o.d"
+  "CMakeFiles/c2b_metrics.dir/timeline.cpp.o"
+  "CMakeFiles/c2b_metrics.dir/timeline.cpp.o.d"
+  "libc2b_metrics.a"
+  "libc2b_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2b_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

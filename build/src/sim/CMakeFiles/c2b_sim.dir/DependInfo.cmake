@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache/cache.cpp" "src/sim/CMakeFiles/c2b_sim.dir/cache/cache.cpp.o" "gcc" "src/sim/CMakeFiles/c2b_sim.dir/cache/cache.cpp.o.d"
+  "/root/repo/src/sim/cache/coherence.cpp" "src/sim/CMakeFiles/c2b_sim.dir/cache/coherence.cpp.o" "gcc" "src/sim/CMakeFiles/c2b_sim.dir/cache/coherence.cpp.o.d"
+  "/root/repo/src/sim/cache/prefetch.cpp" "src/sim/CMakeFiles/c2b_sim.dir/cache/prefetch.cpp.o" "gcc" "src/sim/CMakeFiles/c2b_sim.dir/cache/prefetch.cpp.o.d"
+  "/root/repo/src/sim/detector/detector.cpp" "src/sim/CMakeFiles/c2b_sim.dir/detector/detector.cpp.o" "gcc" "src/sim/CMakeFiles/c2b_sim.dir/detector/detector.cpp.o.d"
+  "/root/repo/src/sim/dram/dram.cpp" "src/sim/CMakeFiles/c2b_sim.dir/dram/dram.cpp.o" "gcc" "src/sim/CMakeFiles/c2b_sim.dir/dram/dram.cpp.o.d"
+  "/root/repo/src/sim/dram/scheduler.cpp" "src/sim/CMakeFiles/c2b_sim.dir/dram/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/c2b_sim.dir/dram/scheduler.cpp.o.d"
+  "/root/repo/src/sim/noc/noc.cpp" "src/sim/CMakeFiles/c2b_sim.dir/noc/noc.cpp.o" "gcc" "src/sim/CMakeFiles/c2b_sim.dir/noc/noc.cpp.o.d"
+  "/root/repo/src/sim/system/hierarchy.cpp" "src/sim/CMakeFiles/c2b_sim.dir/system/hierarchy.cpp.o" "gcc" "src/sim/CMakeFiles/c2b_sim.dir/system/hierarchy.cpp.o.d"
+  "/root/repo/src/sim/system/system.cpp" "src/sim/CMakeFiles/c2b_sim.dir/system/system.cpp.o" "gcc" "src/sim/CMakeFiles/c2b_sim.dir/system/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/c2b_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/c2b_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/c2b_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/laws/CMakeFiles/c2b_laws.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

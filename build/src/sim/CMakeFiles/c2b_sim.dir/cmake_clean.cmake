@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2b_sim.dir/cache/cache.cpp.o"
+  "CMakeFiles/c2b_sim.dir/cache/cache.cpp.o.d"
+  "CMakeFiles/c2b_sim.dir/cache/coherence.cpp.o"
+  "CMakeFiles/c2b_sim.dir/cache/coherence.cpp.o.d"
+  "CMakeFiles/c2b_sim.dir/cache/prefetch.cpp.o"
+  "CMakeFiles/c2b_sim.dir/cache/prefetch.cpp.o.d"
+  "CMakeFiles/c2b_sim.dir/detector/detector.cpp.o"
+  "CMakeFiles/c2b_sim.dir/detector/detector.cpp.o.d"
+  "CMakeFiles/c2b_sim.dir/dram/dram.cpp.o"
+  "CMakeFiles/c2b_sim.dir/dram/dram.cpp.o.d"
+  "CMakeFiles/c2b_sim.dir/dram/scheduler.cpp.o"
+  "CMakeFiles/c2b_sim.dir/dram/scheduler.cpp.o.d"
+  "CMakeFiles/c2b_sim.dir/noc/noc.cpp.o"
+  "CMakeFiles/c2b_sim.dir/noc/noc.cpp.o.d"
+  "CMakeFiles/c2b_sim.dir/system/hierarchy.cpp.o"
+  "CMakeFiles/c2b_sim.dir/system/hierarchy.cpp.o.d"
+  "CMakeFiles/c2b_sim.dir/system/system.cpp.o"
+  "CMakeFiles/c2b_sim.dir/system/system.cpp.o.d"
+  "libc2b_sim.a"
+  "libc2b_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2b_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

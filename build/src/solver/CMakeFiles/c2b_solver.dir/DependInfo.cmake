@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/grid.cpp" "src/solver/CMakeFiles/c2b_solver.dir/grid.cpp.o" "gcc" "src/solver/CMakeFiles/c2b_solver.dir/grid.cpp.o.d"
+  "/root/repo/src/solver/lagrange.cpp" "src/solver/CMakeFiles/c2b_solver.dir/lagrange.cpp.o" "gcc" "src/solver/CMakeFiles/c2b_solver.dir/lagrange.cpp.o.d"
+  "/root/repo/src/solver/minimize.cpp" "src/solver/CMakeFiles/c2b_solver.dir/minimize.cpp.o" "gcc" "src/solver/CMakeFiles/c2b_solver.dir/minimize.cpp.o.d"
+  "/root/repo/src/solver/newton.cpp" "src/solver/CMakeFiles/c2b_solver.dir/newton.cpp.o" "gcc" "src/solver/CMakeFiles/c2b_solver.dir/newton.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/c2b_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/c2b_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2b_solver.dir/grid.cpp.o"
+  "CMakeFiles/c2b_solver.dir/grid.cpp.o.d"
+  "CMakeFiles/c2b_solver.dir/lagrange.cpp.o"
+  "CMakeFiles/c2b_solver.dir/lagrange.cpp.o.d"
+  "CMakeFiles/c2b_solver.dir/minimize.cpp.o"
+  "CMakeFiles/c2b_solver.dir/minimize.cpp.o.d"
+  "CMakeFiles/c2b_solver.dir/newton.cpp.o"
+  "CMakeFiles/c2b_solver.dir/newton.cpp.o.d"
+  "libc2b_solver.a"
+  "libc2b_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2b_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

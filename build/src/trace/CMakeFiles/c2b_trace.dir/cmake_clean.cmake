@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2b_trace.dir/generators.cpp.o"
+  "CMakeFiles/c2b_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/c2b_trace.dir/reuse.cpp.o"
+  "CMakeFiles/c2b_trace.dir/reuse.cpp.o.d"
+  "CMakeFiles/c2b_trace.dir/simpoint.cpp.o"
+  "CMakeFiles/c2b_trace.dir/simpoint.cpp.o.d"
+  "CMakeFiles/c2b_trace.dir/trace.cpp.o"
+  "CMakeFiles/c2b_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/c2b_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/c2b_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/c2b_trace.dir/workloads.cpp.o"
+  "CMakeFiles/c2b_trace.dir/workloads.cpp.o.d"
+  "libc2b_trace.a"
+  "libc2b_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2b_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ann_mlp.dir/test_ann_mlp.cpp.o"
+  "CMakeFiles/test_ann_mlp.dir/test_ann_mlp.cpp.o.d"
+  "test_ann_mlp"
+  "test_ann_mlp.pdb"
+  "test_ann_mlp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ann_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aps.dir/test_aps.cpp.o"
+  "CMakeFiles/test_aps.dir/test_aps.cpp.o.d"
+  "test_aps"
+  "test_aps.pdb"
+  "test_aps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_catalog_properties.dir/test_catalog_properties.cpp.o"
+  "CMakeFiles/test_catalog_properties.dir/test_catalog_properties.cpp.o.d"
+  "test_catalog_properties"
+  "test_catalog_properties.pdb"
+  "test_catalog_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_catalog_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_asymmetric.dir/test_core_asymmetric.cpp.o"
+  "CMakeFiles/test_core_asymmetric.dir/test_core_asymmetric.cpp.o.d"
+  "test_core_asymmetric"
+  "test_core_asymmetric.pdb"
+  "test_core_asymmetric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_asymmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_c2bound.dir/test_core_c2bound.cpp.o"
+  "CMakeFiles/test_core_c2bound.dir/test_core_c2bound.cpp.o.d"
+  "test_core_c2bound"
+  "test_core_c2bound.pdb"
+  "test_core_c2bound[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_c2bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_energy.dir/test_core_energy.cpp.o"
+  "CMakeFiles/test_core_energy.dir/test_core_energy.cpp.o.d"
+  "test_core_energy"
+  "test_core_energy.pdb"
+  "test_core_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_multitask.dir/test_core_multitask.cpp.o"
+  "CMakeFiles/test_core_multitask.dir/test_core_multitask.cpp.o.d"
+  "test_core_multitask"
+  "test_core_multitask.pdb"
+  "test_core_multitask[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_multitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_laws.dir/test_laws.cpp.o"
+  "CMakeFiles/test_laws.dir/test_laws.cpp.o.d"
+  "test_laws"
+  "test_laws.pdb"
+  "test_laws[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_laws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_cache.dir/test_sim_cache.cpp.o"
+  "CMakeFiles/test_sim_cache.dir/test_sim_cache.cpp.o.d"
+  "test_sim_cache"
+  "test_sim_cache.pdb"
+  "test_sim_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_coherence.dir/test_sim_coherence.cpp.o"
+  "CMakeFiles/test_sim_coherence.dir/test_sim_coherence.cpp.o.d"
+  "test_sim_coherence"
+  "test_sim_coherence.pdb"
+  "test_sim_coherence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

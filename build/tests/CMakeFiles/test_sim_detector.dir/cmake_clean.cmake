@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_detector.dir/test_sim_detector.cpp.o"
+  "CMakeFiles/test_sim_detector.dir/test_sim_detector.cpp.o.d"
+  "test_sim_detector"
+  "test_sim_detector.pdb"
+  "test_sim_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

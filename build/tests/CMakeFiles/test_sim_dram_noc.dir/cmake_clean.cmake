@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_dram_noc.dir/test_sim_dram_noc.cpp.o"
+  "CMakeFiles/test_sim_dram_noc.dir/test_sim_dram_noc.cpp.o.d"
+  "test_sim_dram_noc"
+  "test_sim_dram_noc.pdb"
+  "test_sim_dram_noc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_dram_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

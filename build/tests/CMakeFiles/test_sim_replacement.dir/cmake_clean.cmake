@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_replacement.dir/test_sim_replacement.cpp.o"
+  "CMakeFiles/test_sim_replacement.dir/test_sim_replacement.cpp.o.d"
+  "test_sim_replacement"
+  "test_sim_replacement.pdb"
+  "test_sim_replacement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_generators.dir/test_trace_generators.cpp.o"
+  "CMakeFiles/test_trace_generators.dir/test_trace_generators.cpp.o.d"
+  "test_trace_generators"
+  "test_trace_generators.pdb"
+  "test_trace_generators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_new_kernels.dir/test_trace_new_kernels.cpp.o"
+  "CMakeFiles/test_trace_new_kernels.dir/test_trace_new_kernels.cpp.o.d"
+  "test_trace_new_kernels"
+  "test_trace_new_kernels.pdb"
+  "test_trace_new_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_new_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

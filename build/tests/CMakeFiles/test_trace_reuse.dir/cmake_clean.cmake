@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_reuse.dir/test_trace_reuse.cpp.o"
+  "CMakeFiles/test_trace_reuse.dir/test_trace_reuse.cpp.o.d"
+  "test_trace_reuse"
+  "test_trace_reuse.pdb"
+  "test_trace_reuse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_simpoint.dir/test_trace_simpoint.cpp.o"
+  "CMakeFiles/test_trace_simpoint.dir/test_trace_simpoint.cpp.o.d"
+  "test_trace_simpoint"
+  "test_trace_simpoint.pdb"
+  "test_trace_simpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_simpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2b.dir/c2b_cli.cpp.o"
+  "CMakeFiles/c2b.dir/c2b_cli.cpp.o.d"
+  "c2b"
+  "c2b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
