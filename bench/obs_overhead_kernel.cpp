@@ -1,0 +1,26 @@
+#include "obs_overhead_kernel.h"
+
+#include "c2b/obs/obs.h"
+
+namespace c2b::bench {
+
+std::uint64_t obs_kernel_plain(std::size_t iterations) {
+  std::uint64_t acc = 1469598103934665603ull;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    acc ^= i;
+    acc *= 1099511628211ull;
+  }
+  return acc;
+}
+
+std::uint64_t obs_kernel_instrumented(std::size_t iterations) {
+  std::uint64_t acc = 1469598103934665603ull;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    acc ^= i;
+    acc *= 1099511628211ull;
+    C2B_COUNTER_INC("bench.obs.kernel_iterations");
+  }
+  return acc;
+}
+
+}  // namespace c2b::bench

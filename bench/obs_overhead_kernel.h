@@ -1,0 +1,21 @@
+#pragma once
+
+// A tiny FNV-style arithmetic kernel used to price the telemetry macros.
+// Three variants of the identical loop:
+//   * plain         — no instrumentation at all (the baseline);
+//   * instrumented  — one C2B_COUNTER_INC per iteration, compiled normally
+//                     (obs_overhead_kernel.cpp);
+//   * compiled_out  — the same instrumented source built with
+//                     C2B_OBS_DISABLED (obs_overhead_kernel_disabled.cpp),
+//                     so the macro must cost exactly nothing.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace c2b::bench {
+
+std::uint64_t obs_kernel_plain(std::size_t iterations);
+std::uint64_t obs_kernel_instrumented(std::size_t iterations);
+std::uint64_t obs_kernel_compiled_out(std::size_t iterations);
+
+}  // namespace c2b::bench

@@ -1,0 +1,21 @@
+// The instrumented kernel rebuilt with the compile-time kill switch: the
+// define must come before any include so obs.h emits the no-op macros.
+#define C2B_OBS_DISABLED 1
+
+#include "obs_overhead_kernel.h"
+
+#include "c2b/obs/obs.h"
+
+namespace c2b::bench {
+
+std::uint64_t obs_kernel_compiled_out(std::size_t iterations) {
+  std::uint64_t acc = 1469598103934665603ull;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    acc ^= i;
+    acc *= 1099511628211ull;
+    C2B_COUNTER_INC("bench.obs.kernel_iterations");
+  }
+  return acc;
+}
+
+}  // namespace c2b::bench

@@ -8,16 +8,19 @@
 #include "c2b/common/assert.h"
 #include "c2b/common/math_util.h"
 #include "c2b/common/log.h"
+#include "c2b/obs/obs.h"
 
 namespace c2b {
 
 FullDseResult run_full_dse(const DseContext& context, const GridSpace& space) {
+  C2B_SPAN("aps/full_dse");
   FullDseResult result;
   result.times.assign(space.size(), std::numeric_limits<double>::infinity());
   space.for_each([&](std::size_t flat, const std::vector<double>& point) {
     if (!design_feasible(context, point)) return;
     result.times[flat] = simulate_design_time(context, point);
     ++result.simulations;
+    C2B_COUNTER_INC("aps.full_dse.simulations");
     ++result.feasible_count;
   });
   C2B_REQUIRE(result.simulations > 0, "no feasible design in the space");
@@ -28,13 +31,17 @@ FullDseResult run_full_dse(const DseContext& context, const GridSpace& space) {
 }
 
 ApsResult run_aps(const DseContext& context, const GridSpace& space, const ApsOptions& options) {
+  C2B_SPAN("aps/run_aps");
   ApsResult result;
 
   // ---- Step 1: characterization (Fig. 6 lines 1-3) ----
   result.characterization = characterize(context.workload, context.base, options.characterize);
   result.simulations += result.characterization.simulation_runs;
+  result.memory_accesses += result.characterization.memory_accesses;
 
   // ---- Step 2: analytic optimization (Fig. 6 lines 4-13) ----
+  {
+  C2B_SPAN("aps/analytic_solve");
   AppProfile app = result.characterization.app;
   app.ic0 = static_cast<double>(context.instructions0);
   // Concurrency the design can rely on: the detector's C_M includes merged
@@ -115,6 +122,7 @@ ApsResult run_aps(const DseContext& context, const GridSpace& space, const ApsOp
       *std::max_element(space.axis(kAxisN).values.begin(), space.axis(kAxisN).values.end()));
   const C2BoundOptimizer optimizer(C2BoundModel(app, machine), opt);
   result.analytic = optimizer.optimize();
+  }
 
   // ---- Step 3: snap to the grid and simulate the narrowed region ----
   // Snap the analytic (A0, A1, A2, N) to the nearest *feasible* grid point
@@ -177,12 +185,14 @@ ApsResult run_aps(const DseContext& context, const GridSpace& space, const ApsOp
     }
   }
 
+  C2B_SPAN("aps/neighborhood_sim");
   result.best_time = std::numeric_limits<double>::infinity();
   for (const std::size_t flat : region) {
     const std::vector<double> point = space.point(flat);
     if (!design_feasible(context, point)) continue;
-    const double time = simulate_design_time(context, point);
+    const double time = simulate_design_time(context, point, &result.memory_accesses);
     ++result.simulations;
+    C2B_COUNTER_INC("aps.neighborhood.simulations");
     result.simulated_indices.push_back(flat);
     if (time < result.best_time) {
       result.best_time = time;

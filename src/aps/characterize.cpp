@@ -5,6 +5,7 @@
 
 #include "c2b/common/assert.h"
 #include "c2b/common/math_util.h"
+#include "c2b/obs/obs.h"
 
 namespace c2b {
 namespace {
@@ -53,6 +54,7 @@ TimelineMetrics weighted_merge(const std::vector<TimelineMetrics>& parts,
 Characterization characterize(const WorkloadSpec& spec, const sim::SystemConfig& baseline,
                               const CharacterizeOptions& options) {
   C2B_REQUIRE(options.instructions >= 1000, "characterization window too small");
+  C2B_SPAN("aps/characterize");
   Characterization out;
 
   auto generator = spec.make_generator(1.0, options.seed);
@@ -82,7 +84,10 @@ Characterization characterize(const WorkloadSpec& spec, const sim::SystemConfig&
     const sim::SystemResult real = sim::simulate_single_core(baseline, windows[i]);
     const sim::SystemResult ideal = sim::simulate_single_core(perfect, windows[i]);
     out.simulation_runs += 2;
+    C2B_COUNTER_ADD("aps.characterize.simulations", 2);
     out.simulated_instructions += windows[i].records.size();
+    out.memory_accesses +=
+        real.cores[0].memory_accesses + ideal.cores[0].memory_accesses;
     metrics.push_back(real.cores[0].camat);
     cpi_real += weights[i] * real.cores[0].cpi;
     cpi_perfect += weights[i] * ideal.cores[0].cpi;

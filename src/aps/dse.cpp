@@ -63,7 +63,8 @@ bool design_feasible(const DseContext& context, const std::vector<double>& point
   return n * per_core + context.chip.shared_area <= context.chip.total_area + 1e-9;
 }
 
-double simulate_design_time(const DseContext& context, const std::vector<double>& point) {
+double simulate_design_time(const DseContext& context, const std::vector<double>& point,
+                            std::uint64_t* memory_accesses) {
   const sim::SystemConfig config = config_for_design(context, point);
   const auto n = config.hierarchy.cores;
   const double n_d = static_cast<double>(n);
@@ -89,6 +90,7 @@ double simulate_design_time(const DseContext& context, const std::vector<double>
     const sim::SystemResult result = sim::simulate_single_core(config, trace);
     const double cpi = result.cores[0].cpi;
     total_cycles += cpi * serial_ic;
+    if (memory_accesses != nullptr) *memory_accesses += result.cores[0].memory_accesses;
   }
 
   // ---- Parallel phase: SPMD across all n cores ----
@@ -103,6 +105,8 @@ double simulate_design_time(const DseContext& context, const std::vector<double>
       traces.push_back(generator->generate(window));
     }
     const sim::SystemResult result = sim::simulate_system(config, traces);
+    if (memory_accesses != nullptr)
+      for (const sim::CoreResult& core : result.cores) *memory_accesses += core.memory_accesses;
     // Extrapolate the makespan linearly from the simulated window to the
     // full per-core share.
     const double scale = parallel_ic_per_core / static_cast<double>(window);

@@ -1,14 +1,17 @@
 #include "c2b/common/log.h"
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <mutex>
 #include <string>
 
 namespace c2b {
 namespace {
 
-std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
 std::mutex g_io_mutex;
 
 const char* level_name(LogLevel level) noexcept {
@@ -27,19 +30,61 @@ const char* level_name(LogLevel level) noexcept {
   return "?";
 }
 
+/// Initial threshold from the C2B_LOG_LEVEL environment variable
+/// (DEBUG|INFO|WARN|ERROR|OFF, case-sensitive); unset or unrecognized
+/// values keep the kWarn default.
+LogLevel initial_threshold() noexcept {
+  const char* env = std::getenv("C2B_LOG_LEVEL");
+  if (env != nullptr) {
+    for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                                 LogLevel::kError, LogLevel::kOff}) {
+      if (std::strcmp(env, level_name(level)) == 0) return level;
+    }
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel>& threshold_slot() noexcept {
+  static std::atomic<LogLevel> threshold{initial_threshold()};
+  return threshold;
+}
+
+/// Small sequential id per logging thread (readable, unlike the hash of
+/// std::thread::id).
+std::uint32_t this_thread_tag() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tag = next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
 }  // namespace
 
-LogLevel log_threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+LogLevel log_threshold() noexcept {
+  return threshold_slot().load(std::memory_order_relaxed);
+}
 
 void set_log_threshold(LogLevel level) noexcept {
-  g_threshold.store(level, std::memory_order_relaxed);
+  threshold_slot().store(level, std::memory_order_relaxed);
 }
 
 void log_line(LogLevel level, std::string_view component, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
+
+  // ISO-8601 UTC timestamp, e.g. 2026-08-05T12:34:56Z.
+  char stamp[32] = "0000-00-00T00:00:00Z";
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+#if defined(_WIN32)
+  gmtime_s(&utc, &now);
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+#else
+  if (gmtime_r(&now, &utc) != nullptr)
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+#endif
+
   const std::lock_guard<std::mutex> lock(g_io_mutex);
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
-               static_cast<int>(component.size()), component.data(),
+  std::fprintf(stderr, "%s [%s] t%u %.*s: %.*s\n", stamp, level_name(level),
+               this_thread_tag(), static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());
 }
 

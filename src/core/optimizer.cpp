@@ -6,6 +6,7 @@
 
 #include "c2b/common/assert.h"
 #include "c2b/common/math_util.h"
+#include "c2b/obs/obs.h"
 #include "c2b/solver/lagrange.h"
 #include "c2b/solver/minimize.h"
 
@@ -58,6 +59,7 @@ Evaluation C2BoundOptimizer::best_allocation(long long n_cores) const {
   double best_value = std::numeric_limits<double>::infinity();
   Vector best_x = {budget * 0.2, budget * 0.4};
   const int restarts = std::max(1, options_.nelder_mead_restarts);
+  C2B_COUNTER_ADD("optimizer.nm_restarts", static_cast<std::uint64_t>(restarts));
   for (int r = 0; r < restarts; ++r) {
     const double l1_frac = 0.1 + 0.25 * r / static_cast<double>(restarts);
     const double l2_frac = 0.2 + 0.4 * r / static_cast<double>(restarts);
@@ -116,6 +118,7 @@ C2BoundOptimizer::PolishResult C2BoundOptimizer::lagrange_polish(const DesignPoi
 }
 
 OptimalDesign C2BoundOptimizer::optimize() const {
+  C2B_SPAN("optimizer/optimize");
   const ChipConstraints& chip = model_.machine().chip;
   long long n_max = options_.n_max > 0 ? options_.n_max : chip.max_cores();
   n_max = std::min(n_max, options_.n_cap);
@@ -128,6 +131,7 @@ OptimalDesign C2BoundOptimizer::optimize() const {
   for (long long n = options_.n_min; n <= n_max; ++n) {
     const double budget = chip.per_core_budget(static_cast<double>(n));
     if (budget < chip.min_core_area + chip.min_l1_area + chip.min_l2_area) break;
+    C2B_SPAN_ARG("optimizer/per_n", static_cast<std::uint64_t>(n));
     Evaluation eval = best_allocation(n);
     const double score = result.opt_case == OptimizationCase::kMaximizeThroughput
                              ? eval.throughput

@@ -55,6 +55,10 @@ struct ApsResult {
   std::size_t best_index = 0;
   double best_time = 0.0;
   std::size_t simulations = 0;        ///< incl. characterization runs
+  /// Demand memory accesses across every simulation the run performed
+  /// (characterization + neighborhood); the telemetry counters
+  /// sim.l1.hit + sim.l1.miss must sum to exactly this.
+  std::uint64_t memory_accesses = 0;
   /// Design-space narrowing factor: |space| / |simulated region|.
   double narrowing_factor = 0.0;
 };

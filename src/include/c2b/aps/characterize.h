@@ -34,6 +34,10 @@ struct Characterization {
   sim::HierarchyStats hierarchy;
   std::size_t simulated_instructions = 0;
   std::size_t simulation_runs = 0;  ///< how many simulator invocations it cost
+  /// Demand memory accesses issued across every characterization run
+  /// (real + perfect hierarchies); cross-checkable against the telemetry
+  /// counters sim.l1.hit + sim.l1.miss.
+  std::uint64_t memory_accesses = 0;
 };
 
 /// Characterize `spec` on the given baseline machine. The AppProfile's

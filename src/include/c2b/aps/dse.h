@@ -66,6 +66,10 @@ bool design_feasible(const DseContext& context, const std::vector<double>& point
 /// makes the metric consistent across core counts for BOTH cases of the
 /// paper's split (for fixed g it is plain time; for scalable g it ranks by
 /// W/T, which is what case I optimizes).
-double simulate_design_time(const DseContext& context, const std::vector<double>& point);
+/// `memory_accesses`, when non-null, accumulates (+=) the demand memory
+/// accesses the underlying simulations issued — the number the telemetry
+/// counters sim.l1.hit + sim.l1.miss must add up to.
+double simulate_design_time(const DseContext& context, const std::vector<double>& point,
+                            std::uint64_t* memory_accesses = nullptr);
 
 }  // namespace c2b

@@ -1,0 +1,30 @@
+#pragma once
+
+// Flat exports of the metric registry: a c2b::Table (console/CSV via the
+// existing table infrastructure) and a JSON document mirroring the same
+// snapshot with per-bucket histogram detail. Kept out of obs.h so hot-path
+// translation units do not pull in the table machinery.
+
+#include <string>
+
+#include "c2b/common/table.h"
+#include "c2b/obs/registry.h"
+
+namespace c2b::obs {
+
+/// One row per metric: name, kind, count, value (counter value / gauge
+/// value / histogram sum), mean, stddev, min, max.
+Table metrics_table(const Registry& registry = Registry::global());
+
+/// metrics_table() as CSV on disk. Returns false (and logs) on I/O failure.
+bool write_metrics_csv(const std::string& path, const Registry& registry = Registry::global());
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+/// mean, stddev, min, max, buckets: [{low, count}, ...]}}}
+std::string metrics_json(const Registry& registry = Registry::global());
+
+/// metrics_json() on disk (.json), creating parent directories. Returns
+/// false (and logs) on I/O failure.
+bool write_metrics_json(const std::string& path, const Registry& registry = Registry::global());
+
+}  // namespace c2b::obs

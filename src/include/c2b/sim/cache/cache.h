@@ -156,6 +156,8 @@ class MshrFile {
   std::uint32_t capacity() const noexcept { return capacity_; }
   std::uint64_t full_stall_events() const noexcept { return full_stalls_; }
   std::uint64_t merge_count() const noexcept { return merges_; }
+  /// Entries currently tracking an outstanding miss (occupancy telemetry).
+  std::size_t in_flight() const noexcept { return entries_.size(); }
 
  private:
   void retire_before(std::uint64_t cycle);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "c2b/obs/obs.h"
+
 namespace c2b::sim {
 
 void HierarchyConfig::validate() const {
@@ -63,9 +65,12 @@ AccessOutcome MemoryHierarchy::access(std::uint32_t core, std::uint64_t address,
   // load critical path, but occupying banks and bus like any burst).
   auto fill_l2 = [&](std::uint64_t fill_address, bool dirty, std::uint64_t at_cycle) {
     const auto victim = l2_.fill(fill_address, dirty);
-    if (victim.has_value() && victim->dirty) {
-      dram_.access(victim->address / config_.l2_geometry.line_bytes, at_cycle);
-      ++l2_writebacks_;
+    if (victim.has_value()) {
+      C2B_COUNTER_INC("sim.l2.evictions");
+      if (victim->dirty) {
+        dram_.access(victim->address / config_.l2_geometry.line_bytes, at_cycle);
+        ++l2_writebacks_;
+      }
     }
   };
 
@@ -82,6 +87,7 @@ AccessOutcome MemoryHierarchy::access(std::uint32_t core, std::uint64_t address,
   };
 
   if (config_.perfect_memory || l1_[core].probe(address, is_write)) {
+    C2B_COUNTER_INC("sim.l1.hit");
     outcome.completion_cycle = lookup_done;
     outcome.level = ServiceLevel::kL1;
     if (!prefetched_pending_[core].empty() && prefetched_pending_[core].erase(line) > 0)
@@ -108,7 +114,10 @@ AccessOutcome MemoryHierarchy::access(std::uint32_t core, std::uint64_t address,
   }
 
   // ---- L1 miss: allocate/merge an MSHR ----
+  C2B_COUNTER_INC("sim.l1.miss");
   const MshrFile::Grant grant = l1_mshr_[core].request(line, lookup_done);
+  C2B_HISTOGRAM_RECORD("sim.l1.mshr_occupancy", 0.0, 64.0, 64,
+                       static_cast<double>(l1_mshr_[core].in_flight()));
   if (grant.merged && grant.merged_completion > lookup_done) {
     outcome.completion_cycle = grant.merged_completion;
     outcome.level = ServiceLevel::kL2;  // rides the primary miss
@@ -130,6 +139,8 @@ AccessOutcome MemoryHierarchy::access(std::uint32_t core, std::uint64_t address,
   const std::uint64_t to_slice = noc_.latency(core_node, slice);
   const std::uint64_t from_slice = to_slice;  // symmetric route
   noc_.round_trip(core_node, slice);          // traffic bookkeeping
+  C2B_HISTOGRAM_RECORD("sim.noc.round_trip_cycles", 0.0, 256.0, 64,
+                       static_cast<double>(2 * to_slice));
 
   const std::uint64_t l2_arrival = service_start + to_slice;
   const std::uint64_t l2_start = l2_sched_.schedule(line, l2_arrival);
@@ -160,11 +171,13 @@ AccessOutcome MemoryHierarchy::access(std::uint32_t core, std::uint64_t address,
 
   std::uint64_t data_at_slice;
   if (l2_.probe(address)) {
+    C2B_COUNTER_INC("sim.l2.hit");
     data_at_slice = l2_done + coherence_delay;
     outcome.level = ServiceLevel::kL2;
     apc_l2_.add_interval(l2_start, data_at_slice);
   } else {
     ++l2_misses_;
+    C2B_COUNTER_INC("sim.l2.miss");
     outcome.level = ServiceLevel::kMemory;
     const MshrFile::Grant l2_grant = l2_mshr_.request(line, l2_done);
     if (l2_grant.merged && l2_grant.merged_completion > l2_done) {
@@ -183,6 +196,7 @@ AccessOutcome MemoryHierarchy::access(std::uint32_t core, std::uint64_t address,
   outcome.completion_cycle = data_at_slice + from_slice;
   const auto evicted = l1_[core].fill(address, is_write);
   if (evicted.has_value()) {
+    C2B_COUNTER_INC("sim.l1.evictions");
     if (directory_)
       directory_->on_evict(core, evicted->address / config_.l1_geometry.line_bytes);
     if (evicted->dirty) {

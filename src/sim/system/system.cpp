@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "c2b/common/assert.h"
+#include "c2b/obs/obs.h"
 
 namespace c2b::sim {
 
@@ -60,6 +61,8 @@ struct CoreState {
 SystemResult simulate_system(const SystemConfig& config,
                              const std::vector<Trace>& per_core_traces) {
   config.validate();
+  C2B_SPAN("sim/simulate_system");
+  C2B_COUNTER_INC("sim.system.runs");
   C2B_REQUIRE(!per_core_traces.empty(), "need at least one trace");
   C2B_REQUIRE(per_core_traces.size() <= config.hierarchy.cores,
               "more traces than cores in the hierarchy");
@@ -133,7 +136,11 @@ SystemResult simulate_system(const SystemConfig& config,
       // Periodically fold finished cycles into the detector's counters so
       // its live window stays bounded (every future access starts at or
       // after `cycle`, so `cycle` is always a safe watermark).
-      if ((cycle & 0xFFF) == 0) core.detector.advance(cycle);
+      if ((cycle & 0xFFF) == 0) {
+        core.detector.advance(cycle);
+        C2B_HISTOGRAM_RECORD("sim.core.rob_occupancy", 0.0, 256.0, 64,
+                             static_cast<double>(core.rob.size()));
+      }
     }
 
     if (all_done) break;

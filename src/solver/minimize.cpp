@@ -4,8 +4,31 @@
 #include <cmath>
 
 #include "c2b/common/assert.h"
+#include "c2b/linalg/matrix.h"
+#include "c2b/obs/obs.h"
 
 namespace c2b {
+
+#if !defined(C2B_OBS_DISABLED)
+namespace {
+
+/// log10 of |det| of the simplex's edge matrix — a volume proxy tracking
+/// simplex collapse. Degenerate (singular) simplices record the floor.
+double log10_simplex_volume(const std::vector<Vector>& simplex) {
+  const std::size_t n = simplex.size() - 1;
+  Matrix edges(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t d = 0; d < n; ++d) edges(i, d) = simplex[i + 1][d] - simplex[0][d];
+  try {
+    const double abs_det = std::fabs(LuDecomposition(std::move(edges)).determinant());
+    return abs_det > 0.0 ? std::log10(abs_det) : -320.0;
+  } catch (const std::runtime_error&) {
+    return -320.0;
+  }
+}
+
+}  // namespace
+#endif  // !C2B_OBS_DISABLED
 
 ScalarMinResult golden_section_minimize(const ScalarFn& f, double lo, double hi, double tolerance,
                                         int max_iterations) {
@@ -60,6 +83,8 @@ IntMinResult integer_minimize(const std::function<double(long long)>& f, long lo
 NelderMeadResult nelder_mead_minimize(const MultiFn& f, Vector x0,
                                       const NelderMeadOptions& options) {
   C2B_REQUIRE(!x0.empty(), "nelder-mead needs a non-empty start point");
+  C2B_SPAN("solver/nelder_mead");
+  C2B_COUNTER_INC("solver.nm.calls");
   const std::size_t n = x0.size();
 
   // Initial simplex: x0 plus one perturbed vertex per dimension.
@@ -87,6 +112,9 @@ NelderMeadResult nelder_mead_minimize(const MultiFn& f, Vector x0,
     const std::size_t second_worst = order[n - 1];
 
     result.iterations = iter;
+    C2B_COUNTER_INC("solver.nm.iterations");
+    C2B_HISTOGRAM_RECORD("solver.nm.log10_simplex_volume", -320.0, 20.0, 68,
+                         log10_simplex_volume(simplex));
     if (std::fabs(values[worst] - values[best]) <=
         options.tolerance * (std::fabs(values[best]) + options.tolerance)) {
       result.converged = true;

@@ -1,9 +1,11 @@
 #include "c2b/solver/newton.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "c2b/common/assert.h"
 #include "c2b/common/log.h"
+#include "c2b/obs/obs.h"
 
 namespace c2b {
 
@@ -30,6 +32,8 @@ Matrix numeric_jacobian(const ResidualFn& f, const Vector& x, double rel_step) {
 
 NewtonResult newton_solve(const ResidualFn& f, Vector x0, const NewtonOptions& options) {
   C2B_REQUIRE(!x0.empty(), "newton_solve needs a non-empty start point");
+  C2B_SPAN("solver/newton");
+  C2B_COUNTER_INC("solver.newton.calls");
   NewtonResult result;
   result.x = std::move(x0);
 
@@ -73,6 +77,11 @@ NewtonResult newton_solve(const ResidualFn& f, Vector x0, const NewtonOptions& o
       damping *= 0.5;
     }
     ++result.iterations;
+    C2B_COUNTER_INC("solver.newton.iterations");
+    C2B_HISTOGRAM_RECORD("solver.newton.log10_residual", -16.0, 4.0, 40,
+                         std::log10(std::max(result.residual_norm, 1e-300)));
+    C2B_HISTOGRAM_RECORD("solver.newton.log10_step", -16.0, 4.0, 40,
+                         std::log10(std::max(damping * norm_inf(step), 1e-300)));
     if (!accepted) {
       result.message = "line search stalled";
       return result;

@@ -62,6 +62,60 @@ TEST(RunningStats, MergeWithEmptyIsIdentity) {
   EXPECT_DOUBLE_EQ(empty.mean(), mean);
 }
 
+TEST(RunningStats, MergeEmptyWithEmptyStaysEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
+TEST(RunningStats, MergeEmptyWithNonEmptyAdoptsEverything) {
+  RunningStats empty, full;
+  for (const double x : {-3.0, 1.0, 8.0}) full.add(x);
+  empty.merge(full);
+  EXPECT_EQ(empty.count(), 3u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(empty.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(empty.min(), -3.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 8.0);
+  EXPECT_DOUBLE_EQ(empty.variance(), full.variance());
+}
+
+TEST(RunningStats, MergeSingleSampleSides) {
+  RunningStats a, b;
+  a.add(2.0);
+  b.add(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 1.0);       // population: ((1)^2+(1)^2)/2
+  EXPECT_DOUBLE_EQ(a.sample_variance(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+}
+
+TEST(RunningStats, MergePropagatesMinMaxAcrossSides) {
+  RunningStats lo_side, hi_side;
+  lo_side.add(-10.0);
+  lo_side.add(0.0);
+  hi_side.add(1.0);
+  hi_side.add(25.0);
+  lo_side.merge(hi_side);
+  EXPECT_DOUBLE_EQ(lo_side.min(), -10.0);
+  EXPECT_DOUBLE_EQ(lo_side.max(), 25.0);
+
+  // And the mirror: the side holding both extremes keeps them.
+  RunningStats wide, narrow;
+  wide.add(-100.0);
+  wide.add(100.0);
+  narrow.add(5.0);
+  wide.merge(narrow);
+  EXPECT_DOUBLE_EQ(wide.min(), -100.0);
+  EXPECT_DOUBLE_EQ(wide.max(), 100.0);
+}
+
 TEST(BatchStats, MeanOf) {
   EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
   EXPECT_DOUBLE_EQ(mean_of({}), 0.0);

@@ -1,0 +1,54 @@
+// Compiled with -DC2B_OBS_DISABLED (see tests/CMakeLists.txt): every
+// instrumentation macro must vanish — no registry slots created, no trace
+// events recorded, no reference to the runtime switch.
+
+#include <gtest/gtest.h>
+
+#include "c2b/obs/export.h"
+#include "c2b/obs/obs.h"
+
+#ifndef C2B_OBS_DISABLED
+#error "this test must be built with C2B_OBS_DISABLED"
+#endif
+
+namespace c2b::obs {
+namespace {
+
+TEST(ObsDisabled, MacrosAreNoOps) {
+  clear_trace_events();
+  Registry registry;  // private registry: the macros must never touch it
+
+  C2B_COUNTER_INC("disabled.counter");
+  C2B_COUNTER_ADD("disabled.counter", 10);
+  C2B_GAUGE_SET("disabled.gauge", 3.5);
+  C2B_HISTOGRAM_RECORD("disabled.histogram", 0.0, 1.0, 4, 0.5);
+  {
+    C2B_SPAN("disabled/span");
+    C2B_SPAN_ARG("disabled/span_arg", 7u);
+  }
+
+  EXPECT_TRUE(registry.snapshot().empty());
+  EXPECT_TRUE(collect_trace_events().empty());
+}
+
+TEST(ObsDisabled, GlobalRegistryStaysEmpty) {
+  C2B_COUNTER_INC("disabled.global");
+  EXPECT_TRUE(Registry::global().snapshot().empty());
+}
+
+TEST(ObsDisabled, ActiveIsConstantFalse) {
+  set_enabled(true);
+  EXPECT_FALSE(C2B_OBS_ACTIVE());
+}
+
+TEST(ObsDisabled, DirectApiStillWorks) {
+  // Only the macros are compiled out; the library API itself stays usable
+  // (e.g. for tools that always want metrics regardless of build flags).
+  Registry registry;
+  registry.counter("direct").add(2);
+  EXPECT_EQ(registry.snapshot().size(), 1u);
+  EXPECT_NE(metrics_json(registry).find("\"direct\":2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace c2b::obs

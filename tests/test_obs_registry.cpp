@@ -1,0 +1,170 @@
+#include "c2b/obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "c2b/obs/export.h"
+#include "c2b/obs/obs.h"
+
+namespace c2b::obs {
+namespace {
+
+TEST(ObsCounter, ConcurrentIncrementsAreExact) {
+  Counter& counter = Registry::global().counter("test.registry.concurrent");
+  counter.reset();
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(ObsCounter, MacroHitsTheSameSlot) {
+  Counter& counter = Registry::global().counter("test.registry.macro");
+  counter.reset();
+  const std::uint64_t before = counter.value();
+  C2B_COUNTER_INC("test.registry.macro");
+  C2B_COUNTER_ADD("test.registry.macro", 4);
+  EXPECT_EQ(counter.value(), before + 5);
+}
+
+TEST(ObsGauge, LastWriteWins) {
+  Gauge& gauge = Registry::global().gauge("test.registry.gauge");
+  gauge.set(1.5);
+  gauge.set(-2.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), -2.25);
+}
+
+TEST(ObsHistogram, BucketsAndMoments) {
+  ConcurrentHistogram h(0.0, 10.0, 10);
+  h.record(0.5);   // bin 0
+  h.record(3.5);   // bin 3
+  h.record(9.99);  // bin 9
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 3.0);
+  EXPECT_NEAR(h.mean(), (0.5 + 3.5 + 9.99) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 9.99);
+  EXPECT_GT(h.stddev(), 0.0);
+}
+
+TEST(ObsHistogram, OutOfRangeSamplesClampToEdgeBins) {
+  ConcurrentHistogram h(0.0, 8.0, 8);
+  h.record(-5.0);    // below lo -> bin 0
+  h.record(100.0);   // above hi -> last bin
+  h.record(8.0);     // == hi -> last bin (half-open ranges)
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(7), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);  // moments keep the raw values
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(ObsHistogram, ConcurrentRecordsKeepExactCount) {
+  ConcurrentHistogram h(0.0, 1.0, 4);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        h.record(static_cast<double>((t + i) % 4) / 4.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b) bucket_total += h.bin_count(b);
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(ObsHistogram, ResetClears) {
+  ConcurrentHistogram h(0.0, 1.0, 2);
+  h.record(0.25);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(ObsRegistry, FirstRegistrationFixesHistogramShape) {
+  ConcurrentHistogram& first = Registry::global().histogram("test.registry.shape", 0.0, 4.0, 4);
+  ConcurrentHistogram& again =
+      Registry::global().histogram("test.registry.shape", -100.0, 100.0, 17);
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(again.bins(), 4u);
+}
+
+TEST(ObsRegistry, SnapshotCoversAllKinds) {
+  Registry registry;  // private instance: deterministic content
+  registry.counter("c").add(3);
+  registry.gauge("g").set(1.25);
+  registry.histogram("h", 0.0, 2.0, 2).record(1.5);
+
+  const std::vector<MetricSample> samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].kind, MetricSample::Kind::kCounter);
+  EXPECT_EQ(samples[0].name, "c");
+  EXPECT_EQ(samples[0].count, 3u);
+  EXPECT_EQ(samples[1].kind, MetricSample::Kind::kGauge);
+  EXPECT_DOUBLE_EQ(samples[1].value, 1.25);
+  EXPECT_EQ(samples[2].kind, MetricSample::Kind::kHistogram);
+  ASSERT_EQ(samples[2].buckets.size(), 2u);
+  EXPECT_EQ(samples[2].buckets[1].second, 1u);
+}
+
+TEST(ObsRegistry, ResetValuesKeepsNames) {
+  Registry registry;
+  registry.counter("c").add(7);
+  registry.histogram("h", 0.0, 1.0, 2).record(0.5);
+  registry.reset_values();
+  const auto samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].count, 0u);
+  EXPECT_EQ(samples[1].count, 0u);
+}
+
+TEST(ObsExport, JsonAndTableContainTheMetrics) {
+  Registry registry;
+  registry.counter("alpha").add(2);
+  registry.gauge("beta").set(0.5);
+  registry.histogram("gamma", 0.0, 1.0, 2).record(0.75);
+
+  const std::string json = metrics_json(registry);
+  EXPECT_NE(json.find("\"counters\":{\"alpha\":2}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"beta\":0.5}"), std::string::npos);
+  EXPECT_NE(json.find("\"gamma\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos);
+
+  const Table table = metrics_table(registry);
+  EXPECT_EQ(table.row_count(), 3u);
+}
+
+TEST(ObsRuntime, DisableSkipsMacroUpdates) {
+  Counter& counter = Registry::global().counter("test.registry.disable");
+  counter.reset();
+  set_enabled(false);
+  C2B_COUNTER_INC("test.registry.disable");
+  EXPECT_FALSE(C2B_OBS_ACTIVE());
+  set_enabled(true);
+  EXPECT_EQ(counter.value(), 0u);
+  C2B_COUNTER_INC("test.registry.disable");
+  EXPECT_EQ(counter.value(), 1u);
+}
+
+}  // namespace
+}  // namespace c2b::obs

@@ -16,19 +16,36 @@
 //       Run the cycle-level simulator and print CPI, C-AMAT, APC per layer.
 //   c2b trace --workload <name> --out <file> [--instructions N] [--scale S]
 //       Generate a trace and save it in the binary trace format.
+//   c2b aps [--workload <name>] [--instructions N] [--per-core-cap N]
+//           [--characterize-instructions N] [--radius R] [--area A]
+//           [--shared-area A]
+//       Run the APS design-space exploration (characterize, analytic
+//       solve, neighborhood simulation) on a small grid and print the
+//       chosen design plus the run's simulation/memory-access totals.
+//
+// Telemetry flags, accepted by every command:
+//   --metrics-out <path>   dump the counter/gauge/histogram registry after
+//                          the command (JSON, or CSV when path ends .csv)
+//   --trace-out <path>     dump recorded spans as Chrome trace-event JSON
+//                          (load in chrome://tracing or Perfetto)
+//   --span-sample-period N record only every Nth span per thread
 //
 // Every command prints plain text to stdout; exit code 0 on success.
+// Unknown flags are an error: each command lists them and exits nonzero.
 
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 
+#include "c2b/aps/aps.h"
 #include "c2b/aps/characterize.h"
 #include "c2b/core/asymmetric.h"
 #include "c2b/core/energy.h"
 #include "c2b/core/optimizer.h"
 #include "c2b/core/sensitivity.h"
+#include "c2b/obs/export.h"
+#include "c2b/obs/obs.h"
 #include "c2b/sim/system/system.h"
 #include "c2b/trace/trace_io.h"
 #include "c2b/trace/workloads.h"
@@ -40,7 +57,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: c2b <command> [flags]\n"
-               "commands: workloads | characterize | optimize | simulate | trace\n"
+               "commands: workloads | characterize | optimize | simulate | trace | aps\n"
                "run `c2b <command> --help` is not needed — see the header of\n"
                "tools/c2b_cli.cpp or README.md for the flag lists.\n");
   return 2;
@@ -73,7 +90,8 @@ sim::SystemConfig default_system() {
 
 // ---------------------------------------------------------------------------
 
-int cmd_workloads() {
+int cmd_workloads(const Args& args) {
+  args.finish();
   std::printf("%-20s %-8s %-10s %s\n", "name", "f_seq", "g(N)", "emulates");
   for (const WorkloadSpec& spec : workload_catalog()) {
     std::printf("%-20s %-8.2f %-10s %s\n", spec.name.c_str(), spec.f_seq,
@@ -261,6 +279,10 @@ int cmd_simulate(const Args& args) {
               cores, static_cast<unsigned long long>(instructions));
   std::printf("makespan          %llu cycles (aggregate IPC %.3f)\n",
               static_cast<unsigned long long>(result.cycles), result.aggregate_ipc());
+  std::uint64_t memory_accesses = 0;
+  for (const sim::CoreResult& core : result.cores) memory_accesses += core.memory_accesses;
+  std::printf("memory accesses   %llu (all cores)\n",
+              static_cast<unsigned long long>(memory_accesses));
   const sim::CoreResult& core0 = result.cores[0];
   std::printf("core 0: CPI %.3f | f_mem %.3f | AMAT %.2f | C-AMAT %.2f | C %.2f\n",
               core0.cpi, core0.f_mem, core0.camat.amat_value, core0.camat.camat_value,
@@ -283,6 +305,63 @@ int cmd_simulate(const Args& args) {
                 static_cast<unsigned long long>(h.coherence_invalidations),
                 static_cast<unsigned long long>(h.coherence_owner_transfers),
                 static_cast<unsigned long long>(h.coherence_upgrades));
+  return 0;
+}
+
+int cmd_aps(const Args& args) {
+  const std::string name = args.get("workload", std::string("stencil"));
+  const auto catalog = workload_catalog();
+  const WorkloadSpec* spec = find_workload(catalog, name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s' (see `c2b workloads`)\n", name.c_str());
+    return 2;
+  }
+
+  DseContext context;
+  context.base = default_system();
+  context.workload = *spec;
+  context.instructions0 = static_cast<std::uint64_t>(args.get("instructions", 20'000LL));
+  context.per_core_cap = static_cast<std::uint64_t>(args.get("per-core-cap", 10'000LL));
+  context.chip.total_area = args.get("area", 9.0);
+  context.chip.shared_area = args.get("shared-area", 1.0);
+
+  // A small buildable grid (the paper-scale space is bench territory; the
+  // CLI command is for inspecting one APS run end to end).
+  DseAxes axes;
+  axes.a0 = {1.0, 4.0};
+  axes.a1 = {0.5, 1.0};
+  axes.a2 = {1.0, 2.0};
+  axes.n = {1, 2};
+  axes.issue = {2, 4};
+  axes.rob = {32, 64};
+
+  ApsOptions options;
+  options.neighborhood_radius =
+      static_cast<std::size_t>(args.get("radius", 1LL));
+  options.characterize.instructions =
+      static_cast<std::uint64_t>(args.get("characterize-instructions", 60'000LL));
+  args.finish();
+
+  const GridSpace space = make_design_space(axes);
+  const ApsResult aps = run_aps(context, space, options);
+
+  std::printf("APS on workload %s (%s), %zu-point grid\n", spec->name.c_str(),
+              spec->emulates.c_str(), space.size());
+  std::printf("characterize: CPI %.3f (CPI_exe %.3f), f_mem %.3f, C-AMAT %.3f\n",
+              aps.characterization.measured_cpi, aps.characterization.cpi_exe,
+              aps.characterization.app.f_mem, aps.characterization.camat.camat_value);
+  const DesignPoint& d = aps.analytic.best.design;
+  std::printf("analytic optimum: N = %.0f, A0 = %.3f, A1 = %.3f, A2 = %.3f\n", d.n_cores,
+              d.a0, d.a1, d.a2);
+  const std::vector<double> chosen = space.point(aps.best_index);
+  std::printf("chosen design: a0 %.2f | a1 %.2f | a2 %.2f | N %.0f | issue %.0f | rob %.0f\n",
+              chosen[kAxisA0], chosen[kAxisA1], chosen[kAxisA2], chosen[kAxisN],
+              chosen[kAxisIssue], chosen[kAxisRob]);
+  std::printf("best time/work    %.6g cycles\n", aps.best_time);
+  std::printf("simulations       %zu (narrowing factor %.1fx)\n", aps.simulations,
+              aps.narrowing_factor);
+  std::printf("memory accesses   %llu\n",
+              static_cast<unsigned long long>(aps.memory_accesses));
   return 0;
 }
 
@@ -320,12 +399,39 @@ int run(int argc, char** argv) {
   const std::string command = argv[1];
   const std::set<std::string> boolean_flags{"simpoints", "asymmetric", "coherence"};
   const Args args(argc, argv, 2, boolean_flags);
-  if (command == "workloads") return cmd_workloads();
-  if (command == "characterize") return cmd_characterize(args);
-  if (command == "optimize") return cmd_optimize(args);
-  if (command == "simulate") return cmd_simulate(args);
-  if (command == "trace") return cmd_trace(args);
-  return usage();
+
+  // Telemetry sinks, accepted by every command; read before dispatch so the
+  // per-command finish() does not reject them as unknown.
+  const std::string metrics_out = args.get("metrics-out", std::string(""));
+  const std::string trace_out = args.get("trace-out", std::string(""));
+  const auto sample_period = args.get("span-sample-period", 1LL);
+  if (sample_period > 1)
+    obs::set_span_sample_period(static_cast<std::uint32_t>(sample_period));
+
+  int rc;
+  if (command == "workloads") rc = cmd_workloads(args);
+  else if (command == "characterize") rc = cmd_characterize(args);
+  else if (command == "optimize") rc = cmd_optimize(args);
+  else if (command == "simulate") rc = cmd_simulate(args);
+  else if (command == "trace") rc = cmd_trace(args);
+  else if (command == "aps") rc = cmd_aps(args);
+  else return usage();
+
+  if (!metrics_out.empty()) {
+    const bool csv = metrics_out.size() >= 4 &&
+                     metrics_out.compare(metrics_out.size() - 4, 4, ".csv") == 0;
+    const bool ok = csv ? obs::write_metrics_csv(metrics_out)
+                        : obs::write_metrics_json(metrics_out);
+    if (ok) std::printf("metrics written to %s\n", metrics_out.c_str());
+    else if (rc == 0) rc = 1;
+  }
+  if (!trace_out.empty()) {
+    if (obs::write_chrome_trace(trace_out))
+      std::printf("trace written to %s (%zu events)\n", trace_out.c_str(),
+                  obs::collect_trace_events().size());
+    else if (rc == 0) rc = 1;
+  }
+  return rc;
 }
 
 }  // namespace
