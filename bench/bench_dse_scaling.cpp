@@ -1,0 +1,160 @@
+// Thread-scaling benchmark for the parallel execution layer: run the
+// full-factorial DSE sweep at threads in {1, 2, 4, hw} and report wall time
+// and speedup vs the serial run, then demonstrate the memoized simulation
+// cache on a repeated APS neighborhood. Emits BENCH_dse_scaling.json next
+// to the binary's working directory for CI artifact collection.
+//
+// The sweep is bit-identical at every thread count (asserted here as well
+// as in tests/test_parallel_determinism.cpp), so the timing comparison is
+// apples to apples: same simulations, same results, different schedules.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "c2b/aps/aps.h"
+#include "c2b/exec/pool.h"
+#include "c2b/exec/sim_cache.h"
+
+namespace c2b::bench {
+namespace {
+
+DseAxes scaling_axes() {
+  // Smaller than the fig12 grid: the sweep runs 4+ times here (once per
+  // thread count), and the scaling *curve* is what this bench measures,
+  // not ground-truth coverage.
+  DseAxes axes;
+  axes.a0 = {0.5, 1.0, 2.0};
+  axes.a1 = {0.25, 0.5};
+  axes.a2 = {0.5, 1.0};
+  axes.n = {1, 2, 4};
+  axes.issue = {2, 4};
+  axes.rob = {32, 128};
+  return axes;
+}
+
+DseContext make_context() {
+  DseContext context;
+  context.base.core.issue_width = 4;
+  context.base.core.rob_size = 128;
+  context.base.hierarchy.l1_geometry = {.size_bytes = 16 * 1024, .line_bytes = 64,
+                                        .associativity = 4};
+  context.base.hierarchy.l2_geometry = {.size_bytes = 256 * 1024, .line_bytes = 64,
+                                        .associativity = 8};
+  context.workload = make_fluidanimate_like_workload(1 << 14);
+  context.instructions0 = 12'000;
+  context.per_core_cap = 6'000;
+  context.chip.total_area = 26.0;
+  context.chip.shared_area = 2.0;
+  return context;
+}
+
+double wall_ms(const std::chrono::steady_clock::time_point& start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+struct ScalingPoint {
+  std::size_t threads = 0;
+  double ms = 0.0;
+  double speedup = 0.0;
+};
+
+}  // namespace
+}  // namespace c2b::bench
+
+int main(int argc, char** argv) {
+  using namespace c2b;
+  using namespace c2b::bench;
+
+  const DseContext context = make_context();
+  const GridSpace space = make_design_space(scaling_axes());
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+  if (hw > 4) thread_counts.push_back(hw);
+
+  // ---- Sweep scaling (memoization off: measure the sweep, not the cache).
+  exec::SimCache& cache = exec::SimCache::global();
+  cache.set_enabled(false);
+
+  // Untimed warmup so first-touch costs don't land on the serial baseline.
+  exec::set_thread_count(hw);
+  const FullDseResult reference = run_full_dse(context, space);
+
+  std::vector<ScalingPoint> points;
+  for (const std::size_t threads : thread_counts) {
+    exec::set_thread_count(threads);
+    const auto start = std::chrono::steady_clock::now();
+    const FullDseResult result = run_full_dse(context, space);
+    ScalingPoint point;
+    point.threads = threads;
+    point.ms = wall_ms(start);
+    points.push_back(point);
+    if (result.best_index != reference.best_index ||
+        result.best_time != reference.best_time) {
+      std::fprintf(stderr, "determinism violated at threads=%zu\n", threads);
+      return 1;
+    }
+  }
+  for (ScalingPoint& point : points) point.speedup = points.front().ms / point.ms;
+
+  Table table({"threads", "wall (ms)", "speedup vs 1 thread"}, 2);
+  for (const ScalingPoint& point : points)
+    table.add_row({static_cast<std::int64_t>(point.threads), point.ms, point.speedup});
+  emit("DSE sweep thread scaling (" + std::to_string(space.size()) + " designs)", table,
+       "dse_scaling");
+
+  // ---- Memoization demo: repeated APS neighborhood on a warm cache.
+  cache.set_enabled(true);
+  cache.clear();
+  exec::set_thread_count(hw);
+  ApsOptions aps_options;
+  aps_options.characterize.instructions = 60'000;
+
+  const auto cold_start = std::chrono::steady_clock::now();
+  const ApsResult cold = run_aps(context, space, aps_options);
+  const double cold_ms = wall_ms(cold_start);
+  const auto warm_start = std::chrono::steady_clock::now();
+  const ApsResult warm = run_aps(context, space, aps_options);
+  const double warm_ms = wall_ms(warm_start);
+  const exec::SimCacheStats stats = cache.stats();
+  const double hit_rate =
+      stats.hits + stats.misses == 0
+          ? 0.0
+          : static_cast<double>(stats.hits) / static_cast<double>(stats.hits + stats.misses);
+  if (warm.best_index != cold.best_index || warm.best_time != cold.best_time) {
+    std::fprintf(stderr, "memoized APS result diverged from cold run\n");
+    return 1;
+  }
+  std::printf("\nsim cache: cold APS %.1f ms, warm APS %.1f ms; %llu hits / %llu misses "
+              "(hit rate %.1f%%)\n",
+              cold_ms, warm_ms, static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses), 100.0 * hit_rate);
+
+  // ---- Machine-readable summary for CI.
+  if (std::FILE* out = std::fopen("BENCH_dse_scaling.json", "w")) {
+    std::fprintf(out, "{\n  \"bench\": \"dse_scaling\",\n  \"space_points\": %zu,\n",
+                 space.size());
+    std::fprintf(out, "  \"hardware_concurrency\": %zu,\n  \"sweep\": [\n", hw);
+    for (std::size_t i = 0; i < points.size(); ++i)
+      std::fprintf(out, "    {\"threads\": %zu, \"wall_ms\": %.3f, \"speedup\": %.3f}%s\n",
+                   points[i].threads, points[i].ms, points[i].speedup,
+                   i + 1 < points.size() ? "," : "");
+    std::fprintf(out,
+                 "  ],\n  \"sim_cache\": {\"cold_aps_ms\": %.3f, \"warm_aps_ms\": %.3f, "
+                 "\"hits\": %llu, \"misses\": %llu, \"hit_rate\": %.4f}\n}\n",
+                 cold_ms, warm_ms, static_cast<unsigned long long>(stats.hits),
+                 static_cast<unsigned long long>(stats.misses), hit_rate);
+    std::fclose(out);
+    std::printf("[json] BENCH_dse_scaling.json\n");
+  }
+
+  exec::set_thread_count(0);
+  return run_benchmarks(argc, argv);
+}

@@ -20,6 +20,18 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 
 }  // namespace
 
+std::uint64_t Rng::derive_stream_seed(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Two chained splitmix64 steps: the first scrambles the base seed, the
+  // second advances the scrambled state by the stream index. Collisions
+  // would need the avalanche-mixed seeds of two bases to differ by an
+  // exact multiple of the golden gamma — nothing like the systematic
+  // collisions of linear schemes (seed + k * stream).
+  std::uint64_t state = seed;
+  const std::uint64_t mixed_seed = splitmix64(state);
+  state = mixed_seed + stream * 0x9E3779B97F4A7C15ull;
+  return splitmix64(state);
+}
+
 void Rng::reseed(std::uint64_t seed) noexcept {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);

@@ -6,6 +6,7 @@
 
 #include "c2b/common/assert.h"
 #include "c2b/common/math_util.h"
+#include "c2b/exec/pool.h"
 #include "c2b/obs/obs.h"
 #include "c2b/solver/lagrange.h"
 #include "c2b/solver/minimize.h"
@@ -60,11 +61,18 @@ Evaluation C2BoundOptimizer::best_allocation(long long n_cores) const {
   Vector best_x = {budget * 0.2, budget * 0.4};
   const int restarts = std::max(1, options_.nelder_mead_restarts);
   C2B_COUNTER_ADD("optimizer.nm_restarts", static_cast<std::uint64_t>(restarts));
-  for (int r = 0; r < restarts; ++r) {
-    const double l1_frac = 0.1 + 0.25 * r / static_cast<double>(restarts);
-    const double l2_frac = 0.2 + 0.4 * r / static_cast<double>(restarts);
-    Vector start = {budget * l1_frac, budget * l2_frac};
-    const NelderMeadResult res = nelder_mead_minimize(objective, std::move(start), nm);
+  // Restarts are independent descents of a pure objective; run them
+  // concurrently and keep the serial strict-< reduction in restart order,
+  // so the winner matches the sequential loop exactly.
+  const std::vector<NelderMeadResult> descents =
+      exec::ThreadPool::global().parallel_map<NelderMeadResult>(
+          static_cast<std::size_t>(restarts), [&](std::size_t r) {
+            const double l1_frac = 0.1 + 0.25 * static_cast<double>(r) / restarts;
+            const double l2_frac = 0.2 + 0.4 * static_cast<double>(r) / restarts;
+            Vector start = {budget * l1_frac, budget * l2_frac};
+            return nelder_mead_minimize(objective, std::move(start), nm);
+          });
+  for (const NelderMeadResult& res : descents) {
     if (res.value < best_value) {
       best_value = res.value;
       best_x = res.x;

@@ -1,0 +1,120 @@
+#include "c2b/exec/sim_cache.h"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "c2b/common/assert.h"
+#include "c2b/obs/obs.h"
+
+namespace c2b::exec {
+namespace {
+
+constexpr std::size_t kShardCount = 16;
+
+bool env_disables_cache() {
+  const char* env = std::getenv("C2B_SIM_CACHE");
+  return env != nullptr && env[0] == '0' && env[1] == '\0';
+}
+
+}  // namespace
+
+struct SimCache::Impl {
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Value> entries;
+    std::deque<std::string> order;  // FIFO eviction
+  };
+
+  std::array<Shard, kShardCount> shards;
+  std::size_t shard_capacity = 0;
+  std::atomic<bool> enabled{true};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> evictions{0};
+
+  Shard& shard_for(const std::string& key) {
+    return shards[std::hash<std::string>{}(key) % kShardCount];
+  }
+};
+
+SimCache::SimCache(std::size_t capacity) : impl_(new Impl) {
+  C2B_REQUIRE(capacity >= kShardCount, "cache capacity below shard count");
+  impl_->shard_capacity = capacity / kShardCount;
+  if (env_disables_cache()) impl_->enabled.store(false, std::memory_order_relaxed);
+}
+
+SimCache::~SimCache() { delete impl_; }
+
+bool SimCache::enabled() const noexcept {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void SimCache::set_enabled(bool on) noexcept {
+  impl_->enabled.store(on, std::memory_order_relaxed);
+}
+
+std::optional<SimCache::Value> SimCache::find(const std::string& key) {
+  if (!enabled()) return std::nullopt;
+  Impl::Shard& shard = impl_->shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    impl_->misses.fetch_add(1, std::memory_order_relaxed);
+    C2B_COUNTER_INC("exec.simcache.miss");
+    return std::nullopt;
+  }
+  impl_->hits.fetch_add(1, std::memory_order_relaxed);
+  C2B_COUNTER_INC("exec.simcache.hit");
+  return it->second;
+}
+
+void SimCache::insert(const std::string& key, const Value& value) {
+  if (!enabled()) return;
+  Impl::Shard& shard = impl_->shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto [it, inserted] = shard.entries.insert_or_assign(key, value);
+  (void)it;
+  if (!inserted) return;  // concurrent recompute of the same key
+  shard.order.push_back(key);
+  while (shard.entries.size() > impl_->shard_capacity) {
+    shard.entries.erase(shard.order.front());
+    shard.order.pop_front();
+    impl_->evictions.fetch_add(1, std::memory_order_relaxed);
+    C2B_COUNTER_INC("exec.simcache.evict");
+  }
+}
+
+void SimCache::clear() {
+  for (Impl::Shard& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.clear();
+    shard.order.clear();
+  }
+  impl_->hits.store(0, std::memory_order_relaxed);
+  impl_->misses.store(0, std::memory_order_relaxed);
+  impl_->evictions.store(0, std::memory_order_relaxed);
+}
+
+SimCacheStats SimCache::stats() const {
+  SimCacheStats out;
+  out.hits = impl_->hits.load(std::memory_order_relaxed);
+  out.misses = impl_->misses.load(std::memory_order_relaxed);
+  out.evictions = impl_->evictions.load(std::memory_order_relaxed);
+  for (const Impl::Shard& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.entries += shard.entries.size();
+  }
+  return out;
+}
+
+SimCache& SimCache::global() {
+  static SimCache instance;
+  return instance;
+}
+
+}  // namespace c2b::exec

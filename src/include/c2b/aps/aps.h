@@ -56,8 +56,10 @@ struct ApsResult {
   double best_time = 0.0;
   std::size_t simulations = 0;        ///< incl. characterization runs
   /// Demand memory accesses across every simulation the run performed
-  /// (characterization + neighborhood); the telemetry counters
-  /// sim.l1.hit + sim.l1.miss must sum to exactly this.
+  /// (characterization + neighborhood). Memoized neighborhood hits replay
+  /// the recorded count without re-running the simulator, so this total is
+  /// cache-invariant while the sim.l1.* telemetry counters only advance on
+  /// actual simulations.
   std::uint64_t memory_accesses = 0;
   /// Design-space narrowing factor: |space| / |simulated region|.
   double narrowing_factor = 0.0;

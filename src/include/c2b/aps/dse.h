@@ -67,8 +67,10 @@ bool design_feasible(const DseContext& context, const std::vector<double>& point
 /// paper's split (for fixed g it is plain time; for scalable g it ranks by
 /// W/T, which is what case I optimizes).
 /// `memory_accesses`, when non-null, accumulates (+=) the demand memory
-/// accesses the underlying simulations issued — the number the telemetry
-/// counters sim.l1.hit + sim.l1.miss must add up to.
+/// accesses the underlying simulations issued. Results are memoized in
+/// exec::SimCache::global(); a hit replays the recorded access count
+/// without touching the simulator, so the telemetry ledger is
+/// sim.l1.hit + sim.l1.miss + exec.simcache.replayed_accesses == total.
 double simulate_design_time(const DseContext& context, const std::vector<double>& point,
                             std::uint64_t* memory_accesses = nullptr);
 

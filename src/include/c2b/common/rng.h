@@ -61,6 +61,12 @@ class Rng {
   /// Split off an independent stream (for per-core generators).
   Rng split() noexcept { return Rng(next() ^ 0xA0761D6478BD642Full); }
 
+  /// Derive a per-stream seed from a base seed with splitmix64 finalization
+  /// mixing both words. Linear schemes such as `seed + 17 * stream` collide
+  /// systematically (e.g. (seed=18, stream=0) == (seed=1, stream=1)); the
+  /// mixed derivation has no such structural collisions.
+  static std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t stream) noexcept;
+
  private:
   std::uint64_t s_[4]{};
   double cached_normal_ = 0.0;

@@ -1,0 +1,85 @@
+#pragma once
+
+// Fixed-size worker pool for the embarrassingly parallel sweeps (full DSE,
+// APS neighborhood simulation, per-core trace generation, Nelder-Mead
+// restarts). Fork-join shape, minimal overheads: one pool for the process,
+// per-thread work queues fed round-robin, and idle workers steal from the
+// back of their siblings' queues.
+//
+// Determinism contract: parallel_for chunks [begin, end) identically for
+// every thread count; each index is visited exactly once and writes only
+// its own output slot, so any ordered reduction over those slots is
+// bit-identical to the threads=1 run (which executes the same chunks
+// inline, in ascending order, on the calling thread — the exact serial
+// fallback). Nested parallel_for calls (a task that itself forks) run
+// inline serially on the executing thread, which both preserves
+// determinism and makes nesting deadlock-free.
+//
+// Sizing: set_thread_count(n) wins, else the C2B_THREADS environment
+// variable, else std::thread::hardware_concurrency(). A pool of n threads
+// runs n-1 workers; the caller of parallel_for is the n-th executor.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace c2b::exec {
+
+/// Body of one parallel_for chunk: fn(chunk_begin, chunk_end).
+using ChunkBody = std::function<void(std::size_t, std::size_t)>;
+
+class ThreadPool {
+ public:
+  /// threads >= 1 is the total executor count (workers + calling thread).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return thread_count_; }
+
+  /// Run body over [begin, end) in contiguous chunks (roughly 4 per
+  /// executor, never smaller than `grain` indices). Blocks until every
+  /// chunk finished; rethrows the first task exception. The calling thread
+  /// participates in execution.
+  void parallel_for(std::size_t begin, std::size_t end, const ChunkBody& body,
+                    std::size_t grain = 1);
+
+  /// Ordered map: out[i] = fn(i) for i in [0, count). Results land in input
+  /// order regardless of execution order, so reductions over the returned
+  /// vector are deterministic at any thread count. T must be
+  /// default-constructible and movable.
+  template <typename T, typename Fn>
+  std::vector<T> parallel_map(std::size_t count, Fn&& fn) {
+    std::vector<T> out(count);
+    parallel_for(0, count, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) out[i] = fn(i);
+    });
+    return out;
+  }
+
+  /// The process-wide pool, created on first use with the configured
+  /// thread count (see set_thread_count / C2B_THREADS).
+  static ThreadPool& global();
+
+  /// Total chunks stolen from a sibling queue (monotonic, for tests; the
+  /// same number feeds the exec.pool.steals telemetry counter).
+  std::uint64_t steal_count() const noexcept;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::size_t thread_count_;
+};
+
+/// Configure the global pool size; 0 restores the default (C2B_THREADS env
+/// or hardware_concurrency). Takes effect immediately: the existing global
+/// pool, if any, is torn down and rebuilt. Must not be called while
+/// parallel work is in flight.
+void set_thread_count(std::size_t threads);
+
+/// The thread count the global pool has (or would be created with).
+std::size_t thread_count();
+
+}  // namespace c2b::exec

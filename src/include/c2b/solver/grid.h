@@ -44,6 +44,13 @@ class GridSpace {
   /// Visit every point: fn(flat_index, values).
   void for_each(const std::function<void(std::size_t, const std::vector<double>&)>& fn) const;
 
+  /// Visit the flat-index range [begin, end): fn(flat_index, values).
+  /// Throws when begin > end or end > size(). This is the chunked form the
+  /// parallel sweeps use — each worker walks its own contiguous slice with
+  /// the odometer, so nobody materializes all flat indices up front.
+  void for_each(std::size_t begin, std::size_t end,
+                const std::function<void(std::size_t, const std::vector<double>&)>& fn) const;
+
   /// Flat indices of the axis-aligned neighborhood around `center` with the
   /// given per-axis radius (in value-index steps), clipped at the borders.
   /// This is the "adjacent regions in the design space" the APS algorithm

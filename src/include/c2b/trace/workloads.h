@@ -19,6 +19,11 @@ namespace c2b {
 struct WorkloadSpec {
   std::string name;
   std::string emulates;  ///< which paper workload/role this stands in for
+  /// Canonical identity for memoization: name plus the factory's size
+  /// parameters (two specs with equal uid must produce identical
+  /// generators). Factories fill it; empty disables result caching for
+  /// hand-rolled specs.
+  std::string uid;
   double f_seq = 0.05;                          ///< non-parallelizable work fraction
   ScalingFunction g = ScalingFunction::fixed();  ///< capacity scaling law
   std::uint64_t base_instructions = 1'000'000;  ///< IC_0 at N = 1

@@ -55,10 +55,19 @@ std::size_t GridSpace::flat_index(const std::vector<std::size_t>& idx) const {
 
 void GridSpace::for_each(
     const std::function<void(std::size_t, const std::vector<double>&)>& fn) const {
-  std::vector<std::size_t> idx(axes_.size(), 0);
+  for_each(0, total_, fn);
+}
+
+void GridSpace::for_each(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, const std::vector<double>&)>& fn) const {
+  C2B_REQUIRE(begin <= end, "for_each range reversed");
+  C2B_REQUIRE(end <= total_, "for_each range beyond the space");
+  if (begin == end) return;
+  std::vector<std::size_t> idx = indices(begin);
   std::vector<double> values(axes_.size());
-  for (std::size_t i = 0; i < axes_.size(); ++i) values[i] = axes_[i].values[0];
-  for (std::size_t flat = 0; flat < total_; ++flat) {
+  for (std::size_t i = 0; i < axes_.size(); ++i) values[i] = axes_[i].values[idx[i]];
+  for (std::size_t flat = begin; flat < end; ++flat) {
     fn(flat, values);
     // Odometer increment (last axis fastest) keeps values in sync without
     // re-decoding the flat index every step.

@@ -24,6 +24,7 @@ std::size_t scale_linear(std::size_t base, double scale) {
 WorkloadSpec make_tmm_workload(std::size_t base_matrix_dim, std::size_t tile_dim) {
   WorkloadSpec spec;
   spec.name = "tmm";
+  spec.uid = "tmm/" + std::to_string(base_matrix_dim) + "/" + std::to_string(tile_dim);
   spec.emulates = "Table I TMM; dense-LA phases of SPLASH-2 (lu, cholesky)";
   spec.f_seq = 0.02;
   spec.g = ScalingFunction::from_complexity(3.0, 2.0);
@@ -38,6 +39,7 @@ WorkloadSpec make_tmm_workload(std::size_t base_matrix_dim, std::size_t tile_dim
 WorkloadSpec make_stencil_workload(std::size_t base_grid_dim) {
   WorkloadSpec spec;
   spec.name = "stencil";
+  spec.uid = "stencil/" + std::to_string(base_grid_dim);
   spec.emulates = "Table I stencil; ocean/barnes-style grid sweeps";
   spec.f_seq = 0.03;
   spec.g = ScalingFunction::linear();
@@ -51,6 +53,7 @@ WorkloadSpec make_stencil_workload(std::size_t base_grid_dim) {
 WorkloadSpec make_fft_workload(unsigned base_log2_n) {
   WorkloadSpec spec;
   spec.name = "fft";
+  spec.uid = "fft/" + std::to_string(base_log2_n);
   spec.emulates = "Table I FFT; SPLASH-2 fft";
   spec.f_seq = 0.05;
   // Table I evaluates the FFT g at M = N: g(N) = 2N (pinned to g(1) = 1).
@@ -67,6 +70,7 @@ WorkloadSpec make_fft_workload(unsigned base_log2_n) {
 WorkloadSpec make_band_sparse_workload(std::size_t base_rows, std::size_t band) {
   WorkloadSpec spec;
   spec.name = "band_sparse";
+  spec.uid = "band_sparse/" + std::to_string(base_rows) + "/" + std::to_string(band);
   spec.emulates = "Table I band sparse matrix multiplication";
   spec.f_seq = 0.04;
   spec.g = ScalingFunction::linear();
@@ -80,6 +84,7 @@ WorkloadSpec make_band_sparse_workload(std::size_t base_rows, std::size_t band) 
 WorkloadSpec make_pointer_chase_workload(std::size_t base_lines) {
   WorkloadSpec spec;
   spec.name = "pointer_chase";
+  spec.uid = "pointer_chase/" + std::to_string(base_lines);
   spec.emulates = "Fig. 7 app 1: large f_seq, C ~ 1 (dependent accesses)";
   spec.f_seq = 0.4;
   spec.g = ScalingFunction::fixed();
@@ -93,6 +98,7 @@ WorkloadSpec make_pointer_chase_workload(std::size_t base_lines) {
 WorkloadSpec make_fluidanimate_like_workload(std::size_t base_lines) {
   WorkloadSpec spec;
   spec.name = "fluidanimate_like";
+  spec.uid = "fluidanimate_like/" + std::to_string(base_lines);
   spec.emulates = "PARSEC fluidanimate (Fig. 12 case study): large working "
                   "set, phased irregular/regular access, high MLP";
   spec.f_seq = 0.02;
@@ -121,6 +127,7 @@ WorkloadSpec make_fluidanimate_like_workload(std::size_t base_lines) {
 WorkloadSpec make_gups_workload(std::size_t base_table_lines) {
   WorkloadSpec spec;
   spec.name = "gups";
+  spec.uid = "gups/" + std::to_string(base_table_lines);
   spec.emulates = "HPCC RandomAccess; Section V big-data memory-bound extreme";
   spec.f_seq = 0.01;
   spec.g = ScalingFunction::linear();
@@ -134,6 +141,7 @@ WorkloadSpec make_gups_workload(std::size_t base_table_lines) {
 WorkloadSpec make_reduction_workload(std::size_t base_elements) {
   WorkloadSpec spec;
   spec.name = "reduction";
+  spec.uid = "reduction/" + std::to_string(base_elements);
   spec.emulates = "streaming reduction/dot-product phases";
   spec.f_seq = 0.02;
   spec.g = ScalingFunction::linear();
@@ -147,6 +155,7 @@ WorkloadSpec make_reduction_workload(std::size_t base_elements) {
 WorkloadSpec make_transpose_workload(std::size_t base_matrix_dim, std::size_t block_dim) {
   WorkloadSpec spec;
   spec.name = "transpose";
+  spec.uid = "transpose/" + std::to_string(base_matrix_dim) + "/" + std::to_string(block_dim);
   spec.emulates = "blocked transpose; conflict-miss-heavy strided access";
   spec.f_seq = 0.02;
   spec.g = ScalingFunction::linear();
@@ -161,6 +170,7 @@ WorkloadSpec make_transpose_workload(std::size_t base_matrix_dim, std::size_t bl
 WorkloadSpec make_frontier_workload(std::size_t base_vertices) {
   WorkloadSpec spec;
   spec.name = "frontier";
+  spec.uid = "frontier/" + std::to_string(base_vertices);
   spec.emulates = "graph BFS frontier expansion; mixed regular/irregular";
   spec.f_seq = 0.08;
   spec.g = ScalingFunction::linear();

@@ -107,6 +107,29 @@ TEST(Dse, ConfigMappingHonorsAxes) {
   EXPECT_EQ(config.hierarchy.l2_geometry.size_bytes, 256u * 1024u);
 }
 
+TEST(Dse, CacheCapacityRoundsUpNotToNearest) {
+  const DseContext context = tiny_context();
+  // a1 = 1.1 area * 16 KiB = 17.6 KiB: nearest power of two is 16 KiB,
+  // which would build less cache than the area budget pays for. The mapper
+  // must round up to 32 KiB instead.
+  const sim::SystemConfig config =
+      config_for_design(context, {1.0, 1.1, 1.4, 1.0, 2.0, 32.0});
+  EXPECT_EQ(config.hierarchy.l1_geometry.size_bytes, 32u * 1024u);
+  // a2 = 1.4 area * 48 KiB * 1 core = 67.2 KiB: nearest rounding gave
+  // 64 KiB (below budget); ceiling gives 128 KiB.
+  EXPECT_EQ(config.hierarchy.l2_geometry.size_bytes, 128u * 1024u);
+}
+
+TEST(Dse, ExactPowerOfTwoCapacityIsPreserved) {
+  const DseContext context = tiny_context();
+  // a1 = 1.0 * 16 KiB and a2 = 2.0 * 48 KiB * 2 = 192 KiB -> 256 KiB; the
+  // exact-power case must not be bumped one level up by the ceiling.
+  const sim::SystemConfig config =
+      config_for_design(context, {4.0, 1.0, 2.0, 2.0, 4.0, 64.0});
+  EXPECT_EQ(config.hierarchy.l1_geometry.size_bytes, 16u * 1024u);
+  EXPECT_EQ(config.hierarchy.l2_geometry.size_bytes, 256u * 1024u);
+}
+
 TEST(Dse, CacheSizesNeverBelowMinimumGeometry) {
   const DseContext context = tiny_context();
   const sim::SystemConfig config =

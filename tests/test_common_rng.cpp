@@ -139,6 +139,38 @@ TEST(Rng, CategoricalFollowsWeights) {
   EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.015);
 }
 
+TEST(Rng, DeriveStreamSeedIsDeterministic) {
+  EXPECT_EQ(Rng::derive_stream_seed(42, 3), Rng::derive_stream_seed(42, 3));
+  EXPECT_NE(Rng::derive_stream_seed(42, 3), Rng::derive_stream_seed(42, 4));
+  EXPECT_NE(Rng::derive_stream_seed(42, 3), Rng::derive_stream_seed(43, 3));
+}
+
+TEST(Rng, DeriveStreamSeedAvoidsLinearSchemeCollisions) {
+  // The old per-core scheme `seed + 17 * c + 1` aliased systematically:
+  // (seed=18, c=0) and (seed=1, c=1) both yielded 19, so two different
+  // experiments shared identical traces. The splitmix derivation must not.
+  EXPECT_NE(Rng::derive_stream_seed(18, 0), Rng::derive_stream_seed(1, 1));
+  EXPECT_NE(Rng::derive_stream_seed(35, 0), Rng::derive_stream_seed(18, 1));
+  EXPECT_NE(Rng::derive_stream_seed(0, 2), Rng::derive_stream_seed(17, 1));
+}
+
+TEST(Rng, DeriveStreamSeedDistinctOverSeedStreamGrid) {
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t seed = 0; seed < 64; ++seed)
+    for (std::uint64_t stream = 0; stream < 64; ++stream)
+      seeds.push_back(Rng::derive_stream_seed(seed, stream));
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(Rng, DeriveStreamSeedProducesDivergentStreams) {
+  Rng a(Rng::derive_stream_seed(7, 0));
+  Rng b(Rng::derive_stream_seed(7, 1));
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
 TEST(Rng, SplitStreamsAreIndependent) {
   Rng a(50);
   Rng b = a.split();

@@ -1,0 +1,174 @@
+// Tier-1 determinism contract for the parallel execution layer: running the
+// APS pipeline and the full-factorial DSE sweep at any thread count must
+// produce bit-identical results to the serial run. See DESIGN.md
+// ("Parallel execution") for why this holds by construction.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "c2b/aps/aps.h"
+#include "c2b/aps/dse.h"
+#include "c2b/exec/pool.h"
+#include "c2b/exec/sim_cache.h"
+
+namespace c2b {
+namespace {
+
+sim::SystemConfig baseline_system() {
+  sim::SystemConfig config;
+  config.core.issue_width = 4;
+  config.core.rob_size = 128;
+  config.hierarchy.l1_geometry = {.size_bytes = 16 * 1024, .line_bytes = 64,
+                                  .associativity = 4};
+  config.hierarchy.l2_geometry = {.size_bytes = 256 * 1024, .line_bytes = 64,
+                                  .associativity = 8};
+  return config;
+}
+
+DseAxes tiny_axes() {
+  DseAxes axes;
+  axes.a0 = {1.0, 4.0};
+  axes.a1 = {0.5, 1.0};
+  axes.a2 = {1.0, 2.0};
+  axes.n = {1, 2};
+  axes.issue = {2, 4};
+  axes.rob = {32, 64};
+  return axes;
+}
+
+DseContext tiny_context() {
+  DseContext context;
+  context.base = baseline_system();
+  context.workload = make_stencil_workload(96);
+  context.instructions0 = 20000;
+  context.per_core_cap = 10000;
+  context.chip.total_area = 9.0;
+  context.chip.shared_area = 1.0;
+  return context;
+}
+
+/// Restores the global thread count and re-enables/clears the global sim
+/// cache when a test exits, so ordering between tests never matters.
+class ExecEnvGuard {
+ public:
+  ExecEnvGuard() = default;
+  ~ExecEnvGuard() {
+    exec::set_thread_count(0);
+    exec::SimCache::global().set_enabled(true);
+    exec::SimCache::global().clear();
+  }
+};
+
+const std::vector<std::size_t> kThreadCounts{1, 2, 8};
+
+TEST(ParallelDeterminism, FullDseIsBitIdenticalAcrossThreadCounts) {
+  ExecEnvGuard guard;
+  const DseContext context = tiny_context();
+  const GridSpace space = make_design_space(tiny_axes());
+
+  // Memoization off: every run must recompute everything from scratch so
+  // the comparison exercises the parallel sweep itself, not the cache.
+  exec::SimCache::global().set_enabled(false);
+  exec::SimCache::global().clear();
+
+  std::vector<FullDseResult> results;
+  for (const std::size_t threads : kThreadCounts) {
+    exec::set_thread_count(threads);
+    results.push_back(run_full_dse(context, space));
+  }
+  const FullDseResult& serial = results.front();
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    SCOPED_TRACE("threads=" + std::to_string(kThreadCounts[i]));
+    EXPECT_EQ(results[i].best_index, serial.best_index);
+    EXPECT_EQ(results[i].best_time, serial.best_time);  // bit-identical
+    EXPECT_EQ(results[i].simulations, serial.simulations);
+    EXPECT_EQ(results[i].feasible_count, serial.feasible_count);
+    ASSERT_EQ(results[i].times.size(), serial.times.size());
+    for (std::size_t j = 0; j < serial.times.size(); ++j)
+      EXPECT_EQ(results[i].times[j], serial.times[j]) << "flat index " << j;
+  }
+}
+
+TEST(ParallelDeterminism, ApsIsBitIdenticalAcrossThreadCounts) {
+  ExecEnvGuard guard;
+  const DseContext context = tiny_context();
+  const GridSpace space = make_design_space(tiny_axes());
+  ApsOptions options;
+  options.characterize.instructions = 60000;
+
+  exec::SimCache::global().set_enabled(false);
+  exec::SimCache::global().clear();
+
+  std::vector<ApsResult> results;
+  for (const std::size_t threads : kThreadCounts) {
+    exec::set_thread_count(threads);
+    results.push_back(run_aps(context, space, options));
+  }
+  const ApsResult& serial = results.front();
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    SCOPED_TRACE("threads=" + std::to_string(kThreadCounts[i]));
+    EXPECT_EQ(results[i].best_index, serial.best_index);
+    EXPECT_EQ(results[i].best_time, serial.best_time);  // bit-identical
+    EXPECT_EQ(results[i].simulations, serial.simulations);
+    EXPECT_EQ(results[i].memory_accesses, serial.memory_accesses);
+    EXPECT_EQ(results[i].snapped_index, serial.snapped_index);
+    EXPECT_EQ(results[i].simulated_indices, serial.simulated_indices);
+  }
+}
+
+TEST(ParallelDeterminism, SimCacheHitsKeepApsResultsIdentical) {
+  ExecEnvGuard guard;
+  const DseContext context = tiny_context();
+  const GridSpace space = make_design_space(tiny_axes());
+  ApsOptions options;
+  options.characterize.instructions = 60000;
+
+  exec::set_thread_count(2);
+  exec::SimCache::global().set_enabled(true);
+  exec::SimCache::global().clear();
+
+  const ApsResult cold = run_aps(context, space, options);
+  const exec::SimCacheStats after_cold = exec::SimCache::global().stats();
+  EXPECT_GT(after_cold.entries, 0u);
+
+  // Revisiting the same neighborhood must be served from the cache and
+  // return the bit-identical outcome the cold run produced.
+  const ApsResult warm = run_aps(context, space, options);
+  const exec::SimCacheStats after_warm = exec::SimCache::global().stats();
+  EXPECT_GT(after_warm.hits, after_cold.hits);
+  EXPECT_EQ(warm.best_index, cold.best_index);
+  EXPECT_EQ(warm.best_time, cold.best_time);
+  EXPECT_EQ(warm.simulations, cold.simulations);
+  EXPECT_EQ(warm.memory_accesses, cold.memory_accesses);
+  EXPECT_EQ(warm.simulated_indices, cold.simulated_indices);
+}
+
+TEST(ParallelDeterminism, CachedTimesMatchUncachedOnes) {
+  ExecEnvGuard guard;
+  const DseContext context = tiny_context();
+  const GridSpace space = make_design_space(tiny_axes());
+
+  exec::set_thread_count(4);
+  exec::SimCache::global().set_enabled(false);
+  exec::SimCache::global().clear();
+  const FullDseResult uncached = run_full_dse(context, space);
+
+  exec::SimCache::global().set_enabled(true);
+  exec::SimCache::global().clear();
+  const FullDseResult cold = run_full_dse(context, space);
+  const FullDseResult warm = run_full_dse(context, space);
+  EXPECT_GT(exec::SimCache::global().stats().hits, 0u);
+
+  ASSERT_EQ(cold.times.size(), uncached.times.size());
+  for (std::size_t j = 0; j < uncached.times.size(); ++j) {
+    EXPECT_EQ(cold.times[j], uncached.times[j]) << "flat index " << j;
+    EXPECT_EQ(warm.times[j], uncached.times[j]) << "flat index " << j;
+  }
+  EXPECT_EQ(warm.best_index, uncached.best_index);
+  EXPECT_EQ(warm.best_time, uncached.best_time);
+}
+
+}  // namespace
+}  // namespace c2b

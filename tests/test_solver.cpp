@@ -153,6 +153,44 @@ TEST(GridSpace, ForEachVisitsAllInOrder) {
   EXPECT_EQ(expected, g.size());
 }
 
+TEST(GridSpace, ForEachRangeVisitsExactlyTheRequestedIndices) {
+  const GridSpace g = small_space();
+  ASSERT_GE(g.size(), 4u);
+  std::size_t expected = 1;
+  g.for_each(1, g.size() - 1, [&](std::size_t flat, const std::vector<double>& values) {
+    EXPECT_EQ(flat, expected++);
+    EXPECT_EQ(values, g.point(flat));
+  });
+  EXPECT_EQ(expected, g.size() - 1);
+}
+
+TEST(GridSpace, ForEachRangeHandlesBounds) {
+  const GridSpace g = small_space();
+  // Empty ranges are no-ops, including at the extremes.
+  std::size_t visits = 0;
+  auto count = [&](std::size_t, const std::vector<double>&) { ++visits; };
+  g.for_each(0, 0, count);
+  g.for_each(g.size(), g.size(), count);
+  EXPECT_EQ(visits, 0u);
+  // Full range matches the no-argument overload.
+  g.for_each(0, g.size(), count);
+  EXPECT_EQ(visits, g.size());
+  // Invalid ranges are rejected.
+  EXPECT_THROW(g.for_each(2, 1, count), std::invalid_argument);
+  EXPECT_THROW(g.for_each(0, g.size() + 1, count), std::invalid_argument);
+}
+
+TEST(GridSpace, ForEachRangeConcatenationCoversWholeSpace) {
+  const GridSpace g = small_space();
+  std::vector<std::size_t> seen;
+  const std::size_t mid = g.size() / 2;
+  auto record = [&](std::size_t flat, const std::vector<double>&) { seen.push_back(flat); };
+  g.for_each(0, mid, record);
+  g.for_each(mid, g.size(), record);
+  ASSERT_EQ(seen.size(), g.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
 TEST(GridSpace, NeighborhoodClipsAtBorders) {
   const GridSpace g = small_space();
   const auto corner = g.neighborhood(0, 1);

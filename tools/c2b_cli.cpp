@@ -18,12 +18,18 @@
 //       Generate a trace and save it in the binary trace format.
 //   c2b aps [--workload <name>] [--instructions N] [--per-core-cap N]
 //           [--characterize-instructions N] [--radius R] [--area A]
-//           [--shared-area A]
+//           [--shared-area A] [--repeat N]
 //       Run the APS design-space exploration (characterize, analytic
 //       solve, neighborhood simulation) on a small grid and print the
 //       chosen design plus the run's simulation/memory-access totals.
+//       --repeat re-runs the whole flow N times: repeats are served by the
+//       memoized simulation cache and must match the first run bit for bit
+//       (watch exec.simcache.hit in --metrics-out).
 //
-// Telemetry flags, accepted by every command:
+// Flags accepted by every command:
+//   --threads N            parallel execution width for the DSE/APS sweeps
+//                          (default: C2B_THREADS env, else hardware
+//                          concurrency; 1 = serial)
 //   --metrics-out <path>   dump the counter/gauge/histogram registry after
 //                          the command (JSON, or CSV when path ends .csv)
 //   --trace-out <path>     dump recorded spans as Chrome trace-event JSON
@@ -44,6 +50,7 @@
 #include "c2b/core/energy.h"
 #include "c2b/core/optimizer.h"
 #include "c2b/core/sensitivity.h"
+#include "c2b/exec/pool.h"
 #include "c2b/obs/export.h"
 #include "c2b/obs/obs.h"
 #include "c2b/sim/system/system.h"
@@ -340,10 +347,26 @@ int cmd_aps(const Args& args) {
       static_cast<std::size_t>(args.get("radius", 1LL));
   options.characterize.instructions =
       static_cast<std::uint64_t>(args.get("characterize-instructions", 60'000LL));
+  const auto repeat = args.get("repeat", 1LL);
   args.finish();
+  if (repeat < 1) {
+    std::fprintf(stderr, "aps: --repeat must be >= 1\n");
+    return 2;
+  }
 
   const GridSpace space = make_design_space(axes);
-  const ApsResult aps = run_aps(context, space, options);
+  ApsResult aps = run_aps(context, space, options);
+  // Re-running the same neighborhood hits the memoized simulation cache;
+  // every repeat must reproduce the first result bit for bit (the
+  // exec.simcache.* counters in --metrics-out show the hit traffic).
+  for (long long r = 1; r < repeat; ++r) {
+    const ApsResult again = run_aps(context, space, options);
+    if (again.best_index != aps.best_index || again.best_time != aps.best_time ||
+        again.memory_accesses != aps.memory_accesses) {
+      std::fprintf(stderr, "aps: repeat %lld diverged from the first run\n", r);
+      return 1;
+    }
+  }
 
   std::printf("APS on workload %s (%s), %zu-point grid\n", spec->name.c_str(),
               spec->emulates.c_str(), space.size());
@@ -400,8 +423,14 @@ int run(int argc, char** argv) {
   const std::set<std::string> boolean_flags{"simpoints", "asymmetric", "coherence"};
   const Args args(argc, argv, 2, boolean_flags);
 
-  // Telemetry sinks, accepted by every command; read before dispatch so the
-  // per-command finish() does not reject them as unknown.
+  // Cross-command flags; read before dispatch so the per-command finish()
+  // does not reject them as unknown.
+  const auto threads = args.get("threads", 0LL);
+  if (threads < 0) {
+    std::fprintf(stderr, "c2b: --threads must be >= 1\n");
+    return 2;
+  }
+  if (threads > 0) exec::set_thread_count(static_cast<std::size_t>(threads));
   const std::string metrics_out = args.get("metrics-out", std::string(""));
   const std::string trace_out = args.get("trace-out", std::string(""));
   const auto sample_period = args.get("span-sample-period", 1LL);
