@@ -91,6 +91,14 @@ std::string simulation_cache_key(const DseContext& context, const sim::SystemCon
   key_append(key, context.workload.f_seq);
   key += context.workload.g.description();
   key += '|';
+  // description() alone can alias: ScalingFunction::custom accepts any
+  // (fn, description) pair, so two numerically different laws may share a
+  // label. Sampling g and memory_scale at fixed points pins the numeric
+  // behavior into the key.
+  for (const double n : {1.0, 2.0, 7.0, 64.0}) {
+    key_append(key, context.workload.g(n));
+    key_append(key, context.workload.g.memory_scale(n));
+  }
   key_append(key, context.seed);
   key_append(key, context.instructions0);
   key_append(key, context.per_core_cap);

@@ -78,10 +78,15 @@ struct ThreadPool::Impl {
       if (!chunk.batch->error) chunk.batch->error = std::current_exception();
     }
     --tls_fork_depth;
-    if (chunk.batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(chunk.batch->done_mutex);
-      chunk.batch->done_cv.notify_all();
-    }
+    // Decrement under done_mutex: the caller evaluates its wait predicate
+    // while holding the same mutex, so it cannot observe remaining == 0 and
+    // destroy the stack-allocated Batch while this thread is still between
+    // the decrement and the notify. After the guard releases, `chunk.batch`
+    // may be gone — touch nothing past this block.
+    Batch* const batch = chunk.batch;
+    std::lock_guard<std::mutex> lock(batch->done_mutex);
+    if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      batch->done_cv.notify_all();
   }
 
   bool try_pop(std::size_t queue_index, Chunk* out, bool from_front) {
@@ -107,8 +112,16 @@ struct ThreadPool::Impl {
     for (std::size_t i = 0; i < queues.size(); ++i) {
       if (i == self) continue;
       if (try_pop(i, out, /*from_front=*/false)) {
-        steals.fetch_add(1, std::memory_order_relaxed);
-        C2B_COUNTER_INC("exec.pool.steals");
+        if (self < queues.size()) {
+          // Only a worker taking from a sibling is a steal. The caller
+          // draining leftovers is the normal fork-join epilogue (it owns no
+          // queue), so it gets its own counter instead of inflating the
+          // contention metric.
+          steals.fetch_add(1, std::memory_order_relaxed);
+          C2B_COUNTER_INC("exec.pool.steals");
+        } else {
+          C2B_COUNTER_INC("exec.pool.caller_drains");
+        }
         return true;
       }
     }
@@ -216,7 +229,14 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, const ChunkBod
         ++pushed;
       }
     }
-    impl_->queued.fetch_add(pushed, std::memory_order_relaxed);
+    // Publish `queued` under work_mutex (mirroring the stop flag in the
+    // destructor): a worker evaluates its wait predicate while holding the
+    // same mutex, so it either sees the new count or is not yet blocked and
+    // will be reached by the notify below — no lost wakeup.
+    {
+      std::lock_guard<std::mutex> lock(impl_->work_mutex);
+      impl_->queued.fetch_add(pushed, std::memory_order_relaxed);
+    }
     C2B_COUNTER_ADD("exec.pool.chunks", chunk_count);
     C2B_GAUGE_SET("exec.pool.queue_depth", static_cast<double>(pushed));
   }

@@ -6,14 +6,18 @@
 // per-thread work queues fed round-robin, and idle workers steal from the
 // back of their siblings' queues.
 //
-// Determinism contract: parallel_for chunks [begin, end) identically for
-// every thread count; each index is visited exactly once and writes only
-// its own output slot, so any ordered reduction over those slots is
-// bit-identical to the threads=1 run (which executes the same chunks
-// inline, in ascending order, on the calling thread — the exact serial
-// fallback). Nested parallel_for calls (a task that itself forks) run
-// inline serially on the executing thread, which both preserves
-// determinism and makes nesting deadlock-free.
+// Determinism contract: the chunk layout of [begin, end) is a pure
+// function of (count, grain, thread count) — it is stable across runs at
+// one configuration but MAY differ between thread counts. Bit-identical
+// results therefore do not rest on chunk boundaries: they follow from each
+// index being visited exactly once and writing only its own output slot,
+// with any reduction over those slots performed serially in index order
+// (as parallel_map's callers do). Do not rely on which indices share a
+// chunk. At threads=1 the same code path executes the chunks inline, in
+// ascending order, on the calling thread — the exact serial fallback.
+// Nested parallel_for calls (a task that itself forks) run inline serially
+// on the executing thread, which both preserves determinism and makes
+// nesting deadlock-free.
 //
 // Sizing: set_thread_count(n) wins, else the C2B_THREADS environment
 // variable, else std::thread::hardware_concurrency(). A pool of n threads
@@ -63,8 +67,10 @@ class ThreadPool {
   /// thread count (see set_thread_count / C2B_THREADS).
   static ThreadPool& global();
 
-  /// Total chunks stolen from a sibling queue (monotonic, for tests; the
-  /// same number feeds the exec.pool.steals telemetry counter).
+  /// Total chunks a *worker* took from a sibling's queue (monotonic, for
+  /// tests; the same number feeds the exec.pool.steals telemetry counter).
+  /// The caller thread draining leftover chunks is not a steal — it is
+  /// counted separately as exec.pool.caller_drains.
   std::uint64_t steal_count() const noexcept;
 
  private:

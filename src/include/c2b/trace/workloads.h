@@ -20,9 +20,13 @@ struct WorkloadSpec {
   std::string name;
   std::string emulates;  ///< which paper workload/role this stands in for
   /// Canonical identity for memoization: name plus the factory's size
-  /// parameters (two specs with equal uid must produce identical
-  /// generators). Factories fill it; empty disables result caching for
-  /// hand-rolled specs.
+  /// parameters. Two specs with equal uid must be behaviorally identical —
+  /// same generators AND same f_seq / g — or cached simulation results
+  /// would replay across genuinely different workloads. (The DSE cache key
+  /// additionally folds in f_seq and numeric samples of g as a backstop,
+  /// but mutating a catalog spec in place should also clear or change its
+  /// uid.) Factories fill it; empty disables result caching for hand-rolled
+  /// specs.
   std::string uid;
   double f_seq = 0.05;                          ///< non-parallelizable work fraction
   ScalingFunction g = ScalingFunction::fixed();  ///< capacity scaling law
