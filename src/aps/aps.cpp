@@ -42,19 +42,8 @@ FullDseResult run_full_dse(const DseContext& context, const GridSpace& space) {
   return result;
 }
 
-ApsResult run_aps(const DseContext& context, const GridSpace& space, const ApsOptions& options) {
-  C2B_SPAN("aps/run_aps");
-  ApsResult result;
-
-  // ---- Step 1: characterization (Fig. 6 lines 1-3) ----
-  result.characterization = characterize(context.workload, context.base, options.characterize);
-  result.simulations += result.characterization.simulation_runs;
-  result.memory_accesses += result.characterization.memory_accesses;
-
-  // ---- Step 2: analytic optimization (Fig. 6 lines 4-13) ----
-  {
-  C2B_SPAN("aps/analytic_solve");
-  AppProfile app = result.characterization.app;
+C2BoundModel build_calibrated_model(const DseContext& context, const Characterization& c) {
+  AppProfile app = c.app;
   app.ic0 = static_cast<double>(context.instructions0);
   // Concurrency the design can rely on: the detector's C_M includes merged
   // secondary misses riding in-flight primaries, which will not survive a
@@ -73,7 +62,7 @@ ApsResult run_aps(const DseContext& context, const GridSpace& space, const ApsOp
   // functional units as fu = 2 sqrt(A0), so the characterized CPI_exe was
   // measured at a0_base = (fu/2)^2; pick (k0, phi0) with
   // CPI_exe(a0_base) == measured.
-  const double cpi_exe = std::max(0.05, result.characterization.cpi_exe);
+  const double cpi_exe = std::max(0.05, c.cpi_exe);
   const double fu_base = static_cast<double>(context.base.core.functional_units);
   const double a0_base = std::max(0.25, (fu_base / 2.0) * (fu_base / 2.0));
   machine.pollack.phi0 = 0.25 * cpi_exe;
@@ -92,8 +81,8 @@ ApsResult run_aps(const DseContext& context, const GridSpace& space, const ApsOp
   // L2 capacity relative to the traffic already filtered by the baseline
   // L1: alpha_l2 = (c1_base / WS)^beta.
   {
-    const double beta = std::max(0.1, result.characterization.l1_power_law.beta);
-    const double alpha_fit = std::max(1e-6, result.characterization.l1_power_law.alpha);
+    const double beta = std::max(0.1, c.l1_power_law.beta);
+    const double alpha_fit = std::max(1e-6, c.l1_power_law.alpha);
     const double ws0 = std::max(1.0, app.working_set_lines0);
     const double c1_base_lines =
         static_cast<double>(context.base.hierarchy.l1_geometry.lines());
@@ -124,16 +113,30 @@ ApsResult run_aps(const DseContext& context, const GridSpace& space, const ApsOp
     const double analytic_stall =
         probe.evaluate({.n_cores = 1.0, .a0 = a0_base, .a1 = a1_base, .a2 = a2_base})
             .stall_per_instruction;
-    const double measured_stall =
-        std::max(1e-6, result.characterization.measured_cpi - cpi_exe);
+    const double measured_stall = std::max(1e-6, c.measured_cpi - cpi_exe);
     if (analytic_stall > 1e-12) app.stall_scale = measured_stall / analytic_stall;
   }
+  return C2BoundModel(app, machine);
+}
 
-  OptimizerOptions opt;
-  opt.n_max = static_cast<long long>(
-      *std::max_element(space.axis(kAxisN).values.begin(), space.axis(kAxisN).values.end()));
-  const C2BoundOptimizer optimizer(C2BoundModel(app, machine), opt);
-  result.analytic = optimizer.optimize();
+ApsResult run_aps(const DseContext& context, const GridSpace& space, const ApsOptions& options) {
+  C2B_SPAN("aps/run_aps");
+  ApsResult result;
+
+  // ---- Step 1: characterization (Fig. 6 lines 1-3) ----
+  result.characterization = characterize(context.workload, context.base, options.characterize);
+  result.simulations += result.characterization.simulation_runs;
+  result.memory_accesses += result.characterization.memory_accesses;
+
+  // ---- Step 2: analytic optimization (Fig. 6 lines 4-13) ----
+  {
+    C2B_SPAN("aps/analytic_solve");
+    OptimizerOptions opt;
+    opt.n_max = static_cast<long long>(
+        *std::max_element(space.axis(kAxisN).values.begin(), space.axis(kAxisN).values.end()));
+    const C2BoundOptimizer optimizer(build_calibrated_model(context, result.characterization),
+                                     opt);
+    result.analytic = optimizer.optimize();
   }
 
   // ---- Step 3: snap to the grid and simulate the narrowed region ----

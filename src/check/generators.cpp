@@ -1,0 +1,304 @@
+#include "c2b/check/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "c2b/common/assert.h"
+
+namespace c2b::check {
+namespace {
+
+/// 2^k for k uniform in [lo, hi].
+std::uint64_t pow2_between(Rng& rng, unsigned lo, unsigned hi) {
+  return std::uint64_t{1} << rng.uniform_int(lo, hi);
+}
+
+template <typename T>
+T pick(Rng& rng, std::initializer_list<T> values) {
+  const auto index = static_cast<std::size_t>(rng.uniform_below(values.size()));
+  return *(values.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+}  // namespace
+
+sim::SystemConfig gen_system_config(Rng& rng) {
+  sim::SystemConfig config;
+  config.core.issue_width = static_cast<std::uint32_t>(pick(rng, {1, 2, 4, 8}));
+  config.core.rob_size = config.core.issue_width *
+                         static_cast<std::uint32_t>(rng.uniform_int(1, 32));
+  config.core.functional_units = static_cast<std::uint32_t>(rng.uniform_int(1, 8));
+
+  sim::HierarchyConfig& h = config.hierarchy;
+  h.cores = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+  const std::uint32_t line = 64;
+  h.l1_geometry.line_bytes = line;
+  h.l1_geometry.associativity = static_cast<std::uint32_t>(pick(rng, {2, 4, 8}));
+  h.l1_geometry.size_bytes = pow2_between(rng, 13, 16);  // 8-64 KiB
+  h.l2_geometry.line_bytes = line;
+  h.l2_geometry.associativity = static_cast<std::uint32_t>(pick(rng, {4, 8, 16}));
+  h.l2_geometry.size_bytes = pow2_between(rng, 17, 20);  // 128 KiB - 1 MiB
+  h.l1_hit_latency = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+  h.l2_hit_latency = static_cast<std::uint32_t>(rng.uniform_int(8, 18));
+  h.l1_banks = static_cast<std::uint32_t>(pick(rng, {1, 2, 4}));
+  h.l1_ports_per_bank = static_cast<std::uint32_t>(rng.uniform_int(1, 2));
+  h.l1_mshr_entries = static_cast<std::uint32_t>(rng.uniform_int(2, 16));
+  h.l2_mshr_entries = static_cast<std::uint32_t>(rng.uniform_int(8, 32));
+  config.validate();
+  return config;
+}
+
+WorkloadSpec gen_workload_spec(Rng& rng) {
+  // Catalog factories at deliberately small sizes: the oracles simulate
+  // thousands of short windows, so working sets stay cache-scale.
+  switch (rng.uniform_below(8)) {
+    case 0:
+      return make_stencil_workload(static_cast<std::size_t>(rng.uniform_int(48, 128)));
+    case 1: {
+      const std::size_t tile = pick(rng, {std::size_t{4}, std::size_t{8}});
+      const std::size_t dim = tile * static_cast<std::size_t>(rng.uniform_int(3, 6));
+      return make_tmm_workload(dim, tile);
+    }
+    case 2:
+      return make_reduction_workload(static_cast<std::size_t>(pow2_between(rng, 10, 13)));
+    case 3:
+      return make_pointer_chase_workload(static_cast<std::size_t>(pow2_between(rng, 8, 11)));
+    case 4:
+      return make_gups_workload(static_cast<std::size_t>(pow2_between(rng, 8, 11)));
+    case 5:
+      return make_band_sparse_workload(static_cast<std::size_t>(pow2_between(rng, 9, 12)),
+                                       static_cast<std::size_t>(rng.uniform_int(4, 16)));
+    case 6: {
+      const std::size_t block = pick(rng, {std::size_t{8}, std::size_t{16}});
+      return make_transpose_workload(block * static_cast<std::size_t>(rng.uniform_int(4, 8)),
+                                     block);
+    }
+    default:
+      return make_frontier_workload(static_cast<std::size_t>(pow2_between(rng, 8, 11)));
+  }
+}
+
+AreaSplit gen_area_split(Rng& rng, const ChipConstraints& chip, double budget) {
+  const double min_total = chip.min_core_area + chip.min_l1_area + chip.min_l2_area;
+  C2B_REQUIRE(budget >= min_total, "budget below the chip's minimum areas");
+  // Dirichlet-ish: split the slack above the minimums by three uniform
+  // weights, then spend a random fraction of it (total <= budget).
+  const double slack = (budget - min_total) * rng.uniform(0.0, 1.0);
+  double w0 = rng.uniform(0.05, 1.0);
+  double w1 = rng.uniform(0.05, 1.0);
+  double w2 = rng.uniform(0.05, 1.0);
+  const double w = w0 + w1 + w2;
+  AreaSplit split;
+  split.a0 = chip.min_core_area + slack * w0 / w;
+  split.a1 = chip.min_l1_area + slack * w1 / w;
+  split.a2 = chip.min_l2_area + slack * w2 / w;
+  return split;
+}
+
+Trace gen_trace(Rng& rng, std::size_t max_records) {
+  Trace trace;
+  const auto name_len = static_cast<std::size_t>(rng.uniform_below(24));
+  for (std::size_t i = 0; i < name_len; ++i)
+    trace.name.push_back(static_cast<char>('a' + rng.uniform_below(26)));
+  const auto count = static_cast<std::size_t>(rng.uniform_below(max_records + 1));
+  trace.records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    TraceRecord record;
+    record.kind = static_cast<InstrKind>(rng.uniform_below(3));
+    if (record.kind != InstrKind::kCompute) {
+      record.address = rng.next();
+      record.depends_on_prev_mem = rng.bernoulli(0.2);
+    }
+    trace.records.push_back(record);
+  }
+  return trace;
+}
+
+ScalingFunction gen_scaling_function(Rng& rng) {
+  switch (rng.uniform_below(4)) {
+    case 0:
+      return ScalingFunction::fixed();
+    case 1:
+      return ScalingFunction::linear();
+    case 2:
+      return ScalingFunction::power(rng.uniform(0.0, 2.0));
+    default:
+      return ScalingFunction::fft_like(rng.uniform(4.0, 64.0));
+  }
+}
+
+AppProfile gen_app_profile(Rng& rng) {
+  AppProfile app;
+  app.ic0 = rng.uniform(1e4, 1e7);
+  app.f_mem = rng.uniform(0.05, 0.6);
+  app.f_seq = rng.uniform(0.0, 0.3);
+  app.overlap_ratio = rng.uniform(0.0, 0.9);
+  app.working_set_lines0 = static_cast<double>(pow2_between(rng, 10, 16));
+  app.g = gen_scaling_function(rng);
+  app.hit_concurrency = rng.uniform(1.0, 8.0);
+  app.miss_concurrency = rng.uniform(1.0, 16.0);
+  app.pure_miss_fraction = rng.uniform(0.1, 1.0);
+  app.pure_penalty_fraction = rng.uniform(0.1, 1.0);
+  app.validate();
+  return app;
+}
+
+MachineProfile gen_machine_profile(Rng& rng) {
+  MachineProfile machine;
+  machine.pollack.k0 = rng.uniform(0.5, 2.0);
+  machine.pollack.phi0 = rng.uniform(0.05, 0.5);
+  machine.l1_hit_time = rng.uniform(1.0, 4.0);
+  machine.l2_latency = rng.uniform(8.0, 24.0);
+  machine.memory_latency = machine.l2_latency + rng.uniform(60.0, 200.0);
+  machine.l1_miss = MissModel{.alpha = rng.uniform(0.01, 0.2),
+                              .beta = rng.uniform(0.2, 0.8),
+                              .mr_cap = 0.9,
+                              .mr_floor = 1e-4};
+  machine.l2_miss = MissModel{.alpha = rng.uniform(0.1, 0.8),
+                              .beta = rng.uniform(0.2, 0.8),
+                              .mr_cap = 1.0,
+                              .mr_floor = 1e-3};
+  machine.chip.total_area = rng.uniform(32.0, 512.0);
+  machine.chip.shared_area = rng.uniform(1.0, machine.chip.total_area / 8.0);
+  machine.memory_contention = rng.uniform(0.0, 0.1);
+  machine.validate();
+  return machine;
+}
+
+DseScenario gen_dse_scenario(Rng& rng) {
+  DseScenario scenario;
+  scenario.context.base = gen_system_config(rng);
+  // The DSE mapping overrides issue/rob/cores/cache sizes per design point;
+  // keep the base template single-core and coherence-free so generated
+  // per-design configs always validate.
+  scenario.context.base.hierarchy.coherence = false;
+  scenario.context.workload = gen_workload_spec(rng);
+  scenario.context.instructions0 = static_cast<std::uint64_t>(rng.uniform_int(2000, 6000));
+  scenario.context.per_core_cap = static_cast<std::uint64_t>(rng.uniform_int(1000, 3000));
+  scenario.context.seed = rng.next();
+
+  // 1-2 values per axis, anchored so the minimum combination always fits:
+  // n_min * (a0_min + a1_min + a2_min) + shared <= total by construction.
+  auto axis = [&](double lo, double hi) {
+    std::vector<double> values{lo};
+    if (rng.bernoulli(0.5)) values.push_back(hi);
+    return values;
+  };
+  scenario.axes.a0 = axis(1.0, pick(rng, {2.0, 4.0}));
+  scenario.axes.a1 = axis(0.5, 1.0);
+  scenario.axes.a2 = axis(1.0, 2.0);
+  scenario.axes.n = axis(1, 2);
+  scenario.axes.issue = axis(2, 4);
+  scenario.axes.rob = axis(32, 64);
+  scenario.context.chip.shared_area = 1.0;
+  scenario.context.chip.total_area =
+      scenario.context.chip.shared_area + 2.5 * rng.uniform(1.2, 2.5);
+  C2B_ASSERT(design_feasible(scenario.context,
+                             {scenario.axes.a0[0], scenario.axes.a1[0], scenario.axes.a2[0],
+                              scenario.axes.n[0], scenario.axes.issue[0],
+                              scenario.axes.rob[0]}),
+             "generated DSE scenario must contain a feasible design");
+  return scenario;
+}
+
+std::vector<Trace> shrink_trace(const Trace& trace) {
+  std::vector<Trace> out;
+  const std::size_t n = trace.records.size();
+  auto with_records = [&](std::vector<TraceRecord> records) {
+    Trace smaller;
+    smaller.name = trace.name;
+    smaller.records = std::move(records);
+    return smaller;
+  };
+  if (n > 0) {
+    out.push_back(with_records({trace.records.begin(),
+                                trace.records.begin() + static_cast<std::ptrdiff_t>(n / 2)}));
+    out.push_back(with_records({trace.records.begin() + static_cast<std::ptrdiff_t>(n / 2),
+                                trace.records.end()}));
+    if (n > 1) {
+      std::vector<TraceRecord> drop_front(trace.records.begin() + 1, trace.records.end());
+      out.push_back(with_records(std::move(drop_front)));
+      std::vector<TraceRecord> drop_back(trace.records.begin(), trace.records.end() - 1);
+      out.push_back(with_records(std::move(drop_back)));
+    }
+    // Zero the addresses (often irrelevant to a structural failure).
+    Trace zeroed = trace;
+    bool changed = false;
+    for (TraceRecord& record : zeroed.records)
+      if (record.address != 0) {
+        record.address = 0;
+        changed = true;
+      }
+    if (changed) out.push_back(std::move(zeroed));
+  }
+  if (!trace.name.empty()) {
+    Trace unnamed = trace;
+    unnamed.name.clear();
+    out.push_back(std::move(unnamed));
+  }
+  return out;
+}
+
+std::string print_trace(const Trace& trace) {
+  std::ostringstream os;
+  os << "Trace{name=\"" << trace.name << "\", records=" << trace.records.size();
+  const std::size_t shown = std::min<std::size_t>(trace.records.size(), 8);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const TraceRecord& r = trace.records[i];
+    os << (i == 0 ? ", [" : " ") << static_cast<int>(r.kind) << ':' << r.address
+       << (r.depends_on_prev_mem ? "!" : "");
+  }
+  if (shown > 0) os << (trace.records.size() > shown ? " ...]" : "]");
+  os << '}';
+  return os.str();
+}
+
+std::string print_area_split(const AreaSplit& split) {
+  std::ostringstream os;
+  os << "AreaSplit{a0=" << split.a0 << ", a1=" << split.a1 << ", a2=" << split.a2 << '}';
+  return os.str();
+}
+
+std::string print_system_config(const sim::SystemConfig& config) {
+  std::ostringstream os;
+  os << "SystemConfig{cores=" << config.hierarchy.cores
+     << ", issue=" << config.core.issue_width << ", rob=" << config.core.rob_size
+     << ", fu=" << config.core.functional_units
+     << ", l1=" << config.hierarchy.l1_geometry.size_bytes / 1024 << "KiB/"
+     << config.hierarchy.l1_geometry.associativity << "w"
+     << ", l2=" << config.hierarchy.l2_geometry.size_bytes / 1024 << "KiB/"
+     << config.hierarchy.l2_geometry.associativity << "w}";
+  return os.str();
+}
+
+std::string print_dse_scenario(const DseScenario& scenario) {
+  auto axis = [](const std::vector<double>& values) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(values[i]);
+    }
+    return out + "}";
+  };
+  std::ostringstream os;
+  os << "DseScenario{workload=" << scenario.context.workload.name
+     << ", ic0=" << scenario.context.instructions0
+     << ", cap=" << scenario.context.per_core_cap << ", seed=" << scenario.context.seed
+     << ", area=" << scenario.context.chip.total_area << ", a0=" << axis(scenario.axes.a0)
+     << ", a1=" << axis(scenario.axes.a1) << ", a2=" << axis(scenario.axes.a2)
+     << ", n=" << axis(scenario.axes.n) << ", issue=" << axis(scenario.axes.issue)
+     << ", rob=" << axis(scenario.axes.rob) << '}';
+  return os.str();
+}
+
+std::string print_app_profile(const AppProfile& app) {
+  std::ostringstream os;
+  os << "AppProfile{f_mem=" << app.f_mem << ", f_seq=" << app.f_seq
+     << ", overlap=" << app.overlap_ratio << ", ws0=" << app.working_set_lines0
+     << ", g=" << app.g.description() << ", C_H=" << app.hit_concurrency
+     << ", C_M=" << app.miss_concurrency << ", pMR/MR=" << app.pure_miss_fraction
+     << ", pAMP/AMP=" << app.pure_penalty_fraction << '}';
+  return os.str();
+}
+
+}  // namespace c2b::check

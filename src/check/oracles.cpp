@@ -1,0 +1,539 @@
+#include "c2b/check/oracles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "c2b/common/assert.h"
+
+#include "c2b/aps/aps.h"
+#include "c2b/aps/characterize.h"
+#include "c2b/check/generators.h"
+#include "c2b/core/optimizer.h"
+#include "c2b/exec/pool.h"
+#include "c2b/exec/sim_cache.h"
+#include "c2b/obs/obs.h"
+
+namespace c2b::check {
+namespace {
+
+/// Bitwise double equality — the determinism contract is bit-identity, not
+/// epsilon closeness (and NaN == NaN under this comparison).
+bool bit_equal(double a, double b) {
+  std::uint64_t ua = 0;
+  std::uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof a);
+  std::memcpy(&ub, &b, sizeof b);
+  return ua == ub;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+/// Saves the process-global execution knobs the oracles twiddle (pool
+/// size, sim-cache switch) and restores defaults on scope exit.
+struct ExecStateGuard {
+  bool cache_was_enabled = exec::SimCache::global().enabled();
+  ~ExecStateGuard() {
+    exec::set_thread_count(0);
+    exec::SimCache::global().set_enabled(cache_was_enabled);
+    exec::SimCache::global().clear();
+  }
+};
+
+/// The baseline machine the analytic-vs-sim oracle characterizes on (same
+/// shape the APS tests and the CLI default use).
+sim::SystemConfig oracle_baseline() {
+  sim::SystemConfig config;
+  config.core.issue_width = 4;
+  config.core.rob_size = 128;
+  config.hierarchy.l1_geometry = {.size_bytes = 16 * 1024, .line_bytes = 64,
+                                  .associativity = 4};
+  config.hierarchy.l2_geometry = {.size_bytes = 256 * 1024, .line_bytes = 64,
+                                  .associativity = 8};
+  return config;
+}
+
+template <typename T>
+T pick(Rng& rng, std::initializer_list<T> values) {
+  const auto index = static_cast<std::size_t>(rng.uniform_below(values.size()));
+  return *(values.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+}  // namespace
+
+OracleReport run_analytic_vs_sim_oracle(const OracleOptions& options) {
+  OracleReport report;
+  report.family = "analytic_vs_sim";
+
+  // Asserted agreement bands. The calibrated model anchors the measured
+  // CPI at the baseline configuration, so nearby designs track closely;
+  // across the whole sampled space the miss power laws only approximate
+  // the simulator's set-associative behavior, hence the generous max.
+  // (The paper's 5.96% figure is at APS's *chosen* design, not at random
+  // points.) Bands are asserted per workload and exported for trending;
+  // the bounds are ~2x the worst errors observed across seeds, so a pass
+  // means "no regression", not "model is exact". gups is the extreme:
+  // zero locality makes its true miss curve flat, the power law's worst
+  // fit, so it earns a wider calibrated band.
+  const double kMeanTolerance = 0.60;
+  const double kMaxTolerance = 1.50;
+  // fluidanimate's phase changes make the characterization window
+  // seed-sensitive, so its calibration anchor (and thus the whole band)
+  // moves more than the steady-state workloads'.
+  auto band_tolerances = [&](const std::string& name) {
+    if (name == "gups") return std::pair<double, double>{0.90, 3.00};
+    if (name == "fluidanimate_like") return std::pair<double, double>{1.00, 2.00};
+    return std::pair<double, double>{kMeanTolerance, kMaxTolerance};
+  };
+
+  std::size_t workload_index = 0;
+  for (const WorkloadSpec& spec : workload_catalog()) {
+    DseContext context;
+    context.base = oracle_baseline();
+    context.workload = spec;
+    context.instructions0 = 24'000;
+    context.per_core_cap = 12'000;
+    context.seed = Rng::derive_stream_seed(options.seed, 7'000 + workload_index);
+
+    CharacterizeOptions copt;
+    copt.instructions = 60'000;
+    copt.seed = context.seed;
+    const Characterization c = characterize(spec, context.base, copt);
+    const C2BoundModel model = build_calibrated_model(context, c);
+
+    ToleranceBand band;
+    band.workload = spec.name;
+    std::tie(band.mean_tolerance, band.max_tolerance) = band_tolerances(spec.name);
+
+    // Sample designs at the characterized core microarchitecture
+    // (issue 4 / ROB 128): the analytic model deliberately does not see
+    // the issue/ROB axes, so varying them would measure scope, not error.
+    Rng rng(Rng::derive_stream_seed(options.seed, workload_index));
+    double error_sum = 0.0;
+    for (std::size_t s = 0; s < options.designs_per_workload; ++s) {
+      const double a0 = pick(rng, {1.0, 2.0, 4.0});
+      const double a1 = pick(rng, {0.5, 1.0, 2.0});
+      const double a2 = pick(rng, {1.0, 2.0, 4.0});
+      const double n = pick(rng, {1.0, 2.0, 4.0});
+      const std::vector<double> point{a0, a1, a2, n, 4.0, 128.0};
+      if (!design_feasible(context, point)) continue;
+
+      const double sim_time = simulate_design_time(context, point);
+      const Evaluation eval =
+          model.evaluate({.n_cores = n, .a0 = a0, .a1 = a1, .a2 = a2});
+      // simulate_design_time reports time per unit work (J_D / g(N));
+      // normalize the analytic J_D the same way before comparing.
+      const double analytic_time = eval.execution_time / model.app().g(n);
+
+      ++report.checks;
+      ++band.samples;
+      const double err =
+          std::abs(analytic_time - sim_time) / std::max(1e-12, sim_time);
+      error_sum += err;
+      band.max_abs_rel_error = std::max(band.max_abs_rel_error, err);
+    }
+    if (band.samples > 0)
+      band.mean_abs_rel_error = error_sum / static_cast<double>(band.samples);
+    band.passed = band.samples > 0 &&
+                  band.mean_abs_rel_error <= band.mean_tolerance &&
+                  band.max_abs_rel_error <= band.max_tolerance;
+    if (!band.passed) {
+      std::ostringstream os;
+      os << "analytic-vs-sim band violated for workload '" << spec.name
+         << "': mean " << fmt(band.mean_abs_rel_error) << " (tol "
+         << fmt(band.mean_tolerance) << "), max " << fmt(band.max_abs_rel_error)
+         << " (tol " << fmt(band.max_tolerance) << ") over " << band.samples
+         << " designs; repro: " << repro_line(options.seed, workload_index);
+      report.failures.push_back(os.str());
+    }
+    report.bands.push_back(band);
+    ++workload_index;
+  }
+  return report;
+}
+
+namespace {
+
+/// One thread-count's view of a full-DSE sweep, flattened for comparison.
+struct SweepFingerprint {
+  std::vector<double> times;
+  std::size_t best_index = 0;
+  double best_time = 0.0;
+  std::size_t simulations = 0;
+};
+
+SweepFingerprint fingerprint(const FullDseResult& r) {
+  return {r.times, r.best_index, r.best_time, r.simulations};
+}
+
+std::optional<std::string> compare_fingerprints(const SweepFingerprint& ref,
+                                                std::size_t ref_threads,
+                                                const SweepFingerprint& got,
+                                                std::size_t got_threads) {
+  std::ostringstream os;
+  if (got.times.size() != ref.times.size() || got.simulations != ref.simulations ||
+      got.best_index != ref.best_index || !bit_equal(got.best_time, ref.best_time)) {
+    os << "threads=" << got_threads << " vs threads=" << ref_threads
+       << ": summary diverged (best_index " << got.best_index << " vs "
+       << ref.best_index << ", best_time " << fmt(got.best_time) << " vs "
+       << fmt(ref.best_time) << ", simulations " << got.simulations << " vs "
+       << ref.simulations << ")";
+    return os.str();
+  }
+  for (std::size_t i = 0; i < ref.times.size(); ++i) {
+    if (!bit_equal(got.times[i], ref.times[i])) {
+      os << "threads=" << got_threads << " vs threads=" << ref_threads
+         << ": times[" << i << "] " << fmt(got.times[i]) << " != "
+         << fmt(ref.times[i]);
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+OracleReport run_determinism_oracle(const OracleOptions& options) {
+  OracleReport report;
+  report.family = "determinism";
+  C2B_REQUIRE(!options.thread_counts.empty(), "determinism oracle needs thread counts");
+  ExecStateGuard guard;
+  exec::SimCache& cache = exec::SimCache::global();
+
+  for (std::size_t i = 0; i < options.dse_configs; ++i) {
+    Rng rng(Rng::derive_stream_seed(options.seed, 10'000 + i));
+    const DseScenario scenario = gen_dse_scenario(rng);
+    const GridSpace space = make_design_space(scenario.axes);
+    const std::string repro = repro_line(options.seed, 10'000 + i);
+
+    // Thread-count sweep with the cache off, so every run recomputes and
+    // the comparison exercises the parallel execution paths for real.
+    cache.set_enabled(false);
+    std::optional<SweepFingerprint> reference;
+    for (const std::size_t threads : options.thread_counts) {
+      exec::set_thread_count(threads);
+      const SweepFingerprint fp = fingerprint(run_full_dse(scenario.context, space));
+      ++report.checks;
+      if (!reference) {
+        reference = fp;
+        continue;
+      }
+      if (auto diff = compare_fingerprints(*reference, options.thread_counts.front(),
+                                           fp, threads)) {
+        report.failures.push_back("DSE config #" + std::to_string(i) + " (" +
+                                  print_dse_scenario(scenario) + "): " + *diff +
+                                  "; repro: " + repro);
+        break;
+      }
+    }
+
+    // Warm sim-cache identity: a cold populating run followed by a fully
+    // replayed run must reproduce the cold result bit for bit.
+    cache.set_enabled(true);
+    cache.clear();
+    exec::set_thread_count(options.thread_counts.back());
+    const SweepFingerprint cold = fingerprint(run_full_dse(scenario.context, space));
+    const SweepFingerprint warm = fingerprint(run_full_dse(scenario.context, space));
+    ++report.checks;
+    if (auto diff = compare_fingerprints(cold, options.thread_counts.back(), warm,
+                                         options.thread_counts.back())) {
+      report.failures.push_back("DSE config #" + std::to_string(i) +
+                                " warm-cache replay diverged: " + *diff +
+                                "; repro: " + repro);
+    } else {
+      const exec::SimCacheStats stats = cache.stats();
+      if (stats.hits < cold.simulations) {
+        report.failures.push_back(
+            "DSE config #" + std::to_string(i) + " warm run hit the cache only " +
+            std::to_string(stats.hits) + " times for " +
+            std::to_string(cold.simulations) + " simulations; repro: " + repro);
+      }
+    }
+    if (reference && bit_equal(reference->best_time, 0.0) && reference->simulations == 0)
+      report.failures.push_back("DSE config #" + std::to_string(i) +
+                                " simulated nothing (generator bug); repro: " + repro);
+  }
+
+  // APS end to end (characterize + analytic solve + neighborhood) across
+  // thread counts: the expensive half of the PR 2 contract, so fewer
+  // configurations.
+  for (std::size_t i = 0; i < options.aps_configs; ++i) {
+    Rng rng(Rng::derive_stream_seed(options.seed, 20'000 + i));
+    const DseScenario scenario = gen_dse_scenario(rng);
+    const GridSpace space = make_design_space(scenario.axes);
+    const std::string repro = repro_line(options.seed, 20'000 + i);
+    ApsOptions aps_options;
+    aps_options.characterize.instructions = 30'000;
+    aps_options.characterize.seed = scenario.context.seed;
+
+    cache.set_enabled(false);
+    std::optional<ApsResult> reference;
+    std::size_t reference_threads = 0;
+    for (const std::size_t threads : options.thread_counts) {
+      exec::set_thread_count(threads);
+      const ApsResult run = run_aps(scenario.context, space, aps_options);
+      ++report.checks;
+      if (!reference) {
+        reference = run;
+        reference_threads = threads;
+        continue;
+      }
+      std::ostringstream os;
+      if (run.best_index != reference->best_index ||
+          !bit_equal(run.best_time, reference->best_time) ||
+          run.memory_accesses != reference->memory_accesses ||
+          run.simulated_indices != reference->simulated_indices ||
+          !bit_equal(run.analytic.best.execution_time,
+                     reference->analytic.best.execution_time)) {
+        os << "APS config #" << i << " (" << print_dse_scenario(scenario)
+           << "): threads=" << threads << " vs threads=" << reference_threads
+           << " diverged (best_index " << run.best_index << " vs "
+           << reference->best_index << ", best_time " << fmt(run.best_time)
+           << " vs " << fmt(reference->best_time) << ", accesses "
+           << run.memory_accesses << " vs " << reference->memory_accesses
+           << ", analytic " << fmt(run.analytic.best.execution_time) << " vs "
+           << fmt(reference->analytic.best.execution_time)
+           << "); repro: " << repro;
+        report.failures.push_back(os.str());
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// Random model-evaluation case for the structural-bound properties.
+struct ModelCase {
+  AppProfile app;
+  MachineProfile machine;
+  DesignPoint design;
+};
+
+ModelCase gen_model_case(Rng& rng) {
+  ModelCase mc;
+  mc.app = gen_app_profile(rng);
+  mc.machine = gen_machine_profile(rng);
+  const ChipConstraints& chip = mc.machine.chip;
+  const long long n_max = std::min<long long>(8, chip.max_cores());
+  const double n = static_cast<double>(rng.uniform_int(1, std::max<long long>(1, n_max)));
+  const AreaSplit split = gen_area_split(rng, chip, chip.per_core_budget(n));
+  mc.design = DesignPoint{.n_cores = n, .a0 = split.a0, .a1 = split.a1, .a2 = split.a2};
+  return mc;
+}
+
+std::string print_model_case(const ModelCase& mc) {
+  std::ostringstream os;
+  os << print_app_profile(mc.app) << " design{n=" << mc.design.n_cores
+     << ", a0=" << mc.design.a0 << ", a1=" << mc.design.a1 << ", a2=" << mc.design.a2
+     << "} chip{A=" << mc.machine.chip.total_area << ", Ac=" << mc.machine.chip.shared_area
+     << "}";
+  return os.str();
+}
+
+void run_engine_property(const Property<ModelCase>& property, const OracleOptions& options,
+                         OracleReport& report) {
+  CheckOptions check_options;
+  check_options.seed = options.seed;
+  check_options.cases = options.invariant_cases;
+  check_options.corpus_dir = options.corpus_dir;
+  const CheckResult result = check(property, check_options);
+  report.checks += result.cases_run;
+  if (!result.passed) report.failures.push_back(result.summary());
+}
+
+}  // namespace
+
+OracleReport run_invariant_oracle(const OracleOptions& options) {
+  OracleReport report;
+  report.family = "invariants";
+
+  // --- model structural bounds, via the property engine -------------------
+  // Validity domain: the generators keep pAMP <= AMP and pMR <= MR, the
+  // regime where C-AMAT <= AMAT and C >= 1 are theorems of Eq. (2).
+  Property<ModelCase> bounds;
+  bounds.name = "model_structural_bounds";
+  bounds.generate = gen_model_case;
+  bounds.print = print_model_case;
+  bounds.holds = [](const ModelCase& mc) -> std::optional<std::string> {
+    const C2BoundModel model(mc.app, mc.machine);
+    const Evaluation eval = model.evaluate(mc.design);
+    const MachineProfile& m = mc.machine;
+    auto fail = [&](const std::string& what) {
+      return std::optional<std::string>(what + " at n=" + std::to_string(mc.design.n_cores));
+    };
+    if (!(std::isfinite(eval.execution_time) && eval.execution_time > 0.0))
+      return fail("execution_time not finite positive: " + fmt(eval.execution_time));
+    if (eval.camat > eval.amat * (1.0 + 1e-9))
+      return fail("C-AMAT " + fmt(eval.camat) + " > AMAT " + fmt(eval.amat));
+    if (eval.concurrency_c < 1.0 - 1e-9)
+      return fail("concurrency C " + fmt(eval.concurrency_c) + " < 1");
+    if (eval.l1_miss_rate < m.l1_miss.mr_floor - 1e-12 ||
+        eval.l1_miss_rate > m.l1_miss.mr_cap + 1e-12)
+      return fail("L1 miss rate " + fmt(eval.l1_miss_rate) + " outside [floor, cap]");
+    if (eval.l2_local_miss_rate < m.l2_miss.mr_floor - 1e-12 ||
+        eval.l2_local_miss_rate > m.l2_miss.mr_cap + 1e-12)
+      return fail("L2 miss rate " + fmt(eval.l2_local_miss_rate) + " outside [floor, cap]");
+    const double throughput = eval.problem_size / eval.execution_time;
+    if (std::abs(eval.throughput - throughput) > 1e-9 * std::max(1.0, throughput))
+      return fail("throughput " + fmt(eval.throughput) + " != W/T " + fmt(throughput));
+    return std::nullopt;
+  };
+  run_engine_property(bounds, options, report);
+
+  // Pollack + area monotonicity: growing the core (CPI_exe) or the whole
+  // per-core split (execution time at fixed N) can never hurt.
+  Property<ModelCase> monotone;
+  monotone.name = "model_area_monotonicity";
+  monotone.generate = gen_model_case;
+  monotone.print = print_model_case;
+  monotone.holds = [](const ModelCase& mc) -> std::optional<std::string> {
+    const C2BoundModel model(mc.app, mc.machine);
+    const Evaluation base = model.evaluate(mc.design);
+    for (const double factor : {1.3, 2.0}) {
+      DesignPoint bigger = mc.design;
+      bigger.a0 *= factor;
+      bigger.a1 *= factor;
+      bigger.a2 *= factor;
+      const Evaluation grown = model.evaluate(bigger);
+      const double slack = 1e-9 * std::max(1.0, base.execution_time);
+      if (grown.cpi_exe > base.cpi_exe + 1e-12)
+        return "CPI_exe rose from " + fmt(base.cpi_exe) + " to " + fmt(grown.cpi_exe) +
+               " when a0 grew x" + fmt(factor) + " (Pollack must be monotone)";
+      if (grown.execution_time > base.execution_time + slack)
+        return "execution time rose from " + fmt(base.execution_time) + " to " +
+               fmt(grown.execution_time) + " when every area grew x" + fmt(factor);
+    }
+    return std::nullopt;
+  };
+  run_engine_property(monotone, options, report);
+
+  // --- area conservation at every optimizer iterate (Eq. 12) --------------
+  for (std::size_t i = 0; i < 6; ++i) {
+    Rng rng(Rng::derive_stream_seed(options.seed, 30'000 + i));
+    const AppProfile app = gen_app_profile(rng);
+    const MachineProfile machine = gen_machine_profile(rng);
+    const ChipConstraints chip = machine.chip;
+
+    std::mutex mu;
+    double worst_residual = -std::numeric_limits<double>::infinity();
+    double worst_min_area = std::numeric_limits<double>::infinity();
+    std::size_t observed = 0;
+
+    OptimizerOptions opt;
+    opt.n_max = std::min<long long>(6, chip.max_cores());
+    opt.nelder_mead_restarts = 2;
+    opt.iterate_observer = [&](const DesignPoint& d) {
+      const double residual = chip.area_residual(d);
+      const double min_area = std::min({d.a0, d.a1, d.a2});
+      std::lock_guard<std::mutex> lock(mu);
+      worst_residual = std::max(worst_residual, residual);
+      worst_min_area = std::min(worst_min_area, min_area);
+      ++observed;
+    };
+    const C2BoundOptimizer optimizer(C2BoundModel(app, machine), opt);
+    optimizer.optimize();
+
+    ++report.checks;
+    const std::string repro = repro_line(options.seed, 30'000 + i);
+    if (observed == 0) {
+      report.failures.push_back("area oracle #" + std::to_string(i) +
+                                ": optimizer never invoked the iterate observer; repro: " +
+                                repro);
+      continue;
+    }
+    // NM candidates satisfy Eq. (12) with equality by construction; the
+    // Lagrange polish is accepted only within chip.feasible(1e-4). Allow
+    // that acceptance slack, scaled to the chip.
+    const double tolerance = 1e-3 * chip.total_area + 1e-6;
+    if (worst_residual > tolerance)
+      report.failures.push_back("area oracle #" + std::to_string(i) + ": iterate violated Eq. 12 by " +
+                                fmt(worst_residual) + " (tolerance " + fmt(tolerance) +
+                                ", A=" + fmt(chip.total_area) + "); repro: " + repro);
+    if (!(worst_min_area > 0.0))
+      report.failures.push_back("area oracle #" + std::to_string(i) +
+                                ": iterate had a non-positive area (min " +
+                                fmt(worst_min_area) + "); repro: " + repro);
+  }
+
+  // --- telemetry ledger ----------------------------------------------------
+  // sim.l1.hit + sim.l1.miss + exec.simcache.replayed_accesses must equal
+  // the demand accesses the run reports, with replays covering the cached
+  // second run. Needs live telemetry; skipped silently under
+  // C2B_OBS_DISABLED builds or obs::set_enabled(false).
+  if (C2B_OBS_ACTIVE()) {
+    ExecStateGuard guard;
+    exec::SimCache& cache = exec::SimCache::global();
+    for (std::size_t i = 0; i < options.ledger_configs; ++i) {
+      Rng rng(Rng::derive_stream_seed(options.seed, 40'000 + i));
+      const DseScenario scenario = gen_dse_scenario(rng);
+      const GridSpace space = make_design_space(scenario.axes);
+      ApsOptions aps_options;
+      aps_options.characterize.instructions = 30'000;
+      aps_options.characterize.seed = scenario.context.seed;
+
+      exec::set_thread_count(2);
+      cache.set_enabled(true);
+      cache.clear();
+      obs::Registry::global().reset_values();
+
+      const ApsResult first = run_aps(scenario.context, space, aps_options);
+      const ApsResult second = run_aps(scenario.context, space, aps_options);
+      const std::uint64_t reported = first.memory_accesses + second.memory_accesses;
+      obs::Registry& registry = obs::Registry::global();
+      const std::uint64_t hits = registry.counter("sim.l1.hit").value();
+      const std::uint64_t misses = registry.counter("sim.l1.miss").value();
+      const std::uint64_t replayed =
+          registry.counter("exec.simcache.replayed_accesses").value();
+      ++report.checks;
+      if (hits + misses + replayed != reported) {
+        std::ostringstream os;
+        os << "ledger #" << i << " (" << print_dse_scenario(scenario)
+           << "): sim.l1.hit " << hits << " + sim.l1.miss " << misses
+           << " + replayed " << replayed << " = " << (hits + misses + replayed)
+           << " != reported accesses " << reported
+           << "; repro: " << repro_line(options.seed, 40'000 + i);
+        report.failures.push_back(os.str());
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<OracleReport> run_all_oracles(const OracleOptions& options) {
+  return {run_analytic_vs_sim_oracle(options), run_determinism_oracle(options),
+          run_invariant_oracle(options)};
+}
+
+bool write_tolerance_bands_json(const std::string& path,
+                                const std::vector<ToleranceBand>& bands) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "[\n";
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    const ToleranceBand& b = bands[i];
+    out << "  {\"workload\": \"" << b.workload << "\", \"samples\": " << b.samples
+        << ", \"mean_abs_rel_error\": " << std::setprecision(17) << b.mean_abs_rel_error
+        << ", \"max_abs_rel_error\": " << b.max_abs_rel_error
+        << ", \"mean_tolerance\": " << b.mean_tolerance
+        << ", \"max_tolerance\": " << b.max_tolerance
+        << ", \"passed\": " << (b.passed ? "true" : "false") << "}"
+        << (i + 1 < bands.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace c2b::check

@@ -1,0 +1,112 @@
+#include "c2b/check/property.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "c2b/common/log.h"
+
+namespace c2b::check {
+namespace {
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(value);
+}
+
+/// Counterexample file names must be stable and filesystem-safe.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_') c = '_';
+  return out;
+}
+
+}  // namespace
+
+CheckOptions options_from_env(CheckOptions base) {
+  if (const auto seed = env_u64("C2B_CHECK_SEED")) base.seed = *seed;
+  if (const auto cases = env_u64("C2B_CHECK_CASES"))
+    base.cases = static_cast<std::size_t>(*cases);
+  if (const auto only = env_u64("C2B_CHECK_CASE"))
+    base.only_case = static_cast<std::size_t>(*only);
+  if (const char* dir = std::getenv("C2B_CHECK_CORPUS"); dir != nullptr && *dir != '\0')
+    base.corpus_dir = dir;
+  return base;
+}
+
+std::string repro_line(std::uint64_t seed, std::size_t case_index) {
+  return "C2B_CHECK_SEED=" + std::to_string(seed) +
+         " C2B_CHECK_CASE=" + std::to_string(case_index);
+}
+
+std::string CheckResult::summary() const {
+  if (passed)
+    return "PASS " + property_name + " (" + std::to_string(cases_run) + " cases)";
+  std::string out = "FAIL " + property_name + " — " +
+                    (counterexample ? counterexample->message : std::string("?")) +
+                    "\n  counterexample (" +
+                    std::to_string(counterexample ? counterexample->shrink_steps : 0) +
+                    " shrink steps): " +
+                    (counterexample ? counterexample->value : std::string("?")) +
+                    "\n  repro: " + repro;
+  if (!corpus_path.empty()) out += "\n  corpus: " + corpus_path;
+  return out;
+}
+
+std::string write_corpus_entry(const std::string& corpus_dir, const std::string& property_name,
+                               const Counterexample& counterexample) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(corpus_dir, ec);
+  if (ec) {
+    C2B_LOG(LogLevel::kWarn, "check")
+        << "cannot create corpus dir '" << corpus_dir << "': " << ec.message();
+    return {};
+  }
+  const std::string path = (fs::path(corpus_dir) /
+                            (sanitize(property_name) + "-seed" +
+                             std::to_string(counterexample.seed) + "-case" +
+                             std::to_string(counterexample.case_index) + ".txt"))
+                               .string();
+  std::ofstream out(path);
+  if (!out) {
+    C2B_LOG(LogLevel::kWarn, "check") << "cannot write corpus entry '" << path << "'";
+    return {};
+  }
+  out << "property: " << property_name << "\n"
+      << "repro: " << repro_line(counterexample.seed, counterexample.case_index) << "\n"
+      << "shrink_steps: " << counterexample.shrink_steps << "\n"
+      << "message: " << counterexample.message << "\n"
+      << "counterexample:\n"
+      << counterexample.value << "\n";
+  return out ? path : std::string{};
+}
+
+std::vector<std::uint64_t> shrink_integer(std::uint64_t value) {
+  std::vector<std::uint64_t> out;
+  if (value == 0) return out;
+  out.push_back(0);
+  if (value > 1) out.push_back(value / 2);
+  out.push_back(value - 1);
+  return out;
+}
+
+std::vector<double> shrink_double(double value, double floor) {
+  std::vector<double> out;
+  if (!(value > floor)) return out;
+  out.push_back(floor);
+  const double mid = floor + (value - floor) / 2.0;
+  if (mid > floor && mid < value) out.push_back(mid);
+  const double rounded = std::floor(value);
+  if (rounded > floor && rounded < value) out.push_back(rounded);
+  return out;
+}
+
+}  // namespace c2b::check

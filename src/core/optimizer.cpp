@@ -48,6 +48,7 @@ Evaluation C2BoundOptimizer::best_allocation(long long n_cores) const {
     penalty += violation(chip.min_core_area - a0);
     if (penalty > 0.0) return 1e12 * (1.0 + penalty);
     const DesignPoint d{.n_cores = n, .a0 = a0, .a1 = a1, .a2 = a2};
+    if (options_.iterate_observer) options_.iterate_observer(d);
     return model_.evaluate(d).execution_time;
   };
 
@@ -91,6 +92,7 @@ Evaluation C2BoundOptimizer::best_allocation(long long n_cores) const {
       if (polished_time <= best_value * (1.0 + 1e-9)) d = polished.design;
     }
   }
+  if (options_.iterate_observer) options_.iterate_observer(d);
   return model_.evaluate(d);
 }
 

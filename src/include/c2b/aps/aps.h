@@ -69,6 +69,15 @@ struct ApsResult {
 ApsResult run_aps(const DseContext& context, const GridSpace& space,
                   const ApsOptions& options = {});
 
+/// The calibrated analytic model APS feeds its optimizer (Fig. 6 step 2):
+/// detector concurrency clamped to the baseline's structural limits (MSHRs,
+/// L1 ports), Pollack anchored at the baseline core, miss power laws
+/// rebased from the stack-distance fit, and the stall term scaled so the
+/// model's CPI reproduces the measured CPI at the baseline configuration.
+/// Exposed so the differential oracles can compare this exact model — not a
+/// re-derivation — against the cycle-level simulator.
+C2BoundModel build_calibrated_model(const DseContext& context, const Characterization& c);
+
 struct AnnDseOptions {
   std::size_t initial_samples = 32;
   std::size_t batch_size = 16;

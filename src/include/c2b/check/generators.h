@@ -1,0 +1,76 @@
+#pragma once
+
+// Seed-driven generators for the library's domain types, shared by the
+// property suites, the differential oracles, and the fuzz tests. Every
+// generator draws from the caller's Rng only (no hidden state), so a value
+// replays from (seed, case index) alone, and every generated value
+// satisfies the type's own validate() / feasibility contract — properties
+// test behavior, not input plumbing.
+
+#include <string>
+#include <vector>
+
+#include "c2b/aps/dse.h"
+#include "c2b/common/rng.h"
+#include "c2b/core/c2bound.h"
+#include "c2b/laws/scaling.h"
+#include "c2b/sim/system/system.h"
+#include "c2b/trace/trace.h"
+#include "c2b/trace/workloads.h"
+
+namespace c2b::check {
+
+/// One (A0, A1, A2) simplex point within a per-core budget.
+struct AreaSplit {
+  double a0 = 1.0;
+  double a1 = 0.5;
+  double a2 = 1.0;
+  double total() const noexcept { return a0 + a1 + a2; }
+};
+
+/// A random DSE problem: context + axes with at least one feasible design.
+struct DseScenario {
+  DseContext context;
+  DseAxes axes;
+};
+
+/// Random small simulator configuration (1-4 cores, pow2 cache geometries,
+/// valid issue/ROB pair). Always passes SystemConfig::validate().
+sim::SystemConfig gen_system_config(Rng& rng);
+
+/// Random catalog workload with a randomized (small) size knob; the factory
+/// fills the uid, so memoization stays sound across generated specs.
+WorkloadSpec gen_workload_spec(Rng& rng);
+
+/// Random area split with a0/a1/a2 >= the chip minimums and total <= budget.
+/// Requires budget >= the sum of minimums (throws otherwise).
+AreaSplit gen_area_split(Rng& rng, const ChipConstraints& chip, double budget);
+
+/// Random instruction trace: mixed kinds, random addresses, random
+/// dependence flags, random (possibly empty) name.
+Trace gen_trace(Rng& rng, std::size_t max_records = 256);
+
+/// Random g(N): fixed / linear / power(b in [0, 2]) / FFT-like.
+ScalingFunction gen_scaling_function(Rng& rng);
+
+/// Random application / machine profiles; both pass their validate().
+AppProfile gen_app_profile(Rng& rng);
+MachineProfile gen_machine_profile(Rng& rng);
+
+/// Random tiny DSE scenario (grid of 4-64 points, short simulation
+/// windows) guaranteed to contain at least one feasible design, sized so a
+/// full factorial sweep stays cheap enough for 100-config oracle runs.
+DseScenario gen_dse_scenario(Rng& rng);
+
+// --- shrinkers / printers ---------------------------------------------------
+
+/// Trace shrinker: halves, single-record drops, then address zeroing.
+std::vector<Trace> shrink_trace(const Trace& trace);
+
+std::string print_trace(const Trace& trace);
+std::string print_area_split(const AreaSplit& split);
+std::string print_system_config(const sim::SystemConfig& config);
+std::string print_dse_scenario(const DseScenario& scenario);
+std::string print_app_profile(const AppProfile& app);
+
+}  // namespace c2b::check

@@ -1,0 +1,80 @@
+#pragma once
+
+// Differential oracle harness: three independent oracle families that
+// cross-check the analytic model, the cycle-level simulator, and the
+// parallel execution layer against each other on *randomly sampled*
+// configurations (seed-driven, so every failure replays from the seed):
+//
+//   1. analytic-vs-simulator — the calibrated C²-Bound model's predicted
+//      time-per-work vs simulate_design_time across sampled designs, with
+//      a per-workload tolerance band asserted and exportable as JSON;
+//   2. serial-vs-parallel — the PR 2 determinism contract (thread counts
+//      1/2/8 bit-identical, warm sim-cache replay identity) on random
+//      DSE/APS scenarios instead of hand-picked ones;
+//   3. invariant registry — the telemetry ledger (sim.l1.hit + sim.l1.miss
+//      + exec.simcache.replayed_accesses == reported memory accesses),
+//      area conservation at every optimizer iterate (Eq. 12), and the
+//      model's structural bounds (C-AMAT <= AMAT, C >= 1, Pollack CPI
+//      monotone in area, time monotone in area at fixed N).
+//
+// The oracles mutate process-global execution state (thread count, the
+// global sim cache, telemetry counters) and restore defaults on exit; do
+// not run them concurrently with other work in the same process.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "c2b/check/property.h"
+
+namespace c2b::check {
+
+struct OracleOptions {
+  std::uint64_t seed = 42;
+  /// analytic-vs-sim: random designs sampled per catalog workload.
+  std::size_t designs_per_workload = 5;
+  /// determinism: random full-DSE scenarios swept at every thread count.
+  std::size_t dse_configs = 100;
+  /// determinism: random APS scenarios (characterize + neighborhood).
+  std::size_t aps_configs = 4;
+  /// invariant registry: cases per property.
+  std::size_t invariant_cases = 60;
+  /// ledger invariant: random DSE scenarios traced end to end.
+  std::size_t ledger_configs = 2;
+  std::vector<std::size_t> thread_counts{1, 2, 8};
+  /// Corpus directory for shrunk property counterexamples ("" = none).
+  std::string corpus_dir;
+};
+
+/// Observed vs asserted model-simulator agreement for one workload.
+struct ToleranceBand {
+  std::string workload;
+  std::size_t samples = 0;
+  double mean_abs_rel_error = 0.0;  ///< mean |analytic - sim| / sim
+  double max_abs_rel_error = 0.0;
+  double mean_tolerance = 0.0;  ///< asserted bound on the mean
+  double max_tolerance = 0.0;   ///< asserted bound on the max
+  bool passed = false;
+};
+
+struct OracleReport {
+  std::string family;
+  std::size_t checks = 0;  ///< individual comparisons performed
+  std::vector<std::string> failures;
+  std::vector<ToleranceBand> bands;  ///< analytic-vs-sim only
+  bool passed() const noexcept { return failures.empty(); }
+};
+
+OracleReport run_analytic_vs_sim_oracle(const OracleOptions& options = {});
+OracleReport run_determinism_oracle(const OracleOptions& options = {});
+OracleReport run_invariant_oracle(const OracleOptions& options = {});
+
+/// All three families in order; never throws on oracle failure (inspect
+/// the reports).
+std::vector<OracleReport> run_all_oracles(const OracleOptions& options = {});
+
+/// Export tolerance bands as a JSON array. Returns false on I/O failure.
+bool write_tolerance_bands_json(const std::string& path,
+                                const std::vector<ToleranceBand>& bands);
+
+}  // namespace c2b::check

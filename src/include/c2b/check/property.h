@@ -1,0 +1,209 @@
+#pragma once
+
+// Property-based testing engine (the repo's correctness tooling core).
+//
+// A Property<T> bundles a seed-driven generator, a predicate, and optional
+// shrink/print hooks. check() samples `cases` values — case i draws from an
+// independent splitmix64-derived Rng stream, so every case replays from
+// (seed, case index) alone — and on the first failure greedily shrinks the
+// counterexample: it repeatedly asks the shrinker for smaller candidates
+// and walks to the first one that still fails, until none do.
+//
+// Failures print a one-line repro
+//
+//   C2B_CHECK_SEED=<seed> C2B_CHECK_CASE=<i> <test binary>
+//
+// and persist the shrunk counterexample to the corpus directory (set via
+// CheckOptions::corpus_dir or the C2B_CHECK_CORPUS environment variable)
+// so CI uploads it and the failure replays locally. Environment overrides
+// honored by options_from_env(): C2B_CHECK_SEED, C2B_CHECK_CASES,
+// C2B_CHECK_CASE (run exactly one case), C2B_CHECK_CORPUS.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "c2b/common/rng.h"
+
+namespace c2b::check {
+
+struct CheckOptions {
+  std::uint64_t seed = 42;
+  std::size_t cases = 100;
+  /// Only run this case index when set (replay mode).
+  std::optional<std::size_t> only_case;
+  /// Cap on accepted shrink steps (each step walks to a smaller failure).
+  std::size_t max_shrink_steps = 1000;
+  /// Where shrunk counterexamples are written ("" = don't persist).
+  std::string corpus_dir;
+};
+
+/// Overlay the C2B_CHECK_* environment variables onto `base`.
+CheckOptions options_from_env(CheckOptions base = {});
+
+struct Counterexample {
+  std::uint64_t seed = 0;        ///< engine seed that produced the failure
+  std::size_t case_index = 0;    ///< failing case within that seed's run
+  std::size_t shrink_steps = 0;  ///< accepted shrink steps applied
+  std::string value;             ///< printed (shrunk) counterexample
+  std::string message;           ///< property failure message
+};
+
+struct CheckResult {
+  std::string property_name;
+  std::size_t cases_run = 0;
+  bool passed = true;
+  std::optional<Counterexample> counterexample;
+  std::string repro;        ///< "C2B_CHECK_SEED=… C2B_CHECK_CASE=…" when failed
+  std::string corpus_path;  ///< file the counterexample was written to ("" = none)
+
+  /// One-line human summary ("PASS name (100 cases)" / failure + repro).
+  std::string summary() const;
+};
+
+/// Format the repro line for a failing (seed, case).
+std::string repro_line(std::uint64_t seed, std::size_t case_index);
+
+/// Persist a counterexample under `corpus_dir` (created if absent). Returns
+/// the file path, or "" when the directory cannot be created/written —
+/// corpus persistence must never turn a test failure into an I/O abort.
+std::string write_corpus_entry(const std::string& corpus_dir, const std::string& property_name,
+                               const Counterexample& counterexample);
+
+/// A property over values of type T. `holds` returns std::nullopt on pass
+/// or a failure message; exceptions thrown by it also count as failures
+/// (with e.what() as the message).
+template <typename T>
+struct Property {
+  std::string name;
+  std::function<T(Rng&)> generate;
+  std::function<std::optional<std::string>(const T&)> holds;
+  /// Candidate strictly-smaller values, tried in order ({} = no shrinking).
+  std::function<std::vector<T>(const T&)> shrink;
+  /// Printable form for the repro/corpus (default: "<unprintable>").
+  std::function<std::string(const T&)> print;
+};
+
+namespace detail {
+
+template <typename T>
+std::optional<std::string> run_predicate(const Property<T>& property, const T& value) {
+  try {
+    return property.holds(value);
+  } catch (const std::exception& error) {
+    return std::string("exception: ") + error.what();
+  }
+}
+
+template <typename T>
+std::string print_value(const Property<T>& property, const T& value) {
+  if (!property.print) return "<unprintable>";
+  try {
+    return property.print(value);
+  } catch (const std::exception& error) {
+    return std::string("<print failed: ") + error.what() + ">";
+  }
+}
+
+}  // namespace detail
+
+/// Run the property. Deterministic: case i regenerates its value from
+/// Rng(derive_stream_seed(options.seed, i)) regardless of how many cases
+/// ran before it, which is what makes the one-line repro sufficient.
+template <typename T>
+CheckResult check(const Property<T>& property, const CheckOptions& options = options_from_env()) {
+  CheckResult result;
+  result.property_name = property.name;
+
+  const std::size_t first = options.only_case.value_or(0);
+  const std::size_t last = options.only_case ? *options.only_case + 1 : options.cases;
+  for (std::size_t i = first; i < last; ++i) {
+    Rng rng(Rng::derive_stream_seed(options.seed, static_cast<std::uint64_t>(i)));
+    T value = property.generate(rng);
+    ++result.cases_run;
+    std::optional<std::string> failure = detail::run_predicate(property, value);
+    if (!failure) continue;
+
+    // Greedy shrink: accept the first smaller candidate that still fails,
+    // restart from it, stop when a whole candidate round passes (local
+    // minimum) or the step budget runs out.
+    Counterexample cex;
+    cex.seed = options.seed;
+    cex.case_index = i;
+    while (property.shrink && cex.shrink_steps < options.max_shrink_steps) {
+      bool shrunk = false;
+      for (T& candidate : property.shrink(value)) {
+        std::optional<std::string> candidate_failure = detail::run_predicate(property, candidate);
+        if (candidate_failure) {
+          value = std::move(candidate);
+          failure = std::move(candidate_failure);
+          ++cex.shrink_steps;
+          shrunk = true;
+          break;
+        }
+      }
+      if (!shrunk) break;
+    }
+
+    cex.value = detail::print_value(property, value);
+    cex.message = *failure;
+    result.passed = false;
+    result.repro = repro_line(options.seed, i);
+    if (!options.corpus_dir.empty())
+      result.corpus_path = write_corpus_entry(options.corpus_dir, property.name, cex);
+    result.counterexample = std::move(cex);
+    return result;
+  }
+  return result;
+}
+
+// --- generic shrink helpers -------------------------------------------------
+
+/// Candidates for a non-negative integer: 0, halves, and value-1 — the
+/// classic ladder that converges to the smallest failing value under the
+/// greedy loop above.
+std::vector<std::uint64_t> shrink_integer(std::uint64_t value);
+
+/// Candidates for a positive double toward `floor`: the floor itself,
+/// midpoints, and nearby round numbers.
+std::vector<double> shrink_double(double value, double floor = 0.0);
+
+/// Candidates for a vector: drop halves, then drop single elements, then
+/// shrink elements with `element_shrink` (may be null).
+template <typename T>
+std::vector<std::vector<T>> shrink_vector(
+    const std::vector<T>& value,
+    const std::function<std::vector<T>(const T&)>& element_shrink = nullptr) {
+  std::vector<std::vector<T>> out;
+  const std::size_t n = value.size();
+  if (n == 0) return out;
+  // Halves first: fastest descent in length.
+  out.emplace_back(value.begin(), value.begin() + static_cast<std::ptrdiff_t>(n / 2));
+  out.emplace_back(value.begin() + static_cast<std::ptrdiff_t>(n / 2), value.end());
+  // Then single-element drops (front, back, middle).
+  for (const std::size_t drop : {std::size_t{0}, n - 1, n / 2}) {
+    if (n == 1) break;
+    std::vector<T> smaller;
+    smaller.reserve(n - 1);
+    for (std::size_t i = 0; i < n; ++i)
+      if (i != drop) smaller.push_back(value[i]);
+    out.push_back(std::move(smaller));
+  }
+  // Then element-wise shrinks at a few positions.
+  if (element_shrink) {
+    for (const std::size_t at : {std::size_t{0}, n / 2, n - 1}) {
+      if (at >= n) continue;
+      for (T& candidate : element_shrink(value[at])) {
+        std::vector<T> tweaked = value;
+        tweaked[at] = std::move(candidate);
+        out.push_back(std::move(tweaked));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace c2b::check

@@ -16,6 +16,7 @@
 // integer N is scanned exactly. The optimizer returns the winning design,
 // the per-N frontier (for the figures), and the area-price multiplier λ.
 
+#include <functional>
 #include <vector>
 
 #include "c2b/core/c2bound.h"
@@ -34,6 +35,12 @@ struct OptimizerOptions {
   long long n_cap = 1024;
   bool lagrange_polish = true;
   int nelder_mead_restarts = 3;
+  /// Invoked on every design the inner search actually evaluates: each
+  /// Nelder–Mead candidate past the bound-penalty gate, accepted Lagrange
+  /// polishes, and the per-N winners. Every such design satisfies Eq. (12)
+  /// (the area-conservation invariant the check oracles assert). Restarts
+  /// run on the thread pool, so the observer MUST be thread-safe.
+  std::function<void(const DesignPoint&)> iterate_observer;
 };
 
 struct OptimalDesign {

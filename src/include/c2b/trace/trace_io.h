@@ -6,9 +6,12 @@
 //
 //   header:  magic "C2BT", u32 version, u64 record count, name length+bytes
 //   records: u8 kind | u8 flags (bit0 = depends_on_prev_mem) | u64 address
+//   trailer: u64 FNV-1a64 checksum over every preceding byte (format v2)
 //
-// Readers validate the magic/version and record count; a truncated or
-// corrupted file produces a clean exception, never a partial trace.
+// Readers validate the magic/version, record count, and trailing checksum;
+// a truncated or corrupted file — any flipped byte, including ones the
+// field decoders would accept — produces a clean exception naming the
+// failing byte offset, never a partial trace.
 
 #include <iosfwd>
 #include <string>
@@ -17,7 +20,7 @@
 
 namespace c2b {
 
-inline constexpr std::uint32_t kTraceFormatVersion = 1;
+inline constexpr std::uint32_t kTraceFormatVersion = 2;
 
 /// Serialize to a stream / file. Throws std::runtime_error on I/O failure.
 void write_trace(std::ostream& out, const Trace& trace);

@@ -6,6 +6,7 @@
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 
 #include "c2b/common/assert.h"
 
@@ -14,81 +15,147 @@ namespace {
 
 constexpr std::array<char, 4> kMagic{'C', '2', 'B', 'T'};
 
-void put_u32(std::ostream& out, std::uint32_t value) {
-  // Little-endian, explicitly.
-  for (int i = 0; i < 4; ++i) out.put(static_cast<char>((value >> (8 * i)) & 0xFF));
+// FNV-1a 64-bit, folded over every byte of the header and record stream.
+constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a_step(std::uint64_t hash, unsigned char byte) {
+  return (hash ^ byte) * kFnvPrime;
 }
 
-void put_u64(std::ostream& out, std::uint64_t value) {
-  for (int i = 0; i < 8; ++i) out.put(static_cast<char>((value >> (8 * i)) & 0xFF));
-}
+/// Checksum-folding little-endian writer.
+struct Writer {
+  std::ostream& out;
+  std::uint64_t hash = kFnvOffsetBasis;
 
-std::uint32_t get_u32(std::istream& in) {
-  std::uint32_t value = 0;
-  for (int i = 0; i < 4; ++i) {
-    const int byte = in.get();
-    if (byte == std::char_traits<char>::eof()) throw std::runtime_error("trace: truncated u32");
-    value |= static_cast<std::uint32_t>(byte & 0xFF) << (8 * i);
+  void bytes(const char* data, std::size_t n) {
+    out.write(data, static_cast<std::streamsize>(n));
+    for (std::size_t i = 0; i < n; ++i)
+      hash = fnv1a_step(hash, static_cast<unsigned char>(data[i]));
   }
-  return value;
-}
-
-std::uint64_t get_u64(std::istream& in) {
-  std::uint64_t value = 0;
-  for (int i = 0; i < 8; ++i) {
-    const int byte = in.get();
-    if (byte == std::char_traits<char>::eof()) throw std::runtime_error("trace: truncated u64");
-    value |= static_cast<std::uint64_t>(byte & 0xFF) << (8 * i);
+  void u8(std::uint8_t value) {
+    const char byte = static_cast<char>(value);
+    bytes(&byte, 1);
   }
-  return value;
-}
+  void u32(std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>((value >> (8 * i)) & 0xFF));
+  }
+  void u64(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>((value >> (8 * i)) & 0xFF));
+  }
+};
+
+/// Offset-tracking, checksum-folding reader: every failure reports the
+/// exact byte offset, so a corrupt file is diagnosable with `xxd`.
+struct Reader {
+  std::istream& in;
+  std::uint64_t offset = 0;
+  std::uint64_t hash = kFnvOffsetBasis;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("trace: " + what + " at byte " + std::to_string(offset));
+  }
+
+  /// One checksummed byte; `what` names the field for the error message.
+  std::uint8_t u8(const char* what) {
+    const int byte = in.get();
+    if (byte == std::char_traits<char>::eof()) fail(std::string("truncated ") + what);
+    ++offset;
+    hash = fnv1a_step(hash, static_cast<unsigned char>(byte));
+    return static_cast<std::uint8_t>(byte);
+  }
+  void bytes(char* data, std::size_t n, const char* what) {
+    for (std::size_t i = 0; i < n; ++i)
+      data[i] = static_cast<char>(u8(what));
+  }
+  std::uint32_t u32(const char* what) {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) value |= static_cast<std::uint32_t>(u8(what)) << (8 * i);
+    return value;
+  }
+  std::uint64_t u64(const char* what) {
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) value |= static_cast<std::uint64_t>(u8(what)) << (8 * i);
+    return value;
+  }
+  /// The trailer checksum itself is read raw (not folded into the hash).
+  std::uint64_t trailer_u64(const char* what) {
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      const int byte = in.get();
+      if (byte == std::char_traits<char>::eof()) fail(std::string("truncated ") + what);
+      ++offset;
+      value |= static_cast<std::uint64_t>(byte & 0xFF) << (8 * i);
+    }
+    return value;
+  }
+};
 
 }  // namespace
 
 void write_trace(std::ostream& out, const Trace& trace) {
-  out.write(kMagic.data(), kMagic.size());
-  put_u32(out, kTraceFormatVersion);
-  put_u64(out, trace.records.size());
-  put_u32(out, static_cast<std::uint32_t>(trace.name.size()));
-  out.write(trace.name.data(), static_cast<std::streamsize>(trace.name.size()));
+  Writer w{out};
+  w.bytes(kMagic.data(), kMagic.size());
+  w.u32(kTraceFormatVersion);
+  w.u64(trace.records.size());
+  w.u32(static_cast<std::uint32_t>(trace.name.size()));
+  w.bytes(trace.name.data(), trace.name.size());
   for (const TraceRecord& r : trace.records) {
-    out.put(static_cast<char>(r.kind));
-    out.put(static_cast<char>(r.depends_on_prev_mem ? 1 : 0));
-    put_u64(out, r.address);
+    w.u8(static_cast<std::uint8_t>(r.kind));
+    w.u8(r.depends_on_prev_mem ? 1 : 0);
+    w.u64(r.address);
   }
+  // Trailer: FNV-1a64 over everything above. Any single corrupted byte —
+  // even one the field decoders would happily accept, like an address —
+  // changes the hash, so readers always detect it.
+  const std::uint64_t checksum = w.hash;
+  w.u64(checksum);
   if (!out) throw std::runtime_error("trace: write failed");
 }
 
 Trace read_trace(std::istream& in) {
+  Reader r{in};
   std::array<char, 4> magic{};
-  in.read(magic.data(), magic.size());
-  if (!in || magic != kMagic) throw std::runtime_error("trace: bad magic");
-  const std::uint32_t version = get_u32(in);
-  if (version != kTraceFormatVersion)
-    throw std::runtime_error("trace: unsupported version " + std::to_string(version));
-  const std::uint64_t count = get_u64(in);
-  const std::uint32_t name_len = get_u32(in);
-  if (name_len > (1u << 20)) throw std::runtime_error("trace: implausible name length");
+  r.bytes(magic.data(), magic.size(), "magic");
+  if (magic != kMagic) {
+    r.offset = 0;
+    r.fail("bad magic");
+  }
+  const std::uint32_t version = r.u32("version");
+  if (version != kTraceFormatVersion) {
+    r.offset -= 4;
+    r.fail("unsupported version " + std::to_string(version));
+  }
+  const std::uint64_t count = r.u64("record count");
+  const std::uint32_t name_len = r.u32("name length");
+  if (name_len > (1u << 20)) {
+    r.offset -= 4;
+    r.fail("implausible name length " + std::to_string(name_len));
+  }
 
   Trace trace;
   trace.name.resize(name_len);
-  in.read(trace.name.data(), name_len);
-  if (!in) throw std::runtime_error("trace: truncated name");
+  r.bytes(trace.name.data(), name_len, "name");
 
-  trace.records.reserve(count);
+  trace.records.reserve(count < (1u << 20) ? count : (1u << 20));
   for (std::uint64_t i = 0; i < count; ++i) {
-    const int kind_byte = in.get();
-    const int flags_byte = in.get();
-    if (kind_byte == std::char_traits<char>::eof() ||
-        flags_byte == std::char_traits<char>::eof())
-      throw std::runtime_error("trace: truncated record");
-    if (kind_byte < 0 || kind_byte > 2)
-      throw std::runtime_error("trace: invalid record kind " + std::to_string(kind_byte));
+    const std::uint8_t kind_byte = r.u8("record kind");
+    if (kind_byte > 2) {
+      --r.offset;
+      r.fail("invalid record kind " + std::to_string(kind_byte));
+    }
     TraceRecord record;
     record.kind = static_cast<InstrKind>(kind_byte);
-    record.depends_on_prev_mem = (flags_byte & 1) != 0;
-    record.address = get_u64(in);
+    record.depends_on_prev_mem = (r.u8("record flags") & 1) != 0;
+    record.address = r.u64("record address");
     trace.records.push_back(record);
+  }
+
+  const std::uint64_t expected = r.hash;
+  const std::uint64_t stored = r.trailer_u64("checksum");
+  if (stored != expected) {
+    r.offset -= 8;
+    r.fail("checksum mismatch (file corrupt)");
   }
   return trace;
 }

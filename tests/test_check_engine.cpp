@@ -1,0 +1,215 @@
+// Meta-tests for the property engine itself: a deliberately broken
+// implementation ("mutant") must be caught, shrunk to a minimal
+// counterexample, and reported with a working one-line repro — the
+// engine's whole value proposition, asserted end to end.
+
+#include "c2b/check/property.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "c2b/metrics/amat.h"
+
+namespace c2b::check {
+namespace {
+
+Property<std::uint64_t> threshold_property(std::uint64_t threshold) {
+  Property<std::uint64_t> p;
+  p.name = "below_threshold";
+  p.generate = [](Rng& rng) { return rng.uniform_below(100'000); };
+  p.holds = [threshold](const std::uint64_t& v) -> std::optional<std::string> {
+    if (v < threshold) return std::nullopt;
+    return "value " + std::to_string(v) + " >= " + std::to_string(threshold);
+  };
+  p.shrink = [](const std::uint64_t& v) { return shrink_integer(v); };
+  p.print = [](const std::uint64_t& v) { return std::to_string(v); };
+  return p;
+}
+
+TEST(CheckEngine, PassingPropertyRunsAllCases) {
+  CheckOptions options;
+  options.seed = 42;
+  options.cases = 100;
+  const CheckResult result = check(threshold_property(1u << 30), options);
+  EXPECT_TRUE(result.passed);
+  EXPECT_EQ(result.cases_run, 100u);
+  EXPECT_FALSE(result.counterexample.has_value());
+  EXPECT_NE(result.summary().find("PASS"), std::string::npos);
+}
+
+TEST(CheckEngine, ShrinksToMinimalCounterexample) {
+  CheckOptions options;
+  options.seed = 42;
+  options.cases = 200;
+  const CheckResult result = check(threshold_property(1000), options);
+  ASSERT_FALSE(result.passed);
+  ASSERT_TRUE(result.counterexample.has_value());
+  // The 0 / halves / value-1 ladder under greedy restart converges to the
+  // smallest failing input — exactly the threshold.
+  EXPECT_EQ(result.counterexample->value, "1000");
+  EXPECT_GT(result.counterexample->shrink_steps, 0u);
+  EXPECT_NE(result.repro.find("C2B_CHECK_SEED=42"), std::string::npos);
+  EXPECT_NE(result.repro.find("C2B_CHECK_CASE="), std::string::npos);
+}
+
+TEST(CheckEngine, ReproReplaysTheExactFailure) {
+  CheckOptions options;
+  options.seed = 42;
+  options.cases = 200;
+  const CheckResult first = check(threshold_property(1000), options);
+  ASSERT_FALSE(first.passed);
+
+  // Replay just the failing case, as the repro line instructs.
+  CheckOptions replay = options;
+  replay.only_case = first.counterexample->case_index;
+  const CheckResult second = check(threshold_property(1000), replay);
+  ASSERT_FALSE(second.passed);
+  EXPECT_EQ(second.cases_run, 1u);
+  EXPECT_EQ(second.counterexample->value, first.counterexample->value);
+  EXPECT_EQ(second.counterexample->case_index, first.counterexample->case_index);
+}
+
+// The acceptance gate for the whole harness: seed a realistic mutant — a
+// C-AMAT implementation with a 2% inflation on the pure-miss term (the
+// kind of off-by-a-constant a refactor introduces) — and require the
+// engine to catch it against the reference implementation.
+TEST(CheckEngine, SeededCamatMutantIsCaught) {
+  auto mutant_camat = [](const CamatParams& p) {
+    return p.hit_time / p.hit_concurrency +
+           1.02 * p.pure_miss_rate * p.pure_miss_penalty / p.miss_concurrency;
+  };
+
+  Property<CamatParams> p;
+  p.name = "camat_matches_reference";
+  p.generate = [](Rng& rng) {
+    CamatParams params;
+    params.hit_time = rng.uniform(1.0, 4.0);
+    params.hit_concurrency = rng.uniform(1.0, 8.0);
+    params.pure_miss_rate = rng.uniform(0.0, 0.5);
+    params.pure_miss_penalty = rng.uniform(0.0, 200.0);
+    params.miss_concurrency = rng.uniform(1.0, 16.0);
+    return params;
+  };
+  p.holds = [&](const CamatParams& params) -> std::optional<std::string> {
+    const double reference = camat(params);
+    const double got = mutant_camat(params);
+    if (std::abs(got - reference) <= 1e-12 * std::max(1.0, reference)) return std::nullopt;
+    std::ostringstream os;
+    os << "mutant C-AMAT " << got << " != reference " << reference;
+    return os.str();
+  };
+  p.print = [](const CamatParams& params) {
+    std::ostringstream os;
+    os << "CamatParams{H=" << params.hit_time << ", C_H=" << params.hit_concurrency
+       << ", pMR=" << params.pure_miss_rate << ", pAMP=" << params.pure_miss_penalty
+       << ", C_M=" << params.miss_concurrency << '}';
+    return os.str();
+  };
+
+  CheckOptions options;
+  options.seed = 42;
+  options.cases = 100;
+  const CheckResult result = check(p, options);
+  ASSERT_FALSE(result.passed) << "a 2% C-AMAT mutant must not survive 100 cases";
+  EXPECT_NE(result.counterexample->message.find("mutant C-AMAT"), std::string::npos);
+  EXPECT_NE(result.summary().find("C2B_CHECK_SEED=42"), std::string::npos);
+}
+
+TEST(CheckEngine, CorpusEntryPersisted) {
+  const std::string corpus =
+      (std::filesystem::path(testing::TempDir()) / "c2b_check_corpus").string();
+  std::filesystem::remove_all(corpus);
+
+  CheckOptions options;
+  options.seed = 42;
+  options.cases = 200;
+  options.corpus_dir = corpus;
+  const CheckResult result = check(threshold_property(1000), options);
+  ASSERT_FALSE(result.passed);
+  ASSERT_FALSE(result.corpus_path.empty());
+  std::ifstream in(result.corpus_path);
+  ASSERT_TRUE(in.good()) << "corpus file should exist: " << result.corpus_path;
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_NE(contents.str().find("C2B_CHECK_SEED=42"), std::string::npos);
+  EXPECT_NE(contents.str().find("1000"), std::string::npos);
+  std::filesystem::remove_all(corpus);
+}
+
+TEST(CheckEngine, ExceptionInPredicateIsAFailure) {
+  Property<std::uint64_t> p = threshold_property(1u << 30);
+  p.name = "throws_on_big";
+  p.holds = [](const std::uint64_t& v) -> std::optional<std::string> {
+    if (v > 1000) throw std::runtime_error("boom at " + std::to_string(v));
+    return std::nullopt;
+  };
+  CheckOptions options;
+  options.seed = 42;
+  options.cases = 100;
+  const CheckResult result = check(p, options);
+  ASSERT_FALSE(result.passed);
+  EXPECT_NE(result.counterexample->message.find("exception: boom"), std::string::npos);
+}
+
+TEST(CheckEngine, EnvOverridesParsed) {
+  ::setenv("C2B_CHECK_SEED", "777", 1);
+  ::setenv("C2B_CHECK_CASES", "17", 1);
+  ::setenv("C2B_CHECK_CASE", "5", 1);
+  ::setenv("C2B_CHECK_CORPUS", "/tmp/corpus-env", 1);
+  const CheckOptions options = options_from_env();
+  ::unsetenv("C2B_CHECK_SEED");
+  ::unsetenv("C2B_CHECK_CASES");
+  ::unsetenv("C2B_CHECK_CASE");
+  ::unsetenv("C2B_CHECK_CORPUS");
+
+  EXPECT_EQ(options.seed, 777u);
+  EXPECT_EQ(options.cases, 17u);
+  ASSERT_TRUE(options.only_case.has_value());
+  EXPECT_EQ(*options.only_case, 5u);
+  EXPECT_EQ(options.corpus_dir, "/tmp/corpus-env");
+}
+
+TEST(CheckEngine, CasesAreIndependentOfHowManyRan) {
+  // Case i draws from its own derived stream: the value seen when running
+  // cases [0, 100) must equal the value seen when running case i alone.
+  Property<std::uint64_t> p = threshold_property(1u << 30);
+  std::vector<std::uint64_t> full;
+  p.holds = [&full](const std::uint64_t& v) -> std::optional<std::string> {
+    full.push_back(v);
+    return std::nullopt;
+  };
+  CheckOptions options;
+  options.seed = 9;
+  options.cases = 20;
+  (void)check(p, options);
+  ASSERT_EQ(full.size(), 20u);
+
+  std::vector<std::uint64_t> solo;
+  p.holds = [&solo](const std::uint64_t& v) -> std::optional<std::string> {
+    solo.push_back(v);
+    return std::nullopt;
+  };
+  CheckOptions one = options;
+  one.only_case = 13;
+  (void)check(p, one);
+  ASSERT_EQ(solo.size(), 1u);
+  EXPECT_EQ(solo[0], full[13]);
+}
+
+TEST(CheckEngine, ShrinkHelpersProduceSmallerValues) {
+  for (const std::uint64_t v : shrink_integer(1000)) EXPECT_LT(v, 1000u);
+  EXPECT_TRUE(shrink_integer(0).empty());
+  for (const double v : shrink_double(8.5, 1.0)) {
+    EXPECT_LT(v, 8.5);
+    EXPECT_GE(v, 1.0);
+  }
+  const std::vector<int> seq{1, 2, 3, 4};
+  for (const auto& smaller : shrink_vector<int>(seq)) EXPECT_LT(smaller.size(), seq.size());
+}
+
+}  // namespace
+}  // namespace c2b::check

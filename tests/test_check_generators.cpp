@@ -1,0 +1,123 @@
+// The generators' own contract: every generated value satisfies the domain
+// type's validate()/feasibility invariant, and generation is a pure
+// function of the Rng stream (replayable from a seed).
+
+#include "c2b/check/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "c2b/aps/dse.h"
+#include "c2b/solver/grid.h"
+
+namespace c2b::check {
+namespace {
+
+TEST(CheckGenerators, SystemConfigsAlwaysValidate) {
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    Rng rng(Rng::derive_stream_seed(1, i));
+    const sim::SystemConfig config = gen_system_config(rng);  // validates inside
+    EXPECT_GE(config.hierarchy.l2_geometry.size_bytes, config.hierarchy.l1_geometry.size_bytes);
+    EXPECT_GE(config.core.rob_size, config.core.issue_width);
+  }
+}
+
+TEST(CheckGenerators, WorkloadSpecsAreUsable) {
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    Rng rng(Rng::derive_stream_seed(2, i));
+    const WorkloadSpec spec = gen_workload_spec(rng);
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_FALSE(spec.uid.empty()) << "catalog factories must fill the uid";
+    const Trace trace = spec.make_generator(1.0, 7)->generate(500);
+    EXPECT_GT(trace.records.size(), 0u);
+  }
+}
+
+TEST(CheckGenerators, AreaSplitsRespectMinimumsAndBudget) {
+  ChipConstraints chip;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    Rng rng(Rng::derive_stream_seed(3, i));
+    const double budget = rng.uniform(1.0, 30.0);
+    const AreaSplit split = gen_area_split(rng, chip, budget);
+    EXPECT_GE(split.a0, chip.min_core_area);
+    EXPECT_GE(split.a1, chip.min_l1_area);
+    EXPECT_GE(split.a2, chip.min_l2_area);
+    EXPECT_LE(split.total(), budget + 1e-12);
+  }
+}
+
+TEST(CheckGenerators, AreaSplitRejectsImpossibleBudget) {
+  ChipConstraints chip;
+  Rng rng(4);
+  EXPECT_THROW((void)gen_area_split(rng, chip, 0.01), std::invalid_argument);
+}
+
+TEST(CheckGenerators, ProfilesAlwaysValidate) {
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    Rng rng(Rng::derive_stream_seed(5, i));
+    (void)gen_app_profile(rng);      // validate() inside
+    (void)gen_machine_profile(rng);  // validate() inside
+  }
+}
+
+TEST(CheckGenerators, ScalingFunctionsEvaluate) {
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    Rng rng(Rng::derive_stream_seed(6, i));
+    const ScalingFunction g = gen_scaling_function(rng);
+    EXPECT_NEAR(g(1.0), 1.0, 1e-9) << g.description();
+    EXPECT_GT(g(8.0), 0.0);
+    EXPECT_FALSE(g.description().empty());
+  }
+}
+
+TEST(CheckGenerators, DseScenariosAreSmallAndFeasible) {
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    Rng rng(Rng::derive_stream_seed(7, i));
+    const DseScenario scenario = gen_dse_scenario(rng);
+    const GridSpace space = make_design_space(scenario.axes);
+    EXPECT_GE(space.size(), 1u);
+    EXPECT_LE(space.size(), 64u) << "oracle scenarios must stay sweep-cheap";
+    std::size_t feasible = 0;
+    space.for_each([&](std::size_t, const std::vector<double>& point) {
+      if (design_feasible(scenario.context, point)) ++feasible;
+    });
+    EXPECT_GE(feasible, 1u) << print_dse_scenario(scenario);
+  }
+}
+
+TEST(CheckGenerators, GenerationIsReplayableFromSeed) {
+  Rng a(Rng::derive_stream_seed(11, 3));
+  Rng b(Rng::derive_stream_seed(11, 3));
+  EXPECT_EQ(print_dse_scenario(gen_dse_scenario(a)), print_dse_scenario(gen_dse_scenario(b)));
+
+  Rng c(Rng::derive_stream_seed(11, 4));
+  // Different stream, (almost surely) different scenario.
+  Rng a2(Rng::derive_stream_seed(11, 3));
+  EXPECT_NE(print_dse_scenario(gen_dse_scenario(a2)), print_dse_scenario(gen_dse_scenario(c)));
+}
+
+TEST(CheckGenerators, TracesStayWithinRequestedSize) {
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    Rng rng(Rng::derive_stream_seed(12, i));
+    const Trace trace = gen_trace(rng, 64);
+    EXPECT_LE(trace.records.size(), 64u);
+    for (const TraceRecord& record : trace.records)
+      EXPECT_LE(static_cast<int>(record.kind), 2);
+  }
+}
+
+TEST(CheckGenerators, ShrinkTraceOnlyShrinks) {
+  Rng rng(13);
+  Trace trace = gen_trace(rng, 32);
+  while (trace.records.size() < 2) trace = gen_trace(rng, 32);
+  for (const Trace& smaller : shrink_trace(trace)) {
+    const bool fewer_records = smaller.records.size() < trace.records.size();
+    const bool shorter_name = smaller.name.size() < trace.name.size();
+    bool zeroed = smaller.records.size() == trace.records.size();
+    for (std::size_t i = 0; zeroed && i < smaller.records.size(); ++i)
+      zeroed = smaller.records[i].address == 0 || smaller.records[i].address == trace.records[i].address;
+    EXPECT_TRUE(fewer_records || shorter_name || zeroed);
+  }
+}
+
+}  // namespace
+}  // namespace c2b::check

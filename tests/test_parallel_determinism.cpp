@@ -10,6 +10,8 @@
 
 #include "c2b/aps/aps.h"
 #include "c2b/aps/dse.h"
+#include "c2b/check/generators.h"
+#include "c2b/core/optimizer.h"
 #include "c2b/exec/pool.h"
 #include "c2b/exec/sim_cache.h"
 
@@ -168,6 +170,39 @@ TEST(ParallelDeterminism, CachedTimesMatchUncachedOnes) {
   }
   EXPECT_EQ(warm.best_index, uncached.best_index);
   EXPECT_EQ(warm.best_time, uncached.best_time);
+}
+
+TEST(ParallelDeterminism, NelderMeadRestartsBitIdenticalAcrossThreadCounts) {
+  // The optimizer's multi-start Nelder-Mead runs its restarts on the
+  // thread pool with a serial strict-< reduction in restart order; the
+  // winning design must not depend on the thread count — on random models,
+  // not just the hand-picked ones.
+  ExecEnvGuard guard;
+  for (std::uint64_t c = 0; c < 10; ++c) {
+    Rng rng(Rng::derive_stream_seed(77, c));
+    const AppProfile app = check::gen_app_profile(rng);
+    const MachineProfile machine = check::gen_machine_profile(rng);
+    OptimizerOptions options;
+    options.n_max = 6;
+    options.nelder_mead_restarts = 5;
+    const C2BoundOptimizer optimizer(C2BoundModel(app, machine), options);
+
+    std::vector<OptimalDesign> results;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      exec::set_thread_count(threads);
+      results.push_back(optimizer.optimize());
+    }
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].best.execution_time, results[0].best.execution_time)
+          << "model " << c;
+      EXPECT_EQ(results[i].best.design.a0, results[0].best.design.a0) << "model " << c;
+      EXPECT_EQ(results[i].best.design.a1, results[0].best.design.a1) << "model " << c;
+      EXPECT_EQ(results[i].best.design.a2, results[0].best.design.a2) << "model " << c;
+      EXPECT_EQ(results[i].best.design.n_cores, results[0].best.design.n_cores)
+          << "model " << c;
+      EXPECT_EQ(results[i].lambda, results[0].lambda) << "model " << c;
+    }
+  }
 }
 
 }  // namespace

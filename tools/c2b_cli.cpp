@@ -25,6 +25,15 @@
 //       --repeat re-runs the whole flow N times: repeats are served by the
 //       memoized simulation cache and must match the first run bit for bit
 //       (watch exec.simcache.hit in --metrics-out).
+//   c2b check [--family all|analytic|determinism|invariants] [--seed S]
+//             [--configs N] [--aps-configs N] [--cases N] [--designs N]
+//             [--bands-out <file>] [--corpus <dir>]
+//       Run the differential oracle families (analytic model vs simulator
+//       tolerance bands, serial-vs-parallel determinism on random configs,
+//       invariant registry). Deterministic for a fixed --seed; failures
+//       print a one-line C2B_CHECK_SEED/C2B_CHECK_CASE repro and exit
+//       nonzero. --bands-out exports the per-workload tolerance bands as
+//       JSON; --corpus persists shrunk property counterexamples.
 //
 // Flags accepted by every command:
 //   --threads N            parallel execution width for the DSE/APS sweeps
@@ -46,6 +55,7 @@
 
 #include "c2b/aps/aps.h"
 #include "c2b/aps/characterize.h"
+#include "c2b/check/oracles.h"
 #include "c2b/core/asymmetric.h"
 #include "c2b/core/energy.h"
 #include "c2b/core/optimizer.h"
@@ -64,7 +74,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: c2b <command> [flags]\n"
-               "commands: workloads | characterize | optimize | simulate | trace | aps\n"
+               "commands: workloads | characterize | optimize | simulate | trace | aps | check\n"
                "run `c2b <command> --help` is not needed — see the header of\n"
                "tools/c2b_cli.cpp or README.md for the flag lists.\n");
   return 2;
@@ -417,6 +427,56 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
+int cmd_check(const Args& args) {
+  check::OracleOptions options;
+  options.seed = static_cast<std::uint64_t>(args.get("seed", 42LL));
+  options.dse_configs = static_cast<std::size_t>(args.get("configs", 100LL));
+  options.aps_configs = static_cast<std::size_t>(args.get("aps-configs", 4LL));
+  options.invariant_cases = static_cast<std::size_t>(args.get("cases", 60LL));
+  options.designs_per_workload = static_cast<std::size_t>(args.get("designs", 5LL));
+  options.corpus_dir = args.get("corpus", std::string(""));
+  const std::string bands_out = args.get("bands-out", std::string(""));
+  const std::string family = args.get("family", std::string("all"));
+  args.finish();
+
+  std::vector<check::OracleReport> reports;
+  if (family == "all") {
+    reports = check::run_all_oracles(options);
+  } else if (family == "analytic") {
+    reports.push_back(check::run_analytic_vs_sim_oracle(options));
+  } else if (family == "determinism") {
+    reports.push_back(check::run_determinism_oracle(options));
+  } else if (family == "invariants") {
+    reports.push_back(check::run_invariant_oracle(options));
+  } else {
+    std::fprintf(stderr, "check: unknown --family '%s' (want all|analytic|determinism|invariants)\n",
+                 family.c_str());
+    return 2;
+  }
+
+  bool all_passed = true;
+  for (const check::OracleReport& report : reports) {
+    std::printf("%s %-16s %zu checks, %zu failure(s)\n",
+                report.passed() ? "PASS" : "FAIL", report.family.c_str(), report.checks,
+                report.failures.size());
+    for (const check::ToleranceBand& band : report.bands)
+      std::printf("  band %-20s mean %6.2f%% (tol %5.1f%%)  max %6.2f%% (tol %5.1f%%)  %s\n",
+                  band.workload.c_str(), 100.0 * band.mean_abs_rel_error,
+                  100.0 * band.mean_tolerance, 100.0 * band.max_abs_rel_error,
+                  100.0 * band.max_tolerance, band.passed ? "ok" : "VIOLATED");
+    for (const std::string& failure : report.failures)
+      std::printf("  FAIL %s\n", failure.c_str());
+    if (!bands_out.empty() && report.family == "analytic_vs_sim") {
+      if (check::write_tolerance_bands_json(bands_out, report.bands))
+        std::printf("tolerance bands written to %s\n", bands_out.c_str());
+      else
+        all_passed = false;
+    }
+    all_passed = all_passed && report.passed();
+  }
+  return all_passed ? 0 : 1;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
@@ -444,6 +504,7 @@ int run(int argc, char** argv) {
   else if (command == "simulate") rc = cmd_simulate(args);
   else if (command == "trace") rc = cmd_trace(args);
   else if (command == "aps") rc = cmd_aps(args);
+  else if (command == "check") rc = cmd_check(args);
   else return usage();
 
   if (!metrics_out.empty()) {
