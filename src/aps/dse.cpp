@@ -8,9 +8,9 @@
 #include "c2b/common/assert.h"
 #include "c2b/common/math_util.h"
 #include "c2b/common/rng.h"
-#include "c2b/exec/pool.h"
 #include "c2b/exec/sim_cache.h"
 #include "c2b/obs/obs.h"
+#include "c2b/trace/cursor.h"
 
 namespace c2b {
 namespace {
@@ -190,10 +190,13 @@ double simulate_design_time(const DseContext& context, const std::vector<double>
   if (serial_ic >= 1.0) {
     const auto window = static_cast<std::uint64_t>(
         clamp(serial_ic, 1000.0, static_cast<double>(context.per_core_cap)));
-    auto generator = context.workload.make_generator(std::max(1.0, g.memory_scale(n_d)),
-                                                     context.seed);
-    const Trace trace = generator->generate(window);
-    const sim::SystemResult result = sim::simulate_single_core(config, trace);
+    // Stream the generator through a chunked cursor instead of
+    // materializing the window: same record stream (bit-identical result),
+    // O(chunk) resident trace memory.
+    GeneratorTraceCursor cursor(
+        context.workload.make_generator(std::max(1.0, g.memory_scale(n_d)), context.seed),
+        window);
+    const sim::SystemResult result = sim::simulate_system_streaming(config, {&cursor});
     const double cpi = result.cores[0].cpi;
     total_cycles += cpi * serial_ic;
     accesses += result.cores[0].memory_accesses;
@@ -204,16 +207,22 @@ double simulate_design_time(const DseContext& context, const std::vector<double>
     const auto window = static_cast<std::uint64_t>(
         clamp(parallel_ic_per_core, 1000.0, static_cast<double>(context.per_core_cap)));
     // Generators are seeded independently per core (splitmix-derived, so
-    // (seed, core) pairs never alias), which makes the fan-out safe and
-    // order-independent by construction.
-    std::vector<Trace> traces = exec::ThreadPool::global().parallel_map<Trace>(
-        n, [&](std::size_t c) {
-          auto generator = context.workload.make_generator(
+    // (seed, core) pairs never alias) and stream chunk-at-a-time: peak
+    // trace memory drops from O(cores * window) records to O(cores *
+    // chunk) while the simulator consumes the identical streams.
+    std::vector<GeneratorTraceCursor> cursors;
+    cursors.reserve(n);
+    std::vector<TraceCursor*> cursor_ptrs;
+    cursor_ptrs.reserve(n);
+    for (std::uint32_t c = 0; c < n; ++c) {
+      cursors.emplace_back(
+          context.workload.make_generator(
               per_core_footprint_scale,
-              Rng::derive_stream_seed(context.seed, static_cast<std::uint64_t>(c)));
-          return generator->generate(window);
-        });
-    const sim::SystemResult result = sim::simulate_system(config, traces);
+              Rng::derive_stream_seed(context.seed, static_cast<std::uint64_t>(c))),
+          window);
+      cursor_ptrs.push_back(&cursors.back());
+    }
+    const sim::SystemResult result = sim::simulate_system_streaming(config, cursor_ptrs);
     for (const sim::CoreResult& core : result.cores) accesses += core.memory_accesses;
     // Extrapolate the makespan linearly from the simulated window to the
     // full per-core share.

@@ -512,9 +512,219 @@ OracleReport run_invariant_oracle(const OracleOptions& options) {
   return report;
 }
 
+namespace {
+
+/// First field-level difference between two SystemResults, or nullopt when
+/// they are bitwise identical. Integers compare exactly; doubles compare by
+/// bit pattern (the kernel contract is bit-identity, not closeness). Every
+/// field of CoreResult, TimelineMetrics, and HierarchyStats is listed —
+/// adding a field to those structs without extending this comparator is
+/// what the field-count asserts in test_sim_kernel_equiv guard against.
+std::optional<std::string> diff_system_results(const sim::SystemResult& a,
+                                               const sim::SystemResult& b) {
+  std::ostringstream os;
+  auto u64 = [&](const std::string& label, std::uint64_t x, std::uint64_t y) {
+    if (x == y) return false;
+    os << label << " " << x << " != " << y;
+    return true;
+  };
+  auto dbl = [&](const std::string& label, double x, double y) {
+    if (bit_equal(x, y)) return false;
+    os << label << " " << fmt(x) << " != " << fmt(y);
+    return true;
+  };
+
+  if (a.cores.size() != b.cores.size())
+    return "core count " + std::to_string(a.cores.size()) + " != " +
+           std::to_string(b.cores.size());
+  if (u64("cycles", a.cycles, b.cycles)) return os.str();
+
+  for (std::size_t c = 0; c < a.cores.size(); ++c) {
+    const sim::CoreResult& x = a.cores[c];
+    const sim::CoreResult& y = b.cores[c];
+    const std::string p = "cores[" + std::to_string(c) + "].";
+    if (u64(p + "instructions", x.instructions, y.instructions) ||
+        u64(p + "memory_accesses", x.memory_accesses, y.memory_accesses) ||
+        u64(p + "cycles", x.cycles, y.cycles) || dbl(p + "cpi", x.cpi, y.cpi) ||
+        dbl(p + "f_mem", x.f_mem, y.f_mem))
+      return os.str();
+    const TimelineMetrics& m = x.camat;
+    const TimelineMetrics& n = y.camat;
+    const std::string q = p + "camat.";
+    if (u64(q + "accesses", m.accesses, n.accesses) ||
+        u64(q + "misses", m.misses, n.misses) ||
+        u64(q + "pure_misses", m.pure_misses, n.pure_misses) ||
+        u64(q + "hit_cycle_count", m.hit_cycle_count, n.hit_cycle_count) ||
+        u64(q + "hit_access_cycles", m.hit_access_cycles, n.hit_access_cycles) ||
+        u64(q + "pure_miss_cycle_count", m.pure_miss_cycle_count, n.pure_miss_cycle_count) ||
+        u64(q + "pure_miss_access_cycles", m.pure_miss_access_cycles,
+            n.pure_miss_access_cycles) ||
+        u64(q + "memory_active_cycles", m.memory_active_cycles, n.memory_active_cycles) ||
+        dbl(q + "amat_params.hit_time", m.amat_params.hit_time, n.amat_params.hit_time) ||
+        dbl(q + "amat_params.miss_rate", m.amat_params.miss_rate, n.amat_params.miss_rate) ||
+        dbl(q + "amat_params.miss_penalty", m.amat_params.miss_penalty,
+            n.amat_params.miss_penalty) ||
+        dbl(q + "camat_params.hit_time", m.camat_params.hit_time, n.camat_params.hit_time) ||
+        dbl(q + "camat_params.hit_concurrency", m.camat_params.hit_concurrency,
+            n.camat_params.hit_concurrency) ||
+        dbl(q + "camat_params.pure_miss_rate", m.camat_params.pure_miss_rate,
+            n.camat_params.pure_miss_rate) ||
+        dbl(q + "camat_params.pure_miss_penalty", m.camat_params.pure_miss_penalty,
+            n.camat_params.pure_miss_penalty) ||
+        dbl(q + "camat_params.miss_concurrency", m.camat_params.miss_concurrency,
+            n.camat_params.miss_concurrency) ||
+        dbl(q + "amat_value", m.amat_value, n.amat_value) ||
+        dbl(q + "camat_value", m.camat_value, n.camat_value) ||
+        dbl(q + "camat_direct", m.camat_direct, n.camat_direct) ||
+        dbl(q + "apc", m.apc, n.apc) ||
+        dbl(q + "concurrency_c", m.concurrency_c, n.concurrency_c))
+      return os.str();
+  }
+
+  const sim::HierarchyStats& h = a.hierarchy;
+  const sim::HierarchyStats& k = b.hierarchy;
+  if (dbl("hierarchy.l1_miss_ratio", h.l1_miss_ratio, k.l1_miss_ratio) ||
+      dbl("hierarchy.l2_miss_ratio", h.l2_miss_ratio, k.l2_miss_ratio) ||
+      dbl("hierarchy.apc_l1", h.apc_l1, k.apc_l1) ||
+      dbl("hierarchy.apc_l2", h.apc_l2, k.apc_l2) ||
+      dbl("hierarchy.apc_mem", h.apc_mem, k.apc_mem) ||
+      u64("hierarchy.l1_accesses", h.l1_accesses, k.l1_accesses) ||
+      u64("hierarchy.l2_accesses", h.l2_accesses, k.l2_accesses) ||
+      u64("hierarchy.dram_accesses", h.dram_accesses, k.dram_accesses) ||
+      dbl("hierarchy.dram_row_hit_ratio", h.dram_row_hit_ratio, k.dram_row_hit_ratio) ||
+      dbl("hierarchy.dram_average_latency", h.dram_average_latency, k.dram_average_latency) ||
+      u64("hierarchy.l1_mshr_merges", h.l1_mshr_merges, k.l1_mshr_merges) ||
+      u64("hierarchy.l1_mshr_full_stalls", h.l1_mshr_full_stalls, k.l1_mshr_full_stalls) ||
+      dbl("hierarchy.noc_average_hops", h.noc_average_hops, k.noc_average_hops) ||
+      u64("hierarchy.l1_writebacks", h.l1_writebacks, k.l1_writebacks) ||
+      u64("hierarchy.l2_writebacks", h.l2_writebacks, k.l2_writebacks) ||
+      u64("hierarchy.prefetches_issued", h.prefetches_issued, k.prefetches_issued) ||
+      u64("hierarchy.prefetch_useful_hits", h.prefetch_useful_hits, k.prefetch_useful_hits) ||
+      dbl("hierarchy.prefetch_accuracy", h.prefetch_accuracy, k.prefetch_accuracy) ||
+      u64("hierarchy.coherence_invalidations", h.coherence_invalidations,
+          k.coherence_invalidations) ||
+      u64("hierarchy.coherence_owner_transfers", h.coherence_owner_transfers,
+          k.coherence_owner_transfers) ||
+      u64("hierarchy.coherence_upgrades", h.coherence_upgrades, k.coherence_upgrades))
+    return os.str();
+  return std::nullopt;
+}
+
+/// gen_trace may produce an empty trace; the simulator requires at least
+/// one record per core, so pad with a single compute instruction.
+Trace gen_nonempty_trace(Rng& rng, std::size_t max_records) {
+  Trace trace = gen_trace(rng, max_records);
+  if (trace.records.empty()) trace.records.push_back({InstrKind::kCompute, false, 0});
+  return trace;
+}
+
+}  // namespace
+
+OracleReport run_kernel_equivalence_oracle(const OracleOptions& options) {
+  OracleReport report;
+  report.family = "kernel";
+
+  // --- event kernel vs per-cycle reference, bitwise -----------------------
+  // Random configurations with coherence and prefetching forced on for a
+  // share of the cases (the stock generator leaves both off), random
+  // per-core traces, and — when telemetry is live — the demand-access
+  // ledger sim.l1.hit + sim.l1.miss == reported accesses for each run.
+  for (std::size_t i = 0; i < options.kernel_configs; ++i) {
+    Rng rng(Rng::derive_stream_seed(options.seed, 50'000 + i));
+    const std::string repro = repro_line(options.seed, 50'000 + i);
+    sim::SystemConfig config = gen_system_config(rng);
+    if (config.hierarchy.cores > 1 && rng.bernoulli(0.4)) config.hierarchy.coherence = true;
+    config.hierarchy.l1_prefetch.kind =
+        pick(rng, {sim::PrefetchKind::kNone, sim::PrefetchKind::kNone,
+                   sim::PrefetchKind::kNextLine, sim::PrefetchKind::kStride});
+
+    const std::size_t trace_count =
+        1 + static_cast<std::size_t>(rng.uniform_below(config.hierarchy.cores));
+    std::vector<Trace> traces;
+    traces.reserve(trace_count);
+    for (std::size_t t = 0; t < trace_count; ++t)
+      traces.push_back(gen_nonempty_trace(rng, 512));
+
+    if (C2B_OBS_ACTIVE()) obs::Registry::global().reset_values();
+    const sim::SystemResult event_run = sim::simulate_system(config, traces);
+    if (C2B_OBS_ACTIVE()) {
+      std::uint64_t reported = 0;
+      for (const sim::CoreResult& core : event_run.cores) reported += core.memory_accesses;
+      obs::Registry& registry = obs::Registry::global();
+      const std::uint64_t hits = registry.counter("sim.l1.hit").value();
+      const std::uint64_t misses = registry.counter("sim.l1.miss").value();
+      ++report.checks;
+      if (hits + misses != reported) {
+        std::ostringstream os;
+        os << "kernel case #" << i << " ledger: sim.l1.hit " << hits << " + sim.l1.miss "
+           << misses << " != reported accesses " << reported << "; repro: " << repro;
+        report.failures.push_back(os.str());
+      }
+    }
+    const sim::SystemResult reference_run = sim::simulate_system_reference(config, traces);
+
+    ++report.checks;
+    if (auto diff = diff_system_results(event_run, reference_run)) {
+      report.failures.push_back("kernel case #" + std::to_string(i) + " (" +
+                                print_system_config(config) + "): event vs reference " +
+                                *diff + "; repro: " + repro);
+    }
+  }
+
+  // --- streaming cursor vs materialized trace, bitwise --------------------
+  // Catalog-workload generator streams replayed two ways: materialized via
+  // TraceGenerator::generate and chunk-at-a-time via GeneratorTraceCursor
+  // with a deliberately small chunk (many refills). Also asserts the
+  // cursor's O(chunk) residency contract.
+  const std::size_t streaming_cases = std::max<std::size_t>(2, options.kernel_configs / 4);
+  for (std::size_t i = 0; i < streaming_cases; ++i) {
+    Rng rng(Rng::derive_stream_seed(options.seed, 51'000 + i));
+    const std::string repro = repro_line(options.seed, 51'000 + i);
+    const sim::SystemConfig config = gen_system_config(rng);
+    const WorkloadSpec spec = gen_workload_spec(rng);
+    const double scale = pick(rng, {1.0, 2.0, 4.0});
+    const std::uint64_t window = 2'000 + rng.uniform_below(6'000);
+    const std::size_t chunk = pick<std::size_t>(rng, {64, 257, 1024});
+    const std::uint64_t stream_seed = rng.next();
+
+    const std::size_t n = config.hierarchy.cores;
+    std::vector<Trace> traces;
+    traces.reserve(n);
+    std::vector<GeneratorTraceCursor> cursors;
+    cursors.reserve(n);
+    std::vector<TraceCursor*> cursor_ptrs;
+    cursor_ptrs.reserve(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      const std::uint64_t core_seed =
+          Rng::derive_stream_seed(stream_seed, static_cast<std::uint64_t>(c));
+      traces.push_back(spec.make_generator(scale, core_seed)->generate(window));
+      cursors.emplace_back(spec.make_generator(scale, core_seed), window, chunk);
+      cursor_ptrs.push_back(&cursors.back());
+    }
+
+    const sim::SystemResult materialized = sim::simulate_system(config, traces);
+    const sim::SystemResult streamed = sim::simulate_system_streaming(config, cursor_ptrs);
+    ++report.checks;
+    if (auto diff = diff_system_results(streamed, materialized)) {
+      report.failures.push_back("streaming case #" + std::to_string(i) + " (workload " +
+                                spec.name + ", chunk " + std::to_string(chunk) +
+                                "): streamed vs materialized " + *diff + "; repro: " + repro);
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      if (cursors[c].max_resident_records() > chunk) {
+        report.failures.push_back(
+            "streaming case #" + std::to_string(i) + " core " + std::to_string(c) +
+            " kept " + std::to_string(cursors[c].max_resident_records()) +
+            " records resident (chunk " + std::to_string(chunk) + "); repro: " + repro);
+      }
+    }
+  }
+  return report;
+}
+
 std::vector<OracleReport> run_all_oracles(const OracleOptions& options) {
   return {run_analytic_vs_sim_oracle(options), run_determinism_oracle(options),
-          run_invariant_oracle(options)};
+          run_invariant_oracle(options), run_kernel_equivalence_oracle(options)};
 }
 
 bool write_tolerance_bands_json(const std::string& path,

@@ -15,7 +15,12 @@
 //      + exec.simcache.replayed_accesses == reported memory accesses),
 //      area conservation at every optimizer iterate (Eq. 12), and the
 //      model's structural bounds (C-AMAT <= AMAT, C >= 1, Pollack CPI
-//      monotone in area, time monotone in area at fixed N).
+//      monotone in area, time monotone in area at fixed N);
+//   4. kernel equivalence — the event-driven cycle-skipping kernel vs the
+//      retained per-cycle reference kernel, every SystemResult field
+//      compared bitwise on random configurations (coherence and prefetch
+//      included) and random traces, plus streaming-cursor vs materialized
+//      replay identity and the per-run demand-access ledger.
 //
 // The oracles mutate process-global execution state (thread count, the
 // global sim cache, telemetry counters) and restore defaults on exit; do
@@ -41,6 +46,9 @@ struct OracleOptions {
   std::size_t invariant_cases = 60;
   /// ledger invariant: random DSE scenarios traced end to end.
   std::size_t ledger_configs = 2;
+  /// kernel equivalence: random (config, trace) cases compared bitwise
+  /// against the per-cycle reference kernel.
+  std::size_t kernel_configs = 40;
   std::vector<std::size_t> thread_counts{1, 2, 8};
   /// Corpus directory for shrunk property counterexamples ("" = none).
   std::string corpus_dir;
@@ -68,8 +76,9 @@ struct OracleReport {
 OracleReport run_analytic_vs_sim_oracle(const OracleOptions& options = {});
 OracleReport run_determinism_oracle(const OracleOptions& options = {});
 OracleReport run_invariant_oracle(const OracleOptions& options = {});
+OracleReport run_kernel_equivalence_oracle(const OracleOptions& options = {});
 
-/// All three families in order; never throws on oracle failure (inspect
+/// All four families in order; never throws on oracle failure (inspect
 /// the reports).
 std::vector<OracleReport> run_all_oracles(const OracleOptions& options = {});
 

@@ -38,8 +38,13 @@ struct CacheGeometry {
 /// bits.
 class CacheArray {
  public:
+  /// `victim_stream` seeds the kRandom xorshift state per instance (via
+  /// Rng::derive_stream_seed), so arrays in a multi-cache configuration
+  /// replay decorrelated victim streams while staying deterministic for a
+  /// given (geometry, policy, stream) triple.
   explicit CacheArray(const CacheGeometry& geometry,
-                      ReplacementPolicy policy = ReplacementPolicy::kLru);
+                      ReplacementPolicy policy = ReplacementPolicy::kLru,
+                      std::uint64_t victim_stream = 0);
 
   /// Probe for the line containing `byte_address`; on hit the recency state
   /// updates and, if `mark_dirty`, the line becomes dirty. True on hit.
@@ -99,8 +104,8 @@ class CacheArray {
   ReplacementPolicy policy_;
   std::vector<Way> ways_;            ///< ways_[set * assoc + way], stable slots
   std::vector<std::uint64_t> plru_;  ///< per-set PLRU bit tree (bit i = node i)
-  std::uint64_t clock_ = 0;          ///< LRU timestamp source
-  std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;  ///< xorshift for kRandom
+  std::uint64_t clock_ = 0;   ///< LRU timestamp source
+  std::uint64_t rng_state_;   ///< xorshift for kRandom, stream-seeded per instance
   std::uint64_t probes_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t dirty_evictions_ = 0;
@@ -166,8 +171,12 @@ class MshrFile {
     std::uint64_t line = 0;
     std::uint64_t completion = 0;  ///< 0 while unknown (service in progress)
   };
-  std::vector<Entry> entries_;  ///< live entries (small; linear scan)
+  std::vector<Entry> entries_;  ///< live entries, allocation order (small)
   std::uint32_t capacity_;
+  /// Earliest known completion across entries_ (0 when none is known),
+  /// maintained incrementally so the hot path can prove retire_before() is
+  /// a no-op — and skip its scan — without touching the entries.
+  std::uint64_t earliest_completion_ = 0;
   std::uint64_t full_stalls_ = 0;
   std::uint64_t merges_ = 0;
 };

@@ -13,16 +13,63 @@
 // This class is the software model of that unit: the core reports each
 // access's (start, hit-duration, miss-penalty) as it issues, and the
 // detector folds cycles into running counters once they pass a finalize
-// watermark, keeping only a bounded window of live cycle state — as a
-// hardware table would. Its finalized numbers match the offline
-// analyze_timeline() exactly (tested property).
+// watermark. Its finalized numbers match the offline analyze_timeline()
+// exactly (tested property), and match the seed per-cycle implementation
+// (ReferenceCamatDetector) bit for bit (tested differentially and by the
+// kernel-equivalence oracle).
+//
+// Unlike the seed implementation — which kept a dense (hits, misses) slot
+// per live cycle and paid O(hit + penalty) slot increments per access,
+// the dominant simulator cost on stall-heavy workloads — this detector is
+// interval-based: record_access() appends the hit span and miss span as
+// [start, end) intervals in O(1), and advance() classifies whole constant-
+// concurrency segments at once with a boundary sweep. Every counter it
+// accumulates is an exact integer sum over cycles, so equal counts give
+// bit-identical finalized doubles.
+//
+// Why the sweep is exact (same numbers as the per-cycle reference):
+//  * A miss's own span contributes miss activity to every cycle of
+//    [miss_start, miss_end), so "pure" cycles of that miss (no hit
+//    activity, some miss activity) are exactly the span cycles not
+//    covered by any hit interval: pure = span - hit_coverage(span).
+//    All hit intervals that can overlap the span exist when the miss is
+//    finalized, because finalization requires miss_end <= watermark and
+//    every future access starts at or after the watermark.
+//  * Per-cycle classification (hit cycle / pure-miss cycle / idle) and
+//    the per-cycle sums (hits, misses) are piecewise constant between
+//    interval endpoints, so summing segment_length * concurrency over
+//    sweep segments reproduces the per-cycle totals exactly.
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "c2b/metrics/timeline.h"
 
 namespace c2b::sim {
+
+namespace detail {
+
+/// The finalized integer counters every detector implementation
+/// accumulates; metric assembly is shared so the production and reference
+/// detectors cannot drift in the integer -> double step.
+struct DetectorCounters {
+  std::uint64_t accesses = 0;
+  std::uint64_t total_hit_duration = 0;
+  std::uint64_t total_miss_penalty = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t pure_misses = 0;
+  std::uint64_t per_access_pure_cycles = 0;
+  std::uint64_t hit_cycle_count = 0;
+  std::uint64_t hit_access_cycles = 0;
+  std::uint64_t pure_miss_cycle_count = 0;
+  std::uint64_t pure_miss_access_cycles = 0;
+  std::uint64_t memory_active_cycles = 0;
+};
+
+TimelineMetrics assemble_detector_metrics(const DetectorCounters& counters);
+
+}  // namespace detail
 
 class CamatDetector {
  public:
@@ -34,7 +81,7 @@ class CamatDetector {
 
   /// Fold all cycles strictly below `watermark` into the running counters.
   /// Only call with watermarks <= the start of every future access (the
-  /// core guarantees this by finalizing at issue time minus max latency).
+  /// core guarantees this: accesses start at or after their issue cycle).
   void advance(std::uint64_t watermark);
 
   /// Finalize everything and return the full metrics snapshot.
@@ -42,43 +89,52 @@ class CamatDetector {
 
   /// Running counters (valid for finalized cycles; cheap to poll, which is
   /// what the phase-adaptive reconfiguration example does).
-  std::uint64_t finalized_accesses() const noexcept { return finalized_accesses_; }
-  std::uint64_t live_cycle_window() const noexcept { return window_.size(); }
+  std::uint64_t finalized_accesses() const noexcept { return counters_.accesses; }
+  /// Span of cycles still carrying live (unclassified) activity.
+  std::uint64_t live_cycle_window() const noexcept {
+    return max_live_end_ > swept_base_ ? max_live_end_ - swept_base_ : 0;
+  }
 
  private:
-  struct CycleActivity {
-    std::uint32_t hits = 0;
-    std::uint32_t misses = 0;
+  struct Interval {
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;  ///< exclusive
   };
   struct PendingMiss {
     std::uint64_t miss_start = 0;
     std::uint32_t miss_cycles = 0;
   };
+  struct Boundary {
+    std::uint64_t cycle = 0;
+    std::int32_t hit_delta = 0;
+    std::int32_t miss_delta = 0;
+  };
 
-  /// Live cycle table: a dense ring over [window_base_, window_base_ +
-  /// window_.size()). O(1) per touched cycle — the hardware analogue is a
-  /// small SRAM of per-cycle counters; a tree here would make every miss
-  /// penalty cycle cost a log-time allocation.
-  CycleActivity& cycle_slot(std::uint64_t cycle);
-  const CycleActivity* find_cycle(std::uint64_t cycle) const;
+  /// Rebuild hit_union_ / hit_union_prefix_ from the live hit intervals.
+  void build_hit_union();
+  /// Cycles of [start, end) covered by the union of live hit intervals.
+  std::uint64_t hit_coverage(std::uint64_t start, std::uint64_t end) const;
+  /// Classify [swept_base_, upto) segment-by-segment and drop/trim the
+  /// intervals that fall entirely below it.
+  void sweep_classification(std::uint64_t upto);
 
-  std::deque<CycleActivity> window_;
-  std::uint64_t window_base_ = 0;
-  bool window_anchored_ = false;  ///< window_base_ valid once first access seen
-  std::deque<PendingMiss> pending_misses_;
+  /// Live (unclassified) activity intervals. Unordered pools: the sweep
+  /// sorts boundary events per advance, so out-of-order starts (bank
+  /// scheduling can reorder them) need no special casing. Compaction is
+  /// in place — steady state allocates nothing.
+  std::vector<Interval> hit_intervals_;
+  std::vector<Interval> miss_intervals_;
+  /// In-flight misses awaiting pure/overlapped classification.
+  std::vector<PendingMiss> pending_misses_;
+  std::uint64_t swept_base_ = 0;    ///< all cycles below are classified
+  std::uint64_t max_live_end_ = 0;  ///< max end over intervals ever recorded
 
-  // Finalized accumulators (the paper's lightweight counters).
-  std::uint64_t finalized_accesses_ = 0;
-  std::uint64_t total_hit_duration_ = 0;
-  std::uint64_t total_miss_penalty_ = 0;
-  std::uint64_t miss_count_ = 0;
-  std::uint64_t pure_miss_count_ = 0;
-  std::uint64_t per_access_pure_cycles_ = 0;
-  std::uint64_t hit_cycle_count_ = 0;
-  std::uint64_t hit_access_cycles_ = 0;
-  std::uint64_t pure_miss_cycle_count_ = 0;
-  std::uint64_t pure_miss_access_cycles_ = 0;
-  std::uint64_t memory_active_cycles_ = 0;
+  // Scratch buffers reused across advance() calls.
+  std::vector<Interval> hit_union_;            ///< disjoint, sorted by start
+  std::vector<std::uint64_t> hit_union_prefix_;  ///< covered cycles before entry i
+  std::vector<Boundary> boundaries_;
+
+  detail::DetectorCounters counters_;
 };
 
 /// Union-of-intervals busy-cycle counter for one memory level; divides into

@@ -21,6 +21,7 @@
 
 #include "c2b/metrics/timeline.h"
 #include "c2b/sim/system/hierarchy.h"
+#include "c2b/trace/cursor.h"
 #include "c2b/trace/trace.h"
 
 namespace c2b::sim {
@@ -65,6 +66,21 @@ struct SystemResult {
 /// Run every core to the end of its trace. Cores without a trace (fewer
 /// traces than cores) idle. Throws on invalid configuration.
 SystemResult simulate_system(const SystemConfig& config, const std::vector<Trace>& per_core_traces);
+
+/// Streaming form of simulate_system: one cursor per core, consumed as the
+/// simulation advances. Bit-identical to the materialized overload when the
+/// cursors yield the same record streams; peak trace memory is whatever the
+/// cursors keep resident (O(chunk) for GeneratorTraceCursor).
+SystemResult simulate_system_streaming(const SystemConfig& config,
+                                       const std::vector<TraceCursor*>& cursors);
+
+/// The seed per-cycle kernel, retained verbatim as the differential
+/// baseline for the event-driven kernel (`c2b check --family kernel` and
+/// the perf-labeled equivalence stress tests compare every SystemResult
+/// field bitwise against it). Not for production use — it walks every
+/// cycle and materialized traces only.
+SystemResult simulate_system_reference(const SystemConfig& config,
+                                       const std::vector<Trace>& per_core_traces);
 
 /// Single-core convenience wrapper.
 SystemResult simulate_single_core(const SystemConfig& config, const Trace& trace);

@@ -3,8 +3,15 @@
 #include <algorithm>
 
 #include "c2b/common/math_util.h"
+#include "c2b/common/rng.h"
 
 namespace c2b::sim {
+
+namespace {
+/// Base for the per-instance kRandom victim streams (golden-ratio constant,
+/// the same value every array shared before streams existed).
+constexpr std::uint64_t kVictimSeedBase = 0x9E3779B97F4A7C15ull;
+}  // namespace
 
 void CacheGeometry::validate() const {
   C2B_REQUIRE(line_bytes > 0 && is_pow2(line_bytes), "line size must be a power of two");
@@ -15,8 +22,12 @@ void CacheGeometry::validate() const {
   C2B_REQUIRE(sets() >= 1, "cache must have at least one set");
 }
 
-CacheArray::CacheArray(const CacheGeometry& geometry, ReplacementPolicy policy)
-    : geometry_(geometry), policy_(policy) {
+CacheArray::CacheArray(const CacheGeometry& geometry, ReplacementPolicy policy,
+                       std::uint64_t victim_stream)
+    : geometry_(geometry),
+      policy_(policy),
+      rng_state_(Rng::derive_stream_seed(kVictimSeedBase, victim_stream)) {
+  if (rng_state_ == 0) rng_state_ = kVictimSeedBase;  // xorshift must not start at 0
   geometry_.validate();
   C2B_REQUIRE(policy_ != ReplacementPolicy::kTreePlru || is_pow2(geometry_.associativity),
               "tree-PLRU requires power-of-two associativity");
@@ -184,11 +195,20 @@ MshrFile::MshrFile(std::uint32_t entries) : capacity_(entries) {
 }
 
 void MshrFile::retire_before(std::uint64_t cycle) {
-  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
-                                [cycle](const Entry& e) {
-                                  return e.completion != 0 && e.completion <= cycle;
-                                }),
-                 entries_.end());
+  // Fast path: nothing in flight completes at or before `cycle`, so the
+  // scan below would keep every entry — skip it. earliest_completion_ is
+  // exactly the minimum nonzero completion, maintained by complete() and
+  // the compaction here.
+  if (earliest_completion_ == 0 || earliest_completion_ > cycle) return;
+  std::size_t keep = 0;
+  std::uint64_t earliest = 0;
+  for (const Entry& e : entries_) {
+    if (e.completion != 0 && e.completion <= cycle) continue;
+    if (e.completion != 0 && (earliest == 0 || e.completion < earliest)) earliest = e.completion;
+    entries_[keep++] = e;
+  }
+  entries_.resize(keep);
+  earliest_completion_ = earliest;
 }
 
 MshrFile::Grant MshrFile::request(std::uint64_t line, std::uint64_t cycle) {
@@ -201,30 +221,35 @@ MshrFile::Grant MshrFile::request(std::uint64_t line, std::uint64_t cycle) {
   }
   std::uint64_t start = cycle;
   if (entries_.size() >= capacity_) {
-    // Structural stall: wait until the earliest known completion frees a slot.
-    std::uint64_t earliest = 0;
-    for (const Entry& e : entries_) {
-      if (e.completion == 0) continue;
-      if (earliest == 0 || e.completion < earliest) earliest = e.completion;
-    }
+    // Structural stall: wait until the earliest known completion frees a
+    // slot (the incrementally maintained value — no scan needed).
     ++full_stalls_;
-    if (earliest > start) start = earliest;
+    if (earliest_completion_ > start) start = earliest_completion_;
     retire_before(start);
-    // If everything in flight had unknown completion we overwrite the oldest
-    // entry (bounded state; should not happen in the normal flow).
-    if (entries_.size() >= capacity_) entries_.erase(entries_.begin());
+    if (entries_.size() >= capacity_) {
+      // Everything in flight had unknown completion: overwrite the oldest
+      // entry (bounded state; should not happen in the normal flow, where
+      // each access completes its entry before the next request).
+      C2B_ASSERT(entries_.front().completion == 0,
+                 "full MSHR with a known completion survived retire_before");
+      entries_.erase(entries_.begin());
+    }
   }
   entries_.push_back({line, 0});
   return {.start_cycle = start, .merged = false, .merged_completion = 0};
 }
 
 void MshrFile::complete(std::uint64_t line, std::uint64_t completion_cycle) {
+  C2B_REQUIRE(completion_cycle != 0, "completion cycle 0 is the 'unknown' sentinel");
   for (Entry& e : entries_) {
     if (e.line == line && e.completion == 0) {
       e.completion = completion_cycle;
+      if (earliest_completion_ == 0 || completion_cycle < earliest_completion_)
+        earliest_completion_ = completion_cycle;
       return;
     }
   }
+  C2B_ASSERT(false, "MshrFile::complete for a line with no in-flight entry");
 }
 
 }  // namespace c2b::sim

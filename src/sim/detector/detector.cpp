@@ -7,128 +7,224 @@
 
 namespace c2b::sim {
 
-CamatDetector::CycleActivity& CamatDetector::cycle_slot(std::uint64_t cycle) {
-  if (!window_anchored_) {
-    window_base_ = cycle;
-    window_anchored_ = true;
-  }
-  C2B_ASSERT(cycle >= window_base_,
-             "access touches an already-finalized cycle (advance() watermark too eager)");
-  const std::uint64_t offset = cycle - window_base_;
-  if (offset >= window_.size()) window_.resize(offset + 1);
-  return window_[offset];
-}
+namespace detail {
 
-const CamatDetector::CycleActivity* CamatDetector::find_cycle(std::uint64_t cycle) const {
-  if (!window_anchored_ || cycle < window_base_) return nullptr;
-  const std::uint64_t offset = cycle - window_base_;
-  if (offset >= window_.size()) return nullptr;
-  return &window_[offset];
-}
-
-void CamatDetector::record_access(std::uint64_t start_cycle, std::uint32_t hit_cycles,
-                                  std::uint32_t miss_penalty_cycles) {
-  C2B_REQUIRE(hit_cycles > 0, "an access needs at least one hit/lookup cycle");
-  ++finalized_accesses_;
-  total_hit_duration_ += hit_cycles;
-  for (std::uint32_t i = 0; i < hit_cycles; ++i) ++cycle_slot(start_cycle + i).hits;
-  if (miss_penalty_cycles > 0) {
-    ++miss_count_;
-    total_miss_penalty_ += miss_penalty_cycles;
-    const std::uint64_t miss_start = start_cycle + hit_cycles;
-    for (std::uint32_t i = 0; i < miss_penalty_cycles; ++i)
-      ++cycle_slot(miss_start + i).misses;
-    pending_misses_.push_back({miss_start, miss_penalty_cycles});
-  }
-}
-
-void CamatDetector::advance(std::uint64_t watermark) {
-  // Pass 1 (MCD): finalize in-flight misses whose whole penalty interval is
-  // below the watermark — their cycle entries are still live, so the pure
-  // classification is exact.
-  for (auto it = pending_misses_.begin(); it != pending_misses_.end();) {
-    const std::uint64_t miss_end = it->miss_start + it->miss_cycles;
-    if (miss_end > watermark) {
-      ++it;
-      continue;
-    }
-    std::uint64_t pure_cycles = 0;
-    for (std::uint32_t i = 0; i < it->miss_cycles; ++i) {
-      const CycleActivity* activity = find_cycle(it->miss_start + i);
-      if (activity != nullptr && activity->hits == 0 && activity->misses > 0) ++pure_cycles;
-    }
-    if (pure_cycles > 0) {
-      ++pure_miss_count_;
-      per_access_pure_cycles_ += pure_cycles;
-    }
-    it = pending_misses_.erase(it);
-  }
-
-  // Pass 2 (HCD + cycle classification): retire cycle entries below the
-  // watermark, but only those no pending miss still needs to inspect.
-  std::uint64_t protect_from = watermark;
-  for (const PendingMiss& pm : pending_misses_)
-    protect_from = std::min(protect_from, pm.miss_start);
-
-  while (window_anchored_ && !window_.empty() && window_base_ < protect_from) {
-    const CycleActivity activity = window_.front();
-    window_.pop_front();
-    ++window_base_;
-    if (activity.hits == 0 && activity.misses == 0) continue;  // idle slot
-    ++memory_active_cycles_;
-    if (activity.hits > 0) {
-      ++hit_cycle_count_;
-      hit_access_cycles_ += activity.hits;
-    } else {
-      ++pure_miss_cycle_count_;
-      pure_miss_access_cycles_ += activity.misses;
-    }
-  }
-}
-
-TimelineMetrics CamatDetector::finalize() {
-  advance(std::numeric_limits<std::uint64_t>::max());
-  C2B_ASSERT(pending_misses_.empty() && window_.empty(), "detector finalize left live state");
-
+TimelineMetrics assemble_detector_metrics(const DetectorCounters& c) {
   TimelineMetrics m;
-  m.accesses = finalized_accesses_;
-  m.misses = miss_count_;
-  m.pure_misses = pure_miss_count_;
-  m.hit_cycle_count = hit_cycle_count_;
-  m.hit_access_cycles = hit_access_cycles_;
-  m.pure_miss_cycle_count = pure_miss_cycle_count_;
-  m.pure_miss_access_cycles = pure_miss_access_cycles_;
-  m.memory_active_cycles = memory_active_cycles_;
+  m.accesses = c.accesses;
+  m.misses = c.misses;
+  m.pure_misses = c.pure_misses;
+  m.hit_cycle_count = c.hit_cycle_count;
+  m.hit_access_cycles = c.hit_access_cycles;
+  m.pure_miss_cycle_count = c.pure_miss_cycle_count;
+  m.pure_miss_access_cycles = c.pure_miss_access_cycles;
+  m.memory_active_cycles = c.memory_active_cycles;
   if (m.accesses == 0) return m;  // pure-compute window: everything zero
 
   const auto accesses_d = static_cast<double>(m.accesses);
-  m.amat_params.hit_time = static_cast<double>(total_hit_duration_) / accesses_d;
-  m.amat_params.miss_rate = static_cast<double>(miss_count_) / accesses_d;
+  m.amat_params.hit_time = static_cast<double>(c.total_hit_duration) / accesses_d;
+  m.amat_params.miss_rate = static_cast<double>(c.misses) / accesses_d;
   m.amat_params.miss_penalty =
-      miss_count_ == 0
-          ? 0.0
-          : static_cast<double>(total_miss_penalty_) / static_cast<double>(miss_count_);
+      c.misses == 0 ? 0.0
+                    : static_cast<double>(c.total_miss_penalty) / static_cast<double>(c.misses);
   m.amat_value = amat(m.amat_params);
 
   m.camat_params.hit_time = m.amat_params.hit_time;
   m.camat_params.hit_concurrency =
-      hit_cycle_count_ == 0
-          ? 1.0
-          : static_cast<double>(hit_access_cycles_) / static_cast<double>(hit_cycle_count_);
-  m.camat_params.pure_miss_rate = static_cast<double>(pure_miss_count_) / accesses_d;
+      c.hit_cycle_count == 0 ? 1.0
+                             : static_cast<double>(c.hit_access_cycles) /
+                                   static_cast<double>(c.hit_cycle_count);
+  m.camat_params.pure_miss_rate = static_cast<double>(c.pure_misses) / accesses_d;
   m.camat_params.pure_miss_penalty =
-      pure_miss_count_ == 0 ? 0.0
-                            : static_cast<double>(per_access_pure_cycles_) /
-                                  static_cast<double>(pure_miss_count_);
+      c.pure_misses == 0 ? 0.0
+                         : static_cast<double>(c.per_access_pure_cycles) /
+                               static_cast<double>(c.pure_misses);
   m.camat_params.miss_concurrency =
-      pure_miss_cycle_count_ == 0 ? 1.0
-                                  : static_cast<double>(per_access_pure_cycles_) /
-                                        static_cast<double>(pure_miss_cycle_count_);
+      c.pure_miss_cycle_count == 0 ? 1.0
+                                   : static_cast<double>(c.per_access_pure_cycles) /
+                                         static_cast<double>(c.pure_miss_cycle_count);
   m.camat_value = camat(m.camat_params);
-  m.camat_direct = static_cast<double>(memory_active_cycles_) / accesses_d;
-  m.apc = accesses_d / static_cast<double>(memory_active_cycles_);
+  m.camat_direct = static_cast<double>(c.memory_active_cycles) / accesses_d;
+  m.apc = accesses_d / static_cast<double>(c.memory_active_cycles);
   m.concurrency_c = m.camat_value > 0.0 ? m.amat_value / m.camat_value : 1.0;
   return m;
+}
+
+}  // namespace detail
+
+void CamatDetector::record_access(std::uint64_t start_cycle, std::uint32_t hit_cycles,
+                                  std::uint32_t miss_penalty_cycles) {
+  C2B_REQUIRE(hit_cycles > 0, "an access needs at least one hit/lookup cycle");
+  C2B_ASSERT(start_cycle >= swept_base_,
+             "access touches an already-finalized cycle (advance() watermark too eager)");
+  ++counters_.accesses;
+  counters_.total_hit_duration += hit_cycles;
+  const std::uint64_t hit_end = start_cycle + hit_cycles;
+  hit_intervals_.push_back({start_cycle, hit_end});
+  max_live_end_ = std::max(max_live_end_, hit_end);
+  if (miss_penalty_cycles > 0) {
+    ++counters_.misses;
+    counters_.total_miss_penalty += miss_penalty_cycles;
+    const std::uint64_t miss_end = hit_end + miss_penalty_cycles;
+    miss_intervals_.push_back({hit_end, miss_end});
+    pending_misses_.push_back({hit_end, miss_penalty_cycles});
+    max_live_end_ = std::max(max_live_end_, miss_end);
+  }
+}
+
+void CamatDetector::build_hit_union() {
+  hit_union_.assign(hit_intervals_.begin(), hit_intervals_.end());
+  std::sort(hit_union_.begin(), hit_union_.end(),
+            [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  std::size_t out = 0;
+  for (const Interval& iv : hit_union_) {
+    if (out > 0 && iv.start <= hit_union_[out - 1].end)
+      hit_union_[out - 1].end = std::max(hit_union_[out - 1].end, iv.end);
+    else
+      hit_union_[out++] = iv;
+  }
+  hit_union_.resize(out);
+  hit_union_prefix_.resize(out + 1);
+  hit_union_prefix_[0] = 0;
+  for (std::size_t i = 0; i < out; ++i)
+    hit_union_prefix_[i + 1] = hit_union_prefix_[i] + (hit_union_[i].end - hit_union_[i].start);
+}
+
+std::uint64_t CamatDetector::hit_coverage(std::uint64_t start, std::uint64_t end) const {
+  if (start >= end || hit_union_.empty()) return 0;
+  // The union is disjoint and sorted, so starts AND ends are both sorted.
+  const auto lo = std::partition_point(hit_union_.begin(), hit_union_.end(),
+                                       [&](const Interval& iv) { return iv.end <= start; });
+  const auto hi = std::partition_point(lo, hit_union_.end(),
+                                       [&](const Interval& iv) { return iv.start < end; });
+  if (lo == hi) return 0;
+  const std::size_t lo_i = static_cast<std::size_t>(lo - hit_union_.begin());
+  const std::size_t hi_i = static_cast<std::size_t>(hi - hit_union_.begin());
+  std::uint64_t covered = hit_union_prefix_[hi_i] - hit_union_prefix_[lo_i];
+  // Every entry in [lo, hi) overlaps [start, end); only the first and last
+  // can stick out past the query, so trim exactly that overhang.
+  if (lo->start < start) covered -= start - lo->start;
+  const Interval& last = hit_union_[hi_i - 1];
+  if (last.end > end) covered -= last.end - end;
+  return covered;
+}
+
+void CamatDetector::sweep_classification(std::uint64_t upto) {
+  if (upto <= swept_base_) return;
+  boundaries_.clear();
+  for (const Interval& iv : hit_intervals_) {
+    const std::uint64_t s = std::max(iv.start, swept_base_);
+    const std::uint64_t e = std::min(iv.end, upto);
+    if (s < e) {
+      boundaries_.push_back({s, +1, 0});
+      boundaries_.push_back({e, -1, 0});
+    }
+  }
+  for (const Interval& iv : miss_intervals_) {
+    const std::uint64_t s = std::max(iv.start, swept_base_);
+    const std::uint64_t e = std::min(iv.end, upto);
+    if (s < e) {
+      boundaries_.push_back({s, 0, +1});
+      boundaries_.push_back({e, 0, -1});
+    }
+  }
+  if (!boundaries_.empty()) {
+    std::sort(boundaries_.begin(), boundaries_.end(),
+              [](const Boundary& a, const Boundary& b) { return a.cycle < b.cycle; });
+    // Between consecutive boundary cycles the per-cycle (hits, misses) pair
+    // is constant, so each segment folds in one shot: the same per-cycle
+    // classification the reference detector applies slot by slot.
+    std::int64_t cur_hits = 0;
+    std::int64_t cur_misses = 0;
+    std::uint64_t segment_start = boundaries_.front().cycle;
+    std::size_t i = 0;
+    while (i < boundaries_.size()) {
+      const std::uint64_t cycle = boundaries_[i].cycle;
+      const std::uint64_t length = cycle - segment_start;
+      if (length > 0 && (cur_hits > 0 || cur_misses > 0)) {
+        counters_.memory_active_cycles += length;
+        if (cur_hits > 0) {
+          counters_.hit_cycle_count += length;
+          counters_.hit_access_cycles += static_cast<std::uint64_t>(cur_hits) * length;
+        } else {
+          counters_.pure_miss_cycle_count += length;
+          counters_.pure_miss_access_cycles += static_cast<std::uint64_t>(cur_misses) * length;
+        }
+      }
+      while (i < boundaries_.size() && boundaries_[i].cycle == cycle) {
+        cur_hits += boundaries_[i].hit_delta;
+        cur_misses += boundaries_[i].miss_delta;
+        ++i;
+      }
+      segment_start = cycle;
+    }
+    C2B_ASSERT(cur_hits == 0 && cur_misses == 0, "detector sweep left unbalanced activity");
+  }
+
+  // Drop intervals wholly below the new base and trim straddlers in place:
+  // the trimmed-off part is already classified, and it lies below every
+  // pending miss start (upto never exceeds one), so pass-1 coverage queries
+  // never miss it.
+  const auto compact = [upto](std::vector<Interval>& pool) {
+    std::size_t keep = 0;
+    for (Interval iv : pool) {
+      if (iv.end <= upto) continue;
+      if (iv.start < upto) iv.start = upto;
+      pool[keep++] = iv;
+    }
+    pool.resize(keep);
+  };
+  compact(hit_intervals_);
+  compact(miss_intervals_);
+  swept_base_ = upto;
+}
+
+void CamatDetector::advance(std::uint64_t watermark) {
+  // Below the swept base nothing is live, and every pending miss starts at
+  // or above it, so a stale watermark has no work to do.
+  if (watermark <= swept_base_) return;
+
+  // Pass 1 (MCD): finalize in-flight misses whose whole penalty interval is
+  // below the watermark. The miss's own span keeps miss activity on every
+  // one of its cycles, so its pure cycles are exactly the span cycles not
+  // covered by any hit interval — and all hit intervals that can overlap
+  // the span are still live (sweeps never discard activity at or above a
+  // pending miss start, and future accesses start at or above the
+  // watermark). Survivors compact to the front in place.
+  std::size_t keep = 0;
+  bool union_built = false;
+  for (std::size_t p = 0; p < pending_misses_.size(); ++p) {
+    const PendingMiss pm = pending_misses_[p];
+    const std::uint64_t miss_end = pm.miss_start + pm.miss_cycles;
+    if (miss_end > watermark) {
+      pending_misses_[keep++] = pm;
+      continue;
+    }
+    if (!union_built) {
+      build_hit_union();
+      union_built = true;
+    }
+    const std::uint64_t pure_cycles = pm.miss_cycles - hit_coverage(pm.miss_start, miss_end);
+    if (pure_cycles > 0) {
+      ++counters_.pure_misses;
+      counters_.per_access_pure_cycles += pure_cycles;
+    }
+  }
+  pending_misses_.resize(keep);
+
+  // Pass 2 (HCD + cycle classification): fold cycles below the watermark,
+  // but only those no pending miss still needs to inspect.
+  std::uint64_t protect_from = watermark;
+  for (const PendingMiss& pm : pending_misses_)
+    protect_from = std::min(protect_from, pm.miss_start);
+  sweep_classification(protect_from);
+}
+
+TimelineMetrics CamatDetector::finalize() {
+  advance(std::numeric_limits<std::uint64_t>::max());
+  C2B_ASSERT(pending_misses_.empty() && hit_intervals_.empty() && miss_intervals_.empty(),
+             "detector finalize left live state");
+  return detail::assemble_detector_metrics(counters_);
 }
 
 void ApcCounter::add_interval(std::uint64_t start, std::uint64_t end) {

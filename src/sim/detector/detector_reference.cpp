@@ -1,0 +1,119 @@
+#include "c2b/sim/detector/detector_reference.h"
+
+#include <limits>
+
+#include "c2b/common/assert.h"
+#include "c2b/sim/detector/detector.h"
+
+namespace c2b::sim {
+
+void ReferenceCamatDetector::grow_window(std::size_t needed) {
+  std::size_t capacity = window_.empty() ? 1024 : window_.size();
+  while (capacity < needed) capacity *= 2;
+  std::vector<CycleActivity> grown(capacity);
+  const std::size_t old_capacity = window_.size();
+  for (std::size_t i = 0; i < window_count_; ++i)
+    grown[i] = window_[(window_head_ + i) & (old_capacity - 1)];
+  window_ = std::move(grown);
+  window_head_ = 0;
+}
+
+ReferenceCamatDetector::CycleActivity& ReferenceCamatDetector::cycle_slot(std::uint64_t cycle) {
+  if (!window_anchored_) {
+    window_base_ = cycle;
+    window_anchored_ = true;
+  }
+  C2B_ASSERT(cycle >= window_base_,
+             "access touches an already-finalized cycle (advance() watermark too eager)");
+  const std::uint64_t offset = cycle - window_base_;
+  if (offset >= window_count_) {
+    if (offset >= window_.size()) grow_window(static_cast<std::size_t>(offset) + 1);
+    // Slots between the old and new end are zero by invariant.
+    window_count_ = static_cast<std::size_t>(offset) + 1;
+  }
+  return window_[(window_head_ + static_cast<std::size_t>(offset)) & (window_.size() - 1)];
+}
+
+const ReferenceCamatDetector::CycleActivity* ReferenceCamatDetector::find_cycle(
+    std::uint64_t cycle) const {
+  if (!window_anchored_ || cycle < window_base_) return nullptr;
+  const std::uint64_t offset = cycle - window_base_;
+  if (offset >= window_count_) return nullptr;
+  return &window_[(window_head_ + static_cast<std::size_t>(offset)) & (window_.size() - 1)];
+}
+
+void ReferenceCamatDetector::record_access(std::uint64_t start_cycle, std::uint32_t hit_cycles,
+                                           std::uint32_t miss_penalty_cycles) {
+  C2B_REQUIRE(hit_cycles > 0, "an access needs at least one hit/lookup cycle");
+  ++finalized_accesses_;
+  total_hit_duration_ += hit_cycles;
+  for (std::uint32_t i = 0; i < hit_cycles; ++i) ++cycle_slot(start_cycle + i).hits;
+  if (miss_penalty_cycles > 0) {
+    ++miss_count_;
+    total_miss_penalty_ += miss_penalty_cycles;
+    const std::uint64_t miss_start = start_cycle + hit_cycles;
+    for (std::uint32_t i = 0; i < miss_penalty_cycles; ++i)
+      ++cycle_slot(miss_start + i).misses;
+    pending_misses_.push_back({miss_start, miss_penalty_cycles});
+  }
+}
+
+void ReferenceCamatDetector::advance(std::uint64_t watermark) {
+  // Pass 1 (MCD): finalize in-flight misses whose whole penalty interval is
+  // below the watermark by inspecting their live per-cycle slots.
+  std::size_t keep = 0;
+  for (std::size_t p = 0; p < pending_misses_.size(); ++p) {
+    const PendingMiss pm = pending_misses_[p];
+    const std::uint64_t miss_end = pm.miss_start + pm.miss_cycles;
+    if (miss_end > watermark) {
+      pending_misses_[keep++] = pm;
+      continue;
+    }
+    std::uint64_t pure_cycles = 0;
+    for (std::uint32_t i = 0; i < pm.miss_cycles; ++i) {
+      const CycleActivity* activity = find_cycle(pm.miss_start + i);
+      if (activity != nullptr && activity->hits == 0 && activity->misses > 0) ++pure_cycles;
+    }
+    if (pure_cycles > 0) {
+      ++pure_miss_count_;
+      per_access_pure_cycles_ += pure_cycles;
+    }
+  }
+  pending_misses_.resize(keep);
+
+  // Pass 2 (HCD + cycle classification): retire cycle entries below the
+  // watermark, but only those no pending miss still needs to inspect.
+  std::uint64_t protect_from = watermark;
+  for (const PendingMiss& pm : pending_misses_)
+    protect_from = std::min(protect_from, pm.miss_start);
+
+  while (window_anchored_ && window_count_ != 0 && window_base_ < protect_from) {
+    CycleActivity& slot = window_[window_head_];
+    const CycleActivity activity = slot;
+    slot = CycleActivity{};  // keep the outside-live-range-is-zero invariant
+    window_head_ = (window_head_ + 1) & (window_.size() - 1);
+    --window_count_;
+    ++window_base_;
+    if (activity.hits == 0 && activity.misses == 0) continue;  // idle slot
+    ++memory_active_cycles_;
+    if (activity.hits > 0) {
+      ++hit_cycle_count_;
+      hit_access_cycles_ += activity.hits;
+    } else {
+      ++pure_miss_cycle_count_;
+      pure_miss_access_cycles_ += activity.misses;
+    }
+  }
+}
+
+TimelineMetrics ReferenceCamatDetector::finalize() {
+  advance(std::numeric_limits<std::uint64_t>::max());
+  C2B_ASSERT(pending_misses_.empty() && window_count_ == 0,
+             "detector finalize left live state");
+  return detail::assemble_detector_metrics(
+      {finalized_accesses_, total_hit_duration_, total_miss_penalty_, miss_count_,
+       pure_miss_count_, per_access_pure_cycles_, hit_cycle_count_, hit_access_cycles_,
+       pure_miss_cycle_count_, pure_miss_access_cycles_, memory_active_cycles_});
+}
+
+}  // namespace c2b::sim

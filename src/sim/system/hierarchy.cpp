@@ -24,7 +24,7 @@ void HierarchyConfig::validate() const {
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
     : config_(config),
-      l2_(config.l2_geometry),
+      l2_(config.l2_geometry, ReplacementPolicy::kLru, 0),
       l2_sched_(config.l2_banks, config.l2_ports_per_bank),
       l2_mshr_(config.l2_mshr_entries),
       noc_([&] {
@@ -43,7 +43,9 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
   l1_sched_.reserve(config_.cores);
   l1_mshr_.reserve(config_.cores);
   for (std::uint32_t c = 0; c < config_.cores; ++c) {
-    l1_.emplace_back(config_.l1_geometry);
+    // Distinct victim streams per array (L2 holds stream 0) so a future
+    // kRandom hierarchy never replays correlated victim sequences.
+    l1_.emplace_back(config_.l1_geometry, ReplacementPolicy::kLru, c + 1);
     l1_sched_.emplace_back(config_.l1_banks, config_.l1_ports_per_bank);
     l1_mshr_.emplace_back(config_.l1_mshr_entries);
   }

@@ -1,11 +1,48 @@
 #include "c2b/sim/system/system.h"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
+#include <queue>
+#include <vector>
 
 #include "c2b/common/assert.h"
 #include "c2b/obs/obs.h"
+
+// Event-driven cycle-skipping kernel.
+//
+// The seed kernel (system_reference.cpp) walks every cycle and visits every
+// core. This kernel instead keeps one pending event per live core — the
+// next cycle at which that core can change state — in a min-heap ordered by
+// (cycle, core index), and advances time by popping events.
+//
+// Why this is bit-identical to the per-cycle loop:
+//
+//  * All shared state (bank schedulers, MSHRs, L2, NoC, DRAM, directory,
+//    APC counters) is touched exclusively through hierarchy.access(), and
+//    the seed kernel performs those calls in lexicographic
+//    (cycle, core index, issue slot) order. A core's *ability* to act at a
+//    cycle depends only on core-local state: its ROB head completion, its
+//    last memory completion (dependent loads), and the per-cycle width/FU
+//    budgets, which reset every cycle. So each core's next actionable
+//    cycle can be computed locally, and popping a (cycle, core)-ordered
+//    heap reproduces the exact same access interleaving.
+//  * Visits where a core can do nothing are pure in the seed kernel (no
+//    state changes), so skipping them is unobservable. Conversely every
+//    visit where the seed kernel's core acts is enqueued here: retirement
+//    resumes exactly at the ROB head's completion cycle, issue resumes at
+//    the dependent load's completion, at the next retirement (ROB full),
+//    or next cycle (width/FU budget exhausted).
+//  * CamatDetector::advance() folds each cycle exactly once with the same
+//    classification for any valid watermark schedule (watermarks never
+//    exceed the core's current cycle, and accesses never start before it),
+//    so the detector's finalized metrics do not depend on the fold cadence.
+//
+// The compute fast path additionally jumps over whole batches of
+// consecutive kCompute records: with an empty ROB and FUs >= width the seed
+// kernel issues exactly `width` computes per cycle (the issue loop exits on
+// the width budget, so no memory record co-issues) and retires them one
+// cycle later, touching no shared state. The jump only updates core-local
+// counters and re-enqueues the core, so cross-core ordering is preserved.
 
 namespace c2b::sim {
 
@@ -42,135 +79,337 @@ double SystemResult::mean_cpi() const noexcept {
 
 namespace {
 
-struct CoreState {
-  const Trace* trace = nullptr;
-  std::size_t ip = 0;                       ///< next instruction to issue
-  std::deque<std::uint64_t> rob;            ///< completion cycles, program order
-  std::uint64_t last_mem_completion = 0;    ///< for dependent loads
-  std::uint64_t retired = 0;
-  std::uint64_t memory_accesses = 0;
-  std::uint64_t last_retire_cycle = 0;
-  CamatDetector detector;
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+/// Detector fold cadence, matching the seed kernel's `(cycle & 0xFFF)`.
+constexpr std::uint64_t kDetectorStride = 0x1000;
 
-  bool fetch_done() const { return trace == nullptr || ip >= trace->records.size(); }
-  bool done() const { return fetch_done() && rob.empty(); }
+struct Event {
+  std::uint64_t cycle = 0;
+  std::uint32_t core = 0;
+};
+
+/// Min-heap order: earliest cycle first, then lowest core index — the seed
+/// kernel's per-cycle core scan order.
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    return a.cycle != b.cycle ? a.cycle > b.cycle : a.core > b.core;
+  }
+};
+
+/// One ROB ring entry: `count` program-order-adjacent instructions that all
+/// complete at `completion`. Run-length encoding the ROB is unobservable —
+/// only the FIFO sequence of completion cycles matters — and it makes whole
+/// issue groups (and the pipelined fast path's batch rewrites) O(1) per
+/// cycle instead of O(width).
+struct RobGroup {
+  std::uint64_t completion = 0;
+  std::uint32_t count = 0;
+};
+
+/// Flat structure-of-arrays core state: per-core scalars in parallel
+/// vectors and all ROBs in one fixed-capacity ring buffer of RLE groups,
+/// replacing the per-core std::deque of the seed kernel. Capacity is
+/// rob_size groups: instructions per core never exceed rob_size, and every
+/// group holds at least one, so the ring cannot overflow.
+struct CoreLanes {
+  std::uint32_t rob_capacity = 0;
+  std::vector<RobGroup> rob;             ///< group ring per core
+  std::vector<std::uint32_t> rob_head;   ///< front group slot
+  std::vector<std::uint32_t> rob_groups;  ///< live groups
+  std::vector<std::uint32_t> rob_count;   ///< live instructions
+  std::vector<std::uint64_t> last_mem_completion;
+  std::vector<std::uint64_t> retired;
+  std::vector<std::uint64_t> memory_accesses;
+  std::vector<std::uint64_t> last_retire_cycle;
+  std::vector<std::uint64_t> last_detector_fold;
+  /// Running max completion ever pushed per core; never decreased on pop,
+  /// so `rob_max_completion[c] <= cycle` conservatively proves every live
+  /// entry is retireable (staleness only delays the pipelined fast path).
+  std::vector<std::uint64_t> rob_max_completion;
+  std::vector<CamatDetector> detectors;
+
+  CoreLanes(std::size_t cores, std::uint32_t rob_size)
+      : rob_capacity(rob_size),
+        rob(cores * static_cast<std::size_t>(rob_size)),
+        rob_head(cores, 0),
+        rob_groups(cores, 0),
+        rob_count(cores, 0),
+        last_mem_completion(cores, 0),
+        retired(cores, 0),
+        memory_accesses(cores, 0),
+        last_retire_cycle(cores, 0),
+        last_detector_fold(cores, 0),
+        rob_max_completion(cores, 0),
+        detectors(cores) {}
+
+  RobGroup& front_group(std::size_t c) { return rob[c * rob_capacity + rob_head[c]]; }
+  void pop_group(std::size_t c) {
+    std::uint32_t head = rob_head[c] + 1;
+    if (head == rob_capacity) head = 0;
+    rob_head[c] = head;
+    --rob_groups[c];
+  }
+  /// FIFO completion of the oldest instruction (precondition: non-empty).
+  std::uint64_t rob_front(std::size_t c) { return front_group(c).completion; }
+  /// Append `count` instructions completing at `completion`, merging into
+  /// the tail group when the completion matches (same-cycle issue group).
+  void rob_push(std::size_t c, std::uint64_t completion, std::uint32_t count = 1) {
+    std::uint32_t tail = rob_head[c] + rob_groups[c];
+    if (tail >= rob_capacity) tail -= rob_capacity;
+    if (rob_groups[c] != 0) {
+      std::uint32_t last = tail == 0 ? rob_capacity - 1 : tail - 1;
+      RobGroup& back = rob[c * rob_capacity + last];
+      if (back.completion == completion) {
+        back.count += count;
+        rob_count[c] += count;
+        return;
+      }
+    }
+    rob[c * rob_capacity + tail] = {completion, count};
+    ++rob_groups[c];
+    rob_count[c] += count;
+    rob_max_completion[c] = std::max(rob_max_completion[c], completion);
+  }
 };
 
 }  // namespace
 
-SystemResult simulate_system(const SystemConfig& config,
-                             const std::vector<Trace>& per_core_traces) {
+SystemResult simulate_system_streaming(const SystemConfig& config,
+                                       const std::vector<TraceCursor*>& cursors) {
   config.validate();
   C2B_SPAN("sim/simulate_system");
   C2B_COUNTER_INC("sim.system.runs");
-  C2B_REQUIRE(!per_core_traces.empty(), "need at least one trace");
-  C2B_REQUIRE(per_core_traces.size() <= config.hierarchy.cores,
+  C2B_REQUIRE(!cursors.empty(), "need at least one trace");
+  C2B_REQUIRE(cursors.size() <= config.hierarchy.cores,
               "more traces than cores in the hierarchy");
+  for (TraceCursor* cursor : cursors)
+    C2B_REQUIRE(cursor != nullptr && cursor->peek() != nullptr, "core trace must be non-empty");
 
   MemoryHierarchy hierarchy(config.hierarchy);
-  std::vector<CoreState> cores(per_core_traces.size());
-  for (std::size_t c = 0; c < per_core_traces.size(); ++c) {
-    cores[c].trace = &per_core_traces[c];
-    C2B_REQUIRE(!per_core_traces[c].records.empty(), "core trace must be non-empty");
-  }
-
   const std::uint32_t width = config.core.issue_width;
   const std::uint32_t rob_size = config.core.rob_size;
+  const std::uint32_t fus = config.core.functional_units;
+  const std::size_t n = cursors.size();
 
-  std::uint64_t cycle = 0;
-  for (;;) {
-    bool all_done = true;
-    bool any_progress = false;
-    // The earliest future cycle at which some blocked core can make
-    // progress; used to skip idle stretches.
-    std::uint64_t next_event = std::numeric_limits<std::uint64_t>::max();
+  CoreLanes lanes(n, rob_size);
 
-    for (std::size_t c = 0; c < cores.size(); ++c) {
-      CoreState& core = cores[c];
-      if (core.done()) continue;
-      all_done = false;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events;
+  for (std::size_t c = 0; c < n; ++c) events.push({0, static_cast<std::uint32_t>(c)});
 
-      // ---- Retire: in-order, up to `width` completed entries ----
-      std::uint32_t retired_now = 0;
-      while (!core.rob.empty() && retired_now < width && core.rob.front() <= cycle) {
-        core.rob.pop_front();
-        ++core.retired;
-        ++retired_now;
-        core.last_retire_cycle = cycle;
-        any_progress = true;
-      }
-      if (!core.rob.empty() && core.rob.front() > cycle)
-        next_event = std::min(next_event, core.rob.front());
+  // Cycle-skip accounting for bench_sim_kernel: cycles no event landed on
+  // were provably unobservable (no core could act), so the kernel never
+  // touched them.
+  std::uint64_t visited_cycles = 0;
+  std::uint64_t skipped_cycles = 0;
+  std::uint64_t last_visited = 0;
+  bool any_visited = false;
 
-      // ---- Issue: in-order, up to `width`, bounded by ROB space ----
-      std::uint32_t issued_now = 0;
-      std::uint32_t compute_issued_now = 0;
-      while (issued_now < width && core.rob.size() < rob_size && !core.fetch_done()) {
-        const TraceRecord& rec = core.trace->records[core.ip];
-        std::uint64_t completion;
-        if (rec.kind == InstrKind::kCompute) {
-          if (compute_issued_now >= config.core.functional_units) break;
-          ++compute_issued_now;
-          completion = cycle + 1;
-        } else {
-          if (rec.depends_on_prev_mem && core.last_mem_completion > cycle) {
-            // Address operand not ready: stall issue until it is.
-            next_event = std::min(next_event, core.last_mem_completion);
-            break;
-          }
-          const AccessOutcome outcome = hierarchy.access(
-              static_cast<std::uint32_t>(c), rec.address, rec.kind == InstrKind::kStore, cycle);
-          completion = outcome.completion_cycle;
-          core.last_mem_completion = completion;
-          ++core.memory_accesses;
-          core.detector.record_access(outcome.start_cycle, outcome.hit_cycles,
-                                      outcome.miss_penalty_cycles);
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    const std::uint64_t cycle = ev.cycle;
+    const std::size_t c = ev.core;
+    if (!any_visited || cycle > last_visited) {
+      if (any_visited) skipped_cycles += cycle - last_visited - 1;
+      last_visited = cycle;
+      any_visited = true;
+      ++visited_cycles;
+    }
+    TraceCursor& cursor = *cursors[c];
+
+    // ---- Retire: in-order, up to `width` completed entries ----
+    std::uint32_t retired_now = 0;
+    while (lanes.rob_count[c] != 0 && retired_now < width) {
+      RobGroup& group = lanes.front_group(c);
+      if (group.completion > cycle) break;
+      const std::uint32_t take = std::min(group.count, width - retired_now);
+      group.count -= take;
+      retired_now += take;
+      lanes.rob_count[c] -= take;
+      lanes.retired[c] += take;
+      lanes.last_retire_cycle[c] = cycle;
+      if (group.count == 0) lanes.pop_group(c);
+    }
+
+    // ---- Compute fast path: jump over whole compute batches ----
+    if (lanes.rob_count[c] == 0 && fus >= width) {
+      const std::size_t run = cursor.compute_run(std::numeric_limits<std::size_t>::max());
+      const std::uint64_t batches = run / width;
+      if (batches > 0) {
+        cursor.skip(static_cast<std::size_t>(batches) * width);
+        lanes.retired[c] += batches * width;
+        const std::uint64_t resume = cycle + batches;
+        lanes.last_retire_cycle[c] = resume;
+        if (cycle - lanes.last_detector_fold[c] >= kDetectorStride) {
+          lanes.last_detector_fold[c] = cycle;
+          lanes.detectors[c].advance(cycle);
+          C2B_HISTOGRAM_RECORD("sim.core.rob_occupancy", 0.0, 256.0, 64, 0.0);
         }
-        core.rob.push_back(completion);
-        ++core.ip;
-        ++issued_now;
-        any_progress = true;
-      }
-      if (!core.rob.empty()) next_event = std::min(next_event, core.rob.front());
-
-      // Periodically fold finished cycles into the detector's counters so
-      // its live window stays bounded (every future access starts at or
-      // after `cycle`, so `cycle` is always a safe watermark).
-      if ((cycle & 0xFFF) == 0) {
-        core.detector.advance(cycle);
-        C2B_HISTOGRAM_RECORD("sim.core.rob_occupancy", 0.0, 256.0, 64,
-                             static_cast<double>(core.rob.size()));
+        // Re-enqueue instead of continuing in place: cores with earlier
+        // pending events must reach the hierarchy first.
+        events.push({resume, static_cast<std::uint32_t>(c)});
+        continue;
       }
     }
 
-    if (all_done) break;
-    if (any_progress || next_event == std::numeric_limits<std::uint64_t>::max()) {
-      ++cycle;
-    } else {
-      // Every live core is blocked: jump straight to the next completion.
-      cycle = std::max(cycle + 1, next_event);
+    // ---- Pipelined compute fast path: steady-state retire/issue batches ----
+    //
+    // After a memory stall the ROB refills with computes and then never
+    // drains (retire width == issue width keeps the occupancy constant), so
+    // the empty-ROB jump above can't re-engage. But that regime is just as
+    // predictable: when every live entry is already retireable and the next
+    // records are all compute, each of the next `batches` cycles retires
+    // exactly `width` FIFO-oldest entries and issues one full compute group
+    // completing the following cycle. The net effect on the ROB is a pure
+    // FIFO shift, so the surviving entries can be written in closed form:
+    // any old entries the (batches-1)*width retirements did not reach,
+    // followed by the newest pushes (group g, pushed at cycle+g, completes
+    // cycle+g+1). No shared state is touched, so cross-core ordering is
+    // preserved exactly as in the empty-ROB jump.
+    if (lanes.rob_count[c] != 0 && fus >= width &&
+        lanes.rob_max_completion[c] <= cycle && lanes.rob_count[c] + width <= rob_size) {
+      const std::size_t run = cursor.compute_run(std::numeric_limits<std::size_t>::max());
+      const std::uint64_t batches = run / width;
+      if (batches > 0) {
+        const std::uint32_t live = lanes.rob_count[c];
+        cursor.skip(static_cast<std::size_t>(batches) * width);
+        const std::uint64_t pops = (batches - 1) * static_cast<std::uint64_t>(width);
+        if (pops > 0) {
+          lanes.retired[c] += pops;
+          lanes.last_retire_cycle[c] = cycle + batches - 1;
+        }
+        const std::uint32_t keep_old =
+            pops >= live ? 0u : live - static_cast<std::uint32_t>(pops);
+        // Drop the retired old instructions group-wise from the front.
+        std::uint32_t drop = live - keep_old;
+        while (drop > 0) {
+          RobGroup& group = lanes.front_group(c);
+          const std::uint32_t take = std::min(group.count, drop);
+          group.count -= take;
+          drop -= take;
+          lanes.rob_count[c] -= take;
+          if (group.count == 0) lanes.pop_group(c);
+        }
+        // Append the surviving pushes: group g (issued at cycle+g) completes
+        // cycle+g+1; the earliest surviving group may be partially retired.
+        const std::uint64_t total_pushes = batches * width;
+        const std::uint64_t first_push = total_pushes - (live + width - keep_old);
+        const std::uint64_t first_group = first_push / width;
+        lanes.rob_push(c, cycle + first_group + 1,
+                       static_cast<std::uint32_t>((first_group + 1) * width - first_push));
+        for (std::uint64_t g = first_group + 1; g < batches; ++g)
+          lanes.rob_push(c, cycle + g + 1, width);
+        if (cycle - lanes.last_detector_fold[c] >= kDetectorStride) {
+          lanes.last_detector_fold[c] = cycle;
+          lanes.detectors[c].advance(cycle);
+          C2B_HISTOGRAM_RECORD("sim.core.rob_occupancy", 0.0, 256.0, 64,
+                               static_cast<double>(lanes.rob_count[c]));
+        }
+        events.push({cycle + batches, static_cast<std::uint32_t>(c)});
+        continue;
+      }
     }
+
+    // ---- Issue: in-order, up to `width`, bounded by ROB space ----
+    std::uint32_t issued_now = 0;
+    std::uint32_t compute_issued_now = 0;
+    bool dep_stall = false;
+    std::uint64_t dep_ready = 0;
+    const TraceRecord* rec = nullptr;
+    while (issued_now < width && lanes.rob_count[c] < rob_size &&
+           (rec = cursor.peek()) != nullptr) {
+      std::uint64_t completion;
+      if (rec->kind == InstrKind::kCompute) {
+        if (compute_issued_now >= fus) break;
+        ++compute_issued_now;
+        completion = cycle + 1;
+      } else {
+        if (rec->depends_on_prev_mem && lanes.last_mem_completion[c] > cycle) {
+          // Address operand not ready: stall issue until it is.
+          dep_stall = true;
+          dep_ready = lanes.last_mem_completion[c];
+          break;
+        }
+        const AccessOutcome outcome = hierarchy.access(
+            static_cast<std::uint32_t>(c), rec->address, rec->kind == InstrKind::kStore, cycle);
+        completion = outcome.completion_cycle;
+        lanes.last_mem_completion[c] = completion;
+        ++lanes.memory_accesses[c];
+        lanes.detectors[c].record_access(outcome.start_cycle, outcome.hit_cycles,
+                                         outcome.miss_penalty_cycles);
+      }
+      lanes.rob_push(c, completion);
+      cursor.advance();
+      ++issued_now;
+    }
+
+    // Periodically fold finished cycles into the detector's counters so its
+    // live window stays bounded. Any watermark <= `cycle` is safe (every
+    // future access starts at or after `cycle`), and the fold cadence does
+    // not affect the finalized metrics (see the header comment).
+    if (cycle - lanes.last_detector_fold[c] >= kDetectorStride) {
+      lanes.last_detector_fold[c] = cycle;
+      lanes.detectors[c].advance(cycle);
+      C2B_HISTOGRAM_RECORD("sim.core.rob_occupancy", 0.0, 256.0, 64,
+                           static_cast<double>(lanes.rob_count[c]));
+    }
+
+    // ---- Next wake: the earliest cycle this core can act again ----
+    std::uint64_t wake = kNever;
+    if (lanes.rob_count[c] != 0) {
+      const std::uint64_t head = lanes.rob_front(c);
+      // Head already complete means retirement was width-limited this
+      // cycle; it resumes next cycle.
+      wake = head <= cycle ? cycle + 1 : head;
+    }
+    if (cursor.peek() != nullptr) {
+      std::uint64_t issue_wake;
+      if (dep_stall) {
+        issue_wake = dep_ready;
+      } else if (lanes.rob_count[c] >= rob_size) {
+        issue_wake = wake;  // a slot frees at the next retirement
+      } else {
+        issue_wake = cycle + 1;  // width/FU budgets reset next cycle
+      }
+      wake = std::min(wake, issue_wake);
+    }
+    if (wake != kNever) events.push({wake, static_cast<std::uint32_t>(c)});
   }
 
+  C2B_COUNTER_ADD("sim.kernel.visited_cycles", visited_cycles);
+  C2B_COUNTER_ADD("sim.kernel.skipped_cycles", skipped_cycles);
+
   SystemResult result;
-  result.cores.reserve(cores.size());
-  for (CoreState& core : cores) {
+  result.cores.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
     CoreResult r;
-    r.instructions = core.retired;
-    r.memory_accesses = core.memory_accesses;
-    r.cycles = core.last_retire_cycle;
-    r.cpi = core.retired == 0
+    r.instructions = lanes.retired[c];
+    r.memory_accesses = lanes.memory_accesses[c];
+    r.cycles = lanes.last_retire_cycle[c];
+    r.cpi = lanes.retired[c] == 0
                 ? 0.0
-                : static_cast<double>(r.cycles) / static_cast<double>(core.retired);
-    r.f_mem = core.retired == 0 ? 0.0
-                                : static_cast<double>(core.memory_accesses) /
-                                      static_cast<double>(core.retired);
-    r.camat = core.detector.finalize();
+                : static_cast<double>(r.cycles) / static_cast<double>(lanes.retired[c]);
+    r.f_mem = lanes.retired[c] == 0 ? 0.0
+                                    : static_cast<double>(lanes.memory_accesses[c]) /
+                                          static_cast<double>(lanes.retired[c]);
+    r.camat = lanes.detectors[c].finalize();
     result.cycles = std::max(result.cycles, r.cycles);
     result.cores.push_back(std::move(r));
   }
   result.hierarchy = hierarchy.stats();
   return result;
+}
+
+SystemResult simulate_system(const SystemConfig& config,
+                             const std::vector<Trace>& per_core_traces) {
+  C2B_REQUIRE(!per_core_traces.empty(), "need at least one trace");
+  std::vector<VectorTraceCursor> storage;
+  storage.reserve(per_core_traces.size());
+  for (const Trace& trace : per_core_traces) storage.emplace_back(trace);
+  std::vector<TraceCursor*> cursors;
+  cursors.reserve(storage.size());
+  for (VectorTraceCursor& cursor : storage) cursors.push_back(&cursor);
+  return simulate_system_streaming(config, cursors);
 }
 
 SystemResult simulate_single_core(const SystemConfig& config, const Trace& trace) {

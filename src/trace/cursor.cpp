@@ -1,0 +1,71 @@
+#include "c2b/trace/cursor.h"
+
+#include <algorithm>
+
+#include "c2b/common/assert.h"
+
+namespace c2b {
+
+GeneratorTraceCursor::GeneratorTraceCursor(std::unique_ptr<TraceGenerator> generator,
+                                           std::uint64_t count, std::size_t chunk_records)
+    : generator_(std::move(generator)), total_(count), chunk_(chunk_records) {
+  C2B_REQUIRE(generator_ != nullptr, "cursor needs a generator");
+  C2B_REQUIRE(chunk_ >= 1, "chunk must hold at least one record");
+  buffer_.reserve(std::min<std::uint64_t>(total_, chunk_));
+}
+
+void GeneratorTraceCursor::refill() {
+  buffer_.clear();
+  pos_ = 0;
+  const std::uint64_t remaining = total_ - produced_;
+  const std::size_t pull = static_cast<std::size_t>(std::min<std::uint64_t>(remaining, chunk_));
+  for (std::size_t i = 0; i < pull; ++i) buffer_.push_back(generator_->next());
+  produced_ += pull;
+  max_resident_ = std::max(max_resident_, buffer_.size());
+}
+
+const TraceRecord* GeneratorTraceCursor::peek() {
+  if (buffer_exhausted()) {
+    if (produced_ >= total_) return nullptr;
+    refill();
+  }
+  return buffer_.data() + pos_;
+}
+
+void GeneratorTraceCursor::advance() { ++pos_; }
+
+std::size_t GeneratorTraceCursor::compute_run(std::size_t limit) {
+  // Refill an *empty* buffer so the fast path stays hot across chunk
+  // boundaries, but never concatenate two chunks: the result is allowed to
+  // undercount the true run length.
+  if (buffer_exhausted()) {
+    if (produced_ >= total_) return 0;
+    refill();
+  }
+  std::size_t run = 0;
+  const std::size_t end = buffer_.size();
+  for (std::size_t i = pos_; i < end && run < limit; ++i, ++run)
+    if (buffer_[i].kind != InstrKind::kCompute) break;
+  return run;
+}
+
+void GeneratorTraceCursor::skip(std::size_t count) {
+  while (count > 0) {
+    if (buffer_exhausted()) {
+      C2B_ASSERT(produced_ < total_, "skip past the end of the trace stream");
+      refill();
+    }
+    const std::size_t step = std::min(count, buffer_.size() - pos_);
+    pos_ += step;
+    count -= step;
+  }
+}
+
+void GeneratorTraceCursor::reset() {
+  generator_->reset();
+  produced_ = 0;
+  buffer_.clear();
+  pos_ = 0;
+}
+
+}  // namespace c2b

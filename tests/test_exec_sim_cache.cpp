@@ -91,7 +91,10 @@ TEST(SimCache, ParallelInsertFindSmoke) {
   for (int t = 0; t < 8; ++t) {
     threads.emplace_back([&cache, t] {
       for (int i = 0; i < 200; ++i) {
-        const std::string key = "k" + std::to_string(i % 50);
+        // Built with += rather than operator+ to dodge a GCC 12 -Wrestrict
+        // false positive on the inlined concatenation.
+        std::string key = "k";
+        key += std::to_string(i % 50);
         cache.insert(key, {static_cast<double>(i % 50), static_cast<std::uint64_t>(i % 50)});
         const auto hit = cache.find(key);
         if (hit) {

@@ -155,5 +155,57 @@ TEST(Mshr, CapacityBoundsOutstanding) {
   EXPECT_GE(g2.start_cycle, 30u);
 }
 
+TEST(Mshr, MergeBeforePrimaryCompletionIsKnown) {
+  // A secondary miss can arrive while the primary is still being serviced
+  // (its completion not yet recorded): it merges with the 'unknown'
+  // sentinel, and the caller handles the zero completion.
+  MshrFile mshr(4);
+  mshr.request(7, 100);
+  const auto secondary = mshr.request(7, 105);
+  EXPECT_TRUE(secondary.merged);
+  EXPECT_EQ(secondary.merged_completion, 0u);
+  EXPECT_EQ(mshr.merge_count(), 1u);
+  EXPECT_EQ(mshr.in_flight(), 1u);  // merged requests share one entry
+}
+
+TEST(Mshr, CompleteWithoutInFlightEntryAsserts) {
+  MshrFile mshr(2);
+  // Nothing requested at all.
+  EXPECT_THROW(mshr.complete(42, 10), std::logic_error);
+  mshr.request(1, 0);
+  mshr.complete(1, 30);
+  // The entry's completion is already known: a second complete() has no
+  // unknown-completion entry to fill.
+  EXPECT_THROW(mshr.complete(1, 40), std::logic_error);
+  // After the entry retires (cycle 50 > 30) the line is gone entirely.
+  mshr.request(2, 50);
+  EXPECT_THROW(mshr.complete(1, 60), std::logic_error);
+}
+
+TEST(Mshr, CompletionCycleZeroRejected) {
+  MshrFile mshr(1);
+  mshr.request(1, 0);
+  EXPECT_THROW(mshr.complete(1, 0), std::invalid_argument);
+}
+
+TEST(Mshr, FullFileWithUnknownCompletionsOverwritesOldest) {
+  // Degenerate flow: the file fills up before any primary records its
+  // completion. There is no completion to wait for, so the oldest entry is
+  // overwritten to keep state bounded — and the overwritten line loses its
+  // merge target.
+  MshrFile mshr(2);
+  mshr.request(1, 0);
+  mshr.request(2, 0);
+  const auto grant = mshr.request(3, 10);
+  EXPECT_FALSE(grant.merged);
+  EXPECT_EQ(grant.start_cycle, 10u);  // nothing retires, so no extra delay
+  EXPECT_EQ(mshr.full_stall_events(), 1u);
+  EXPECT_EQ(mshr.in_flight(), 2u);  // bounded: line 1 was dropped
+  // Line 2 is still in flight and merges; the dropped line 1 cannot be
+  // completed any more.
+  EXPECT_TRUE(mshr.request(2, 11).merged);
+  EXPECT_THROW(mshr.complete(1, 100), std::logic_error);
+}
+
 }  // namespace
 }  // namespace c2b::sim

@@ -160,5 +160,111 @@ TEST(Replacement, RandomIsDeterministicPerArray) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(Replacement, RandomVictimStreamsDecorrelatePerInstance) {
+  // Each array's xorshift state is Rng::derive_stream_seed(base, stream):
+  // the same stream replays the same victim sequence, distinct streams
+  // replay decorrelated ones (so L1s in a multi-cache configuration don't
+  // all evict in lockstep), and the default constructor is stream 0.
+  auto evictions = [](std::uint64_t stream) {
+    CacheArray cache(geometry(512, 4), ReplacementPolicy::kRandom, stream);
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t line = 0; line < 64; ++line) {
+      const auto evicted = cache.fill(line * 64 * 2);
+      if (evicted.has_value()) out.push_back(evicted->address);
+    }
+    return out;
+  };
+  EXPECT_EQ(evictions(1), evictions(1));
+  EXPECT_NE(evictions(0), evictions(1));
+  EXPECT_NE(evictions(1), evictions(2));
+
+  CacheArray defaulted(geometry(512, 4), ReplacementPolicy::kRandom);
+  std::vector<std::uint64_t> default_evictions;
+  for (std::uint64_t line = 0; line < 64; ++line) {
+    const auto evicted = defaulted.fill(line * 64 * 2);
+    if (evicted.has_value()) default_evictions.push_back(evicted->address);
+  }
+  EXPECT_EQ(default_evictions, evictions(0));
+}
+
+TEST(Replacement, PlruAssocOneIsDirectMapped) {
+  // Degenerate tree: no internal nodes, the single way is always the
+  // victim. Must behave exactly like LRU at associativity 1.
+  CacheArray plru(geometry(512, 1), ReplacementPolicy::kTreePlru);
+  CacheArray lru(geometry(512, 1), ReplacementPolicy::kLru);
+  Rng rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t addr = rng.uniform_below(64) * 64;
+    const bool hit = plru.probe(addr);
+    ASSERT_EQ(hit, lru.probe(addr));
+    if (!hit) {
+      const auto ep = plru.fill(addr);
+      const auto el = lru.fill(addr);
+      ASSERT_EQ(ep.has_value(), el.has_value());
+      if (ep.has_value()) {
+        ASSERT_EQ(ep->address, el->address);
+      }
+    }
+  }
+  EXPECT_EQ(plru.hit_count(), lru.hit_count());
+}
+
+TEST(Replacement, PlruMaxAssociativityNeverEvictsMru) {
+  // Associativity 64 is the ceiling the per-set uint64 bit tree supports
+  // (63 internal nodes). Same MRU-protection property as the 8-way test.
+  CacheArray cache(geometry(64 * 64, 64), ReplacementPolicy::kTreePlru);  // 1 set
+  for (std::uint64_t line = 0; line < 64; ++line) cache.fill(line * 64);
+  EXPECT_EQ(cache.hit_count(), 0u);
+  for (std::uint64_t line = 0; line < 64; ++line) EXPECT_TRUE(cache.probe(line * 64));
+  Rng rng(5);
+  for (int i = 0; i < 600; ++i) {
+    const std::uint64_t last_touched = rng.uniform_below(64);
+    if (!cache.probe(last_touched * 64)) cache.fill(last_touched * 64);
+    const std::uint64_t incoming = 64 + rng.uniform_below(1000);
+    const auto evicted = cache.fill(incoming * 64);
+    if (evicted.has_value()) {
+      EXPECT_NE(evicted->address, last_touched * 64) << "PLRU evicted the MRU line";
+    }
+    cache.invalidate(incoming * 64);  // keep the resident set stable
+  }
+}
+
+// Property: on two ways the PLRU tree is a single bit pointing at the
+// not-most-recently-touched way, which is exactly true LRU. Random
+// probe/fill/invalidate streams must agree on every hit, every victim and
+// every dirty bit (both policies prefer the first invalid way, so the
+// equivalence survives invalidation holes).
+class PlruLruEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlruLruEquivalence, TwoWayTreePlruIsExactLru) {
+  CacheArray plru(geometry(1024, 2), ReplacementPolicy::kTreePlru);
+  CacheArray lru(geometry(1024, 2), ReplacementPolicy::kLru);
+  Rng rng(GetParam());
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t addr = rng.uniform_below(128) * 64;
+    if (rng.bernoulli(0.1)) {
+      ASSERT_EQ(plru.invalidate(addr), lru.invalidate(addr));
+      continue;
+    }
+    const bool dirty = rng.bernoulli(0.3);
+    const bool hit = plru.probe(addr, dirty);
+    ASSERT_EQ(hit, lru.probe(addr, dirty));
+    if (!hit) {
+      const auto ep = plru.fill(addr, dirty);
+      const auto el = lru.fill(addr, dirty);
+      ASSERT_EQ(ep.has_value(), el.has_value());
+      if (ep.has_value()) {
+        ASSERT_EQ(ep->address, el->address);
+        ASSERT_EQ(ep->dirty, el->dirty);
+      }
+    }
+  }
+  EXPECT_EQ(plru.hit_count(), lru.hit_count());
+  EXPECT_EQ(plru.dirty_evictions(), lru.dirty_evictions());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStreams, PlruLruEquivalence,
+                         ::testing::Range<std::uint64_t>(600, 616));
+
 }  // namespace
 }  // namespace c2b::sim

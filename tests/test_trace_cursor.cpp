@@ -1,0 +1,173 @@
+#include "c2b/trace/cursor.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <memory>
+#include <vector>
+
+#include "c2b/sim/system/system.h"
+#include "c2b/trace/generators.h"
+
+namespace c2b {
+namespace {
+
+ZipfStreamGenerator::Params zipf_params(std::uint64_t seed, double f_mem = 0.4) {
+  ZipfStreamGenerator::Params p;
+  p.working_set_lines = 1 << 10;
+  p.zipf_exponent = 0.9;
+  p.f_mem = f_mem;
+  p.write_ratio = 0.3;
+  p.seed = seed;
+  return p;
+}
+
+bool records_equal(const TraceRecord& a, const TraceRecord& b) {
+  return a.kind == b.kind && a.depends_on_prev_mem == b.depends_on_prev_mem &&
+         a.address == b.address;
+}
+
+std::size_t true_compute_run(const std::vector<TraceRecord>& records, std::size_t pos) {
+  std::size_t run = 0;
+  while (pos + run < records.size() && records[pos + run].kind == InstrKind::kCompute) ++run;
+  return run;
+}
+
+TEST(GeneratorCursor, StreamMatchesMaterializedGenerate) {
+  const auto p = zipf_params(11);
+  const Trace materialized = ZipfStreamGenerator(p).generate(10'000);
+  GeneratorTraceCursor cursor(std::make_unique<ZipfStreamGenerator>(p), 10'000,
+                              /*chunk_records=*/256);
+  for (std::size_t i = 0; i < materialized.records.size(); ++i) {
+    const TraceRecord* rec = cursor.peek();
+    ASSERT_NE(rec, nullptr) << "cursor ended early at record " << i;
+    ASSERT_TRUE(records_equal(*rec, materialized.records[i])) << "divergence at record " << i;
+    cursor.advance();
+  }
+  EXPECT_EQ(cursor.peek(), nullptr);
+}
+
+TEST(GeneratorCursor, ComputeRunIsLowerBoundAndNeverOvercounts) {
+  // Few memory records -> long compute runs that straddle the tiny chunk,
+  // exercising the "capped at the buffer boundary" half of the contract.
+  const auto p = zipf_params(12, /*f_mem=*/0.02);
+  const Trace materialized = ZipfStreamGenerator(p).generate(5'000);
+  GeneratorTraceCursor cursor(std::make_unique<ZipfStreamGenerator>(p), 5'000,
+                              /*chunk_records=*/64);
+  for (std::size_t pos = 0; pos < materialized.records.size(); ++pos) {
+    const std::size_t run = cursor.compute_run(48);
+    const std::size_t truth = true_compute_run(materialized.records, pos);
+    ASSERT_LE(run, 48u);
+    ASSERT_LE(run, truth) << "compute_run overcounted at record " << pos;
+    // A nonzero run that is below both caps must be exact (it ended on a
+    // real non-compute record, not on the chunk boundary).
+    ASSERT_NE(cursor.peek(), nullptr);
+    cursor.advance();
+  }
+}
+
+TEST(GeneratorCursor, SkipCrossesChunkBoundaries) {
+  const auto p = zipf_params(13);
+  const Trace materialized = ZipfStreamGenerator(p).generate(4'000);
+  GeneratorTraceCursor cursor(std::make_unique<ZipfStreamGenerator>(p), 4'000,
+                              /*chunk_records=*/128);
+  // Odd stride so skips land at every offset within the 128-record chunks.
+  std::size_t pos = 0;
+  while (pos + 7 < materialized.records.size()) {
+    cursor.skip(7);
+    pos += 7;
+    const TraceRecord* rec = cursor.peek();
+    ASSERT_NE(rec, nullptr);
+    ASSERT_TRUE(records_equal(*rec, materialized.records[pos])) << "divergence after skip to "
+                                                                << pos;
+  }
+}
+
+TEST(GeneratorCursor, ResetReplaysIdenticalStream) {
+  const auto p = zipf_params(14);
+  GeneratorTraceCursor cursor(std::make_unique<ZipfStreamGenerator>(p), 2'000,
+                              /*chunk_records=*/100);
+  std::vector<TraceRecord> first_pass;
+  for (const TraceRecord* rec = cursor.peek(); rec != nullptr; rec = cursor.peek()) {
+    first_pass.push_back(*rec);
+    cursor.advance();
+  }
+  EXPECT_EQ(first_pass.size(), 2'000u);
+  cursor.reset();
+  for (std::size_t i = 0; i < first_pass.size(); ++i) {
+    const TraceRecord* rec = cursor.peek();
+    ASSERT_NE(rec, nullptr);
+    ASSERT_TRUE(records_equal(*rec, first_pass[i])) << "replay diverged at record " << i;
+    cursor.advance();
+  }
+  EXPECT_EQ(cursor.peek(), nullptr);
+}
+
+TEST(GeneratorCursor, ResidentWindowBoundedByChunk) {
+  const auto p = zipf_params(15);
+  GeneratorTraceCursor cursor(std::make_unique<ZipfStreamGenerator>(p), 50'000,
+                              /*chunk_records=*/64);
+  EXPECT_EQ(cursor.stream_length(), 50'000u);
+  EXPECT_EQ(cursor.chunk_capacity(), 64u);
+  std::size_t consumed = 0;
+  while (cursor.peek() != nullptr) {
+    cursor.advance();
+    ++consumed;
+    ASSERT_LE(cursor.max_resident_records(), 64u);
+  }
+  EXPECT_EQ(consumed, 50'000u);
+  EXPECT_GT(cursor.max_resident_records(), 0u);
+}
+
+TEST(VectorCursor, ComputeRunAndSkipMatchRecords) {
+  std::vector<TraceRecord> records;
+  for (int i = 0; i < 40; ++i) {
+    TraceRecord r;
+    r.kind = (i % 5 == 4) ? InstrKind::kLoad : InstrKind::kCompute;
+    r.address = static_cast<std::uint64_t>(i) * 64;
+    records.push_back(r);
+  }
+  VectorTraceCursor cursor(records);
+  EXPECT_EQ(cursor.compute_run(100), 4u);  // records 0..3 compute, 4 is a load
+  EXPECT_EQ(cursor.compute_run(3), 3u);    // caller's limit caps the count
+  cursor.skip(5);
+  EXPECT_EQ(cursor.compute_run(100), 4u);
+  ASSERT_NE(cursor.peek(), nullptr);
+  EXPECT_EQ(cursor.peek()->address, 5u * 64);
+  cursor.reset();
+  EXPECT_EQ(cursor.peek()->address, 0u);
+}
+
+TEST(StreamingSimulation, MatchesMaterializedKernelBitwise) {
+  // The quick end-to-end identity check; the heavy random-config version
+  // lives in the perf-labeled kernel-equivalence suite and the `kernel`
+  // oracle family.
+  sim::SystemConfig config;
+  config.hierarchy.cores = 2;
+  std::vector<Trace> traces;
+  std::vector<std::unique_ptr<TraceCursor>> owned;
+  std::vector<TraceCursor*> cursors;
+  for (std::uint64_t c = 0; c < 2; ++c) {
+    const auto p = zipf_params(30 + c);
+    traces.push_back(ZipfStreamGenerator(p).generate(20'000));
+    owned.push_back(std::make_unique<GeneratorTraceCursor>(
+        std::make_unique<ZipfStreamGenerator>(p), 20'000, /*chunk_records=*/512));
+    cursors.push_back(owned.back().get());
+  }
+  const sim::SystemResult materialized = sim::simulate_system(config, traces);
+  const sim::SystemResult streamed = sim::simulate_system_streaming(config, cursors);
+  ASSERT_EQ(streamed.cores.size(), materialized.cores.size());
+  EXPECT_EQ(streamed.cycles, materialized.cycles);
+  for (std::size_t c = 0; c < streamed.cores.size(); ++c) {
+    EXPECT_EQ(streamed.cores[c].instructions, materialized.cores[c].instructions);
+    EXPECT_EQ(streamed.cores[c].memory_accesses, materialized.cores[c].memory_accesses);
+    EXPECT_EQ(streamed.cores[c].cycles, materialized.cores[c].cycles);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(streamed.cores[c].camat.camat_value),
+              std::bit_cast<std::uint64_t>(materialized.cores[c].camat.camat_value));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(streamed.cores[c].camat.apc),
+              std::bit_cast<std::uint64_t>(materialized.cores[c].camat.apc));
+  }
+}
+
+}  // namespace
+}  // namespace c2b

@@ -25,7 +25,7 @@
 //       --repeat re-runs the whole flow N times: repeats are served by the
 //       memoized simulation cache and must match the first run bit for bit
 //       (watch exec.simcache.hit in --metrics-out).
-//   c2b check [--family all|analytic|determinism|invariants] [--seed S]
+//   c2b check [--family all|analytic|determinism|invariants|kernel] [--seed S]
 //             [--configs N] [--aps-configs N] [--cases N] [--designs N]
 //             [--bands-out <file>] [--corpus <dir>]
 //       Run the differential oracle families (analytic model vs simulator
@@ -434,6 +434,7 @@ int cmd_check(const Args& args) {
   options.aps_configs = static_cast<std::size_t>(args.get("aps-configs", 4LL));
   options.invariant_cases = static_cast<std::size_t>(args.get("cases", 60LL));
   options.designs_per_workload = static_cast<std::size_t>(args.get("designs", 5LL));
+  options.kernel_configs = static_cast<std::size_t>(args.get("kernel-configs", 40LL));
   options.corpus_dir = args.get("corpus", std::string(""));
   const std::string bands_out = args.get("bands-out", std::string(""));
   const std::string family = args.get("family", std::string("all"));
@@ -448,8 +449,10 @@ int cmd_check(const Args& args) {
     reports.push_back(check::run_determinism_oracle(options));
   } else if (family == "invariants") {
     reports.push_back(check::run_invariant_oracle(options));
+  } else if (family == "kernel") {
+    reports.push_back(check::run_kernel_equivalence_oracle(options));
   } else {
-    std::fprintf(stderr, "check: unknown --family '%s' (want all|analytic|determinism|invariants)\n",
+    std::fprintf(stderr, "check: unknown --family '%s' (want all|analytic|determinism|invariants|kernel)\n",
                  family.c_str());
     return 2;
   }

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Gate CI on simulator-kernel benchmark throughput.
+
+Usage: check_bench_regression.py CURRENT_JSON BASELINE_JSON [--tolerance FRAC]
+
+Compares the `accesses_per_sec` of every scenario named in the baseline
+against a freshly produced BENCH_sim_kernel.json and fails (exit 1) when
+any scenario runs more than --tolerance (default 0.20) below its baseline.
+The committed baseline is deliberately set below typical runner throughput
+so machine-to-machine variance does not trip the gate — only a genuine
+kernel regression should.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_scenarios(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {s["name"]: s for s in doc.get("scenarios", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional shortfall vs baseline (default 0.20)")
+    args = parser.parse_args()
+
+    current = load_scenarios(args.current)
+    baseline = load_scenarios(args.baseline)
+    if not baseline:
+        print(f"error: no scenarios in baseline {args.baseline}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for name, base in baseline.items():
+        if name not in current:
+            print(f"FAIL {name}: scenario missing from {args.current}")
+            failed = True
+            continue
+        base_tput = float(base["accesses_per_sec"])
+        cur_tput = float(current[name]["accesses_per_sec"])
+        floor = base_tput * (1.0 - args.tolerance)
+        verdict = "FAIL" if cur_tput < floor else "ok"
+        print(f"{verdict:4} {name}: {cur_tput:,.0f} accesses/s "
+              f"(baseline {base_tput:,.0f}, floor {floor:,.0f})")
+        if cur_tput < floor:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
