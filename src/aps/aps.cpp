@@ -2,14 +2,12 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <cmath>
 #include <unordered_set>
 
 #include "c2b/common/assert.h"
 #include "c2b/common/math_util.h"
 #include "c2b/common/log.h"
-#include "c2b/exec/pool.h"
 #include "c2b/obs/obs.h"
 
 namespace c2b {
@@ -18,22 +16,25 @@ FullDseResult run_full_dse(const DseContext& context, const GridSpace& space) {
   C2B_SPAN("aps/full_dse");
   FullDseResult result;
   result.times.assign(space.size(), std::numeric_limits<double>::infinity());
-  // Each chunk walks its own contiguous index slice and writes only its
-  // own times[] slots; the counters are integer sums, so the result is
-  // bit-identical at any thread count (the reduction below is serial).
-  std::atomic<std::size_t> simulations{0};
-  exec::ThreadPool::global().parallel_for(
-      0, space.size(), [&](std::size_t lo, std::size_t hi) {
-        std::size_t chunk_simulations = 0;
-        space.for_each(lo, hi, [&](std::size_t flat, const std::vector<double>& point) {
-          if (!design_feasible(context, point)) return;
-          result.times[flat] = simulate_design_time(context, point);
-          ++chunk_simulations;
-          C2B_COUNTER_INC("aps.full_dse.simulations");
-        });
-        simulations.fetch_add(chunk_simulations, std::memory_order_relaxed);
-      });
-  result.simulations = simulations.load(std::memory_order_relaxed);
+  // Feasibility is cheap: filter serially, then hand the whole work list to
+  // the batched replay engine, which groups it into trace-equivalence
+  // classes and schedules those on the thread pool. Outcomes come back in
+  // work-list order, so the scatter below is serial and bit-identical at
+  // any thread count.
+  std::vector<std::size_t> flats;
+  std::vector<std::vector<double>> points;
+  space.for_each([&](std::size_t flat, const std::vector<double>& point) {
+    if (!design_feasible(context, point)) return;
+    flats.push_back(flat);
+    points.push_back(point);
+  });
+  const std::vector<BatchSimOutcome> outcomes =
+      simulate_design_times_batched(context, points, &result.batch);
+  for (std::size_t i = 0; i < flats.size(); ++i) {
+    result.times[flats[i]] = outcomes[i].time;
+    C2B_COUNTER_INC("aps.full_dse.simulations");
+  }
+  result.simulations = flats.size();
   result.feasible_count = result.simulations;
   C2B_REQUIRE(result.simulations > 0, "no feasible design in the space");
   result.best_index = static_cast<std::size_t>(
@@ -202,10 +203,11 @@ ApsResult run_aps(const DseContext& context, const GridSpace& space, const ApsOp
 
   C2B_SPAN("aps/neighborhood_sim");
   // Feasibility is cheap: filter serially into a sorted work list, then
-  // simulate every candidate concurrently. parallel_map lands outcomes in
-  // work-list order, so the reduction below (strict-< best pick, access
-  // totals) is the serial loop verbatim — bit-identical at any thread
-  // count.
+  // hand the candidates to the batched replay engine (the neighborhood
+  // shares trace streams across its whole issue x ROB x cache-split cross,
+  // so one class typically covers it). Outcomes land in work-list order,
+  // so the reduction below (strict-< best pick, access totals) is the
+  // serial loop verbatim — bit-identical at any thread count.
   std::vector<std::size_t> candidates(region.begin(), region.end());
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
@@ -213,20 +215,12 @@ ApsResult run_aps(const DseContext& context, const GridSpace& space, const ApsOp
                                     return !design_feasible(context, space.point(flat));
                                   }),
                    candidates.end());
-  struct SimOutcome {
-    double time = 0.0;
-    std::uint64_t memory_accesses = 0;
-  };
-  const std::vector<SimOutcome> outcomes =
-      exec::ThreadPool::global().parallel_map<SimOutcome>(
-          candidates.size(), [&](std::size_t i) {
-            SimOutcome outcome;
-            outcome.time =
-                simulate_design_time(context, space.point(candidates[i]),
-                                     &outcome.memory_accesses);
-            C2B_COUNTER_INC("aps.neighborhood.simulations");
-            return outcome;
-          });
+  std::vector<std::vector<double>> candidate_points;
+  candidate_points.reserve(candidates.size());
+  for (const std::size_t flat : candidates) candidate_points.push_back(space.point(flat));
+  const std::vector<BatchSimOutcome> outcomes =
+      simulate_design_times_batched(context, candidate_points, &result.batch);
+  C2B_COUNTER_ADD("aps.neighborhood.simulations", candidates.size());
 
   result.best_time = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < candidates.size(); ++i) {

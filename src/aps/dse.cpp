@@ -4,12 +4,17 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <utility>
 
 #include "c2b/common/assert.h"
 #include "c2b/common/math_util.h"
 #include "c2b/common/rng.h"
+#include "c2b/exec/pool.h"
 #include "c2b/exec/sim_cache.h"
 #include "c2b/obs/obs.h"
+#include "c2b/sim/system/batched.h"
+#include "c2b/trace/chunk_store.h"
 #include "c2b/trace/cursor.h"
 
 namespace c2b {
@@ -82,8 +87,57 @@ void key_append(std::string& key, const sim::SystemConfig& config) {
 }
 
 /// Empty when the workload carries no uid (hand-rolled spec: caching off).
+/// Layout: the stream-determining prefix (trace_class_key) followed by the
+/// timing-only config fields — so two keys share a prefix exactly when the
+/// designs share trace streams.
 std::string simulation_cache_key(const DseContext& context, const sim::SystemConfig& config) {
   if (context.workload.uid.empty()) return {};
+  std::string key = trace_class_key(context, config.hierarchy.cores);
+  key_append(key, config);
+  return key;
+}
+
+/// The per-phase simulation setup simulate_design_time derives from
+/// (context, N): instruction counts, footprint scales, and capped windows.
+/// Shared by the per-point and batched paths so both simulate the exact
+/// same streams; a window of 0 means the phase does not run.
+struct PhasePlan {
+  double n_d = 1.0;
+  double g_n = 1.0;  ///< g(N), the work factor the time is normalized by
+  double serial_ic = 0.0;
+  double parallel_ic_per_core = 0.0;
+  double serial_footprint_scale = 1.0;
+  double per_core_footprint_scale = 1.0;
+  std::uint64_t serial_window = 0;
+  std::uint64_t parallel_window = 0;
+};
+
+PhasePlan make_phase_plan(const DseContext& context, std::uint32_t cores) {
+  PhasePlan plan;
+  plan.n_d = static_cast<double>(cores);
+  const ScalingFunction& g = context.workload.g;
+  const double f_seq = context.workload.f_seq;
+  plan.g_n = g(plan.n_d);
+
+  // Sun-Ni scaled problem: IC = g(N) * IC0; footprint grows by
+  // memory_scale(N) and is partitioned across the N cores.
+  const double ic_total = plan.g_n * static_cast<double>(context.instructions0);
+  plan.serial_ic = f_seq * ic_total;
+  plan.parallel_ic_per_core = (1.0 - f_seq) * ic_total / plan.n_d;
+  plan.serial_footprint_scale = std::max(1.0, g.memory_scale(plan.n_d));
+  plan.per_core_footprint_scale = std::max(1.0, g.memory_scale(plan.n_d) / plan.n_d);
+  if (plan.serial_ic >= 1.0)
+    plan.serial_window = static_cast<std::uint64_t>(
+        clamp(plan.serial_ic, 1000.0, static_cast<double>(context.per_core_cap)));
+  if (plan.parallel_ic_per_core >= 1.0)
+    plan.parallel_window = static_cast<std::uint64_t>(
+        clamp(plan.parallel_ic_per_core, 1000.0, static_cast<double>(context.per_core_cap)));
+  return plan;
+}
+
+}  // namespace
+
+std::string trace_class_key(const DseContext& context, std::uint32_t cores) {
   std::string key;
   key.reserve(256);
   key += context.workload.uid;
@@ -93,20 +147,22 @@ std::string simulation_cache_key(const DseContext& context, const sim::SystemCon
   key += '|';
   // description() alone can alias: ScalingFunction::custom accepts any
   // (fn, description) pair, so two numerically different laws may share a
-  // label. Sampling g and memory_scale at fixed points pins the numeric
-  // behavior into the key.
+  // label. Sampling g and memory_scale at fixed points — and at the actual
+  // core count, which is what the windows and footprint scales are derived
+  // from — pins the numeric behavior into the key.
   for (const double n : {1.0, 2.0, 7.0, 64.0}) {
     key_append(key, context.workload.g(n));
     key_append(key, context.workload.g.memory_scale(n));
   }
+  const double n_d = static_cast<double>(cores);
+  key_append(key, context.workload.g(n_d));
+  key_append(key, context.workload.g.memory_scale(n_d));
   key_append(key, context.seed);
   key_append(key, context.instructions0);
   key_append(key, context.per_core_cap);
-  key_append(key, config);
+  key_append(key, std::uint64_t{cores});
   return key;
 }
-
-}  // namespace
 
 GridSpace make_design_space(const DseAxes& axes) {
   return GridSpace({GridAxis{"a0", axes.a0}, GridAxis{"a1", axes.a1}, GridAxis{"a2", axes.a2},
@@ -172,40 +228,27 @@ double simulate_design_time(const DseContext& context, const std::vector<double>
   }
 
   const auto n = config.hierarchy.cores;
-  const double n_d = static_cast<double>(n);
-  const ScalingFunction& g = context.workload.g;
-  const double f_seq = context.workload.f_seq;
-
-  // Sun-Ni scaled problem: IC = g(N) * IC0; footprint grows by
-  // memory_scale(N) and is partitioned across the N cores.
-  const double ic_total = g(n_d) * static_cast<double>(context.instructions0);
-  const double serial_ic = f_seq * ic_total;
-  const double parallel_ic_per_core = (1.0 - f_seq) * ic_total / n_d;
-  const double per_core_footprint_scale = std::max(1.0, g.memory_scale(n_d) / n_d);
+  const PhasePlan plan = make_phase_plan(context, n);
 
   double total_cycles = 0.0;
   std::uint64_t accesses = 0;
 
   // ---- Serial phase: one core, whole-footprint working set ----
-  if (serial_ic >= 1.0) {
-    const auto window = static_cast<std::uint64_t>(
-        clamp(serial_ic, 1000.0, static_cast<double>(context.per_core_cap)));
+  if (plan.serial_window != 0) {
     // Stream the generator through a chunked cursor instead of
     // materializing the window: same record stream (bit-identical result),
     // O(chunk) resident trace memory.
     GeneratorTraceCursor cursor(
-        context.workload.make_generator(std::max(1.0, g.memory_scale(n_d)), context.seed),
-        window);
+        context.workload.make_generator(plan.serial_footprint_scale, context.seed),
+        plan.serial_window);
     const sim::SystemResult result = sim::simulate_system_streaming(config, {&cursor});
     const double cpi = result.cores[0].cpi;
-    total_cycles += cpi * serial_ic;
+    total_cycles += cpi * plan.serial_ic;
     accesses += result.cores[0].memory_accesses;
   }
 
   // ---- Parallel phase: SPMD across all n cores ----
-  if (parallel_ic_per_core >= 1.0) {
-    const auto window = static_cast<std::uint64_t>(
-        clamp(parallel_ic_per_core, 1000.0, static_cast<double>(context.per_core_cap)));
+  if (plan.parallel_window != 0) {
     // Generators are seeded independently per core (splitmix-derived, so
     // (seed, core) pairs never alias) and stream chunk-at-a-time: peak
     // trace memory drops from O(cores * window) records to O(cores *
@@ -217,25 +260,217 @@ double simulate_design_time(const DseContext& context, const std::vector<double>
     for (std::uint32_t c = 0; c < n; ++c) {
       cursors.emplace_back(
           context.workload.make_generator(
-              per_core_footprint_scale,
+              plan.per_core_footprint_scale,
               Rng::derive_stream_seed(context.seed, static_cast<std::uint64_t>(c))),
-          window);
+          plan.parallel_window);
       cursor_ptrs.push_back(&cursors.back());
     }
     const sim::SystemResult result = sim::simulate_system_streaming(config, cursor_ptrs);
     for (const sim::CoreResult& core : result.cores) accesses += core.memory_accesses;
     // Extrapolate the makespan linearly from the simulated window to the
     // full per-core share.
-    const double scale = parallel_ic_per_core / static_cast<double>(window);
+    const double scale = plan.parallel_ic_per_core / static_cast<double>(plan.parallel_window);
     total_cycles += static_cast<double>(result.cycles) * scale;
   }
   C2B_ASSERT(total_cycles > 0.0, "design produced zero execution time");
   // Time per unit work: divide by the work factor so rankings agree with
   // the throughput objective of case I (see header).
-  const double time = total_cycles / g(n_d);
+  const double time = total_cycles / plan.g_n;
   if (!cache_key.empty()) cache.insert(cache_key, {time, accesses});
   if (memory_accesses != nullptr) *memory_accesses += accesses;
   return time;
+}
+
+namespace {
+
+/// Members of one work unit: indices into the caller's point list, all in
+/// the same trace-equivalence class. Bounded so the K simulator instances'
+/// working sets stay cache-resident and classes still split into enough
+/// units to feed the thread pool.
+constexpr std::size_t kMaxBatchMembers = 16;
+
+struct BatchUnit {
+  std::vector<std::size_t> members;
+};
+
+struct BatchUnitResult {
+  std::vector<BatchSimOutcome> outcomes;  ///< parallel to the unit's members
+  std::uint64_t chunks_shared = 0;
+  std::uint64_t regen_avoided_accesses = 0;
+};
+
+/// Simulate one unit: generate each phase's streams once into a shared
+/// chunk store and replay all members over them in lockstep. The phase
+/// structure, windows, and extrapolation mirror simulate_design_time
+/// line for line (via the shared PhasePlan); only the cursor type differs,
+/// which the kernel's results are provably insensitive to.
+BatchUnitResult run_batch_unit(const DseContext& context,
+                               const std::vector<sim::SystemConfig>& configs,
+                               const BatchUnit& unit) {
+  const std::size_t k = unit.members.size();
+  const std::uint32_t n = configs[unit.members.front()].hierarchy.cores;
+  const PhasePlan plan = make_phase_plan(context, n);
+
+  std::vector<sim::SystemConfig> member_configs;
+  member_configs.reserve(k);
+  for (const std::size_t index : unit.members) member_configs.push_back(configs[index]);
+
+  std::vector<double> total_cycles(k, 0.0);
+  BatchUnitResult out;
+  out.outcomes.resize(k);
+
+  const auto fold_store_stats = [&out](const TraceChunkStore& store) {
+    out.chunks_shared += store.stats().chunks_shared;
+    out.regen_avoided_accesses += store.stats().regen_avoided_accesses;
+  };
+
+  // ---- Serial phase: one shared stream, K single-core members ----
+  if (plan.serial_window != 0) {
+    TraceChunkStore store;
+    const std::size_t stream = store.add_stream(
+        context.workload.make_generator(plan.serial_footprint_scale, context.seed),
+        plan.serial_window);
+    store.set_readers(static_cast<std::uint32_t>(k));
+    std::vector<ChunkCursor> cursors;
+    cursors.reserve(k);
+    std::vector<std::vector<TraceCursor*>> member_cursors(k);
+    for (std::size_t m = 0; m < k; ++m) {
+      cursors.emplace_back(store, stream);
+      member_cursors[m] = {&cursors.back()};
+    }
+    const std::vector<sim::SystemResult> results =
+        sim::simulate_system_batched(member_configs, member_cursors);
+    for (std::size_t m = 0; m < k; ++m) {
+      const double cpi = results[m].cores[0].cpi;
+      total_cycles[m] += cpi * plan.serial_ic;
+      out.outcomes[m].memory_accesses += results[m].cores[0].memory_accesses;
+    }
+    fold_store_stats(store);
+  }
+
+  // ---- Parallel phase: n shared streams, K n-core members ----
+  if (plan.parallel_window != 0) {
+    TraceChunkStore store;
+    for (std::uint32_t c = 0; c < n; ++c)
+      store.add_stream(
+          context.workload.make_generator(
+              plan.per_core_footprint_scale,
+              Rng::derive_stream_seed(context.seed, static_cast<std::uint64_t>(c))),
+          plan.parallel_window);
+    store.set_readers(static_cast<std::uint32_t>(k));
+    std::vector<ChunkCursor> cursors;
+    cursors.reserve(k * n);
+    std::vector<std::vector<TraceCursor*>> member_cursors(k);
+    for (std::size_t m = 0; m < k; ++m) {
+      member_cursors[m].reserve(n);
+      for (std::uint32_t c = 0; c < n; ++c) {
+        cursors.emplace_back(store, c);
+        member_cursors[m].push_back(&cursors.back());
+      }
+    }
+    const std::vector<sim::SystemResult> results =
+        sim::simulate_system_batched(member_configs, member_cursors);
+    const double scale = plan.parallel_ic_per_core / static_cast<double>(plan.parallel_window);
+    for (std::size_t m = 0; m < k; ++m) {
+      for (const sim::CoreResult& core : results[m].cores)
+        out.outcomes[m].memory_accesses += core.memory_accesses;
+      total_cycles[m] += static_cast<double>(results[m].cycles) * scale;
+    }
+    fold_store_stats(store);
+  }
+
+  for (std::size_t m = 0; m < k; ++m) {
+    C2B_ASSERT(total_cycles[m] > 0.0, "design produced zero execution time");
+    out.outcomes[m].time = total_cycles[m] / plan.g_n;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<BatchSimOutcome> simulate_design_times_batched(const DseContext& context,
+                                                           const std::vector<std::vector<double>>& points,
+                                                           BatchReplayStats* stats) {
+  C2B_SPAN("aps/batched_replay");
+  BatchReplayStats local;
+  std::vector<BatchSimOutcome> outcomes(points.size());
+  if (points.empty()) {
+    if (stats != nullptr) *stats = local;
+    return outcomes;
+  }
+
+  // Peel sim-cache hits up front so only genuinely new designs reach the
+  // batching machinery; classify the misses by core count. Within one
+  // context the trace-equivalence key varies only through N (see
+  // trace_class_key), so N *is* the class — std::map keeps class order
+  // deterministic and independent of the point order hash.
+  std::vector<sim::SystemConfig> configs;
+  configs.reserve(points.size());
+  std::vector<std::string> keys(points.size());
+  exec::SimCache& cache = exec::SimCache::global();
+  std::map<std::uint32_t, std::vector<std::size_t>> classes;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    configs.push_back(config_for_design(context, points[i]));
+    keys[i] = simulation_cache_key(context, configs[i]);
+    if (!keys[i].empty()) {
+      if (const auto cached = cache.find(keys[i])) {
+        C2B_COUNTER_ADD("exec.simcache.replayed_accesses", cached->memory_accesses);
+        outcomes[i] = {cached->time, cached->memory_accesses};
+        keys[i].clear();  // nothing to insert later
+        ++local.cache_hits;
+        continue;
+      }
+    }
+    classes[configs[i].hierarchy.cores].push_back(i);
+  }
+
+  // Split each class into bounded units. The layout depends only on the
+  // point list (never on thread count), so the units — and therefore every
+  // simulated stream pairing — are deterministic.
+  std::vector<BatchUnit> units;
+  for (const auto& [cores, members] : classes) {
+    (void)cores;
+    ++local.classes;
+    local.members += members.size();
+    for (std::size_t begin = 0; begin < members.size(); begin += kMaxBatchMembers) {
+      const std::size_t end = std::min(members.size(), begin + kMaxBatchMembers);
+      units.push_back(BatchUnit{{members.begin() + static_cast<std::ptrdiff_t>(begin),
+                                 members.begin() + static_cast<std::ptrdiff_t>(end)}});
+    }
+  }
+
+  // One unit per pool task; parallel_map keeps results in unit order, and
+  // each unit only writes its own slot, so the reduction below is serial
+  // and index-ordered — the same determinism shape as the PR 2 sweeps.
+  const std::vector<BatchUnitResult> unit_results =
+      exec::ThreadPool::global().parallel_map<BatchUnitResult>(
+          units.size(),
+          [&](std::size_t u) { return run_batch_unit(context, configs, units[u]); });
+
+  std::vector<std::pair<std::string, exec::SimCache::Value>> inserts;
+  inserts.reserve(points.size());
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const BatchUnit& unit = units[u];
+    const BatchUnitResult& result = unit_results[u];
+    for (std::size_t m = 0; m < unit.members.size(); ++m) {
+      const std::size_t index = unit.members[m];
+      outcomes[index] = result.outcomes[m];
+      if (!keys[index].empty())
+        inserts.emplace_back(std::move(keys[index]),
+                             exec::SimCache::Value{result.outcomes[m].time,
+                                                   result.outcomes[m].memory_accesses});
+    }
+    local.chunks_shared += result.chunks_shared;
+    local.regen_avoided_accesses += result.regen_avoided_accesses;
+  }
+  cache.insert_many(inserts);
+
+  C2B_COUNTER_ADD("exec.batch.classes", local.classes);
+  C2B_COUNTER_ADD("exec.batch.members", local.members);
+  C2B_COUNTER_ADD("exec.batch.chunks_shared", local.chunks_shared);
+  C2B_COUNTER_ADD("exec.batch.regen_avoided_accesses", local.regen_avoided_accesses);
+  if (stats != nullptr) *stats = local;
+  return outcomes;
 }
 
 }  // namespace c2b

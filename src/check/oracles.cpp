@@ -722,9 +722,150 @@ OracleReport run_kernel_equivalence_oracle(const OracleOptions& options) {
   return report;
 }
 
+OracleReport run_batch_equivalence_oracle(const OracleOptions& options) {
+  OracleReport report;
+  report.family = "batch";
+  C2B_REQUIRE(!options.thread_counts.empty(), "batch oracle needs thread counts");
+  ExecStateGuard guard;
+  exec::SimCache& cache = exec::SimCache::global();
+
+  for (std::size_t i = 0; i < options.batch_sets; ++i) {
+    Rng rng(Rng::derive_stream_seed(options.seed, 60'000 + i));
+    const DseScenario scenario = gen_dse_scenario(rng);
+    const GridSpace space = make_design_space(scenario.axes);
+    const std::string repro = repro_line(options.seed, 60'000 + i);
+
+    // Random feasible design-point subset (~70% of the grid, at least one
+    // point — gen_dse_scenario guarantees a feasible minimum exists).
+    std::vector<std::vector<double>> points;
+    space.for_each([&](std::size_t, const std::vector<double>& point) {
+      if (!design_feasible(scenario.context, point)) return;
+      if (rng.bernoulli(0.7)) points.push_back(point);
+    });
+    if (points.empty()) {
+      space.for_each([&](std::size_t, const std::vector<double>& point) {
+        if (points.empty() && design_feasible(scenario.context, point)) points.push_back(point);
+      });
+    }
+    if (points.empty()) {
+      report.failures.push_back("batch set #" + std::to_string(i) +
+                                " found no feasible point (generator bug); repro: " + repro);
+      continue;
+    }
+
+    // Per-point reference with the cache off: every design really
+    // simulates, one at a time, through the unbatched path.
+    cache.set_enabled(false);
+    exec::set_thread_count(1);
+    std::vector<double> ref_times(points.size(), 0.0);
+    std::vector<std::uint64_t> ref_accesses(points.size(), 0);
+    for (std::size_t j = 0; j < points.size(); ++j)
+      ref_times[j] = simulate_design_time(scenario.context, points[j], &ref_accesses[j]);
+
+    const auto diff_outcomes = [&](const std::vector<BatchSimOutcome>& outcomes)
+        -> std::optional<std::string> {
+      for (std::size_t j = 0; j < points.size(); ++j) {
+        if (!bit_equal(outcomes[j].time, ref_times[j]))
+          return "point " + std::to_string(j) + " time " + fmt(outcomes[j].time) +
+                 " != per-point " + fmt(ref_times[j]);
+        if (outcomes[j].memory_accesses != ref_accesses[j])
+          return "point " + std::to_string(j) + " accesses " +
+                 std::to_string(outcomes[j].memory_accesses) + " != per-point " +
+                 std::to_string(ref_accesses[j]);
+      }
+      return std::nullopt;
+    };
+
+    // Batched replay at every thread count must reproduce the per-point
+    // reference bitwise, account for every point exactly once, and keep
+    // the telemetry ledger balanced.
+    for (const std::size_t threads : options.thread_counts) {
+      exec::set_thread_count(threads);
+      if (C2B_OBS_ACTIVE()) obs::Registry::global().reset_values();
+      BatchReplayStats stats;
+      const std::vector<BatchSimOutcome> outcomes =
+          simulate_design_times_batched(scenario.context, points, &stats);
+      ++report.checks;
+      if (auto diff = diff_outcomes(outcomes)) {
+        report.failures.push_back("batch set #" + std::to_string(i) + " (" +
+                                  print_dse_scenario(scenario) + ", " +
+                                  std::to_string(points.size()) + " points) threads=" +
+                                  std::to_string(threads) + ": " + *diff +
+                                  "; repro: " + repro);
+        break;
+      }
+      if (stats.members + stats.cache_hits != points.size() || stats.cache_hits != 0) {
+        report.failures.push_back(
+            "batch set #" + std::to_string(i) + " threads=" + std::to_string(threads) +
+            ": accounting off (members " + std::to_string(stats.members) + " + hits " +
+            std::to_string(stats.cache_hits) + " != " + std::to_string(points.size()) +
+            " points with the cache disabled); repro: " + repro);
+      }
+      if (C2B_OBS_ACTIVE()) {
+        std::uint64_t reported = 0;
+        for (const BatchSimOutcome& o : outcomes) reported += o.memory_accesses;
+        obs::Registry& registry = obs::Registry::global();
+        const std::uint64_t hits = registry.counter("sim.l1.hit").value();
+        const std::uint64_t misses = registry.counter("sim.l1.miss").value();
+        const std::uint64_t replayed =
+            registry.counter("exec.simcache.replayed_accesses").value();
+        ++report.checks;
+        if (hits + misses + replayed != reported) {
+          std::ostringstream os;
+          os << "batch set #" << i << " threads=" << threads << " ledger: sim.l1.hit "
+             << hits << " + sim.l1.miss " << misses << " + replayed " << replayed
+             << " != reported accesses " << reported << "; repro: " << repro;
+          report.failures.push_back(os.str());
+        }
+      }
+    }
+
+    // Warm path: a batched run bulk-inserts its results; a second batched
+    // run and per-point runs must replay those exact values.
+    cache.set_enabled(true);
+    cache.clear();
+    exec::set_thread_count(options.thread_counts.back());
+    BatchReplayStats cold_stats;
+    const std::vector<BatchSimOutcome> cold =
+        simulate_design_times_batched(scenario.context, points, &cold_stats);
+    BatchReplayStats warm_stats;
+    const std::vector<BatchSimOutcome> warm =
+        simulate_design_times_batched(scenario.context, points, &warm_stats);
+    ++report.checks;
+    if (auto diff = diff_outcomes(cold)) {
+      report.failures.push_back("batch set #" + std::to_string(i) +
+                                " cold cached run diverged: " + *diff + "; repro: " + repro);
+    } else if (auto warm_diff = diff_outcomes(warm)) {
+      report.failures.push_back("batch set #" + std::to_string(i) +
+                                " warm replay diverged: " + *warm_diff + "; repro: " + repro);
+    } else if (warm_stats.cache_hits != points.size()) {
+      report.failures.push_back(
+          "batch set #" + std::to_string(i) + " warm run peeled only " +
+          std::to_string(warm_stats.cache_hits) + " of " + std::to_string(points.size()) +
+          " points from the cache; repro: " + repro);
+    } else {
+      std::uint64_t warm_per_point_accesses = 0;
+      for (std::size_t j = 0; j < points.size(); ++j) {
+        const double warm_time =
+            simulate_design_time(scenario.context, points[j], &warm_per_point_accesses);
+        if (!bit_equal(warm_time, ref_times[j])) {
+          report.failures.push_back("batch set #" + std::to_string(i) + " point " +
+                                    std::to_string(j) +
+                                    ": per-point replay of the bulk-inserted value " +
+                                    fmt(warm_time) + " != " + fmt(ref_times[j]) +
+                                    "; repro: " + repro);
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
 std::vector<OracleReport> run_all_oracles(const OracleOptions& options) {
   return {run_analytic_vs_sim_oracle(options), run_determinism_oracle(options),
-          run_invariant_oracle(options), run_kernel_equivalence_oracle(options)};
+          run_invariant_oracle(options), run_kernel_equivalence_oracle(options),
+          run_batch_equivalence_oracle(options)};
 }
 
 bool write_tolerance_bands_json(const std::string& path,

@@ -89,6 +89,32 @@ void SimCache::insert(const std::string& key, const Value& value) {
   }
 }
 
+void SimCache::insert_many(const std::vector<std::pair<std::string, Value>>& entries) {
+  if (!enabled() || entries.empty()) return;
+  std::array<std::vector<const std::pair<std::string, Value>*>, kShardCount> by_shard;
+  for (const auto& entry : entries) {
+    const std::size_t idx = std::hash<std::string>{}(entry.first) % kShardCount;
+    by_shard[idx].push_back(&entry);
+  }
+  for (std::size_t idx = 0; idx < kShardCount; ++idx) {
+    if (by_shard[idx].empty()) continue;
+    Impl::Shard& shard = impl_->shards[idx];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto* entry : by_shard[idx]) {
+      const auto [it, inserted] = shard.entries.insert_or_assign(entry->first, entry->second);
+      (void)it;
+      if (!inserted) continue;
+      shard.order.push_back(entry->first);
+      while (shard.entries.size() > impl_->shard_capacity) {
+        shard.entries.erase(shard.order.front());
+        shard.order.pop_front();
+        impl_->evictions.fetch_add(1, std::memory_order_relaxed);
+        C2B_COUNTER_INC("exec.simcache.evict");
+      }
+    }
+  }
+}
+
 void SimCache::clear() {
   for (Impl::Shard& shard : impl_->shards) {
     std::lock_guard<std::mutex> lock(shard.mutex);

@@ -35,6 +35,9 @@ struct FullDseResult {
   double best_time = 0.0;
   std::size_t simulations = 0;     ///< feasible designs actually simulated
   std::size_t feasible_count = 0;
+  /// How the batched replay engine covered the sweep (classes, shared
+  /// chunks, sim-cache peels).
+  BatchReplayStats batch;
 };
 
 /// Traverse the whole space (the brute-force baseline).
@@ -63,6 +66,8 @@ struct ApsResult {
   std::uint64_t memory_accesses = 0;
   /// Design-space narrowing factor: |space| / |simulated region|.
   double narrowing_factor = 0.0;
+  /// How the batched replay engine covered the neighborhood sweep.
+  BatchReplayStats batch;
 };
 
 /// Run the APS algorithm over the same space.

@@ -9,6 +9,7 @@
 // traversal stays affordable).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "c2b/core/chip.h"
@@ -73,5 +74,55 @@ bool design_feasible(const DseContext& context, const std::vector<double>& point
 /// sim.l1.hit + sim.l1.miss + exec.simcache.replayed_accesses == total.
 double simulate_design_time(const DseContext& context, const std::vector<double>& point,
                             std::uint64_t* memory_accesses = nullptr);
+
+/// Stream-determining key of a design: every field that decides which trace
+/// records the simulator consumes — workload uid + numeric g/memory_scale
+/// samples (including at the actual core count), f_seq, seed, IC0, window
+/// cap, and N. Cache geometry / issue width / ROB size are absent on
+/// purpose: they change how the streams are *timed*, never their contents.
+/// Designs with equal keys form one trace-equivalence class and can replay
+/// a single shared stream. With an empty workload uid the key only
+/// identifies streams within one DseContext (uids pin the generator family
+/// across contexts).
+std::string trace_class_key(const DseContext& context, std::uint32_t cores);
+
+/// One simulate_design_time result, by value.
+struct BatchSimOutcome {
+  double time = 0.0;
+  std::uint64_t memory_accesses = 0;
+};
+
+/// What a batched sweep did, for CLI summaries and tests (the same numbers
+/// are emitted as exec.batch.* telemetry counters).
+struct BatchReplayStats {
+  std::size_t classes = 0;     ///< trace-equivalence classes simulated
+  std::size_t members = 0;     ///< design points simulated via batched replay
+  std::size_t cache_hits = 0;  ///< points peeled off by the sim cache
+  std::uint64_t chunks_shared = 0;            ///< extra consumers over generated chunks
+  std::uint64_t regen_avoided_accesses = 0;   ///< memory accesses not regenerated
+
+  void merge(const BatchReplayStats& other) {
+    classes += other.classes;
+    members += other.members;
+    cache_hits += other.cache_hits;
+    chunks_shared += other.chunks_shared;
+    regen_avoided_accesses += other.regen_avoided_accesses;
+  }
+};
+
+/// Batched evaluation of many design points: sim-cache hits are peeled off
+/// up front, the misses are grouped into trace-equivalence classes (see
+/// trace_class_key), each class generates its streams once into a shared
+/// chunk store, and the members replay them in lockstep
+/// (sim::simulate_system_batched). Classes are split into bounded work
+/// units and scheduled on the exec thread pool; the unit layout is a pure
+/// function of the point list, so results are bit-identical at any thread
+/// count — and bit-identical to calling simulate_design_time per point
+/// (the `batch` oracle family enforces this). Results are bulk-inserted
+/// into the sim cache afterwards; duplicate points in one call are
+/// simulated redundantly rather than cross-hitting mid-sweep.
+std::vector<BatchSimOutcome> simulate_design_times_batched(
+    const DseContext& context, const std::vector<std::vector<double>>& points,
+    BatchReplayStats* stats = nullptr);
 
 }  // namespace c2b

@@ -20,7 +20,13 @@
 //      retained per-cycle reference kernel, every SystemResult field
 //      compared bitwise on random configurations (coherence and prefetch
 //      included) and random traces, plus streaming-cursor vs materialized
-//      replay identity and the per-run demand-access ledger.
+//      replay identity and the per-run demand-access ledger;
+//   5. batch equivalence — simulate_design_times_batched (shared chunk
+//      store + lockstep multi-config replay) vs per-point
+//      simulate_design_time on random design-point sets: times and access
+//      counts bitwise at every thread count, the telemetry ledger balanced,
+//      and the warm path (batched run populating the sim cache, per-point
+//      runs replaying it) reproducing the cold results exactly.
 //
 // The oracles mutate process-global execution state (thread count, the
 // global sim cache, telemetry counters) and restore defaults on exit; do
@@ -49,6 +55,9 @@ struct OracleOptions {
   /// kernel equivalence: random (config, trace) cases compared bitwise
   /// against the per-cycle reference kernel.
   std::size_t kernel_configs = 40;
+  /// batch equivalence: random design-point sets replayed batched vs
+  /// per-point at every thread count.
+  std::size_t batch_sets = 50;
   std::vector<std::size_t> thread_counts{1, 2, 8};
   /// Corpus directory for shrunk property counterexamples ("" = none).
   std::string corpus_dir;
@@ -77,8 +86,9 @@ OracleReport run_analytic_vs_sim_oracle(const OracleOptions& options = {});
 OracleReport run_determinism_oracle(const OracleOptions& options = {});
 OracleReport run_invariant_oracle(const OracleOptions& options = {});
 OracleReport run_kernel_equivalence_oracle(const OracleOptions& options = {});
+OracleReport run_batch_equivalence_oracle(const OracleOptions& options = {});
 
-/// All four families in order; never throws on oracle failure (inspect
+/// All five families in order; never throws on oracle failure (inspect
 /// the reports).
 std::vector<OracleReport> run_all_oracles(const OracleOptions& options = {});
 

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace c2b::exec {
 
@@ -51,6 +53,11 @@ class SimCache {
   /// so callers stay one-liners.
   std::optional<Value> find(const std::string& key);
   void insert(const std::string& key, const Value& value);
+
+  /// Bulk insert for batched sweeps: groups the entries by shard so each
+  /// shard's mutex is taken once per call instead of once per entry.
+  /// Equivalent to insert() per pair in order.
+  void insert_many(const std::vector<std::pair<std::string, Value>>& entries);
 
   /// Runtime kill switch (C2B_SIM_CACHE=0 disables at startup). When
   /// disabled, find() always misses without counting and insert() drops.

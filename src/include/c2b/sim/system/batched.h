@@ -1,0 +1,85 @@
+#pragma once
+
+// Batched multi-config replay.
+//
+// SystemReplay is the PR 4 event-driven kernel (simulate_system_streaming)
+// reshaped into a resumable object: all loop state lives in the object, and
+// advance_until() processes events until the run finishes or the cursors
+// have consumed a target number of trace records. Pausing between events is
+// invisible to the simulation — the event heap fully determines what runs
+// next — so a SystemReplay driven in any number of advance_until() slices
+// produces a SystemResult bit-identical to one simulate_system_streaming()
+// call over the same config and cursors.
+//
+// simulate_system_batched drives K replays over shared ChunkCursor streams
+// in lockstep: every member is advanced to a common, monotonically growing
+// record target before any member moves past it. Members therefore stay
+// within ~one chunk of each other (TraceCursor::compute_run never overruns
+// the resident chunk), the chunk store's resident window stays O(chunk) per
+// stream, and each generated chunk is consumed by all K members while hot
+// in cache instead of being regenerated K times.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "c2b/sim/system/system.h"
+
+namespace c2b::sim {
+
+/// Resumable event-kernel run over one SystemConfig + cursor set. The
+/// cursors are borrowed and must outlive the replay; results are identical
+/// to simulate_system_streaming(config, cursors) regardless of how the run
+/// is sliced into advance_until() calls.
+class SystemReplay {
+ public:
+  SystemReplay(const SystemConfig& config, std::vector<TraceCursor*> cursors);
+  ~SystemReplay();
+
+  SystemReplay(const SystemReplay&) = delete;
+  SystemReplay& operator=(const SystemReplay&) = delete;
+  SystemReplay(SystemReplay&&) noexcept;
+  SystemReplay& operator=(SystemReplay&&) noexcept;
+
+  /// Process events until the run finishes or consumed_records() reaches
+  /// `record_target` (summed across this replay's cursors). Returns
+  /// finished(). Monotone: targets at or below the current consumption
+  /// return without doing work only if an event boundary was already
+  /// reached — each call always completes whole events, never partial ones.
+  bool advance_until(std::uint64_t record_target);
+
+  /// True once the event heap has drained (all cores done).
+  bool finished() const noexcept;
+
+  /// Trace records consumed so far, summed across cursors.
+  std::uint64_t consumed_records() const noexcept;
+
+  /// Final result; valid only once finished() is true. Call at most once —
+  /// building it folds the per-core detectors, which is a one-shot step.
+  SystemResult result();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+struct BatchedReplayOptions {
+  /// Lockstep granularity: how many records each member may consume past
+  /// the previous common target before every member is caught up. One
+  /// chunk keeps the shared stream's resident window minimal while still
+  /// amortizing the round-robin sweep.
+  std::uint64_t lockstep_records = 4096;
+};
+
+/// Simulate `configs.size()` members in lockstep; member k runs
+/// configs[k] over cursors[k]. Members may share cursor sources (e.g.
+/// ChunkCursors over one TraceChunkStore stream) — each member owns its
+/// *cursor objects*, never shares them. Returns one SystemResult per
+/// member, each bit-identical to simulate_system_streaming on that member
+/// alone.
+std::vector<SystemResult> simulate_system_batched(
+    const std::vector<SystemConfig>& configs,
+    const std::vector<std::vector<TraceCursor*>>& cursors,
+    const BatchedReplayOptions& options = {});
+
+}  // namespace c2b::sim

@@ -95,13 +95,15 @@ std::vector<std::size_t> GridSpace::neighborhood(std::size_t center, std::size_t
   for (std::size_t i = 0; i < axes_.size(); ++i) idx[i] = ranges[i].first;
   for (;;) {
     result.push_back(flat_index(idx));
+    // Odometer increment over the clamped ranges. The d == 0 iteration
+    // either breaks (more points to visit) or returns (full wrap), so the
+    // while condition itself never runs out.
     std::size_t d = axes_.size();
     while (d-- > 0) {
       if (++idx[d] <= ranges[d].second) break;
       idx[d] = ranges[d].first;
       if (d == 0) return result;
     }
-    if (d == static_cast<std::size_t>(-1)) return result;
   }
 }
 

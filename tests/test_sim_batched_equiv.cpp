@@ -1,0 +1,153 @@
+// Batch-equivalence stress tests (ctest label: perf, excluded from the
+// quick suite). The batched replay engine — shared chunk store, lockstep
+// SystemReplay driver, DSE-level equivalence-class scheduling — must be
+// bitwise indistinguishable from per-point simulation at every thread
+// count, with the chunk store's resident window staying O(chunk) even on
+// wide batches over long streams.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <memory>
+#include <vector>
+
+#include "c2b/aps/dse.h"
+#include "c2b/check/generators.h"
+#include "c2b/check/oracles.h"
+#include "c2b/common/rng.h"
+#include "c2b/exec/pool.h"
+#include "c2b/exec/sim_cache.h"
+#include "c2b/sim/system/batched.h"
+#include "c2b/trace/chunk_store.h"
+#include "c2b/trace/generators.h"
+
+namespace c2b {
+namespace {
+
+/// Restores process-global execution state (thread count, sim cache) that
+/// the DSE-level sweeps below mutate.
+struct ExecDefaults {
+  bool cache_was_enabled = exec::SimCache::global().enabled();
+  ~ExecDefaults() {
+    exec::set_thread_count(0);
+    exec::SimCache::global().set_enabled(cache_was_enabled);
+    exec::SimCache::global().clear();
+  }
+};
+
+// The oracle harness's batch family at a different seed and a larger set
+// count than the `c2b check` default, so the perf suite explores fresh
+// design-point sets.
+TEST(BatchEquivalence, OracleStressOnRandomDesignSets) {
+  check::OracleOptions options;
+  options.seed = 20'260'805;
+  options.batch_sets = 12;
+  const check::OracleReport report = check::run_batch_equivalence_oracle(options);
+  for (const std::string& failure : report.failures) ADD_FAILURE() << failure;
+  EXPECT_TRUE(report.passed());
+  EXPECT_GT(report.checks, 0u);
+}
+
+// A wide batch (more members than kMaxBatchMembers, forcing the unit split)
+// over one random scenario: batched results must match per-point
+// simulate_design_time bitwise at thread counts 1 and 8, and repeating the
+// sweep must reproduce it bitwise.
+TEST(BatchEquivalence, WideBatchMatchesPerPointAtEveryThreadCount) {
+  ExecDefaults restore;
+  exec::SimCache::global().set_enabled(false);
+  Rng rng(314159);
+  const check::DseScenario scenario = check::gen_dse_scenario(rng);
+  const GridSpace space = make_design_space(scenario.axes);
+
+  std::vector<std::vector<double>> points;
+  std::vector<double> reference_times;
+  std::vector<std::uint64_t> reference_accesses;
+  space.for_each([&](std::size_t, const std::vector<double>& point) {
+    if (!design_feasible(scenario.context, point)) return;
+    points.push_back(point);
+  });
+  ASSERT_FALSE(points.empty());
+
+  exec::set_thread_count(1);
+  for (const std::vector<double>& point : points) {
+    std::uint64_t accesses = 0;
+    reference_times.push_back(simulate_design_time(scenario.context, point, &accesses));
+    reference_accesses.push_back(accesses);
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    exec::set_thread_count(threads);
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      BatchReplayStats stats;
+      const std::vector<BatchSimOutcome> outcomes =
+          simulate_design_times_batched(scenario.context, points, &stats);
+      ASSERT_EQ(outcomes.size(), points.size());
+      EXPECT_EQ(stats.members, points.size());
+      EXPECT_EQ(stats.cache_hits, 0u);
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(outcomes[i].time),
+                  std::bit_cast<std::uint64_t>(reference_times[i]))
+            << "threads " << threads << " repeat " << repeat << " point " << i;
+        ASSERT_EQ(outcomes[i].memory_accesses, reference_accesses[i]);
+      }
+    }
+  }
+}
+
+// Long-stream lockstep batch: 16 members sharing one 200k-record stream.
+// Residency must stay within a handful of chunks (not O(stream)), and every
+// member must match its solo replay bitwise.
+TEST(BatchEquivalence, LongStreamResidencyStaysBounded) {
+  ZipfStreamGenerator::Params p;
+  p.working_set_lines = 1 << 12;
+  p.zipf_exponent = 0.8;
+  p.f_mem = 0.3;
+  p.write_ratio = 0.25;
+  p.seed = 77;
+  const std::uint64_t kRecords = 200'000;
+  const std::size_t kMembers = 16;
+
+  std::vector<sim::SystemConfig> configs(kMembers);
+  for (std::size_t m = 0; m < kMembers; ++m) {
+    configs[m].core.issue_width = 1u + static_cast<std::uint32_t>(m % 4) * 2u;
+    if (configs[m].core.issue_width == 7) configs[m].core.issue_width = 8;
+    configs[m].core.rob_size = 32u << (m % 3);
+    configs[m].core.functional_units = 2u + static_cast<std::uint32_t>(m % 3);
+  }
+
+  TraceChunkStore store;
+  const std::size_t id = store.add_stream(std::make_unique<ZipfStreamGenerator>(p), kRecords);
+  store.set_readers(static_cast<std::uint32_t>(kMembers));
+  std::vector<ChunkCursor> cursors;
+  cursors.reserve(kMembers);
+  std::vector<std::vector<TraceCursor*>> member_cursors(kMembers);
+  for (std::size_t m = 0; m < kMembers; ++m) {
+    cursors.emplace_back(store, id);
+    member_cursors[m] = {&cursors.back()};
+  }
+  const std::vector<sim::SystemResult> batched =
+      sim::simulate_system_batched(configs, member_cursors);
+
+  // One lockstep quantum of spread across members -> at most a few chunks
+  // resident; the stream itself is ~49 chunks.
+  EXPECT_LE(store.stats().max_resident_records, 4u * store.chunk_capacity());
+  EXPECT_EQ(store.stats().records_generated, kRecords);
+  EXPECT_EQ(store.stats().regen_avoided_records, (kMembers - 1) * kRecords);
+
+  for (std::size_t m = 0; m < kMembers; ++m) {
+    GeneratorTraceCursor solo(std::make_unique<ZipfStreamGenerator>(p), kRecords);
+    std::vector<TraceCursor*> solo_cursors{&solo};
+    const sim::SystemResult reference =
+        sim::simulate_system_streaming(configs[m], solo_cursors);
+    EXPECT_EQ(batched[m].cycles, reference.cycles) << "member " << m;
+    EXPECT_EQ(batched[m].cores[0].instructions, reference.cores[0].instructions);
+    EXPECT_EQ(batched[m].cores[0].memory_accesses, reference.cores[0].memory_accesses);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(batched[m].cores[0].cpi),
+              std::bit_cast<std::uint64_t>(reference.cores[0].cpi));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(batched[m].cores[0].camat.camat_value),
+              std::bit_cast<std::uint64_t>(reference.cores[0].camat.camat_value));
+  }
+}
+
+}  // namespace
+}  // namespace c2b

@@ -199,6 +199,41 @@ TEST(GridSpace, NeighborhoodClipsAtBorders) {
   EXPECT_EQ(center.size(), 6u);  // 3x2 block
 }
 
+TEST(GridSpace, NeighborhoodRadiusZeroIsJustTheCenter) {
+  const GridSpace g = small_space();
+  for (std::size_t flat = 0; flat < g.size(); ++flat) {
+    const auto n = g.neighborhood(flat, 0);
+    ASSERT_EQ(n.size(), 1u);
+    EXPECT_EQ(n[0], flat);
+  }
+}
+
+TEST(GridSpace, NeighborhoodRadiusCoveringEveryAxisIsTheWholeSpace) {
+  const GridSpace g = small_space();
+  // Radius >= the longest axis clamps to the full range on every axis, so
+  // the neighborhood of any center enumerates the entire space in flat
+  // (row-major) order.
+  for (const std::size_t radius : {std::size_t{3}, std::size_t{100}}) {
+    const auto n = g.neighborhood(g.flat_index({1, 1}), radius);
+    ASSERT_EQ(n.size(), g.size());
+    for (std::size_t i = 0; i < n.size(); ++i) EXPECT_EQ(n[i], i);
+  }
+}
+
+TEST(GridSpace, NeighborhoodCornerCenters) {
+  const GridSpace g = small_space();  // 3 x 2
+  // Last flat index: center {2, 1}; radius 1 clips to the {1,2} x {0,1}
+  // block.
+  const auto last = g.neighborhood(g.size() - 1, 1);
+  const std::vector<std::size_t> expected{g.flat_index({1, 0}), g.flat_index({1, 1}),
+                                          g.flat_index({2, 0}), g.flat_index({2, 1})};
+  EXPECT_EQ(last, expected);
+  // A single-point space is its own neighborhood at any radius.
+  const GridSpace one({GridAxis{"x", {7.0}}});
+  EXPECT_EQ(one.neighborhood(0, 0), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(one.neighborhood(0, 5), (std::vector<std::size_t>{0}));
+}
+
 TEST(GridSpace, NearestSnapsPerAxis) {
   const GridSpace g = small_space();
   const std::size_t flat = g.nearest({2.4, 19.0});

@@ -1,0 +1,184 @@
+#include "c2b/trace/chunk_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "c2b/trace/generators.h"
+
+namespace c2b {
+namespace {
+
+ZipfStreamGenerator::Params zipf_params(std::uint64_t seed, double f_mem = 0.4) {
+  ZipfStreamGenerator::Params p;
+  p.working_set_lines = 1 << 10;
+  p.zipf_exponent = 0.9;
+  p.f_mem = f_mem;
+  p.write_ratio = 0.3;
+  p.seed = seed;
+  return p;
+}
+
+bool records_equal(const TraceRecord& a, const TraceRecord& b) {
+  return a.kind == b.kind && a.depends_on_prev_mem == b.depends_on_prev_mem &&
+         a.address == b.address;
+}
+
+std::size_t true_compute_run(const std::vector<TraceRecord>& records, std::size_t pos) {
+  std::size_t run = 0;
+  while (pos + run < records.size() && records[pos + run].kind == InstrKind::kCompute) ++run;
+  return run;
+}
+
+TEST(ChunkStore, SingleReaderStreamMatchesMaterializedGenerate) {
+  const auto p = zipf_params(41);
+  const Trace materialized = ZipfStreamGenerator(p).generate(5'000);
+  TraceChunkStore store(/*chunk_records=*/256);
+  const std::size_t id = store.add_stream(std::make_unique<ZipfStreamGenerator>(p), 5'000);
+  store.set_readers(1);
+  ChunkCursor cursor(store, id);
+  EXPECT_EQ(cursor.stream_length(), 5'000u);
+  for (std::size_t i = 0; i < materialized.records.size(); ++i) {
+    const TraceRecord* rec = cursor.peek();
+    ASSERT_NE(rec, nullptr) << "cursor ended early at record " << i;
+    ASSERT_TRUE(records_equal(*rec, materialized.records[i])) << "divergence at record " << i;
+    cursor.advance();
+  }
+  EXPECT_EQ(cursor.peek(), nullptr);
+  // 5000 records / 256-record chunks -> 20 chunks, each generated once.
+  EXPECT_EQ(store.stats().chunks_generated, 20u);
+  EXPECT_EQ(store.stats().records_generated, 5'000u);
+  EXPECT_EQ(store.stats().chunks_shared, 0u);
+  EXPECT_EQ(store.stats().regen_avoided_records, 0u);
+}
+
+TEST(ChunkStore, InterleavedReadersShareChunksAndBoundResidency) {
+  const auto p = zipf_params(42);
+  const Trace materialized = ZipfStreamGenerator(p).generate(4'000);
+  TraceChunkStore store(/*chunk_records=*/128);
+  const std::size_t id = store.add_stream(std::make_unique<ZipfStreamGenerator>(p), 4'000);
+  store.set_readers(3);
+  ChunkCursor a(store, id), b(store, id), c(store, id);
+  // Lockstep rounds like the batched driver's: every reader reaches a common
+  // target each round (a leads within the round, c trails), so the spread —
+  // and with it the store's residency — stays within ~one chunk.
+  std::size_t pa = 0, pb = 0, pc = 0;
+  auto step = [&](ChunkCursor& cur, std::size_t& pos, std::size_t target) {
+    for (; pos < target; ++pos) {
+      const TraceRecord* rec = cur.peek();
+      ASSERT_NE(rec, nullptr);
+      ASSERT_TRUE(records_equal(*rec, materialized.records[pos]))
+          << "reader diverged at record " << pos;
+      cur.advance();
+    }
+  };
+  std::size_t target = 0;
+  while (target < 4'000) {
+    target = std::min<std::size_t>(target + 96, 4'000);
+    step(a, pa, target);
+    step(b, pb, target);
+    step(c, pc, target);
+    // A 96-record round crosses at most one 128-record chunk boundary, so
+    // no more than 2 chunks are resident at any point.
+    ASSERT_LE(store.stats().max_resident_records, 2u * 128u);
+  }
+  EXPECT_EQ(a.peek(), nullptr);
+  EXPECT_EQ(b.peek(), nullptr);
+  EXPECT_EQ(c.peek(), nullptr);
+  // Every chunk generated once and passed by two extra readers.
+  const ChunkStoreStats& stats = store.stats();
+  EXPECT_EQ(stats.chunks_generated, (4'000u + 127u) / 128u);
+  EXPECT_EQ(stats.records_generated, 4'000u);
+  EXPECT_EQ(stats.chunks_shared, 2u * stats.chunks_generated);
+  EXPECT_EQ(stats.regen_avoided_records, 2u * 4'000u);
+  // The access subset matches the trace's own memory-record count.
+  std::uint64_t memory_records = 0;
+  for (const TraceRecord& rec : materialized.records)
+    if (rec.kind != InstrKind::kCompute) ++memory_records;
+  EXPECT_EQ(stats.regen_avoided_accesses, 2u * memory_records);
+}
+
+TEST(ChunkStore, ComputeRunIsLowerBoundAndExactInsideChunks) {
+  const auto p = zipf_params(43, /*f_mem=*/0.05);
+  const Trace materialized = ZipfStreamGenerator(p).generate(3'000);
+  TraceChunkStore store(/*chunk_records=*/64);
+  const std::size_t id = store.add_stream(std::make_unique<ZipfStreamGenerator>(p), 3'000);
+  store.set_readers(1);
+  ChunkCursor cursor(store, id);
+  for (std::size_t pos = 0; pos < materialized.records.size(); ++pos) {
+    const std::size_t run = cursor.compute_run(48);
+    const std::size_t truth = true_compute_run(materialized.records, pos);
+    ASSERT_LE(run, 48u);
+    ASSERT_LE(run, truth) << "compute_run overcounted at record " << pos;
+    // Runs that end strictly inside the chunk (not at its boundary or the
+    // caller's limit) must be exact.
+    const std::size_t to_boundary = 64 - (pos % 64);
+    if (truth < to_boundary && truth < 48) {
+      ASSERT_EQ(run, truth) << "at record " << pos;
+    }
+    cursor.advance();
+  }
+}
+
+TEST(ChunkStore, SkipCrossesChunkBoundaries) {
+  const auto p = zipf_params(44);
+  const Trace materialized = ZipfStreamGenerator(p).generate(2'000);
+  TraceChunkStore store(/*chunk_records=*/128);
+  const std::size_t id = store.add_stream(std::make_unique<ZipfStreamGenerator>(p), 2'000);
+  store.set_readers(1);
+  ChunkCursor cursor(store, id);
+  std::size_t pos = 0;
+  while (pos + 151 < 2'000) {  // stride > chunk, lands at shifting offsets
+    cursor.skip(151);
+    pos += 151;
+    const TraceRecord* rec = cursor.peek();
+    ASSERT_NE(rec, nullptr);
+    ASSERT_TRUE(records_equal(*rec, materialized.records[pos]));
+    ASSERT_EQ(cursor.position(), pos);
+  }
+}
+
+TEST(ChunkStore, MultipleStreamsStayIndependent) {
+  TraceChunkStore store(/*chunk_records=*/256);
+  const auto p0 = zipf_params(45);
+  const auto p1 = zipf_params(46);
+  const std::size_t id0 = store.add_stream(std::make_unique<ZipfStreamGenerator>(p0), 1'000);
+  const std::size_t id1 = store.add_stream(std::make_unique<ZipfStreamGenerator>(p1), 1'500);
+  store.set_readers(1);
+  EXPECT_EQ(store.stream_count(), 2u);
+  EXPECT_EQ(store.stream_length(id0), 1'000u);
+  EXPECT_EQ(store.stream_length(id1), 1'500u);
+  const Trace t0 = ZipfStreamGenerator(p0).generate(1'000);
+  const Trace t1 = ZipfStreamGenerator(p1).generate(1'500);
+  ChunkCursor c0(store, id0), c1(store, id1);
+  for (std::size_t i = 0; i < 1'500; ++i) {
+    if (i < 1'000) {
+      ASSERT_TRUE(records_equal(*c0.peek(), t0.records[i]));
+      c0.advance();
+    }
+    ASSERT_TRUE(records_equal(*c1.peek(), t1.records[i]));
+    c1.advance();
+  }
+  EXPECT_EQ(c0.peek(), nullptr);
+  EXPECT_EQ(c1.peek(), nullptr);
+}
+
+TEST(ChunkStore, ResetAtStartIsANoOpButMidStreamThrows) {
+  const auto p = zipf_params(47);
+  TraceChunkStore store(/*chunk_records=*/128);
+  const std::size_t id = store.add_stream(std::make_unique<ZipfStreamGenerator>(p), 1'000);
+  store.set_readers(1);
+  ChunkCursor cursor(store, id);
+  cursor.reset();  // still at offset 0: fine
+  const TraceRecord first = *cursor.peek();
+  cursor.reset();  // peek() does not consume
+  EXPECT_TRUE(records_equal(*cursor.peek(), first));
+  cursor.advance();
+  // Consumed chunks may already be freed for other readers; reset() after
+  // consumption is out of contract.
+  EXPECT_THROW(cursor.reset(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace c2b

@@ -103,6 +103,72 @@ TEST(GeneratorCursor, ResetReplaysIdenticalStream) {
   EXPECT_EQ(cursor.peek(), nullptr);
 }
 
+TEST(GeneratorCursor, ResetMidStreamReplaysFromRecordZero) {
+  const auto p = zipf_params(16);
+  const Trace materialized = ZipfStreamGenerator(p).generate(3'000);
+  GeneratorTraceCursor cursor(std::make_unique<ZipfStreamGenerator>(p), 3'000,
+                              /*chunk_records=*/128);
+  // Reset from several interior offsets (mid-chunk, chunk boundary, last
+  // record); each replay must restart at record 0 and stay byte-identical.
+  for (const std::size_t stop : {std::size_t{1}, std::size_t{77}, std::size_t{128},
+                                 std::size_t{129}, std::size_t{2'999}}) {
+    cursor.skip(stop);
+    cursor.reset();
+    for (std::size_t i = 0; i < 300; ++i) {
+      const TraceRecord* rec = cursor.peek();
+      ASSERT_NE(rec, nullptr);
+      ASSERT_TRUE(records_equal(*rec, materialized.records[i]))
+          << "replay after reset at " << stop << " diverged at record " << i;
+      cursor.advance();
+    }
+    cursor.reset();
+  }
+}
+
+TEST(GeneratorCursor, ResetReuseUnderSkipAndComputeRunInterleave) {
+  // The kernel consumes cursors through skip()/compute_run()/advance(), not
+  // just peek()/advance(); a reset cursor must reproduce those views too.
+  const auto p = zipf_params(17, /*f_mem=*/0.1);
+  GeneratorTraceCursor cursor(std::make_unique<ZipfStreamGenerator>(p), 2'000,
+                              /*chunk_records=*/96);
+  auto walk = [](GeneratorTraceCursor& c) {
+    std::vector<std::uint64_t> view;
+    while (const TraceRecord* rec = c.peek()) {
+      view.push_back(static_cast<std::uint64_t>(rec->kind));
+      view.push_back(rec->address);
+      const std::size_t run = c.compute_run(11);
+      view.push_back(run);
+      c.skip(run > 0 ? run : 1);
+    }
+    return view;
+  };
+  const std::vector<std::uint64_t> first = walk(cursor);
+  cursor.reset();
+  const std::vector<std::uint64_t> second = walk(cursor);
+  EXPECT_EQ(first, second);
+}
+
+TEST(GeneratorCursor, ResetCursorDrivesIdenticalSimulations) {
+  // One cursor object, two full kernel runs: reset() reuse must be
+  // indistinguishable from constructing a fresh cursor.
+  sim::SystemConfig config;
+  const auto p = zipf_params(18);
+  GeneratorTraceCursor cursor(std::make_unique<ZipfStreamGenerator>(p), 15'000,
+                              /*chunk_records=*/256);
+  std::vector<TraceCursor*> cursors{&cursor};
+  const sim::SystemResult first = sim::simulate_system_streaming(config, cursors);
+  cursor.reset();
+  const sim::SystemResult second = sim::simulate_system_streaming(config, cursors);
+  EXPECT_EQ(first.cycles, second.cycles);
+  ASSERT_EQ(first.cores.size(), second.cores.size());
+  EXPECT_EQ(first.cores[0].instructions, second.cores[0].instructions);
+  EXPECT_EQ(first.cores[0].memory_accesses, second.cores[0].memory_accesses);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(first.cores[0].cpi),
+            std::bit_cast<std::uint64_t>(second.cores[0].cpi));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(first.cores[0].camat.camat_value),
+            std::bit_cast<std::uint64_t>(second.cores[0].camat.camat_value));
+}
+
 TEST(GeneratorCursor, ResidentWindowBoundedByChunk) {
   const auto p = zipf_params(15);
   GeneratorTraceCursor cursor(std::make_unique<ZipfStreamGenerator>(p), 50'000,

@@ -25,8 +25,14 @@
 //       --repeat re-runs the whole flow N times: repeats are served by the
 //       memoized simulation cache and must match the first run bit for bit
 //       (watch exec.simcache.hit in --metrics-out).
-//   c2b check [--family all|analytic|determinism|invariants|kernel] [--seed S]
-//             [--configs N] [--aps-configs N] [--cases N] [--designs N]
+//   c2b dse [--workload <name>] [--instructions N] [--per-core-cap N]
+//           [--area A] [--shared-area A]
+//       Run the full-factorial DSE (every feasible grid point simulated,
+//       batched over shared trace streams) and print the ground-truth best
+//       design plus the batch/cache effectiveness summary.
+//   c2b check [--family all|analytic|determinism|invariants|kernel|batch]
+//             [--seed S] [--configs N] [--aps-configs N] [--cases N]
+//             [--designs N] [--kernel-configs N] [--batch-sets N]
 //             [--bands-out <file>] [--corpus <dir>]
 //       Run the differential oracle families (analytic model vs simulator
 //       tolerance bands, serial-vs-parallel determinism on random configs,
@@ -61,6 +67,7 @@
 #include "c2b/core/optimizer.h"
 #include "c2b/core/sensitivity.h"
 #include "c2b/exec/pool.h"
+#include "c2b/exec/sim_cache.h"
 #include "c2b/obs/export.h"
 #include "c2b/obs/obs.h"
 #include "c2b/sim/system/system.h"
@@ -74,7 +81,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: c2b <command> [flags]\n"
-               "commands: workloads | characterize | optimize | simulate | trace | aps | check\n"
+               "commands: workloads | characterize | optimize | simulate | trace | aps | dse | check\n"
                "run `c2b <command> --help` is not needed — see the header of\n"
                "tools/c2b_cli.cpp or README.md for the flag lists.\n");
   return 2;
@@ -325,6 +332,18 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+// One-line batch/cache effectiveness summary shared by `c2b dse` and
+// `c2b aps`: sim-cache traffic for the whole process, plus how the batched
+// replay engine covered this command's sweeps.
+void print_batch_summary(const BatchReplayStats& batch) {
+  const exec::SimCacheStats cache = exec::SimCache::global().stats();
+  std::printf("cache hits %llu / misses %llu | batch classes %zu (%zu members) | "
+              "regen avoided %llu accesses\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses), batch.classes, batch.members,
+              static_cast<unsigned long long>(batch.regen_avoided_accesses));
+}
+
 int cmd_aps(const Args& args) {
   const std::string name = args.get("workload", std::string("stencil"));
   const auto catalog = workload_catalog();
@@ -395,6 +414,51 @@ int cmd_aps(const Args& args) {
               aps.narrowing_factor);
   std::printf("memory accesses   %llu\n",
               static_cast<unsigned long long>(aps.memory_accesses));
+  print_batch_summary(aps.batch);
+  return 0;
+}
+
+int cmd_dse(const Args& args) {
+  const std::string name = args.get("workload", std::string("stencil"));
+  const auto catalog = workload_catalog();
+  const WorkloadSpec* spec = find_workload(catalog, name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s' (see `c2b workloads`)\n", name.c_str());
+    return 2;
+  }
+
+  DseContext context;
+  context.base = default_system();
+  context.workload = *spec;
+  context.instructions0 = static_cast<std::uint64_t>(args.get("instructions", 20'000LL));
+  context.per_core_cap = static_cast<std::uint64_t>(args.get("per-core-cap", 10'000LL));
+  context.chip.total_area = args.get("area", 9.0);
+  context.chip.shared_area = args.get("shared-area", 1.0);
+  args.finish();
+
+  // Same small buildable grid as `c2b aps`, so the two commands are directly
+  // comparable (full factorial here vs analytic narrowing there).
+  DseAxes axes;
+  axes.a0 = {1.0, 4.0};
+  axes.a1 = {0.5, 1.0};
+  axes.a2 = {1.0, 2.0};
+  axes.n = {1, 2};
+  axes.issue = {2, 4};
+  axes.rob = {32, 64};
+
+  const GridSpace space = make_design_space(axes);
+  const FullDseResult full = run_full_dse(context, space);
+
+  std::printf("full-factorial DSE on workload %s (%s), %zu-point grid\n",
+              spec->name.c_str(), spec->emulates.c_str(), space.size());
+  const std::vector<double> best = space.point(full.best_index);
+  std::printf("best design: a0 %.2f | a1 %.2f | a2 %.2f | N %.0f | issue %.0f | rob %.0f\n",
+              best[kAxisA0], best[kAxisA1], best[kAxisA2], best[kAxisN],
+              best[kAxisIssue], best[kAxisRob]);
+  std::printf("best time/work    %.6g cycles\n", full.best_time);
+  std::printf("simulations       %zu (%zu feasible of %zu points)\n", full.simulations,
+              full.feasible_count, space.size());
+  print_batch_summary(full.batch);
   return 0;
 }
 
@@ -435,6 +499,7 @@ int cmd_check(const Args& args) {
   options.invariant_cases = static_cast<std::size_t>(args.get("cases", 60LL));
   options.designs_per_workload = static_cast<std::size_t>(args.get("designs", 5LL));
   options.kernel_configs = static_cast<std::size_t>(args.get("kernel-configs", 40LL));
+  options.batch_sets = static_cast<std::size_t>(args.get("batch-sets", 50LL));
   options.corpus_dir = args.get("corpus", std::string(""));
   const std::string bands_out = args.get("bands-out", std::string(""));
   const std::string family = args.get("family", std::string("all"));
@@ -451,8 +516,11 @@ int cmd_check(const Args& args) {
     reports.push_back(check::run_invariant_oracle(options));
   } else if (family == "kernel") {
     reports.push_back(check::run_kernel_equivalence_oracle(options));
+  } else if (family == "batch") {
+    reports.push_back(check::run_batch_equivalence_oracle(options));
   } else {
-    std::fprintf(stderr, "check: unknown --family '%s' (want all|analytic|determinism|invariants|kernel)\n",
+    std::fprintf(stderr,
+                 "check: unknown --family '%s' (want all|analytic|determinism|invariants|kernel|batch)\n",
                  family.c_str());
     return 2;
   }
@@ -507,6 +575,7 @@ int run(int argc, char** argv) {
   else if (command == "simulate") rc = cmd_simulate(args);
   else if (command == "trace") rc = cmd_trace(args);
   else if (command == "aps") rc = cmd_aps(args);
+  else if (command == "dse") rc = cmd_dse(args);
   else if (command == "check") rc = cmd_check(args);
   else return usage();
 

@@ -1,14 +1,14 @@
 #!/usr/bin/env python3
-"""Gate CI on simulator-kernel benchmark throughput.
+"""Gate CI on benchmark throughput (and, where baselined, speedup).
 
 Usage: check_bench_regression.py CURRENT_JSON BASELINE_JSON [--tolerance FRAC]
 
-Compares the `accesses_per_sec` of every scenario named in the baseline
-against a freshly produced BENCH_sim_kernel.json and fails (exit 1) when
-any scenario runs more than --tolerance (default 0.20) below its baseline.
-The committed baseline is deliberately set below typical runner throughput
-so machine-to-machine variance does not trip the gate — only a genuine
-kernel regression should.
+Compares every metric named in each baseline scenario — `accesses_per_sec`
+always, `speedup` when the baseline entry carries one — against a freshly
+produced BENCH_*.json and fails (exit 1) when any metric runs more than
+--tolerance (default 0.20) below its baseline. The committed baselines are
+deliberately set below typical runner numbers so machine-to-machine
+variance does not trip the gate — only a genuine regression should.
 """
 
 import argparse
@@ -42,14 +42,18 @@ def main():
             print(f"FAIL {name}: scenario missing from {args.current}")
             failed = True
             continue
-        base_tput = float(base["accesses_per_sec"])
-        cur_tput = float(current[name]["accesses_per_sec"])
-        floor = base_tput * (1.0 - args.tolerance)
-        verdict = "FAIL" if cur_tput < floor else "ok"
-        print(f"{verdict:4} {name}: {cur_tput:,.0f} accesses/s "
-              f"(baseline {base_tput:,.0f}, floor {floor:,.0f})")
-        if cur_tput < floor:
-            failed = True
+        metrics = ["accesses_per_sec"]
+        if "speedup" in base:
+            metrics.append("speedup")
+        for metric in metrics:
+            base_value = float(base[metric])
+            cur_value = float(current[name][metric])
+            floor = base_value * (1.0 - args.tolerance)
+            verdict = "FAIL" if cur_value < floor else "ok"
+            print(f"{verdict:4} {name}: {metric} {cur_value:,.2f} "
+                  f"(baseline {base_value:,.2f}, floor {floor:,.2f})")
+            if cur_value < floor:
+                failed = True
     return 1 if failed else 0
 
 
