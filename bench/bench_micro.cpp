@@ -7,10 +7,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "c2b/ann/mlp.h"
+#include "c2b/aps/dse.h"
 #include "c2b/common/rng.h"
+#include "c2b/exec/sim_cache.h"
 #include "c2b/linalg/matrix.h"
+#include "c2b/obs/journal.h"
 #include "c2b/obs/obs.h"
 #include "c2b/sim/cache/cache.h"
 #include "c2b/sim/dram/dram.h"
@@ -296,6 +301,74 @@ void report_obs_overhead() {
               "instrumented %.3f ms\n\n",
               plain * 1e3, compiled_out * 1e3, (compiled_out - plain) / plain * 100.0,
               instrumented * 1e3);
+
+  // Flight-recorder A/B: the same batched sweep with and without an active
+  // journal. The sim cache is cleared before every round so each run does
+  // the full simulation work (a warm cache would peel everything and leave
+  // nothing for the recorder to perturb).
+  DseContext context;
+  for (const WorkloadSpec& spec : workload_catalog())
+    if (spec.name == "stencil") context.workload = spec;
+  context.instructions0 = 20'000;
+  context.per_core_cap = 5'000;
+  context.chip.total_area = 9.0;
+  context.chip.shared_area = 1.0;
+  DseAxes axes;
+  axes.n = {1, 2};
+  axes.issue = {2, 4};
+  axes.rob = {32, 64};
+  std::vector<std::vector<double>> points;
+  make_design_space(axes).for_each([&](std::size_t, const std::vector<double>& point) {
+    if (design_feasible(context, point)) points.push_back(point);
+  });
+
+  const char* journal_path = "BENCH_obs_journal.tmp.jsonl";
+  auto run_sweep = [&](bool with_journal) {
+    exec::SimCache::global().clear();
+    std::unique_ptr<obs::RunJournal> journal;
+    if (with_journal) {
+      journal = obs::RunJournal::open(journal_path);
+      obs::set_active_journal(journal.get());
+    }
+    const auto begin = clock::now();
+    benchmark::DoNotOptimize(simulate_design_times_batched(context, points).size());
+    const double seconds = std::chrono::duration<double>(clock::now() - begin).count();
+    obs::set_active_journal(nullptr);
+    return seconds;
+  };
+
+  run_sweep(true);   // warm-up
+  run_sweep(false);
+  double sweep_on = 1e9, sweep_off = 1e9;
+  for (int r = 0; r < 7; ++r) {
+    sweep_on = std::min(sweep_on, run_sweep(true));
+    sweep_off = std::min(sweep_off, run_sweep(false));
+  }
+  std::remove(journal_path);
+  const double journal_overhead = (sweep_on - sweep_off) / sweep_off * 100.0;
+  std::printf("flight recorder overhead on batched sweep (%zu points, cold cache):\n",
+              points.size());
+  std::printf("  journal on %.3f ms | off %.3f ms | overhead %+.2f%% (target < 2%%)\n\n",
+              sweep_on * 1e3, sweep_off * 1e3, journal_overhead);
+
+  // Machine-readable copy for tools/check_bench_regression.py: each
+  // scenario's overhead_pct is gated against the baseline's
+  // max_overhead_pct ceiling (bench/baselines/BENCH_obs_overhead.json).
+  if (std::FILE* out = std::fopen("BENCH_obs_overhead.json", "w")) {
+    std::fprintf(out, "{\n  \"bench\": \"obs_overhead\",\n  \"scenarios\": [\n");
+    std::fprintf(out,
+                 "    {\"name\": \"telemetry_runtime_toggle\", \"overhead_pct\": %.4f},\n",
+                 overhead);
+    std::fprintf(out,
+                 "    {\"name\": \"kernel_compiled_out\", \"overhead_pct\": %.4f},\n",
+                 (compiled_out - plain) / plain * 100.0);
+    std::fprintf(out,
+                 "    {\"name\": \"sweep_journal\", \"overhead_pct\": %.4f}\n",
+                 journal_overhead);
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("[json] BENCH_obs_overhead.json\n\n");
+  }
 }
 
 }  // namespace

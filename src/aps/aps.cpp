@@ -8,6 +8,7 @@
 #include "c2b/common/assert.h"
 #include "c2b/common/math_util.h"
 #include "c2b/common/log.h"
+#include "c2b/obs/journal.h"
 #include "c2b/obs/obs.h"
 
 namespace c2b {
@@ -23,11 +24,15 @@ FullDseResult run_full_dse(const DseContext& context, const GridSpace& space) {
   // any thread count.
   std::vector<std::size_t> flats;
   std::vector<std::vector<double>> points;
-  space.for_each([&](std::size_t flat, const std::vector<double>& point) {
-    if (!design_feasible(context, point)) return;
-    flats.push_back(flat);
-    points.push_back(point);
-  });
+  {
+    obs::PhaseScope phase("plan");
+    space.for_each([&](std::size_t flat, const std::vector<double>& point) {
+      if (!design_feasible(context, point)) return;
+      flats.push_back(flat);
+      points.push_back(point);
+    });
+  }
+  obs::PhaseScope phase("sweep");
   const std::vector<BatchSimOutcome> outcomes =
       simulate_design_times_batched(context, points, &result.batch);
   for (std::size_t i = 0; i < flats.size(); ++i) {
@@ -125,19 +130,42 @@ ApsResult run_aps(const DseContext& context, const GridSpace& space, const ApsOp
   ApsResult result;
 
   // ---- Step 1: characterization (Fig. 6 lines 1-3) ----
-  result.characterization = characterize(context.workload, context.base, options.characterize);
-  result.simulations += result.characterization.simulation_runs;
-  result.memory_accesses += result.characterization.memory_accesses;
+  {
+    obs::PhaseScope phase("characterize");
+    result.characterization = characterize(context.workload, context.base, options.characterize);
+    result.simulations += result.characterization.simulation_runs;
+    result.memory_accesses += result.characterization.memory_accesses;
+    if (auto* journal = obs::active_journal())
+      journal->emit(obs::JournalEvent("characterized")
+                        .str("app", context.workload.name)
+                        .num("measured_cpi", result.characterization.measured_cpi)
+                        .num("cpi_exe", result.characterization.cpi_exe)
+                        .num("camat", result.characterization.camat.camat_value)
+                        .count("simulation_runs", result.characterization.simulation_runs)
+                        .count("memory_accesses", result.characterization.memory_accesses));
+  }
 
   // ---- Step 2: analytic optimization (Fig. 6 lines 4-13) ----
   {
     C2B_SPAN("aps/analytic_solve");
+    obs::PhaseScope phase("analytic_solve");
     OptimizerOptions opt;
     opt.n_max = static_cast<long long>(
         *std::max_element(space.axis(kAxisN).values.begin(), space.axis(kAxisN).values.end()));
     const C2BoundOptimizer optimizer(build_calibrated_model(context, result.characterization),
                                      opt);
     result.analytic = optimizer.optimize();
+    if (auto* journal = obs::active_journal())
+      journal->emit(
+          obs::JournalEvent("solver")
+              .num("n_cores", result.analytic.best.design.n_cores)
+              .num("a0", result.analytic.best.design.a0)
+              .num("a1", result.analytic.best.design.a1)
+              .num("a2", result.analytic.best.design.a2)
+              .num("lambda", result.analytic.lambda)
+              .count("lagrange_converged", result.analytic.lagrange_converged ? 1 : 0)
+              .count("case", static_cast<std::uint64_t>(result.analytic.opt_case))
+              .count("core_counts_scanned", result.analytic.per_core_count.size()));
   }
 
   // ---- Step 3: snap to the grid and simulate the narrowed region ----
@@ -202,6 +230,7 @@ ApsResult run_aps(const DseContext& context, const GridSpace& space, const ApsOp
   }
 
   C2B_SPAN("aps/neighborhood_sim");
+  obs::PhaseScope phase("neighborhood_sim");
   // Feasibility is cheap: filter serially into a sorted work list, then
   // hand the candidates to the batched replay engine (the neighborhood
   // shares trace streams across its whole issue x ROB x cache-split cross,

@@ -1,6 +1,7 @@
 #include "c2b/aps/dse.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -12,7 +13,9 @@
 #include "c2b/common/rng.h"
 #include "c2b/exec/pool.h"
 #include "c2b/exec/sim_cache.h"
+#include "c2b/obs/journal.h"
 #include "c2b/obs/obs.h"
+#include "c2b/obs/progress.h"
 #include "c2b/sim/system/batched.h"
 #include "c2b/trace/chunk_store.h"
 #include "c2b/trace/cursor.h"
@@ -399,6 +402,14 @@ std::vector<BatchSimOutcome> simulate_design_times_batched(const DseContext& con
     return outcomes;
   }
 
+  obs::RunJournal* const journal = obs::active_journal();
+  if (obs::ProgressMeter* progress = obs::active_progress())
+    progress->add_total(static_cast<double>(points.size()));
+  // Per-point peel flags, tracked only while recording so the hot path
+  // stays untouched without a journal.
+  std::vector<unsigned char> peeled;
+  if (journal != nullptr) peeled.assign(points.size(), 0);
+
   // Peel sim-cache hits up front so only genuinely new designs reach the
   // batching machinery; classify the misses by core count. Within one
   // context the trace-equivalence key varies only through N (see
@@ -418,11 +429,21 @@ std::vector<BatchSimOutcome> simulate_design_times_batched(const DseContext& con
         outcomes[i] = {cached->time, cached->memory_accesses};
         keys[i].clear();  // nothing to insert later
         ++local.cache_hits;
+        if (!peeled.empty()) peeled[i] = 1;
         continue;
       }
     }
     classes[configs[i].hierarchy.cores].push_back(i);
   }
+
+  if (journal != nullptr)
+    journal->emit(obs::JournalEvent("cache_peel")
+                      .count("points", points.size())
+                      .count("hits", local.cache_hits)
+                      .count("misses", points.size() - local.cache_hits));
+  if (local.cache_hits > 0)
+    if (obs::ProgressMeter* progress = obs::active_progress())
+      progress->advance(static_cast<double>(local.cache_hits));
 
   // Split each class into bounded units. The layout depends only on the
   // point list (never on thread count), so the units — and therefore every
@@ -439,13 +460,54 @@ std::vector<BatchSimOutcome> simulate_design_times_batched(const DseContext& con
     }
   }
 
+  // Scheduled events go out serially in unit order (the layout above is
+  // thread-count independent, so this stream is deterministic).
+  if (journal != nullptr)
+    for (std::size_t u = 0; u < units.size(); ++u)
+      journal->emit(
+          obs::JournalEvent("class_scheduled")
+              .count("unit", u)
+              .count("cores", configs[units[u].members.front()].hierarchy.cores)
+              .count("members", units[u].members.size()));
+
   // One unit per pool task; parallel_map keeps results in unit order, and
   // each unit only writes its own slot, so the reduction below is serial
   // and index-ordered — the same determinism shape as the PR 2 sweeps.
   const std::vector<BatchUnitResult> unit_results =
       exec::ThreadPool::global().parallel_map<BatchUnitResult>(
-          units.size(),
-          [&](std::size_t u) { return run_batch_unit(context, configs, units[u]); });
+          units.size(), [&](std::size_t u) {
+            const auto start = std::chrono::steady_clock::now();
+            BatchUnitResult result = run_batch_unit(context, configs, units[u]);
+            const double wall_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            C2B_HISTOGRAM_RECORD("aps.batch.unit_wall_ms", 0.0, 250.0, 50, wall_ms);
+            // Completed events come from pool workers: per-event order is
+            // arbitrary, but the (unit, cores, members, config) multiset is
+            // identical for every thread count (wall_ms is wall clock and
+            // of course is not).
+            if (obs::RunJournal* active = obs::active_journal()) {
+              const BatchUnit& unit = units[u];
+              const std::vector<double>& point = points[unit.members.front()];
+              char config_buf[96];
+              std::snprintf(config_buf, sizeof config_buf,
+                            "n=%.0f a0=%g a1=%g a2=%g issue=%.0f rob=%.0f",
+                            point[kAxisN], point[kAxisA0], point[kAxisA1],
+                            point[kAxisA2], point[kAxisIssue], point[kAxisRob]);
+              active->emit(
+                  obs::JournalEvent("class_completed")
+                      .count("unit", u)
+                      .count("cores", configs[unit.members.front()].hierarchy.cores)
+                      .count("members", unit.members.size())
+                      .num("wall_ms", wall_ms)
+                      .str("config", config_buf));
+              active->snapshot_metrics();
+            }
+            if (obs::ProgressMeter* progress = obs::active_progress())
+              progress->advance(static_cast<double>(units[u].members.size()));
+            return result;
+          });
 
   std::vector<std::pair<std::string, exec::SimCache::Value>> inserts;
   inserts.reserve(points.size());
@@ -464,6 +526,22 @@ std::vector<BatchSimOutcome> simulate_design_times_batched(const DseContext& con
     local.regen_avoided_accesses += result.regen_avoided_accesses;
   }
   cache.insert_many(inserts);
+
+  // Per-point outcomes, emitted serially in point order after the scatter —
+  // this is the stream `c2b report` builds its objective heatmap from.
+  if (journal != nullptr)
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::vector<double>& point = points[i];
+      journal->emit(obs::JournalEvent("point")
+                        .num("n", point[kAxisN])
+                        .num("a0", point[kAxisA0])
+                        .num("a1", point[kAxisA1])
+                        .num("a2", point[kAxisA2])
+                        .num("issue", point[kAxisIssue])
+                        .num("rob", point[kAxisRob])
+                        .num("objective", outcomes[i].time)
+                        .count("cached", peeled[i]));
+    }
 
   C2B_COUNTER_ADD("exec.batch.classes", local.classes);
   C2B_COUNTER_ADD("exec.batch.members", local.members);

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "c2b/common/assert.h"
+#include "c2b/obs/journal.h"
 #include "c2b/obs/obs.h"
 
 namespace c2b::exec {
@@ -262,6 +263,9 @@ ThreadPool& ThreadPool::global() {
         g_configured_threads > 0 ? g_configured_threads : default_thread_count();
     g_global_pool = std::make_unique<ThreadPool>(threads);
     C2B_GAUGE_SET("exec.pool.threads", static_cast<double>(threads));
+    if (auto* journal = obs::active_journal())
+      journal->emit(obs::JournalEvent("pool_start")
+                        .count("threads", static_cast<std::uint64_t>(threads)));
   }
   return *g_global_pool;
 }

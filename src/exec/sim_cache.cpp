@@ -36,6 +36,12 @@ struct SimCache::Impl {
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> misses{0};
   std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> entry_count{0};  ///< live entries across shards
+
+  void publish_entry_count() {
+    C2B_GAUGE_SET("exec.simcache.entries",
+                  static_cast<double>(entry_count.load(std::memory_order_relaxed)));
+  }
 
   Shard& shard_for(const std::string& key) {
     return shards[std::hash<std::string>{}(key) % kShardCount];
@@ -80,13 +86,16 @@ void SimCache::insert(const std::string& key, const Value& value) {
   const auto [it, inserted] = shard.entries.insert_or_assign(key, value);
   (void)it;
   if (!inserted) return;  // concurrent recompute of the same key
+  impl_->entry_count.fetch_add(1, std::memory_order_relaxed);
   shard.order.push_back(key);
   while (shard.entries.size() > impl_->shard_capacity) {
     shard.entries.erase(shard.order.front());
     shard.order.pop_front();
+    impl_->entry_count.fetch_sub(1, std::memory_order_relaxed);
     impl_->evictions.fetch_add(1, std::memory_order_relaxed);
     C2B_COUNTER_INC("exec.simcache.evict");
   }
+  impl_->publish_entry_count();
 }
 
 void SimCache::insert_many(const std::vector<std::pair<std::string, Value>>& entries) {
@@ -104,15 +113,18 @@ void SimCache::insert_many(const std::vector<std::pair<std::string, Value>>& ent
       const auto [it, inserted] = shard.entries.insert_or_assign(entry->first, entry->second);
       (void)it;
       if (!inserted) continue;
+      impl_->entry_count.fetch_add(1, std::memory_order_relaxed);
       shard.order.push_back(entry->first);
       while (shard.entries.size() > impl_->shard_capacity) {
         shard.entries.erase(shard.order.front());
         shard.order.pop_front();
+        impl_->entry_count.fetch_sub(1, std::memory_order_relaxed);
         impl_->evictions.fetch_add(1, std::memory_order_relaxed);
         C2B_COUNTER_INC("exec.simcache.evict");
       }
     }
   }
+  impl_->publish_entry_count();
 }
 
 void SimCache::clear() {
@@ -124,6 +136,8 @@ void SimCache::clear() {
   impl_->hits.store(0, std::memory_order_relaxed);
   impl_->misses.store(0, std::memory_order_relaxed);
   impl_->evictions.store(0, std::memory_order_relaxed);
+  impl_->entry_count.store(0, std::memory_order_relaxed);
+  impl_->publish_entry_count();
 }
 
 SimCacheStats SimCache::stats() const {

@@ -67,6 +67,15 @@ class ConcurrentHistogram {
   double stddev() const noexcept;
   double min() const noexcept;  ///< 0 when empty
   double max() const noexcept;  ///< 0 when empty
+
+  /// Quantile estimate (q in [0, 1]) from the bucket counts: walk the
+  /// cumulative distribution to the target rank and interpolate linearly
+  /// inside the bucket, clamping to the observed [min, max] so edge-bucket
+  /// clamping cannot push the estimate outside the recorded range. Exact
+  /// when every sample in the target bucket is uniformly spread; error is
+  /// bounded by one bucket width otherwise. 0 when empty.
+  double percentile(double q) const noexcept;
+
   void reset() noexcept;
 
  private:
@@ -91,6 +100,9 @@ struct MetricSample {
   double stddev = 0.0;
   double min = 0.0;
   double max = 0.0;
+  double p50 = 0.0;  ///< histogram percentile estimates, 0 for other kinds
+  double p90 = 0.0;
+  double p99 = 0.0;
   /// Histogram buckets as (lower edge, count); empty for counters/gauges.
   std::vector<std::pair<double, std::uint64_t>> buckets;
 };

@@ -1,0 +1,84 @@
+#pragma once
+
+// Post-mortem over a run journal: `c2b report` replays the JSONL event
+// stream written by RunJournal and aggregates it into a RunReport — phase
+// time breakdown, cache/batch effectiveness, slowest trace classes,
+// per-class sim-time percentiles, and an objective heatmap over the
+// explored (n_cores × cache split) plane. The builder is generic over
+// JournalRecord fields (it depends only on obs, not on aps), so journals
+// from future producers replay with the same tool.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "c2b/obs/journal.h"
+
+namespace c2b::obs {
+
+struct RunReport {
+  // --- run header (from `run_begin` / `run_end`) ---
+  std::string command;
+  std::string workload;
+  std::string workload_uid;
+  double threads = 0.0;
+  double total_wall_ms = 0.0;     ///< run_end wall, else last event ts
+  bool saw_run_end = false;       ///< false = journal ends mid-run (crash?)
+
+  // --- phase breakdown (from `phase_end`, first-seen order) ---
+  struct Phase {
+    std::string name;
+    double wall_ms = 0.0;
+    std::size_t count = 0;  ///< phase_end events folded into this row
+  };
+  std::vector<Phase> phases;
+
+  // --- trace classes (from `class_completed`, sorted by wall desc) ---
+  struct ClassStat {
+    double cores = 0.0;
+    double members = 0.0;
+    double wall_ms = 0.0;
+    std::string config;  ///< producer-provided summary of one member config
+  };
+  std::vector<ClassStat> classes;
+  double class_wall_p50 = 0.0;
+  double class_wall_p90 = 0.0;
+  double class_wall_p99 = 0.0;
+  double simulated_members = 0.0;  ///< sum of members over completed classes
+  double simulated_wall_ms = 0.0;  ///< sum of class wall times
+
+  // --- cache/batch effectiveness (from `cache_peel` / `run_end`) ---
+  double points = 0.0;             ///< design points entering the sweep
+  double cache_hits = 0.0;         ///< points peeled by the sim cache
+  double chunks_shared = 0.0;
+  double regen_avoided_accesses = 0.0;
+  double est_saved_ms = 0.0;       ///< cache_hits × mean per-member sim wall
+  double batch_speedup = 1.0;      ///< (sim wall + est saved) / sim wall
+
+  // --- explored space (from `point`) ---
+  struct PointSample {
+    double n_cores = 0.0;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0;
+    double objective = 0.0;
+    bool cached = false;
+  };
+  std::vector<PointSample> explored;
+
+  JournalReadStats read_stats;
+};
+
+/// Exact quantile (linear interpolation) of an unsorted sample; the
+/// reference implementation histogram percentiles are tested against.
+double exact_quantile(std::vector<double> values, double q);
+
+RunReport build_report(const std::vector<JournalRecord>& records,
+                       JournalReadStats stats = {});
+
+/// Human-readable post-mortem (top_k bounds the slowest-class table).
+std::string render_report(const RunReport& report, std::size_t top_k = 10);
+
+/// CSV heatmap: rows = n_cores, columns = (a1,a2) cache splits, cell =
+/// min objective over every other axis. Empty string when no points.
+std::string heatmap_csv(const RunReport& report);
+
+}  // namespace c2b::obs

@@ -103,6 +103,12 @@ std::string metrics_json(const Registry& registry) {
     json_number(os, s.min);
     os << ",\"max\":";
     json_number(os, s.max);
+    os << ",\"p50\":";
+    json_number(os, s.p50);
+    os << ",\"p90\":";
+    json_number(os, s.p90);
+    os << ",\"p99\":";
+    json_number(os, s.p99);
     os << ",\"buckets\":[";
     bool first_bucket = true;
     for (const auto& [low, count] : s.buckets) {

@@ -86,6 +86,28 @@ double ConcurrentHistogram::max() const noexcept {
   return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
 }
 
+double ConcurrentHistogram::percentile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    const double in_bin =
+        static_cast<double>(counts_[bin].load(std::memory_order_relaxed));
+    if (in_bin == 0.0) continue;
+    if (cumulative + in_bin >= target) {
+      const double frac = (target - cumulative) / in_bin;
+      const double estimate = bin_low(bin) + frac * width_;
+      // Clamp to observed range: edge buckets absorb out-of-range samples,
+      // so their geometric span can exceed what was actually recorded.
+      return std::min(max(), std::max(min(), estimate));
+    }
+    cumulative += in_bin;
+  }
+  return max();  // racing writers: fall back to the observed maximum
+}
+
 void ConcurrentHistogram::reset() noexcept {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -156,6 +178,9 @@ std::vector<MetricSample> Registry::snapshot() const {
     s.stddev = histogram->stddev();
     s.min = histogram->min();
     s.max = histogram->max();
+    s.p50 = histogram->percentile(0.50);
+    s.p90 = histogram->percentile(0.90);
+    s.p99 = histogram->percentile(0.99);
     s.buckets.reserve(histogram->bins());
     for (std::size_t b = 0; b < histogram->bins(); ++b)
       s.buckets.emplace_back(histogram->bin_low(b), histogram->bin_count(b));

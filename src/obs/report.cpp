@@ -1,0 +1,252 @@
+#include "c2b/obs/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace c2b::obs {
+namespace {
+
+std::string format_duration(double ms) {
+  char buf[48];
+  if (ms >= 120'000.0)
+    std::snprintf(buf, sizeof buf, "%dm %02ds", static_cast<int>(ms / 60'000.0),
+                  static_cast<int>(ms / 1000.0) % 60);
+  else if (ms >= 1000.0)
+    std::snprintf(buf, sizeof buf, "%.2f s", ms / 1000.0);
+  else
+    std::snprintf(buf, sizeof buf, "%.2f ms", ms);
+  return buf;
+}
+
+}  // namespace
+
+double exact_quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double position = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(position);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = position - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+RunReport build_report(const std::vector<JournalRecord>& records,
+                       JournalReadStats stats) {
+  RunReport report;
+  report.read_stats = stats;
+
+  std::map<std::string, std::size_t> phase_index;
+  for (const JournalRecord& record : records) {
+    report.total_wall_ms = std::max(report.total_wall_ms, record.ts_ms);
+    if (record.type == "run_begin" || record.type == "sweep_config") {
+      report.command = record.str("command", report.command);
+      report.workload = record.str("workload", report.workload);
+      report.workload_uid = record.str("workload_uid", report.workload_uid);
+      report.threads = record.num("threads", report.threads);
+    } else if (record.type == "batch_stats") {
+      report.chunks_shared += record.num("chunks_shared");
+      report.regen_avoided_accesses += record.num("regen_avoided_accesses");
+    } else if (record.type == "run_end") {
+      report.saw_run_end = true;
+      report.total_wall_ms = std::max(report.total_wall_ms, record.ts_ms);
+      report.points = record.num("points", report.points);
+      report.cache_hits = record.num("cache_hits", report.cache_hits);
+      report.chunks_shared = record.num("chunks_shared", report.chunks_shared);
+      report.regen_avoided_accesses =
+          record.num("regen_avoided_accesses", report.regen_avoided_accesses);
+    } else if (record.type == "phase_end") {
+      const std::string name = record.str("name", "?");
+      const auto [it, inserted] = phase_index.emplace(name, report.phases.size());
+      if (inserted) report.phases.push_back({name, 0.0, 0});
+      RunReport::Phase& phase = report.phases[it->second];
+      phase.wall_ms += record.num("wall_ms");
+      ++phase.count;
+    } else if (record.type == "class_completed") {
+      RunReport::ClassStat entry;
+      entry.cores = record.num("cores");
+      entry.members = record.num("members");
+      entry.wall_ms = record.num("wall_ms");
+      entry.config = record.str("config");
+      report.simulated_members += entry.members;
+      report.simulated_wall_ms += entry.wall_ms;
+      report.classes.push_back(std::move(entry));
+    } else if (record.type == "cache_peel") {
+      report.points += record.num("points");
+      report.cache_hits += record.num("hits");
+    } else if (record.type == "point") {
+      RunReport::PointSample sample;
+      sample.n_cores = record.num("n");
+      sample.a0 = record.num("a0");
+      sample.a1 = record.num("a1");
+      sample.a2 = record.num("a2");
+      sample.objective = record.num("objective");
+      sample.cached = record.num("cached") != 0.0;
+      report.explored.push_back(sample);
+    }
+  }
+
+  std::vector<double> walls;
+  walls.reserve(report.classes.size());
+  for (const RunReport::ClassStat& entry : report.classes) walls.push_back(entry.wall_ms);
+  report.class_wall_p50 = exact_quantile(walls, 0.50);
+  report.class_wall_p90 = exact_quantile(walls, 0.90);
+  report.class_wall_p99 = exact_quantile(walls, 0.99);
+
+  if (report.simulated_members > 0.0 && report.cache_hits > 0.0) {
+    const double per_member_ms = report.simulated_wall_ms / report.simulated_members;
+    report.est_saved_ms = report.cache_hits * per_member_ms;
+    if (report.simulated_wall_ms > 0.0)
+      report.batch_speedup =
+          (report.simulated_wall_ms + report.est_saved_ms) / report.simulated_wall_ms;
+  }
+
+  std::stable_sort(report.classes.begin(), report.classes.end(),
+                   [](const RunReport::ClassStat& a, const RunReport::ClassStat& b) {
+                     return a.wall_ms > b.wall_ms;
+                   });
+  return report;
+}
+
+std::string render_report(const RunReport& report, std::size_t top_k) {
+  std::string out;
+  char line[256];
+
+  out += "== run ==\n";
+  std::snprintf(line, sizeof line, "  command      %s\n",
+                report.command.empty() ? "?" : report.command.c_str());
+  out += line;
+  if (!report.workload.empty()) {
+    std::snprintf(line, sizeof line, "  workload     %s (uid %s)\n",
+                  report.workload.c_str(),
+                  report.workload_uid.empty() ? "?" : report.workload_uid.c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "  threads      %.0f\n", report.threads);
+  out += line;
+  std::snprintf(line, sizeof line, "  wall time    %s%s\n",
+                format_duration(report.total_wall_ms).c_str(),
+                report.saw_run_end ? "" : "  [no run_end: journal ends mid-run]");
+  out += line;
+  if (report.read_stats.skipped > 0) {
+    std::snprintf(line, sizeof line,
+                  "  reader       %zu lines, %zu torn/corrupt skipped\n",
+                  report.read_stats.lines, report.read_stats.skipped);
+    out += line;
+  }
+
+  if (!report.phases.empty()) {
+    out += "\n== phase time breakdown ==\n";
+    for (const RunReport::Phase& phase : report.phases) {
+      const double pct = report.total_wall_ms > 0.0
+                             ? 100.0 * phase.wall_ms / report.total_wall_ms
+                             : 0.0;
+      std::snprintf(line, sizeof line, "  %-18s %12s  %5.1f%%  (x%zu)\n",
+                    phase.name.c_str(), format_duration(phase.wall_ms).c_str(), pct,
+                    phase.count);
+      out += line;
+    }
+  }
+
+  out += "\n== cache/batch effectiveness ==\n";
+  std::snprintf(line, sizeof line, "  design points          %.0f\n", report.points);
+  out += line;
+  std::snprintf(line, sizeof line, "  cache hits peeled      %.0f (%.1f%%)\n",
+                report.cache_hits,
+                report.points > 0.0 ? 100.0 * report.cache_hits / report.points : 0.0);
+  out += line;
+  std::snprintf(line, sizeof line, "  simulated members      %.0f in %zu classes\n",
+                report.simulated_members, report.classes.size());
+  out += line;
+  std::snprintf(line, sizeof line, "  chunks shared          %.0f\n",
+                report.chunks_shared);
+  out += line;
+  std::snprintf(line, sizeof line, "  regen avoided          %.0f accesses\n",
+                report.regen_avoided_accesses);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  est. cache savings     %s  (%.2fx speedup attribution)\n",
+                format_duration(report.est_saved_ms).c_str(), report.batch_speedup);
+  out += line;
+
+  if (!report.classes.empty()) {
+    out += "\n== per-class sim time ==\n";
+    std::snprintf(line, sizeof line, "  p50 %s | p90 %s | p99 %s\n",
+                  format_duration(report.class_wall_p50).c_str(),
+                  format_duration(report.class_wall_p90).c_str(),
+                  format_duration(report.class_wall_p99).c_str());
+    out += line;
+    const std::size_t shown = std::min(top_k, report.classes.size());
+    std::snprintf(line, sizeof line, "  top %zu slowest classes:\n", shown);
+    out += line;
+    for (std::size_t i = 0; i < shown; ++i) {
+      const RunReport::ClassStat& entry = report.classes[i];
+      std::snprintf(line, sizeof line, "    %12s  cores=%-3.0f members=%-3.0f %s\n",
+                    format_duration(entry.wall_ms).c_str(), entry.cores,
+                    entry.members, entry.config.c_str());
+      out += line;
+    }
+  }
+
+  if (!report.explored.empty()) {
+    double best = report.explored.front().objective;
+    RunReport::PointSample best_point = report.explored.front();
+    for (const RunReport::PointSample& sample : report.explored)
+      if (sample.objective < best) {
+        best = sample.objective;
+        best_point = sample;
+      }
+    out += "\n== explored space ==\n";
+    std::snprintf(line, sizeof line, "  points  %zu\n", report.explored.size());
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "  best    objective=%.6g at n=%.0f a0=%g a1=%g a2=%g\n", best,
+                  best_point.n_cores, best_point.a0, best_point.a1, best_point.a2);
+    out += line;
+  }
+  return out;
+}
+
+std::string heatmap_csv(const RunReport& report) {
+  if (report.explored.empty()) return {};
+  // cell key: (n_cores, (a1, a2)) -> min objective across every other axis
+  std::map<std::pair<double, double>, bool> splits;  // ordered column set
+  std::map<double, std::map<std::pair<double, double>, double>> rows;
+  for (const RunReport::PointSample& sample : report.explored) {
+    const std::pair<double, double> split{sample.a1, sample.a2};
+    splits[split] = true;
+    auto& row = rows[sample.n_cores];
+    const auto it = row.find(split);
+    if (it == row.end() || sample.objective < it->second)
+      row[split] = sample.objective;
+  }
+
+  std::string csv = "n_cores";
+  char cell[64];
+  for (const auto& [split, unused] : splits) {
+    (void)unused;
+    std::snprintf(cell, sizeof cell, ",a1=%g/a2=%g", split.first, split.second);
+    csv += cell;
+  }
+  csv += '\n';
+  for (const auto& [n_cores, row] : rows) {
+    std::snprintf(cell, sizeof cell, "%g", n_cores);
+    csv += cell;
+    for (const auto& [split, unused] : splits) {
+      (void)unused;
+      csv += ',';
+      const auto it = row.find(split);
+      if (it != row.end()) {
+        std::snprintf(cell, sizeof cell, "%.9g", it->second);
+        csv += cell;
+      }
+    }
+    csv += '\n';
+  }
+  return csv;
+}
+
+}  // namespace c2b::obs

@@ -1,0 +1,116 @@
+// Flag-parser tests for the c2b CLI: value/boolean/`=` forms, the
+// optional-value `--progress[=N]` shape, numeric parse errors that name the
+// offending flag, and unknown-flag rejection via finish().
+
+#include "cli_args.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace c2b::cli {
+namespace {
+
+/// argv helper: owns the strings, hands out mutable char* like main() gets.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> tokens) : tokens_(std::move(tokens)) {
+    for (std::string& token : tokens_) pointers_.push_back(token.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::vector<char*> pointers_;
+};
+
+TEST(CliArgsTest, ParsesValueAndEqualsForms) {
+  Argv argv({"c2b", "dse", "--workload", "stencil", "--threads=4", "--area", "128"});
+  Args args(argv.argc(), argv.argv(), 2);
+  EXPECT_EQ(args.get("workload", std::string("?")), "stencil");
+  EXPECT_EQ(args.get("threads", 0ll), 4);
+  EXPECT_DOUBLE_EQ(args.get("area", 0.0), 128.0);
+  EXPECT_EQ(args.get("missing", std::string("fallback")), "fallback");
+  args.finish();  // everything queried -> no throw
+}
+
+TEST(CliArgsTest, BooleanFlagTakesNoValue) {
+  // `--progress` is registered boolean, so it must NOT eat `--workload`.
+  Argv argv({"c2b", "dse", "--progress", "--workload", "stencil"});
+  Args args(argv.argc(), argv.argv(), 2, {"progress"});
+  EXPECT_TRUE(args.has("progress"));
+  EXPECT_EQ(args.get("workload", std::string("?")), "stencil");
+}
+
+TEST(CliArgsTest, GetOptCoversAllThreeShapes) {
+  {
+    Argv argv({"c2b", "dse"});
+    Args args(argv.argc(), argv.argv(), 2, {"progress"});
+    EXPECT_FALSE(args.get_opt("progress", 500).has_value());
+  }
+  {
+    Argv argv({"c2b", "dse", "--progress"});
+    Args args(argv.argc(), argv.argv(), 2, {"progress"});
+    EXPECT_EQ(args.get_opt("progress", 500), 500);  // bare form -> default
+  }
+  {
+    Argv argv({"c2b", "dse", "--progress=250"});
+    Args args(argv.argc(), argv.argv(), 2, {"progress"});
+    EXPECT_EQ(args.get_opt("progress", 500), 250);
+  }
+}
+
+TEST(CliArgsTest, NumericErrorsNameTheFlag) {
+  Argv argv({"c2b", "dse", "--threads=lots", "--area=wide"});
+  Args args(argv.argc(), argv.argv(), 2);
+  try {
+    args.get("threads", 0ll);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("--threads"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("lots"), std::string::npos);
+  }
+  try {
+    args.get("area", 0.0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("--area"), std::string::npos);
+  }
+  try {
+    args.get_opt("threads", 1);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("--threads"), std::string::npos);
+  }
+}
+
+TEST(CliArgsTest, FinishThrowsListingUnknownFlags) {
+  Argv argv({"c2b", "dse", "--workload", "stencil", "--bogus=1", "--typo", "x"});
+  Args args(argv.argc(), argv.argv(), 2);
+  EXPECT_EQ(args.get("workload", std::string("?")), "stencil");
+  try {
+    args.finish();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("unknown flag"), std::string::npos);
+    EXPECT_NE(what.find("--bogus"), std::string::npos);
+    EXPECT_NE(what.find("--typo"), std::string::npos);
+  }
+}
+
+TEST(CliArgsTest, RejectsNonFlagTokens) {
+  Argv argv({"c2b", "dse", "stencil"});
+  EXPECT_THROW(Args(argv.argc(), argv.argv(), 2), std::invalid_argument);
+}
+
+TEST(CliArgsTest, MissingValueThrows) {
+  Argv argv({"c2b", "dse", "--workload"});
+  EXPECT_THROW(Args(argv.argc(), argv.argv(), 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace c2b::cli

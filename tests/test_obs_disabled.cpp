@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "c2b/obs/export.h"
+#include "c2b/obs/journal.h"
 #include "c2b/obs/obs.h"
+#include "c2b/obs/progress.h"
 
 #ifndef C2B_OBS_DISABLED
 #error "this test must be built with C2B_OBS_DISABLED"
@@ -39,6 +41,18 @@ TEST(ObsDisabled, GlobalRegistryStaysEmpty) {
 TEST(ObsDisabled, ActiveIsConstantFalse) {
   set_enabled(true);
   EXPECT_FALSE(C2B_OBS_ACTIVE());
+}
+
+TEST(ObsDisabled, JournalAndProgressAccessorsFoldToNull) {
+  // Disabled TUs see internal-linkage constant-null accessors, so every
+  // `if (auto* j = active_journal())` emission site is dead code — and the
+  // set_* calls cannot reach the library's real globals.
+  static_assert(active_journal() == nullptr);
+  static_assert(active_progress() == nullptr);
+  set_active_journal(nullptr);
+  set_active_progress(nullptr);
+  EXPECT_EQ(active_journal(), nullptr);
+  EXPECT_EQ(active_progress(), nullptr);
 }
 
 TEST(ObsDisabled, DirectApiStillWorks) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -91,6 +92,69 @@ TEST(ObsHistogram, ConcurrentRecordsKeepExactCount) {
   EXPECT_EQ(bucket_total, h.count());
 }
 
+TEST(ObsHistogram, PercentileTracksExactQuantiles) {
+  // Uniform fill: interpolation inside a bucket is exact, so the histogram
+  // percentile must match the true quantile of the sample set.
+  ConcurrentHistogram h(0.0, 100.0, 100);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = static_cast<double>(i) / 10.0;  // 0.0 .. 99.9
+    h.record(v);
+    values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+  const auto exact = [&](double q) {
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    return values[lo] + (pos - lo) * (values[std::min(lo + 1, values.size() - 1)] - values[lo]);
+  };
+  // Error bound: one bucket width (1.0).
+  EXPECT_NEAR(h.percentile(0.50), exact(0.50), 1.0);
+  EXPECT_NEAR(h.percentile(0.90), exact(0.90), 1.0);
+  EXPECT_NEAR(h.percentile(0.99), exact(0.99), 1.0);
+}
+
+TEST(ObsHistogram, PercentileUnderBinEdgeSkew) {
+  // Adversarial shape: a big spike exactly on a bin edge plus a thin tail.
+  // The estimate may smear across the spike's bucket but never by more than
+  // one bucket width, and tail percentiles must land in the tail.
+  ConcurrentHistogram h(0.0, 10.0, 10);
+  std::vector<double> values;
+  for (int i = 0; i < 900; ++i) {
+    h.record(3.0);  // spike on the bin 3 edge
+    values.push_back(3.0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const double v = 9.0 + static_cast<double>(i) / 100.0;
+    h.record(v);
+    values.push_back(v);
+  }
+  EXPECT_NEAR(h.percentile(0.50), 3.0, 1.0);  // within the spike's bucket
+  const double p99 = h.percentile(0.99);
+  EXPECT_GE(p99, 9.0);
+  EXPECT_LE(p99, 9.99);
+}
+
+TEST(ObsHistogram, PercentileClampsToObservedRange) {
+  // Out-of-range samples pile into the edge bins; clamping keeps the
+  // estimate inside [min, max] instead of reporting bucket boundaries.
+  ConcurrentHistogram h(0.0, 10.0, 10);
+  h.record(-50.0);
+  h.record(200.0);
+  EXPECT_GE(h.percentile(0.0), -50.0);
+  EXPECT_LE(h.percentile(1.0), 200.0);
+  EXPECT_GE(h.percentile(1.0), 10.0);  // last bucket alone would cap at 10
+
+  ConcurrentHistogram empty(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+
+  ConcurrentHistogram single(0.0, 10.0, 10);
+  single.record(4.5);
+  EXPECT_DOUBLE_EQ(single.percentile(0.0), 4.5);
+  EXPECT_DOUBLE_EQ(single.percentile(0.5), 4.5);
+  EXPECT_DOUBLE_EQ(single.percentile(1.0), 4.5);
+}
+
 TEST(ObsHistogram, ResetClears) {
   ConcurrentHistogram h(0.0, 1.0, 2);
   h.record(0.25);
@@ -152,6 +216,23 @@ TEST(ObsExport, JsonAndTableContainTheMetrics) {
 
   const Table table = metrics_table(registry);
   EXPECT_EQ(table.row_count(), 3u);
+}
+
+TEST(ObsExport, JsonSurfacesHistogramPercentiles) {
+  Registry registry;
+  ConcurrentHistogram& h = registry.histogram("delta", 0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.record(static_cast<double>(i));
+
+  const auto samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_NEAR(samples[0].p50, 49.5, 1.0);
+  EXPECT_NEAR(samples[0].p90, 89.1, 1.0);
+  EXPECT_NEAR(samples[0].p99, 98.01, 1.0);
+
+  const std::string json = metrics_json(registry);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
 }
 
 TEST(ObsRuntime, DisableSkipsMacroUpdates) {

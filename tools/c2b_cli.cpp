@@ -18,7 +18,7 @@
 //       Generate a trace and save it in the binary trace format.
 //   c2b aps [--workload <name>] [--instructions N] [--per-core-cap N]
 //           [--characterize-instructions N] [--radius R] [--area A]
-//           [--shared-area A] [--repeat N]
+//           [--shared-area A] [--seed S] [--repeat N]
 //       Run the APS design-space exploration (characterize, analytic
 //       solve, neighborhood simulation) on a small grid and print the
 //       chosen design plus the run's simulation/memory-access totals.
@@ -26,10 +26,15 @@
 //       memoized simulation cache and must match the first run bit for bit
 //       (watch exec.simcache.hit in --metrics-out).
 //   c2b dse [--workload <name>] [--instructions N] [--per-core-cap N]
-//           [--area A] [--shared-area A]
+//           [--area A] [--shared-area A] [--seed S]
 //       Run the full-factorial DSE (every feasible grid point simulated,
 //       batched over shared trace streams) and print the ground-truth best
 //       design plus the batch/cache effectiveness summary.
+//   c2b report --journal <file> [--top K] [--heatmap-out <csv>]
+//       Replay a run journal (see --journal-out) into a post-mortem: phase
+//       time breakdown, cache/batch effectiveness, top-K slowest trace
+//       classes, per-class sim-time percentiles, and (with --heatmap-out)
+//       an objective-vs-(N, cache split) CSV heatmap.
 //   c2b check [--family all|analytic|determinism|invariants|kernel|batch]
 //             [--seed S] [--configs N] [--aps-configs N] [--cases N]
 //             [--designs N] [--kernel-configs N] [--batch-sets N]
@@ -50,12 +55,18 @@
 //   --trace-out <path>     dump recorded spans as Chrome trace-event JSON
 //                          (load in chrome://tracing or Perfetto)
 //   --span-sample-period N record only every Nth span per thread
+//   --journal-out <path>   record the run into an append-only JSONL journal
+//                          (the flight recorder `c2b report` replays)
+//   --progress[=N]         live progress/ETA line on stderr, redrawn at
+//                          most every N ms (default 500), plus a per-phase
+//                          wall-clock attribution summary at end of run
 //
 // Every command prints plain text to stdout; exit code 0 on success.
 // Unknown flags are an error: each command lists them and exits nonzero.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -69,7 +80,10 @@
 #include "c2b/exec/pool.h"
 #include "c2b/exec/sim_cache.h"
 #include "c2b/obs/export.h"
+#include "c2b/obs/journal.h"
 #include "c2b/obs/obs.h"
+#include "c2b/obs/progress.h"
+#include "c2b/obs/report.h"
 #include "c2b/sim/system/system.h"
 #include "c2b/trace/trace_io.h"
 #include "c2b/trace/workloads.h"
@@ -81,7 +95,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: c2b <command> [flags]\n"
-               "commands: workloads | characterize | optimize | simulate | trace | aps | dse | check\n"
+               "commands: workloads | characterize | optimize | simulate | trace | aps | dse | report | check\n"
                "run `c2b <command> --help` is not needed — see the header of\n"
                "tools/c2b_cli.cpp or README.md for the flag lists.\n");
   return 2;
@@ -344,6 +358,34 @@ void print_batch_summary(const BatchReplayStats& batch) {
               static_cast<unsigned long long>(batch.regen_avoided_accesses));
 }
 
+/// Journal the sweep configuration (full context + workload uid) before the
+/// run and the batch totals after — the pair `c2b report` attributes
+/// cache/batch effectiveness from.
+void journal_sweep_config(const char* command, const DseContext& context,
+                          std::size_t grid_points) {
+  if (auto* journal = obs::active_journal())
+    journal->emit(obs::JournalEvent("sweep_config")
+                      .str("command", command)
+                      .str("workload", context.workload.name)
+                      .str("workload_uid", context.workload.uid)
+                      .count("instructions", context.instructions0)
+                      .count("per_core_cap", context.per_core_cap)
+                      .num("area", context.chip.total_area)
+                      .num("shared_area", context.chip.shared_area)
+                      .count("seed", context.seed)
+                      .count("grid_points", grid_points));
+}
+
+void journal_batch_stats(const BatchReplayStats& batch) {
+  if (auto* journal = obs::active_journal())
+    journal->emit(obs::JournalEvent("batch_stats")
+                      .count("classes", batch.classes)
+                      .count("members", batch.members)
+                      .count("cache_hits", batch.cache_hits)
+                      .count("chunks_shared", batch.chunks_shared)
+                      .count("regen_avoided_accesses", batch.regen_avoided_accesses));
+}
+
 int cmd_aps(const Args& args) {
   const std::string name = args.get("workload", std::string("stencil"));
   const auto catalog = workload_catalog();
@@ -360,6 +402,7 @@ int cmd_aps(const Args& args) {
   context.per_core_cap = static_cast<std::uint64_t>(args.get("per-core-cap", 10'000LL));
   context.chip.total_area = args.get("area", 9.0);
   context.chip.shared_area = args.get("shared-area", 1.0);
+  context.seed = static_cast<std::uint64_t>(args.get("seed", 99LL));
 
   // A small buildable grid (the paper-scale space is bench territory; the
   // CLI command is for inspecting one APS run end to end).
@@ -384,6 +427,7 @@ int cmd_aps(const Args& args) {
   }
 
   const GridSpace space = make_design_space(axes);
+  journal_sweep_config("aps", context, space.size());
   ApsResult aps = run_aps(context, space, options);
   // Re-running the same neighborhood hits the memoized simulation cache;
   // every repeat must reproduce the first result bit for bit (the
@@ -415,6 +459,7 @@ int cmd_aps(const Args& args) {
   std::printf("memory accesses   %llu\n",
               static_cast<unsigned long long>(aps.memory_accesses));
   print_batch_summary(aps.batch);
+  journal_batch_stats(aps.batch);
   return 0;
 }
 
@@ -434,6 +479,7 @@ int cmd_dse(const Args& args) {
   context.per_core_cap = static_cast<std::uint64_t>(args.get("per-core-cap", 10'000LL));
   context.chip.total_area = args.get("area", 9.0);
   context.chip.shared_area = args.get("shared-area", 1.0);
+  context.seed = static_cast<std::uint64_t>(args.get("seed", 99LL));
   args.finish();
 
   // Same small buildable grid as `c2b aps`, so the two commands are directly
@@ -447,6 +493,7 @@ int cmd_dse(const Args& args) {
   axes.rob = {32, 64};
 
   const GridSpace space = make_design_space(axes);
+  journal_sweep_config("dse", context, space.size());
   const FullDseResult full = run_full_dse(context, space);
 
   std::printf("full-factorial DSE on workload %s (%s), %zu-point grid\n",
@@ -459,6 +506,48 @@ int cmd_dse(const Args& args) {
   std::printf("simulations       %zu (%zu feasible of %zu points)\n", full.simulations,
               full.feasible_count, space.size());
   print_batch_summary(full.batch);
+  journal_batch_stats(full.batch);
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  const std::string journal_path = args.get("journal", std::string(""));
+  const auto top_k = args.get("top", 10LL);
+  const std::string heatmap_out = args.get("heatmap-out", std::string(""));
+  args.finish();
+  if (journal_path.empty()) {
+    std::fprintf(stderr, "report: --journal <file> is required\n");
+    return 2;
+  }
+  if (top_k < 1) {
+    std::fprintf(stderr, "report: --top must be >= 1\n");
+    return 2;
+  }
+
+  obs::JournalReadStats stats;
+  const std::vector<obs::JournalRecord> records = obs::read_journal(journal_path, &stats);
+  if (stats.lines == 0) {
+    std::fprintf(stderr, "report: journal '%s' is empty or missing\n",
+                 journal_path.c_str());
+    return 1;
+  }
+  const obs::RunReport report = obs::build_report(records, stats);
+  std::fputs(obs::render_report(report, static_cast<std::size_t>(top_k)).c_str(), stdout);
+
+  if (!heatmap_out.empty()) {
+    const std::string csv = obs::heatmap_csv(report);
+    if (csv.empty()) {
+      std::fprintf(stderr, "report: journal has no point events, heatmap not written\n");
+      return 1;
+    }
+    std::ofstream out(heatmap_out);
+    out << csv;
+    if (!out) {
+      std::fprintf(stderr, "report: cannot write heatmap to %s\n", heatmap_out.c_str());
+      return 1;
+    }
+    std::printf("\nheatmap written to %s\n", heatmap_out.c_str());
+  }
   return 0;
 }
 
@@ -548,10 +637,22 @@ int cmd_check(const Args& args) {
   return all_passed ? 0 : 1;
 }
 
+/// Owns the run's recorder state and guarantees the process-global active
+/// pointers never outlive it, whichever way run() exits.
+struct RecorderSession {
+  std::unique_ptr<obs::RunJournal> journal;
+  std::unique_ptr<obs::ProgressMeter> progress;
+  ~RecorderSession() {
+    obs::set_active_journal(nullptr);
+    obs::set_active_progress(nullptr);
+  }
+};
+
 int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const std::set<std::string> boolean_flags{"simpoints", "asymmetric", "coherence"};
+  const std::set<std::string> boolean_flags{"simpoints", "asymmetric", "coherence",
+                                            "progress"};
   const Args args(argc, argv, 2, boolean_flags);
 
   // Cross-command flags; read before dispatch so the per-command finish()
@@ -568,6 +669,38 @@ int run(int argc, char** argv) {
   if (sample_period > 1)
     obs::set_span_sample_period(static_cast<std::uint32_t>(sample_period));
 
+  RecorderSession recorder;
+  const std::string journal_out = args.get("journal-out", std::string(""));
+  if (!journal_out.empty()) {
+    recorder.journal = obs::RunJournal::open(journal_out);
+    if (recorder.journal == nullptr) {
+      std::fprintf(stderr, "c2b: cannot open journal %s\n", journal_out.c_str());
+      return 1;
+    }
+    obs::set_active_journal(recorder.journal.get());
+  }
+  // `--progress` renders at the default interval; `--progress=N` overrides
+  // it (milliseconds; 0 redraws on every update).
+  if (const auto interval_ms = args.get_opt("progress", 500)) {
+    obs::ProgressMeter::Options options;
+    options.interval_ms = *interval_ms > 0 ? static_cast<std::uint64_t>(*interval_ms) : 0;
+    recorder.progress = std::make_unique<obs::ProgressMeter>(options);
+    obs::set_active_progress(recorder.progress.get());
+  }
+
+  if (recorder.journal != nullptr) {
+    obs::JournalEvent event("run_begin");
+    event.str("command", command);
+    event.count("threads", exec::thread_count());
+    std::string argv_line;
+    for (int i = 2; i < argc; ++i) {
+      if (!argv_line.empty()) argv_line += ' ';
+      argv_line += argv[i];
+    }
+    event.str("argv", argv_line);
+    recorder.journal->emit(event);
+  }
+
   int rc;
   if (command == "workloads") rc = cmd_workloads(args);
   else if (command == "characterize") rc = cmd_characterize(args);
@@ -576,8 +709,33 @@ int run(int argc, char** argv) {
   else if (command == "trace") rc = cmd_trace(args);
   else if (command == "aps") rc = cmd_aps(args);
   else if (command == "dse") rc = cmd_dse(args);
+  else if (command == "report") rc = cmd_report(args);
   else if (command == "check") rc = cmd_check(args);
   else return usage();
+
+  if (recorder.progress != nullptr) {
+    recorder.progress->finish();
+    obs::set_active_progress(nullptr);
+    std::fputs(recorder.progress->summary().c_str(), stdout);
+  }
+  if (recorder.journal != nullptr) {
+    recorder.journal->snapshot_metrics(/*force=*/true);
+    recorder.journal->emit(obs::JournalEvent("run_end")
+                               .count("exit_code", static_cast<std::uint64_t>(rc))
+                               .num("wall_ms", recorder.journal->elapsed_ms()));
+    recorder.journal->flush();
+    obs::set_active_journal(nullptr);
+    std::printf("journal written to %s (%llu events)\n", journal_out.c_str(),
+                static_cast<unsigned long long>(recorder.journal->written_events()));
+  }
+  // Uniform end-of-run drop accounting: any nonzero counter means the
+  // observability record is incomplete, which deserves a loud note even
+  // when the run itself succeeded.
+  for (const obs::DropCounter& counter : obs::drop_counters(recorder.journal.get()))
+    if (counter.dropped > 0)
+      std::fprintf(stderr, "c2b: warning: %s dropped %llu event(s)\n",
+                   counter.name.c_str(),
+                   static_cast<unsigned long long>(counter.dropped));
 
   if (!metrics_out.empty()) {
     const bool csv = metrics_out.size() >= 4 &&

@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
-"""Gate CI on benchmark throughput (and, where baselined, speedup).
+"""Gate CI on benchmark throughput (and, where baselined, speedup/overhead).
 
 Usage: check_bench_regression.py CURRENT_JSON BASELINE_JSON [--tolerance FRAC]
 
-Compares every metric named in each baseline scenario — `accesses_per_sec`
-always, `speedup` when the baseline entry carries one — against a freshly
-produced BENCH_*.json and fails (exit 1) when any metric runs more than
---tolerance (default 0.20) below its baseline. The committed baselines are
-deliberately set below typical runner numbers so machine-to-machine
-variance does not trip the gate — only a genuine regression should.
+Compares the metrics each baseline scenario names — `accesses_per_sec` and
+`speedup` when present are floors (current must reach baseline minus
+--tolerance, default 0.20), and `max_overhead_pct` when present is a hard
+ceiling on the measured `overhead_pct` (no tolerance: the scenario is an
+A/B delta, already machine-speed independent). Fails (exit 1) on any
+violation. The committed floor baselines are deliberately set below typical
+runner numbers so machine-to-machine variance does not trip the gate — only
+a genuine regression should.
 """
 
 import argparse
@@ -42,10 +44,11 @@ def main():
             print(f"FAIL {name}: scenario missing from {args.current}")
             failed = True
             continue
-        metrics = ["accesses_per_sec"]
-        if "speedup" in base:
-            metrics.append("speedup")
-        for metric in metrics:
+        checked = False
+        for metric in ("accesses_per_sec", "speedup"):
+            if metric not in base:
+                continue
+            checked = True
             base_value = float(base[metric])
             cur_value = float(current[name][metric])
             floor = base_value * (1.0 - args.tolerance)
@@ -54,6 +57,18 @@ def main():
                   f"(baseline {base_value:,.2f}, floor {floor:,.2f})")
             if cur_value < floor:
                 failed = True
+        if "max_overhead_pct" in base:
+            checked = True
+            ceiling = float(base["max_overhead_pct"])
+            cur_value = float(current[name]["overhead_pct"])
+            verdict = "FAIL" if cur_value > ceiling else "ok"
+            print(f"{verdict:4} {name}: overhead_pct {cur_value:+.2f}% "
+                  f"(ceiling {ceiling:.2f}%)")
+            if cur_value > ceiling:
+                failed = True
+        if not checked:
+            print(f"FAIL {name}: baseline names no known metric")
+            failed = True
     return 1 if failed else 0
 
 

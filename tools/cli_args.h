@@ -24,6 +24,12 @@ class Args {
   double get(const std::string& flag, double fallback) const;
   long long get(const std::string& flag, long long fallback) const;
 
+  /// Optional-value flag (`--progress` / `--progress=N`): nullopt when the
+  /// flag is absent, `bare_value` when present with no `=value` (the flag
+  /// must be registered as boolean so the parser does not eat the next
+  /// token), the parsed number otherwise.
+  std::optional<long long> get_opt(const std::string& flag, long long bare_value) const;
+
   /// Flags that were parsed but never queried — call at the end to reject
   /// typos (`finish()` throws listing them).
   void mark_used(const std::string& flag) const { used_.insert(flag); }
@@ -64,13 +70,39 @@ inline std::string Args::get(const std::string& flag, const std::string& fallbac
 inline double Args::get(const std::string& flag, double fallback) const {
   mark_used(flag);
   const auto it = values_.find(flag);
-  return it == values_.end() ? fallback : std::stod(it->second);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + flag + " needs a number, got '" +
+                                it->second + "'");
+  }
 }
 
 inline long long Args::get(const std::string& flag, long long fallback) const {
   mark_used(flag);
   const auto it = values_.find(flag);
-  return it == values_.end() ? fallback : std::stoll(it->second);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + flag + " needs an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+inline std::optional<long long> Args::get_opt(const std::string& flag,
+                                              long long bare_value) const {
+  mark_used(flag);
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return std::nullopt;
+  if (it->second == "true") return bare_value;  // bare boolean form
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + flag + " needs an integer, got '" +
+                                it->second + "'");
+  }
 }
 
 inline void Args::finish() const {
