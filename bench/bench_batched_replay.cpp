@@ -152,13 +152,17 @@ int main(int argc, char** argv) {
   using namespace c2b;
   using namespace c2b::bench;
 
-  // Fig. 12 case study (fluidanimate-like, N = 4) and the Fig. 7
-  // dependent-chase extreme (N = 8), both at working-set knobs where the
+  // Fig. 12 case study (fluidanimate-like, N = 4), the Fig. 7
+  // dependent-chase extreme (N = 8), and a wide-chip sweep (N = 16) whose
+  // 36-point class splits into 16+16+4 power-of-two batch units — the
+  // vectorized kernel's best case. Working-set knobs are sized so the
   // per-stream setup cost is material next to the APS simulation window.
   std::vector<Scenario> scenarios{
       neighborhood_sweep("neighborhood_n4", make_fluidanimate_like_workload(1u << 19), 4.0,
                          /*instructions0=*/6'000),
       neighborhood_sweep("neighborhood_n8", make_pointer_chase_workload(1u << 20), 8.0,
+                         /*instructions0=*/6'000),
+      neighborhood_sweep("neighborhood_n16", make_fluidanimate_like_workload(1u << 19), 16.0,
                          /*instructions0=*/6'000),
   };
   std::vector<Measurement> measurements(scenarios.size());

@@ -294,12 +294,26 @@ constexpr std::size_t kMaxBatchMembers = 16;
 
 struct BatchUnit {
   std::vector<std::size_t> members;
+  std::size_t class_index = 0;  ///< which trace-equivalence class this unit belongs to
+};
+
+/// Constructed-but-never-pulled generators for one trace-equivalence class,
+/// built once and clone()d by every unit of the class. Construction is the
+/// expensive part of a stream (e.g. PointerChaseGenerator's Fisher-Yates
+/// permutation build); a clone of a pristine prototype replays the same
+/// records for a fraction of the cost, and cloning from a const prototype
+/// is thread-safe (pure copy). Only built for classes with >= 2 units —
+/// a lone unit constructs its generators directly either way.
+struct ClassPrototypes {
+  std::unique_ptr<TraceGenerator> serial;                  ///< null when unneeded/unclonable
+  std::vector<std::unique_ptr<TraceGenerator>> parallel;   ///< one per core, nulls allowed
 };
 
 struct BatchUnitResult {
   std::vector<BatchSimOutcome> outcomes;  ///< parallel to the unit's members
   std::uint64_t chunks_shared = 0;
   std::uint64_t regen_avoided_accesses = 0;
+  sim::BatchKernelStats kernel;
 };
 
 /// Simulate one unit: generate each phase's streams once into a shared
@@ -309,10 +323,26 @@ struct BatchUnitResult {
 /// which the kernel's results are provably insensitive to.
 BatchUnitResult run_batch_unit(const DseContext& context,
                                const std::vector<sim::SystemConfig>& configs,
-                               const BatchUnit& unit) {
+                               const BatchUnit& unit, const ClassPrototypes* prototypes) {
   const std::size_t k = unit.members.size();
   const std::uint32_t n = configs[unit.members.front()].hierarchy.cores;
   const PhasePlan plan = make_phase_plan(context, n);
+
+  // Clone the class prototype when one exists (and is clonable); fall back
+  // to constructing from scratch. Both produce bit-identical streams.
+  const auto serial_generator = [&]() -> std::unique_ptr<TraceGenerator> {
+    if (prototypes != nullptr && prototypes->serial != nullptr)
+      if (auto cloned = prototypes->serial->clone()) return cloned;
+    return context.workload.make_generator(plan.serial_footprint_scale, context.seed);
+  };
+  const auto parallel_generator = [&](std::uint32_t c) -> std::unique_ptr<TraceGenerator> {
+    if (prototypes != nullptr && c < prototypes->parallel.size() &&
+        prototypes->parallel[c] != nullptr)
+      if (auto cloned = prototypes->parallel[c]->clone()) return cloned;
+    return context.workload.make_generator(
+        plan.per_core_footprint_scale,
+        Rng::derive_stream_seed(context.seed, static_cast<std::uint64_t>(c)));
+  };
 
   std::vector<sim::SystemConfig> member_configs;
   member_configs.reserve(k);
@@ -327,12 +357,15 @@ BatchUnitResult run_batch_unit(const DseContext& context,
     out.regen_avoided_accesses += store.stats().regen_avoided_accesses;
   };
 
+  sim::BatchedReplayOptions options;
+  options.lockstep_records = context.lockstep_records;
+  options.use_simd = context.use_simd;
+  options.kernel_stats = &out.kernel;
+
   // ---- Serial phase: one shared stream, K single-core members ----
   if (plan.serial_window != 0) {
     TraceChunkStore store;
-    const std::size_t stream = store.add_stream(
-        context.workload.make_generator(plan.serial_footprint_scale, context.seed),
-        plan.serial_window);
+    const std::size_t stream = store.add_stream(serial_generator(), plan.serial_window);
     store.set_readers(static_cast<std::uint32_t>(k));
     std::vector<ChunkCursor> cursors;
     cursors.reserve(k);
@@ -342,7 +375,7 @@ BatchUnitResult run_batch_unit(const DseContext& context,
       member_cursors[m] = {&cursors.back()};
     }
     const std::vector<sim::SystemResult> results =
-        sim::simulate_system_batched(member_configs, member_cursors);
+        sim::simulate_system_batched(member_configs, member_cursors, options);
     for (std::size_t m = 0; m < k; ++m) {
       const double cpi = results[m].cores[0].cpi;
       total_cycles[m] += cpi * plan.serial_ic;
@@ -355,11 +388,7 @@ BatchUnitResult run_batch_unit(const DseContext& context,
   if (plan.parallel_window != 0) {
     TraceChunkStore store;
     for (std::uint32_t c = 0; c < n; ++c)
-      store.add_stream(
-          context.workload.make_generator(
-              plan.per_core_footprint_scale,
-              Rng::derive_stream_seed(context.seed, static_cast<std::uint64_t>(c))),
-          plan.parallel_window);
+      store.add_stream(parallel_generator(c), plan.parallel_window);
     store.set_readers(static_cast<std::uint32_t>(k));
     std::vector<ChunkCursor> cursors;
     cursors.reserve(k * n);
@@ -372,7 +401,7 @@ BatchUnitResult run_batch_unit(const DseContext& context,
       }
     }
     const std::vector<sim::SystemResult> results =
-        sim::simulate_system_batched(member_configs, member_cursors);
+        sim::simulate_system_batched(member_configs, member_cursors, options);
     const double scale = plan.parallel_ic_per_core / static_cast<double>(plan.parallel_window);
     for (std::size_t m = 0; m < k; ++m) {
       for (const sim::CoreResult& core : results[m].cores)
@@ -445,20 +474,62 @@ std::vector<BatchSimOutcome> simulate_design_times_batched(const DseContext& con
     if (obs::ProgressMeter* progress = obs::active_progress())
       progress->advance(static_cast<double>(local.cache_hits));
 
-  // Split each class into bounded units. The layout depends only on the
+  // Split each class into bounded units, greedily taking the largest
+  // power of two <= min(remaining, kMaxBatchMembers) so unit widths are
+  // powers of two wherever the class size allows (the vectorized kernel's
+  // preferred lane counts; 36 -> 16,16,4). The layout depends only on the
   // point list (never on thread count), so the units — and therefore every
   // simulated stream pairing — are deterministic.
   std::vector<BatchUnit> units;
+  std::size_t class_count = 0;
   for (const auto& [cores, members] : classes) {
     (void)cores;
+    const std::size_t class_index = class_count++;
     ++local.classes;
     local.members += members.size();
-    for (std::size_t begin = 0; begin < members.size(); begin += kMaxBatchMembers) {
-      const std::size_t end = std::min(members.size(), begin + kMaxBatchMembers);
+    std::size_t begin = 0;
+    while (begin < members.size()) {
+      std::size_t take = kMaxBatchMembers;
+      while (take > members.size() - begin) take >>= 1;
+      const std::size_t end = begin + take;
       units.push_back(BatchUnit{{members.begin() + static_cast<std::ptrdiff_t>(begin),
-                                 members.begin() + static_cast<std::ptrdiff_t>(end)}});
+                                 members.begin() + static_cast<std::ptrdiff_t>(end)},
+                                class_index});
+      begin = end;
     }
   }
+
+  // Build per-class prototype generators for classes spanning >= 2 units:
+  // each unit then clone()s the pristine prototypes instead of re-running
+  // the expensive generator construction (dominant in profile for e.g.
+  // pointer-chase permutation builds). Built on the pool — one task per
+  // class — before the unit sweep; unit tasks only read the prototypes.
+  std::vector<std::size_t> units_per_class(class_count, 0);
+  for (const BatchUnit& unit : units) ++units_per_class[unit.class_index];
+  std::vector<std::uint32_t> class_cores;
+  class_cores.reserve(class_count);
+  for (const auto& [cores, members] : classes) {
+    (void)members;
+    class_cores.push_back(cores);
+  }
+  const std::vector<ClassPrototypes> prototypes =
+      exec::ThreadPool::global().parallel_map<ClassPrototypes>(
+          class_count, [&](std::size_t class_index) {
+            ClassPrototypes protos;
+            if (units_per_class[class_index] < 2) return protos;
+            const PhasePlan plan = make_phase_plan(context, class_cores[class_index]);
+            if (plan.serial_window != 0)
+              protos.serial = context.workload.make_generator(plan.serial_footprint_scale,
+                                                              context.seed);
+            if (plan.parallel_window != 0) {
+              protos.parallel.reserve(class_cores[class_index]);
+              for (std::uint32_t c = 0; c < class_cores[class_index]; ++c)
+                protos.parallel.push_back(context.workload.make_generator(
+                    plan.per_core_footprint_scale,
+                    Rng::derive_stream_seed(context.seed, static_cast<std::uint64_t>(c))));
+            }
+            return protos;
+          });
 
   // Scheduled events go out serially in unit order (the layout above is
   // thread-count independent, so this stream is deterministic).
@@ -477,7 +548,8 @@ std::vector<BatchSimOutcome> simulate_design_times_batched(const DseContext& con
       exec::ThreadPool::global().parallel_map<BatchUnitResult>(
           units.size(), [&](std::size_t u) {
             const auto start = std::chrono::steady_clock::now();
-            BatchUnitResult result = run_batch_unit(context, configs, units[u]);
+            BatchUnitResult result =
+                run_batch_unit(context, configs, units[u], &prototypes[units[u].class_index]);
             const double wall_ms =
                 std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
@@ -524,6 +596,9 @@ std::vector<BatchSimOutcome> simulate_design_times_batched(const DseContext& con
     }
     local.chunks_shared += result.chunks_shared;
     local.regen_avoided_accesses += result.regen_avoided_accesses;
+    local.simd_steps += result.kernel.simd_steps;
+    local.simd_peels += result.kernel.simd_peels;
+    local.simd_lanes_active += result.kernel.simd_lanes_active;
   }
   cache.insert_many(inserts);
 
@@ -547,6 +622,7 @@ std::vector<BatchSimOutcome> simulate_design_times_batched(const DseContext& con
   C2B_COUNTER_ADD("exec.batch.members", local.members);
   C2B_COUNTER_ADD("exec.batch.chunks_shared", local.chunks_shared);
   C2B_COUNTER_ADD("exec.batch.regen_avoided_accesses", local.regen_avoided_accesses);
+  // exec.batch.simd.* are bumped inside the vectorized kernel itself.
   if (stats != nullptr) *stats = local;
   return outcomes;
 }

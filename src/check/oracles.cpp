@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -20,6 +21,8 @@
 #include "c2b/exec/pool.h"
 #include "c2b/exec/sim_cache.h"
 #include "c2b/obs/obs.h"
+#include "c2b/sim/system/batched.h"
+#include "c2b/trace/chunk_store.h"
 
 namespace c2b::check {
 namespace {
@@ -862,10 +865,180 @@ OracleReport run_batch_equivalence_oracle(const OracleOptions& options) {
   return report;
 }
 
+OracleReport run_simd_equivalence_oracle(const OracleOptions& options) {
+  OracleReport report;
+  report.family = "simd";
+  C2B_REQUIRE(!options.thread_counts.empty(), "simd oracle needs thread counts");
+
+  // Whether the vectorized kernel will actually run (same policy as the
+  // dispatcher): used only to decide if simd telemetry must be non-zero —
+  // the bit-identity checks below hold either way, which is exactly what
+  // the forced-scalar CI job relies on.
+  const bool simd_on = [] {
+#if defined(C2B_DISABLE_SIMD)
+    return false;
+#else
+    const char* env = std::getenv("C2B_NO_SIMD");
+    return env == nullptr || env[0] == '\0' || std::strcmp(env, "0") == 0;
+#endif
+  }();
+
+  const std::size_t widths[] = {2, 4, 8, 16};
+  const std::uint64_t granularities[] = {1, 7, 4096};
+
+  // --- vectorized vs scalar-lockstep vs per-cycle reference, bitwise ------
+  // One random workload + core count per set; per width, a heterogeneous
+  // member list (issue/ROB/FU/cache geometry all vary, trace streams
+  // shared); the per-cycle reference runs once per (set, width) and every
+  // (vectorized, scalar) x granularity combination must reproduce it
+  // bitwise, member by member.
+  for (std::size_t i = 0; i < options.simd_sets; ++i) {
+    Rng rng(Rng::derive_stream_seed(options.seed, 70'000 + i));
+    const std::string repro = repro_line(options.seed, 70'000 + i);
+    const sim::SystemConfig proto = gen_system_config(rng);
+    const std::uint32_t n = proto.hierarchy.cores;
+    const WorkloadSpec spec = gen_workload_spec(rng);
+    const double scale = pick(rng, {1.0, 2.0});
+    const std::uint64_t window = 2'000 + rng.uniform_below(4'000);
+    const std::uint64_t stream_seed = rng.next();
+
+    // The exact streams every replay consumes, materialized once for the
+    // reference kernel.
+    std::vector<Trace> traces;
+    traces.reserve(n);
+    for (std::uint32_t c = 0; c < n; ++c)
+      traces.push_back(
+          spec.make_generator(scale, Rng::derive_stream_seed(stream_seed, c))->generate(window));
+
+    const auto make_store = [&](TraceChunkStore& store, std::size_t readers) {
+      for (std::uint32_t c = 0; c < n; ++c)
+        store.add_stream(spec.make_generator(scale, Rng::derive_stream_seed(stream_seed, c)),
+                         window);
+      store.set_readers(static_cast<std::uint32_t>(readers));
+    };
+
+    for (const std::size_t width : widths) {
+      // Heterogeneous member configs sharing the trace shape (core count).
+      std::vector<sim::SystemConfig> configs;
+      configs.reserve(width);
+      for (std::size_t m = 0; m < width; ++m) {
+        sim::SystemConfig config = proto;
+        config.core.issue_width = pick<std::uint32_t>(rng, {1, 2, 4});
+        config.core.rob_size =
+            std::max(config.core.issue_width, pick<std::uint32_t>(rng, {16, 32, 64, 128}));
+        config.core.functional_units = pick<std::uint32_t>(rng, {1, 2, 4, 8});
+        const sim::CacheGeometry& l1 = proto.hierarchy.l1_geometry;
+        config.hierarchy.l1_geometry.size_bytes = static_cast<std::uint64_t>(l1.line_bytes) *
+                                                  l1.associativity *
+                                                  pick<std::uint32_t>(rng, {4, 16, 64});
+        const sim::CacheGeometry& l2 = proto.hierarchy.l2_geometry;
+        config.hierarchy.l2_geometry.size_bytes = static_cast<std::uint64_t>(l2.line_bytes) *
+                                                  l2.associativity *
+                                                  pick<std::uint32_t>(rng, {64, 256, 1024});
+        config.validate();
+        configs.push_back(config);
+      }
+
+      std::vector<sim::SystemResult> reference;
+      reference.reserve(width);
+      for (std::size_t m = 0; m < width; ++m)
+        reference.push_back(sim::simulate_system_reference(configs[m], traces));
+
+      for (const std::uint64_t granularity : granularities) {
+        for (const bool use_simd : {true, false}) {
+          TraceChunkStore store;
+          make_store(store, width);
+          std::vector<ChunkCursor> cursors;
+          cursors.reserve(width * n);
+          std::vector<std::vector<TraceCursor*>> member_cursors(width);
+          for (std::size_t m = 0; m < width; ++m) {
+            member_cursors[m].reserve(n);
+            for (std::uint32_t c = 0; c < n; ++c) {
+              cursors.emplace_back(store, c);
+              member_cursors[m].push_back(&cursors.back());
+            }
+          }
+          sim::BatchedReplayOptions batch_options;
+          batch_options.lockstep_records = granularity;
+          batch_options.use_simd = use_simd;
+          sim::BatchKernelStats kernel;
+          batch_options.kernel_stats = &kernel;
+          const std::vector<sim::SystemResult> results =
+              sim::simulate_system_batched(configs, member_cursors, batch_options);
+
+          const std::string what = std::string(use_simd ? "vectorized" : "scalar") +
+                                   " width=" + std::to_string(width) +
+                                   " lockstep=" + std::to_string(granularity);
+          for (std::size_t m = 0; m < width; ++m) {
+            ++report.checks;
+            if (auto diff = diff_system_results(results[m], reference[m])) {
+              report.failures.push_back("simd set #" + std::to_string(i) + " " + what +
+                                        " member " + std::to_string(m) + " vs reference " +
+                                        *diff + "; repro: " + repro);
+              break;
+            }
+          }
+          ++report.checks;
+          if (use_simd && simd_on && kernel.simd_steps == 0) {
+            report.failures.push_back("simd set #" + std::to_string(i) + " " + what +
+                                      ": vectorized kernel reported zero steps; repro: " +
+                                      repro);
+          } else if (!use_simd && kernel.simd_steps != 0) {
+            report.failures.push_back("simd set #" + std::to_string(i) + " " + what +
+                                      ": scalar run reported simd steps; repro: " + repro);
+          }
+        }
+      }
+    }
+  }
+
+  // --- DSE driver: vectorized on vs off, bit-identical at every thread
+  // count (also exercises prototype-generator cloning under the pool) -----
+  ExecStateGuard guard;
+  exec::SimCache& cache = exec::SimCache::global();
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, options.simd_sets / 2); ++i) {
+    Rng rng(Rng::derive_stream_seed(options.seed, 71'000 + i));
+    const std::string repro = repro_line(options.seed, 71'000 + i);
+    const DseScenario scenario = gen_dse_scenario(rng);
+    const GridSpace space = make_design_space(scenario.axes);
+    std::vector<std::vector<double>> points;
+    space.for_each([&](std::size_t, const std::vector<double>& point) {
+      if (design_feasible(scenario.context, point)) points.push_back(point);
+    });
+    if (points.empty()) continue;
+
+    cache.set_enabled(false);
+    exec::set_thread_count(1);
+    DseContext scalar_context = scenario.context;
+    scalar_context.use_simd = false;
+    const std::vector<BatchSimOutcome> scalar_ref =
+        simulate_design_times_batched(scalar_context, points, nullptr);
+
+    for (const std::size_t threads : options.thread_counts) {
+      exec::set_thread_count(threads);
+      BatchReplayStats stats;
+      const std::vector<BatchSimOutcome> vectorized =
+          simulate_design_times_batched(scenario.context, points, &stats);
+      ++report.checks;
+      for (std::size_t j = 0; j < points.size(); ++j) {
+        if (!bit_equal(vectorized[j].time, scalar_ref[j].time) ||
+            vectorized[j].memory_accesses != scalar_ref[j].memory_accesses) {
+          report.failures.push_back(
+              "simd dse set #" + std::to_string(i) + " threads=" + std::to_string(threads) +
+              " point " + std::to_string(j) + ": vectorized " + fmt(vectorized[j].time) +
+              " != scalar " + fmt(scalar_ref[j].time) + "; repro: " + repro);
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
 std::vector<OracleReport> run_all_oracles(const OracleOptions& options) {
-  return {run_analytic_vs_sim_oracle(options), run_determinism_oracle(options),
-          run_invariant_oracle(options), run_kernel_equivalence_oracle(options),
-          run_batch_equivalence_oracle(options)};
+  return {run_analytic_vs_sim_oracle(options),  run_determinism_oracle(options),
+          run_invariant_oracle(options),        run_kernel_equivalence_oracle(options),
+          run_batch_equivalence_oracle(options), run_simd_equivalence_oracle(options)};
 }
 
 bool write_tolerance_bands_json(const std::string& path,

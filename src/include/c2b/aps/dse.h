@@ -47,6 +47,11 @@ struct DseContext {
   std::uint64_t instructions0 = 60'000;  ///< IC0 of the scaled-down study
   std::uint64_t per_core_cap = 40'000;   ///< simulation window cap per core
   std::uint64_t seed = 99;
+  // Batched-replay tuning (results are bit-identical for any values, so
+  // neither belongs in simulation cache keys): lockstep granularity and the
+  // vectorized-kernel escape hatch, forwarded to BatchedReplayOptions.
+  std::uint64_t lockstep_records = 4096;
+  bool use_simd = true;
 };
 
 /// Translate a design point to a full simulator configuration. Cache sizes
@@ -100,6 +105,11 @@ struct BatchReplayStats {
   std::size_t cache_hits = 0;  ///< points peeled off by the sim cache
   std::uint64_t chunks_shared = 0;            ///< extra consumers over generated chunks
   std::uint64_t regen_avoided_accesses = 0;   ///< memory accesses not regenerated
+  // Vectorized-kernel accounting (sim::BatchKernelStats, summed over
+  // units): all zero when every unit ran the scalar fallback.
+  std::uint64_t simd_steps = 0;
+  std::uint64_t simd_peels = 0;
+  std::uint64_t simd_lanes_active = 0;
 
   void merge(const BatchReplayStats& other) {
     classes += other.classes;
@@ -107,6 +117,9 @@ struct BatchReplayStats {
     cache_hits += other.cache_hits;
     chunks_shared += other.chunks_shared;
     regen_avoided_accesses += other.regen_avoided_accesses;
+    simd_steps += other.simd_steps;
+    simd_peels += other.simd_peels;
+    simd_lanes_active += other.simd_lanes_active;
   }
 };
 

@@ -26,7 +26,12 @@
 //      simulate_design_time on random design-point sets: times and access
 //      counts bitwise at every thread count, the telemetry ledger balanced,
 //      and the warm path (batched run populating the sim cache, per-point
-//      runs replaying it) reproducing the cold results exactly.
+//      runs replaying it) reproducing the cold results exactly;
+//   6. simd equivalence — the vectorized lockstep batch kernel vs the
+//      scalar-lockstep driver vs simulate_system_reference, every
+//      SystemResult field compared bitwise across batch widths {2,4,8,16}
+//      and lockstep granularities {1,7,4096}, plus DSE sweeps with the
+//      vectorized kernel on vs off bit-identical at threads {1,2,8}.
 //
 // The oracles mutate process-global execution state (thread count, the
 // global sim cache, telemetry counters) and restore defaults on exit; do
@@ -58,6 +63,9 @@ struct OracleOptions {
   /// batch equivalence: random design-point sets replayed batched vs
   /// per-point at every thread count.
   std::size_t batch_sets = 50;
+  /// simd equivalence: random scenarios compared across every batch width
+  /// {2,4,8,16} x lockstep granularity {1,7,4096} combination each.
+  std::size_t simd_sets = 3;
   std::vector<std::size_t> thread_counts{1, 2, 8};
   /// Corpus directory for shrunk property counterexamples ("" = none).
   std::string corpus_dir;
@@ -87,8 +95,9 @@ OracleReport run_determinism_oracle(const OracleOptions& options = {});
 OracleReport run_invariant_oracle(const OracleOptions& options = {});
 OracleReport run_kernel_equivalence_oracle(const OracleOptions& options = {});
 OracleReport run_batch_equivalence_oracle(const OracleOptions& options = {});
+OracleReport run_simd_equivalence_oracle(const OracleOptions& options = {});
 
-/// All five families in order; never throws on oracle failure (inspect
+/// All six families in order; never throws on oracle failure (inspect
 /// the reports).
 std::vector<OracleReport> run_all_oracles(const OracleOptions& options = {});
 

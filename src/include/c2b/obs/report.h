@@ -54,6 +54,11 @@ struct RunReport {
   double regen_avoided_accesses = 0.0;
   double est_saved_ms = 0.0;       ///< cache_hits × mean per-member sim wall
   double batch_speedup = 1.0;      ///< (sim wall + est saved) / sim wall
+  // Vectorized-kernel accounting (exec.batch.simd.*); all zero when every
+  // unit ran the scalar lockstep fallback.
+  double simd_steps = 0.0;
+  double simd_peels = 0.0;
+  double simd_lanes_active = 0.0;
 
   // --- explored space (from `point`) ---
   struct PointSample {

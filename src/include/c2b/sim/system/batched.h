@@ -63,12 +63,41 @@ class SystemReplay {
   std::unique_ptr<Impl> impl_;
 };
 
+/// Vectorized-kernel accounting for one simulate_system_batched call (all
+/// zero when the scalar fallback ran). Also published as the
+/// exec.batch.simd.{steps,peels,lanes_active} telemetry counters.
+struct BatchKernelStats {
+  std::uint64_t simd_steps = 0;  ///< events processed by the vectorized kernel
+  /// Records issued through the scalar per-record path (the remainder went
+  /// through closed-form compute jumps): the kernel's divergence rate is
+  /// simd_peels / records consumed.
+  std::uint64_t simd_peels = 0;
+  /// Sum over lockstep rounds of live members — how compacted the batch
+  /// stayed as members finished.
+  std::uint64_t simd_lanes_active = 0;
+
+  void merge(const BatchKernelStats& other) noexcept {
+    simd_steps += other.simd_steps;
+    simd_peels += other.simd_peels;
+    simd_lanes_active += other.simd_lanes_active;
+  }
+};
+
 struct BatchedReplayOptions {
   /// Lockstep granularity: how many records each member may consume past
   /// the previous common target before every member is caught up. One
   /// chunk keeps the shared stream's resident window minimal while still
   /// amortizing the round-robin sweep.
   std::uint64_t lockstep_records = 4096;
+  /// Dispatch policy: batches of >= 2 members run the vectorized lockstep
+  /// kernel (batched_simd.cpp) unless this is false, the build disabled it
+  /// (-DC2B_DISABLE_SIMD=ON), or C2B_NO_SIMD=1 is set in the environment.
+  /// Results are bit-identical either way; this is an escape hatch, not a
+  /// semantic knob (it does not belong in sim-cache keys).
+  bool use_simd = true;
+  /// Optional out-param: vectorized-kernel stats are accumulated (+=) into
+  /// it when non-null.
+  BatchKernelStats* kernel_stats = nullptr;
 };
 
 /// Simulate `configs.size()` members in lockstep; member k runs

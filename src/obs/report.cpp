@@ -50,6 +50,9 @@ RunReport build_report(const std::vector<JournalRecord>& records,
     } else if (record.type == "batch_stats") {
       report.chunks_shared += record.num("chunks_shared");
       report.regen_avoided_accesses += record.num("regen_avoided_accesses");
+      report.simd_steps += record.num("simd_steps");
+      report.simd_peels += record.num("simd_peels");
+      report.simd_lanes_active += record.num("simd_lanes_active");
     } else if (record.type == "run_end") {
       report.saw_run_end = true;
       report.total_wall_ms = std::max(report.total_wall_ms, record.ts_ms);
@@ -58,6 +61,9 @@ RunReport build_report(const std::vector<JournalRecord>& records,
       report.chunks_shared = record.num("chunks_shared", report.chunks_shared);
       report.regen_avoided_accesses =
           record.num("regen_avoided_accesses", report.regen_avoided_accesses);
+      report.simd_steps = record.num("simd_steps", report.simd_steps);
+      report.simd_peels = record.num("simd_peels", report.simd_peels);
+      report.simd_lanes_active = record.num("simd_lanes_active", report.simd_lanes_active);
     } else if (record.type == "phase_end") {
       const std::string name = record.str("name", "?");
       const auto [it, inserted] = phase_index.emplace(name, report.phases.size());
@@ -167,6 +173,13 @@ std::string render_report(const RunReport& report, std::size_t top_k) {
   std::snprintf(line, sizeof line, "  regen avoided          %.0f accesses\n",
                 report.regen_avoided_accesses);
   out += line;
+  if (report.simd_steps > 0.0) {
+    std::snprintf(line, sizeof line,
+                  "  simd kernel            %.0f steps | %.0f peeled records | "
+                  "%.0f lane-rounds\n",
+                  report.simd_steps, report.simd_peels, report.simd_lanes_active);
+    out += line;
+  }
   std::snprintf(line, sizeof line,
                 "  est. cache savings     %s  (%.2fx speedup attribution)\n",
                 format_duration(report.est_saved_ms).c_str(), report.batch_speedup);

@@ -1,7 +1,9 @@
 #include "c2b/sim/system/batched.h"
 
 #include <limits>
+#include <numeric>
 
+#include "batched_simd.h"
 #include "c2b/common/assert.h"
 #include "c2b/obs/obs.h"
 
@@ -16,6 +18,14 @@ std::vector<SystemResult> simulate_system_batched(
   C2B_SPAN("sim/simulate_system_batched");
 
   const std::size_t k = configs.size();
+
+  // Dispatch: multi-member batches run the vectorized kernel (one loop over
+  // all members, SIMD argmin event selection, devirtualized cursors) unless
+  // it is switched off; single members gain nothing from it. Both paths are
+  // bit-identical — see batched_simd.h for the ordering argument.
+  if (k >= 2 && options.use_simd && detail::simd_kernel_enabled())
+    return detail::simulate_batch_vectorized(configs, cursors, options);
+
   std::vector<SystemReplay> replays;
   replays.reserve(k);
   for (std::size_t m = 0; m < k; ++m) replays.emplace_back(configs[m], cursors[m]);
@@ -27,17 +37,21 @@ std::vector<SystemResult> simulate_system_batched(
   // bounds the store's resident window and keeps each chunk cache-hot while
   // all K members drain it. Bit-identity needs no argument here: each
   // member is an independent SystemReplay, and slicing a replay into
-  // advance_until() calls is invisible to its result.
+  // advance_until() calls is invisible to its result. Finished members are
+  // compacted out of the sweep so skewed trace lengths don't pay a full
+  // K-wide scan every remaining round.
+  std::vector<std::size_t> unfinished(k);
+  std::iota(unfinished.begin(), unfinished.end(), std::size_t{0});
   std::uint64_t target = 0;
-  std::size_t finished = 0;
-  while (finished < k) {
+  while (!unfinished.empty()) {
     if (target >= std::numeric_limits<std::uint64_t>::max() - options.lockstep_records)
       target = std::numeric_limits<std::uint64_t>::max();
     else
       target += options.lockstep_records;
-    finished = 0;
-    for (std::size_t m = 0; m < k; ++m)
-      if (replays[m].advance_until(target)) ++finished;
+    std::size_t live = 0;
+    for (const std::size_t m : unfinished)
+      if (!replays[m].advance_until(target)) unfinished[live++] = m;
+    unfinished.resize(live);
   }
 
   std::vector<SystemResult> results;

@@ -1,0 +1,48 @@
+#pragma once
+
+// Vectorized lockstep batch kernel (private header).
+//
+// simulate_batch_vectorized runs K batch members inside ONE kernel loop
+// instead of K independent SystemReplay objects: all members' per-core
+// next-event cycles live in one flat array, the per-member event heap is
+// replaced by a SIMD argmin scan over that member's slice, and finished
+// members are compacted out of the active-lane list. The step body is the
+// shared detail::step_core template (batch_state.h), instantiated with the
+// concrete ChunkCursor type when every cursor is one (the common batched
+// path), so peek/advance/compute_run/skip devirtualize.
+//
+// Results are bit-identical to running each member through SystemReplay:
+// the heap holds exactly one pending event per live core, ordered by
+// (cycle, core index), and argmin with a strict `<` left-to-right scan
+// returns the lowest index among minimal cycles — the same pop order.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "c2b/sim/system/batched.h"
+
+namespace c2b::sim::detail {
+
+/// False when the vectorized kernel is compiled out (-DC2B_DISABLE_SIMD=ON)
+/// or disabled at runtime (C2B_NO_SIMD=1 in the environment).
+bool simd_kernel_enabled();
+
+/// True when the AVX2 argmin path was selected by runtime dispatch (always
+/// false on non-x86-64 or under C2B_DISABLE_SIMD).
+bool simd_avx2_active();
+
+/// Index of the smallest value in [values, values + count); the lowest
+/// index wins ties. Precondition: count > 0. Runtime-dispatched between a
+/// portable blocked reduction and an AVX2 path.
+std::size_t argmin_u64(const std::uint64_t* values, std::size_t count);
+
+/// Vectorized equivalent of the scalar lockstep loop in batched.cpp: same
+/// preconditions and member semantics as simulate_system_batched (which is
+/// the only caller), same results bit for bit.
+std::vector<SystemResult> simulate_batch_vectorized(
+    const std::vector<SystemConfig>& configs,
+    const std::vector<std::vector<TraceCursor*>>& cursors,
+    const BatchedReplayOptions& options);
+
+}  // namespace c2b::sim::detail

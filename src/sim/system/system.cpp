@@ -5,6 +5,7 @@
 #include <queue>
 #include <vector>
 
+#include "batch_state.h"
 #include "c2b/common/assert.h"
 #include "c2b/obs/obs.h"
 #include "c2b/sim/system/batched.h"
@@ -44,6 +45,10 @@
 // the width budget, so no memory record co-issues) and retires them one
 // cycle later, touching no shared state. The jump only updates core-local
 // counters and re-enqueues the core, so cross-core ordering is preserved.
+//
+// The loop body itself (retire / fast paths / issue / detector fold) lives
+// in detail::step_core (batch_state.h), shared verbatim with the vectorized
+// batch kernel (batched_simd.cpp); this file owns only the event heap.
 
 namespace c2b::sim {
 
@@ -80,10 +85,6 @@ double SystemResult::mean_cpi() const noexcept {
 
 namespace {
 
-constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
-/// Detector fold cadence, matching the seed kernel's `(cycle & 0xFFF)`.
-constexpr std::uint64_t kDetectorStride = 0x1000;
-
 struct Event {
   std::uint64_t cycle = 0;
   std::uint32_t core = 0;
@@ -97,297 +98,30 @@ struct EventAfter {
   }
 };
 
-/// One ROB ring entry: `count` program-order-adjacent instructions that all
-/// complete at `completion`. Run-length encoding the ROB is unobservable —
-/// only the FIFO sequence of completion cycles matters — and it makes whole
-/// issue groups (and the pipelined fast path's batch rewrites) O(1) per
-/// cycle instead of O(width).
-struct RobGroup {
-  std::uint64_t completion = 0;
-  std::uint32_t count = 0;
-};
-
-/// Flat structure-of-arrays core state: per-core scalars in parallel
-/// vectors and all ROBs in one fixed-capacity ring buffer of RLE groups,
-/// replacing the per-core std::deque of the seed kernel. Capacity is
-/// rob_size groups: instructions per core never exceed rob_size, and every
-/// group holds at least one, so the ring cannot overflow.
-struct CoreLanes {
-  std::uint32_t rob_capacity = 0;
-  std::vector<RobGroup> rob;             ///< group ring per core
-  std::vector<std::uint32_t> rob_head;   ///< front group slot
-  std::vector<std::uint32_t> rob_groups;  ///< live groups
-  std::vector<std::uint32_t> rob_count;   ///< live instructions
-  std::vector<std::uint64_t> last_mem_completion;
-  std::vector<std::uint64_t> retired;
-  std::vector<std::uint64_t> memory_accesses;
-  std::vector<std::uint64_t> last_retire_cycle;
-  std::vector<std::uint64_t> last_detector_fold;
-  /// Running max completion ever pushed per core; never decreased on pop,
-  /// so `rob_max_completion[c] <= cycle` conservatively proves every live
-  /// entry is retireable (staleness only delays the pipelined fast path).
-  std::vector<std::uint64_t> rob_max_completion;
-  std::vector<CamatDetector> detectors;
-
-  CoreLanes(std::size_t cores, std::uint32_t rob_size)
-      : rob_capacity(rob_size),
-        rob(cores * static_cast<std::size_t>(rob_size)),
-        rob_head(cores, 0),
-        rob_groups(cores, 0),
-        rob_count(cores, 0),
-        last_mem_completion(cores, 0),
-        retired(cores, 0),
-        memory_accesses(cores, 0),
-        last_retire_cycle(cores, 0),
-        last_detector_fold(cores, 0),
-        rob_max_completion(cores, 0),
-        detectors(cores) {}
-
-  RobGroup& front_group(std::size_t c) { return rob[c * rob_capacity + rob_head[c]]; }
-  void pop_group(std::size_t c) {
-    std::uint32_t head = rob_head[c] + 1;
-    if (head == rob_capacity) head = 0;
-    rob_head[c] = head;
-    --rob_groups[c];
-  }
-  /// FIFO completion of the oldest instruction (precondition: non-empty).
-  std::uint64_t rob_front(std::size_t c) { return front_group(c).completion; }
-  /// Append `count` instructions completing at `completion`, merging into
-  /// the tail group when the completion matches (same-cycle issue group).
-  void rob_push(std::size_t c, std::uint64_t completion, std::uint32_t count = 1) {
-    std::uint32_t tail = rob_head[c] + rob_groups[c];
-    if (tail >= rob_capacity) tail -= rob_capacity;
-    if (rob_groups[c] != 0) {
-      std::uint32_t last = tail == 0 ? rob_capacity - 1 : tail - 1;
-      RobGroup& back = rob[c * rob_capacity + last];
-      if (back.completion == completion) {
-        back.count += count;
-        rob_count[c] += count;
-        return;
-      }
-    }
-    rob[c * rob_capacity + tail] = {completion, count};
-    ++rob_groups[c];
-    rob_count[c] += count;
-    rob_max_completion[c] = std::max(rob_max_completion[c], completion);
-  }
-};
-
 }  // namespace
 
-/// All kernel loop state. The former simulate_system_streaming locals are
-/// members so the run can pause between events (see batched.h); step()
-/// processes exactly one popped event and is the seed kernel's loop body
-/// unchanged.
+/// Kernel loop state: the shared member state plus this kernel's event
+/// order (the min-heap). All state is members so the run can pause between
+/// events (see batched.h); step() processes exactly one popped event.
 struct SystemReplay::Impl {
-  MemoryHierarchy hierarchy;
+  detail::MemberState state;
   std::vector<TraceCursor*> cursors;
-  std::uint32_t width;
-  std::uint32_t rob_size;
-  std::uint32_t fus;
-  std::size_t n;
-  CoreLanes lanes;
   std::priority_queue<Event, std::vector<Event>, EventAfter> events;
 
-  // Cycle-skip accounting for bench_sim_kernel: cycles no event landed on
-  // were provably unobservable (no core could act), so the kernel never
-  // touched them.
-  std::uint64_t visited_cycles = 0;
-  std::uint64_t skipped_cycles = 0;
-  std::uint64_t last_visited = 0;
-  bool any_visited = false;
-
-  std::uint64_t consumed = 0;  ///< trace records consumed across cursors
-  bool counters_flushed = false;
-
   Impl(const SystemConfig& config, std::vector<TraceCursor*> cs)
-      : hierarchy(config.hierarchy),
-        cursors(std::move(cs)),
-        width(config.core.issue_width),
-        rob_size(config.core.rob_size),
-        fus(config.core.functional_units),
-        n(cursors.size()),
-        lanes(cursors.size(), config.core.rob_size) {
-    for (std::size_t c = 0; c < n; ++c) events.push({0, static_cast<std::uint32_t>(c)});
+      : state(config, cs.size()), cursors(std::move(cs)) {
+    for (std::size_t c = 0; c < state.n; ++c)
+      events.push({0, static_cast<std::uint32_t>(c)});
   }
 
-  void step();
+  void step() {
+    const Event ev = events.top();
+    events.pop();
+    const std::uint64_t wake =
+        detail::step_core(state, *cursors[ev.core], ev.cycle, ev.core);
+    if (wake != detail::kNever) events.push({wake, ev.core});
+  }
 };
-
-void SystemReplay::Impl::step() {
-  const Event ev = events.top();
-  events.pop();
-  const std::uint64_t cycle = ev.cycle;
-  const std::size_t c = ev.core;
-  if (!any_visited || cycle > last_visited) {
-    if (any_visited) skipped_cycles += cycle - last_visited - 1;
-    last_visited = cycle;
-    any_visited = true;
-    ++visited_cycles;
-  }
-  TraceCursor& cursor = *cursors[c];
-
-  // ---- Retire: in-order, up to `width` completed entries ----
-  std::uint32_t retired_now = 0;
-  while (lanes.rob_count[c] != 0 && retired_now < width) {
-    RobGroup& group = lanes.front_group(c);
-    if (group.completion > cycle) break;
-    const std::uint32_t take = std::min(group.count, width - retired_now);
-    group.count -= take;
-    retired_now += take;
-    lanes.rob_count[c] -= take;
-    lanes.retired[c] += take;
-    lanes.last_retire_cycle[c] = cycle;
-    if (group.count == 0) lanes.pop_group(c);
-  }
-
-  // ---- Compute fast path: jump over whole compute batches ----
-  if (lanes.rob_count[c] == 0 && fus >= width) {
-    const std::size_t run = cursor.compute_run(std::numeric_limits<std::size_t>::max());
-    const std::uint64_t batches = run / width;
-    if (batches > 0) {
-      cursor.skip(static_cast<std::size_t>(batches) * width);
-      consumed += batches * width;
-      lanes.retired[c] += batches * width;
-      const std::uint64_t resume = cycle + batches;
-      lanes.last_retire_cycle[c] = resume;
-      if (cycle - lanes.last_detector_fold[c] >= kDetectorStride) {
-        lanes.last_detector_fold[c] = cycle;
-        lanes.detectors[c].advance(cycle);
-        C2B_HISTOGRAM_RECORD("sim.core.rob_occupancy", 0.0, 256.0, 64, 0.0);
-      }
-      // Re-enqueue instead of continuing in place: cores with earlier
-      // pending events must reach the hierarchy first.
-      events.push({resume, static_cast<std::uint32_t>(c)});
-      return;
-    }
-  }
-
-  // ---- Pipelined compute fast path: steady-state retire/issue batches ----
-  //
-  // After a memory stall the ROB refills with computes and then never
-  // drains (retire width == issue width keeps the occupancy constant), so
-  // the empty-ROB jump above can't re-engage. But that regime is just as
-  // predictable: when every live entry is already retireable and the next
-  // records are all compute, each of the next `batches` cycles retires
-  // exactly `width` FIFO-oldest entries and issues one full compute group
-  // completing the following cycle. The net effect on the ROB is a pure
-  // FIFO shift, so the surviving entries can be written in closed form:
-  // any old entries the (batches-1)*width retirements did not reach,
-  // followed by the newest pushes (group g, pushed at cycle+g, completes
-  // cycle+g+1). No shared state is touched, so cross-core ordering is
-  // preserved exactly as in the empty-ROB jump.
-  if (lanes.rob_count[c] != 0 && fus >= width &&
-      lanes.rob_max_completion[c] <= cycle && lanes.rob_count[c] + width <= rob_size) {
-    const std::size_t run = cursor.compute_run(std::numeric_limits<std::size_t>::max());
-    const std::uint64_t batches = run / width;
-    if (batches > 0) {
-      const std::uint32_t live = lanes.rob_count[c];
-      cursor.skip(static_cast<std::size_t>(batches) * width);
-      consumed += batches * width;
-      const std::uint64_t pops = (batches - 1) * static_cast<std::uint64_t>(width);
-      if (pops > 0) {
-        lanes.retired[c] += pops;
-        lanes.last_retire_cycle[c] = cycle + batches - 1;
-      }
-      const std::uint32_t keep_old =
-          pops >= live ? 0u : live - static_cast<std::uint32_t>(pops);
-      // Drop the retired old instructions group-wise from the front.
-      std::uint32_t drop = live - keep_old;
-      while (drop > 0) {
-        RobGroup& group = lanes.front_group(c);
-        const std::uint32_t take = std::min(group.count, drop);
-        group.count -= take;
-        drop -= take;
-        lanes.rob_count[c] -= take;
-        if (group.count == 0) lanes.pop_group(c);
-      }
-      // Append the surviving pushes: group g (issued at cycle+g) completes
-      // cycle+g+1; the earliest surviving group may be partially retired.
-      const std::uint64_t total_pushes = batches * width;
-      const std::uint64_t first_push = total_pushes - (live + width - keep_old);
-      const std::uint64_t first_group = first_push / width;
-      lanes.rob_push(c, cycle + first_group + 1,
-                     static_cast<std::uint32_t>((first_group + 1) * width - first_push));
-      for (std::uint64_t g = first_group + 1; g < batches; ++g)
-        lanes.rob_push(c, cycle + g + 1, width);
-      if (cycle - lanes.last_detector_fold[c] >= kDetectorStride) {
-        lanes.last_detector_fold[c] = cycle;
-        lanes.detectors[c].advance(cycle);
-        C2B_HISTOGRAM_RECORD("sim.core.rob_occupancy", 0.0, 256.0, 64,
-                             static_cast<double>(lanes.rob_count[c]));
-      }
-      events.push({cycle + batches, static_cast<std::uint32_t>(c)});
-      return;
-    }
-  }
-
-  // ---- Issue: in-order, up to `width`, bounded by ROB space ----
-  std::uint32_t issued_now = 0;
-  std::uint32_t compute_issued_now = 0;
-  bool dep_stall = false;
-  std::uint64_t dep_ready = 0;
-  const TraceRecord* rec = nullptr;
-  while (issued_now < width && lanes.rob_count[c] < rob_size &&
-         (rec = cursor.peek()) != nullptr) {
-    std::uint64_t completion;
-    if (rec->kind == InstrKind::kCompute) {
-      if (compute_issued_now >= fus) break;
-      ++compute_issued_now;
-      completion = cycle + 1;
-    } else {
-      if (rec->depends_on_prev_mem && lanes.last_mem_completion[c] > cycle) {
-        // Address operand not ready: stall issue until it is.
-        dep_stall = true;
-        dep_ready = lanes.last_mem_completion[c];
-        break;
-      }
-      const AccessOutcome outcome = hierarchy.access(
-          static_cast<std::uint32_t>(c), rec->address, rec->kind == InstrKind::kStore, cycle);
-      completion = outcome.completion_cycle;
-      lanes.last_mem_completion[c] = completion;
-      ++lanes.memory_accesses[c];
-      lanes.detectors[c].record_access(outcome.start_cycle, outcome.hit_cycles,
-                                       outcome.miss_penalty_cycles);
-    }
-    lanes.rob_push(c, completion);
-    cursor.advance();
-    ++consumed;
-    ++issued_now;
-  }
-
-  // Periodically fold finished cycles into the detector's counters so its
-  // live window stays bounded. Any watermark <= `cycle` is safe (every
-  // future access starts at or after `cycle`), and the fold cadence does
-  // not affect the finalized metrics (see the header comment).
-  if (cycle - lanes.last_detector_fold[c] >= kDetectorStride) {
-    lanes.last_detector_fold[c] = cycle;
-    lanes.detectors[c].advance(cycle);
-    C2B_HISTOGRAM_RECORD("sim.core.rob_occupancy", 0.0, 256.0, 64,
-                         static_cast<double>(lanes.rob_count[c]));
-  }
-
-  // ---- Next wake: the earliest cycle this core can act again ----
-  std::uint64_t wake = kNever;
-  if (lanes.rob_count[c] != 0) {
-    const std::uint64_t head = lanes.rob_front(c);
-    // Head already complete means retirement was width-limited this
-    // cycle; it resumes next cycle.
-    wake = head <= cycle ? cycle + 1 : head;
-  }
-  if (cursor.peek() != nullptr) {
-    std::uint64_t issue_wake;
-    if (dep_stall) {
-      issue_wake = dep_ready;
-    } else if (lanes.rob_count[c] >= rob_size) {
-      issue_wake = wake;  // a slot frees at the next retirement
-    } else {
-      issue_wake = cycle + 1;  // width/FU budgets reset next cycle
-    }
-    wake = std::min(wake, issue_wake);
-  }
-  if (wake != kNever) events.push({wake, static_cast<std::uint32_t>(c)});
-}
 
 SystemReplay::SystemReplay(const SystemConfig& config, std::vector<TraceCursor*> cursors) {
   config.validate();
@@ -406,41 +140,22 @@ SystemReplay& SystemReplay::operator=(SystemReplay&&) noexcept = default;
 
 bool SystemReplay::advance_until(std::uint64_t record_target) {
   Impl& s = *impl_;
-  while (!s.events.empty() && s.consumed < record_target) s.step();
-  if (s.events.empty() && !s.counters_flushed) {
-    s.counters_flushed = true;
-    C2B_COUNTER_ADD("sim.kernel.visited_cycles", s.visited_cycles);
-    C2B_COUNTER_ADD("sim.kernel.skipped_cycles", s.skipped_cycles);
+  while (!s.events.empty() && s.state.consumed < record_target) s.step();
+  if (s.events.empty() && !s.state.counters_flushed) {
+    s.state.counters_flushed = true;
+    s.state.flush_kernel_counters();
   }
   return s.events.empty();
 }
 
 bool SystemReplay::finished() const noexcept { return impl_->events.empty(); }
 
-std::uint64_t SystemReplay::consumed_records() const noexcept { return impl_->consumed; }
+std::uint64_t SystemReplay::consumed_records() const noexcept { return impl_->state.consumed; }
 
 SystemResult SystemReplay::result() {
   Impl& s = *impl_;
   C2B_REQUIRE(s.events.empty(), "result() before the replay finished");
-  SystemResult result;
-  result.cores.reserve(s.n);
-  for (std::size_t c = 0; c < s.n; ++c) {
-    CoreResult r;
-    r.instructions = s.lanes.retired[c];
-    r.memory_accesses = s.lanes.memory_accesses[c];
-    r.cycles = s.lanes.last_retire_cycle[c];
-    r.cpi = s.lanes.retired[c] == 0
-                ? 0.0
-                : static_cast<double>(r.cycles) / static_cast<double>(s.lanes.retired[c]);
-    r.f_mem = s.lanes.retired[c] == 0 ? 0.0
-                                      : static_cast<double>(s.lanes.memory_accesses[c]) /
-                                            static_cast<double>(s.lanes.retired[c]);
-    r.camat = s.lanes.detectors[c].finalize();
-    result.cycles = std::max(result.cycles, r.cycles);
-    result.cores.push_back(std::move(r));
-  }
-  result.hierarchy = s.hierarchy.stats();
-  return result;
+  return s.state.build_result();
 }
 
 SystemResult simulate_system_streaming(const SystemConfig& config,

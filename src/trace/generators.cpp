@@ -194,21 +194,22 @@ PointerChaseGenerator::PointerChaseGenerator(std::size_t lines, unsigned compute
       computes_per_access_(computes_per_access),
       base_(base_address) {
   C2B_REQUIRE(lines >= 2, "pointer chase needs at least two lines");
-  permutation_.resize(lines);
-  std::iota(permutation_.begin(), permutation_.end(), 0u);
+  std::vector<std::uint32_t> permutation(lines);
+  std::iota(permutation.begin(), permutation.end(), 0u);
   // Sattolo's algorithm: a single cycle through every line, so the chase
   // visits the whole working set before repeating.
   Rng rng(seed);
   for (std::size_t i = lines - 1; i > 0; --i) {
     const std::size_t j = rng.uniform_below(i);
-    std::swap(permutation_[i], permutation_[j]);
+    std::swap(permutation[i], permutation[j]);
   }
+  permutation_ = std::make_shared<const std::vector<std::uint32_t>>(std::move(permutation));
 }
 
 void PointerChaseGenerator::refill(std::vector<TraceRecord>& out) {
   out.push_back(dependent_load(base_ + static_cast<std::uint64_t>(current_) * kLine));
   for (unsigned c = 0; c < computes_per_access_; ++c) out.push_back(compute());
-  current_ = permutation_[current_];
+  current_ = (*permutation_)[current_];
 }
 
 void PointerChaseGenerator::rewind() { current_ = 0; }
@@ -224,13 +225,14 @@ ZipfStreamGenerator::ZipfStreamGenerator(const Params& params)
   C2B_REQUIRE(params.write_ratio >= 0.0 && params.write_ratio <= 1.0, "write ratio in [0,1]");
   // Scatter the popularity ranks over the address space so hot lines do not
   // all sit in the same cache sets.
-  hot_order_.resize(params.working_set_lines);
-  std::iota(hot_order_.begin(), hot_order_.end(), 0u);
+  std::vector<std::uint32_t> hot_order(params.working_set_lines);
+  std::iota(hot_order.begin(), hot_order.end(), 0u);
   Rng shuffle_rng(params.seed ^ 0x5bf03635u);
-  for (std::size_t i = hot_order_.size() - 1; i > 0; --i) {
+  for (std::size_t i = hot_order.size() - 1; i > 0; --i) {
     const std::size_t j = shuffle_rng.uniform_below(i + 1);
-    std::swap(hot_order_[i], hot_order_[j]);
+    std::swap(hot_order[i], hot_order[j]);
   }
+  hot_order_ = std::make_shared<const std::vector<std::uint32_t>>(std::move(hot_order));
 }
 
 void ZipfStreamGenerator::refill(std::vector<TraceRecord>& out) {
@@ -239,7 +241,7 @@ void ZipfStreamGenerator::refill(std::vector<TraceRecord>& out) {
     return;
   }
   const std::size_t rank = rng_.zipf(params_.working_set_lines, params_.zipf_exponent);
-  const std::uint64_t line = hot_order_[rank];
+  const std::uint64_t line = (*hot_order_)[rank];
   const std::uint64_t address = params_.base_address + line * kLine;
   if (rng_.bernoulli(params_.write_ratio)) {
     out.push_back(store(address));
@@ -378,6 +380,16 @@ void PhasedGenerator::rewind() {
   phase_index_ = 0;
   emitted_in_phase_ = 0;
   for (Phase& p : phases_) p.generator->reset();
+}
+
+std::unique_ptr<TraceGenerator> PhasedGenerator::clone() const {
+  auto copy = std::make_unique<PhasedGenerator>(*this);
+  for (Phase& p : copy->phases_) {
+    std::unique_ptr<TraceGenerator> child = p.generator->clone();
+    if (child == nullptr) return nullptr;
+    p.generator = std::move(child);
+  }
+  return copy;
 }
 
 }  // namespace c2b

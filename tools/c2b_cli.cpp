@@ -19,6 +19,7 @@
 //   c2b aps [--workload <name>] [--instructions N] [--per-core-cap N]
 //           [--characterize-instructions N] [--radius R] [--area A]
 //           [--shared-area A] [--seed S] [--repeat N]
+//           [--lockstep-records N] [--no-simd]
 //       Run the APS design-space exploration (characterize, analytic
 //       solve, neighborhood simulation) on a small grid and print the
 //       chosen design plus the run's simulation/memory-access totals.
@@ -27,18 +28,22 @@
 //       (watch exec.simcache.hit in --metrics-out).
 //   c2b dse [--workload <name>] [--instructions N] [--per-core-cap N]
 //           [--area A] [--shared-area A] [--seed S]
+//           [--lockstep-records N] [--no-simd]
 //       Run the full-factorial DSE (every feasible grid point simulated,
 //       batched over shared trace streams) and print the ground-truth best
 //       design plus the batch/cache effectiveness summary.
+//       --lockstep-records sets the batched-replay lockstep granularity;
+//       --no-simd forces the scalar lockstep driver (results are identical
+//       either way — both are tuning/escape knobs, shared with `c2b aps`).
 //   c2b report --journal <file> [--top K] [--heatmap-out <csv>]
 //       Replay a run journal (see --journal-out) into a post-mortem: phase
 //       time breakdown, cache/batch effectiveness, top-K slowest trace
 //       classes, per-class sim-time percentiles, and (with --heatmap-out)
 //       an objective-vs-(N, cache split) CSV heatmap.
-//   c2b check [--family all|analytic|determinism|invariants|kernel|batch]
+//   c2b check [--family all|analytic|determinism|invariants|kernel|batch|simd]
 //             [--seed S] [--configs N] [--aps-configs N] [--cases N]
 //             [--designs N] [--kernel-configs N] [--batch-sets N]
-//             [--bands-out <file>] [--corpus <dir>]
+//             [--simd-sets N] [--bands-out <file>] [--corpus <dir>]
 //       Run the differential oracle families (analytic model vs simulator
 //       tolerance bands, serial-vs-parallel determinism on random configs,
 //       invariant registry). Deterministic for a fixed --seed; failures
@@ -356,6 +361,11 @@ void print_batch_summary(const BatchReplayStats& batch) {
               static_cast<unsigned long long>(cache.hits),
               static_cast<unsigned long long>(cache.misses), batch.classes, batch.members,
               static_cast<unsigned long long>(batch.regen_avoided_accesses));
+  if (batch.simd_steps > 0)
+    std::printf("simd kernel: %llu steps | %llu peeled records | %llu lane-rounds\n",
+                static_cast<unsigned long long>(batch.simd_steps),
+                static_cast<unsigned long long>(batch.simd_peels),
+                static_cast<unsigned long long>(batch.simd_lanes_active));
 }
 
 /// Journal the sweep configuration (full context + workload uid) before the
@@ -383,7 +393,25 @@ void journal_batch_stats(const BatchReplayStats& batch) {
                       .count("members", batch.members)
                       .count("cache_hits", batch.cache_hits)
                       .count("chunks_shared", batch.chunks_shared)
-                      .count("regen_avoided_accesses", batch.regen_avoided_accesses));
+                      .count("regen_avoided_accesses", batch.regen_avoided_accesses)
+                      .count("simd_steps", batch.simd_steps)
+                      .count("simd_peels", batch.simd_peels)
+                      .count("simd_lanes_active", batch.simd_lanes_active));
+}
+
+/// Shared `--lockstep-records` / `--no-simd` handling for the sweep
+/// commands. Returns false (after printing an error) on a bad value.
+bool apply_batch_flags(const Args& args, const char* command, DseContext& context) {
+  if (const auto lockstep = args.get_opt("lockstep-records",
+                                         static_cast<long long>(context.lockstep_records))) {
+    if (*lockstep < 1) {
+      std::fprintf(stderr, "%s: --lockstep-records must be >= 1\n", command);
+      return false;
+    }
+    context.lockstep_records = static_cast<std::uint64_t>(*lockstep);
+  }
+  context.use_simd = args.get("no-simd", std::string("false")) != "true";
+  return true;
 }
 
 int cmd_aps(const Args& args) {
@@ -403,6 +431,7 @@ int cmd_aps(const Args& args) {
   context.chip.total_area = args.get("area", 9.0);
   context.chip.shared_area = args.get("shared-area", 1.0);
   context.seed = static_cast<std::uint64_t>(args.get("seed", 99LL));
+  if (!apply_batch_flags(args, "aps", context)) return 2;
 
   // A small buildable grid (the paper-scale space is bench territory; the
   // CLI command is for inspecting one APS run end to end).
@@ -480,6 +509,7 @@ int cmd_dse(const Args& args) {
   context.chip.total_area = args.get("area", 9.0);
   context.chip.shared_area = args.get("shared-area", 1.0);
   context.seed = static_cast<std::uint64_t>(args.get("seed", 99LL));
+  if (!apply_batch_flags(args, "dse", context)) return 2;
   args.finish();
 
   // Same small buildable grid as `c2b aps`, so the two commands are directly
@@ -589,6 +619,7 @@ int cmd_check(const Args& args) {
   options.designs_per_workload = static_cast<std::size_t>(args.get("designs", 5LL));
   options.kernel_configs = static_cast<std::size_t>(args.get("kernel-configs", 40LL));
   options.batch_sets = static_cast<std::size_t>(args.get("batch-sets", 50LL));
+  options.simd_sets = static_cast<std::size_t>(args.get("simd-sets", 3LL));
   options.corpus_dir = args.get("corpus", std::string(""));
   const std::string bands_out = args.get("bands-out", std::string(""));
   const std::string family = args.get("family", std::string("all"));
@@ -607,9 +638,11 @@ int cmd_check(const Args& args) {
     reports.push_back(check::run_kernel_equivalence_oracle(options));
   } else if (family == "batch") {
     reports.push_back(check::run_batch_equivalence_oracle(options));
+  } else if (family == "simd") {
+    reports.push_back(check::run_simd_equivalence_oracle(options));
   } else {
     std::fprintf(stderr,
-                 "check: unknown --family '%s' (want all|analytic|determinism|invariants|kernel|batch)\n",
+                 "check: unknown --family '%s' (want all|analytic|determinism|invariants|kernel|batch|simd)\n",
                  family.c_str());
     return 2;
   }
@@ -652,7 +685,7 @@ int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const std::set<std::string> boolean_flags{"simpoints", "asymmetric", "coherence",
-                                            "progress"};
+                                            "progress", "no-simd"};
   const Args args(argc, argv, 2, boolean_flags);
 
   // Cross-command flags; read before dispatch so the per-command finish()
