@@ -201,12 +201,35 @@ sim::SystemConfig config_for_design(const DseContext& context,
   return config;
 }
 
+DesignPoint design_point_of(const std::vector<double>& point) {
+  C2B_REQUIRE(point.size() == 6, "design point must have 6 coordinates");
+  return DesignPoint{.n_cores = point[kAxisN],
+                     .a0 = point[kAxisA0],
+                     .a1 = point[kAxisA1],
+                     .a2 = point[kAxisA2]};
+}
+
+ConstraintSet design_constraints(const DseContext& context) {
+  ConstraintSet set;
+  // Area first: its evaluate/budget/tolerance reproduce the historical
+  // inline filter n*(a0+a1+a2) + Ac <= A + 1e-9 bit for bit, so a context
+  // with every budget infinite behaves exactly like the pre-constraint-set
+  // DSE (the regression guard in test_core_constraints pins this).
+  set.add(make_area_constraint(context.chip));
+  if (std::isfinite(context.power_budget))
+    set.add(make_power_constraint(context.cost.power, context.chip.shared_area,
+                                  context.power_budget));
+  if (std::isfinite(context.bw_budget))
+    set.add(make_bandwidth_constraint(context.cost.bandwidth, context.bw_budget));
+  if (std::isfinite(context.noc_budget))
+    set.add(make_noc_constraint(context.cost.noc, context.noc_budget));
+  return set;
+}
+
 bool design_feasible(const DseContext& context, const std::vector<double>& point) {
   C2B_REQUIRE(point.size() == 6, "design point must have 6 coordinates");
   if (point[kAxisRob] < point[kAxisIssue]) return false;
-  const double n = point[kAxisN];
-  const double per_core = point[kAxisA0] + point[kAxisA1] + point[kAxisA2];
-  return n * per_core + context.chip.shared_area <= context.chip.total_area + 1e-9;
+  return design_constraints(context).feasible(design_point_of(point));
 }
 
 double simulate_design_time(const DseContext& context, const std::vector<double>& point,
@@ -625,6 +648,138 @@ std::vector<BatchSimOutcome> simulate_design_times_batched(const DseContext& con
   // exec.batch.simd.* are bumped inside the vectorized kernel itself.
   if (stats != nullptr) *stats = local;
   return outcomes;
+}
+
+namespace {
+
+/// j strictly dominates i under minimize-(time, power, area): no worse in
+/// every coordinate and strictly better in at least one. Points equal in
+/// all three dominate nothing, so exact ties survive together.
+bool dominates(const FrontierPoint& a, const FrontierPoint& b) {
+  if (a.time > b.time || a.power > b.power || a.area > b.area) return false;
+  return a.time < b.time || a.power < b.power || a.area < b.area;
+}
+
+/// A frontier point "binds" a constraint when its demand sits within 5%
+/// relative slack of the budget — the resource the designer would have to
+/// grow to move that point.
+constexpr double kBindingSlackFraction = 0.05;
+
+}  // namespace
+
+ParetoDseResult run_pareto_dse(const DseContext& context, const GridSpace& space) {
+  C2B_SPAN("aps/pareto_dse");
+  ParetoDseResult result;
+  result.grid_points = space.size();
+  const ConstraintSet set = design_constraints(context);
+  result.usage.reserve(set.size());
+  for (const Constraint& constraint : set.constraints())
+    result.usage.push_back(ConstraintUsage{constraint.name, constraint.budget, 0, 0});
+
+  // Plan: the same serial factorial filter run_full_dse uses, but checking
+  // every constraint per point so each one's rejection count is exact (a
+  // point violating several budgets is charged to each).
+  std::vector<std::size_t> flats;
+  std::vector<std::vector<double>> points;
+  {
+    obs::PhaseScope phase("plan");
+    space.for_each([&](std::size_t flat, const std::vector<double>& point) {
+      if (point[kAxisRob] < point[kAxisIssue]) return;
+      const DesignPoint d = design_point_of(point);
+      bool feasible = true;
+      for (std::size_t c = 0; c < set.size(); ++c) {
+        if (!set.constraints()[c].satisfied(d)) {
+          ++result.usage[c].infeasible;
+          feasible = false;
+        }
+      }
+      if (!feasible) return;
+      flats.push_back(flat);
+      points.push_back(point);
+    });
+  }
+  result.feasible_count = flats.size();
+  result.simulations = flats.size();
+  C2B_REQUIRE(result.feasible_count > 0, "no feasible design in the space");
+
+  // Sweep: identical engine, identical streams, identical cache keys as the
+  // plain DSE — a Pareto run after a plain run is all cache hits.
+  std::vector<BatchSimOutcome> outcomes;
+  {
+    obs::PhaseScope phase("sweep");
+    outcomes = simulate_design_times_batched(context, points, &result.batch);
+  }
+
+  // Frontier: attach the analytic power/area coordinates to each simulated
+  // time and keep the non-dominated set. O(n^2) pairwise on the feasible
+  // list — serial and index-ordered, so the frontier is a pure function of
+  // the grid and bit-identical at any thread count.
+  obs::PhaseScope phase("frontier");
+  std::vector<FrontierPoint> candidates;
+  candidates.reserve(flats.size());
+  for (std::size_t i = 0; i < flats.size(); ++i) {
+    const DesignPoint d = design_point_of(points[i]);
+    FrontierPoint fp;
+    fp.flat_index = flats[i];
+    fp.point = points[i];
+    fp.time = outcomes[i].time;
+    fp.power = context.cost.power.total(d, context.chip.shared_area);
+    fp.area = d.n_cores * (d.a0 + d.a1 + d.a2) + context.chip.shared_area;
+    candidates.push_back(std::move(fp));
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (j != i && dominates(candidates[j], candidates[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.frontier.push_back(candidates[i]);
+  }
+  std::sort(result.frontier.begin(), result.frontier.end(),
+            [](const FrontierPoint& a, const FrontierPoint& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.power != b.power) return a.power < b.power;
+              if (a.area != b.area) return a.area < b.area;
+              return a.flat_index < b.flat_index;
+            });
+
+  for (const FrontierPoint& fp : result.frontier) {
+    const DesignPoint d = design_point_of(fp.point);
+    for (std::size_t c = 0; c < set.size(); ++c) {
+      const Constraint& constraint = set.constraints()[c];
+      if (constraint.budget > 0.0 &&
+          constraint.evaluate(d) >= (1.0 - kBindingSlackFraction) * constraint.budget)
+        ++result.usage[c].binding;
+    }
+  }
+
+  if (obs::RunJournal* journal = obs::active_journal()) {
+    for (const FrontierPoint& fp : result.frontier)
+      journal->emit(obs::JournalEvent("frontier_point")
+                        .num("n", fp.point[kAxisN])
+                        .num("a0", fp.point[kAxisA0])
+                        .num("a1", fp.point[kAxisA1])
+                        .num("a2", fp.point[kAxisA2])
+                        .num("issue", fp.point[kAxisIssue])
+                        .num("rob", fp.point[kAxisRob])
+                        .num("time", fp.time)
+                        .num("power", fp.power)
+                        .num("area", fp.area));
+    for (const ConstraintUsage& usage : result.usage)
+      journal->emit(obs::JournalEvent("constraint")
+                        .str("name", usage.name)
+                        .num("budget", usage.budget)
+                        .count("infeasible", usage.infeasible)
+                        .count("binding", usage.binding));
+    journal->emit(obs::JournalEvent("pareto_summary")
+                      .count("frontier", result.frontier.size())
+                      .count("feasible", result.feasible_count)
+                      .count("grid_points", result.grid_points));
+  }
+  C2B_COUNTER_ADD("aps.pareto.frontier_points", result.frontier.size());
+  return result;
 }
 
 }  // namespace c2b

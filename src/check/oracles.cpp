@@ -1035,10 +1035,172 @@ OracleReport run_simd_equivalence_oracle(const OracleOptions& options) {
   return report;
 }
 
+OracleReport run_constraint_oracle(const OracleOptions& options) {
+  OracleReport report;
+  report.family = "constraint";
+  C2B_REQUIRE(!options.thread_counts.empty(), "constraint oracle needs thread counts");
+  ExecStateGuard guard;
+  exec::SimCache& cache = exec::SimCache::global();
+
+  for (std::size_t i = 0; i < options.constraint_sets; ++i) {
+    Rng rng(Rng::derive_stream_seed(options.seed, 80'000 + i));
+    const std::string repro = repro_line(options.seed, 80'000 + i);
+    DseScenario scenario = gen_dse_scenario(rng);
+    const GridSpace space = make_design_space(scenario.axes);
+
+    // Anchor the budgets on the first area-feasible grid point: each budget
+    // is that point's demand scaled by [1, 1.5), so the anchor stays
+    // feasible (the space is never emptied) while tighter draws bisect the
+    // rest of the grid and make the new constraints actually bite.
+    std::vector<double> anchor;
+    space.for_each([&](std::size_t, const std::vector<double>& point) {
+      if (anchor.empty() && design_feasible(scenario.context, point)) anchor = point;
+    });
+    if (anchor.empty()) {
+      report.failures.push_back("constraint set #" + std::to_string(i) +
+                                " found no feasible point (generator bug); repro: " + repro);
+      continue;
+    }
+    DseContext& context = scenario.context;
+    const DesignPoint anchor_d = design_point_of(anchor);
+    context.power_budget =
+        context.cost.power.total(anchor_d, context.chip.shared_area) * rng.uniform(1.0, 1.5);
+    context.bw_budget = context.cost.bandwidth.demand(anchor_d) * rng.uniform(1.0, 1.5);
+    context.noc_budget = context.cost.noc.per_link_load(anchor_d) * rng.uniform(1.0, 1.5);
+
+    // Ground truth, the dumb way: enumerate the full factorial grid
+    // serially with the cache off, filter by the constraint set, simulate
+    // every survivor one at a time, take the first-wins argmin, and keep
+    // the non-dominated set by pairwise comparison.
+    cache.set_enabled(false);
+    exec::set_thread_count(1);
+    const ConstraintSet set = design_constraints(context);
+    struct TruthPoint {
+      std::size_t flat = 0;
+      double time = 0.0;
+      double power = 0.0;
+      double area = 0.0;
+    };
+    std::vector<double> truth_times(space.size(), std::numeric_limits<double>::infinity());
+    std::vector<TruthPoint> truth_feasible;
+    space.for_each([&](std::size_t flat, const std::vector<double>& point) {
+      if (point[kAxisRob] < point[kAxisIssue]) return;
+      const DesignPoint d = design_point_of(point);
+      if (!set.feasible(d)) return;
+      TruthPoint tp;
+      tp.flat = flat;
+      tp.time = simulate_design_time(context, point);
+      tp.power = context.cost.power.total(d, context.chip.shared_area);
+      tp.area = d.n_cores * (d.a0 + d.a1 + d.a2) + context.chip.shared_area;
+      truth_times[flat] = tp.time;
+      truth_feasible.push_back(tp);
+    });
+    if (truth_feasible.empty()) {
+      report.failures.push_back("constraint set #" + std::to_string(i) +
+                                " emptied the space despite the anchor; repro: " + repro);
+      continue;
+    }
+    const std::size_t truth_best = static_cast<std::size_t>(
+        std::min_element(truth_times.begin(), truth_times.end()) - truth_times.begin());
+
+    auto truth_dominates = [](const TruthPoint& a, const TruthPoint& b) {
+      if (a.time > b.time || a.power > b.power || a.area > b.area) return false;
+      return a.time < b.time || a.power < b.power || a.area < b.area;
+    };
+    std::vector<TruthPoint> truth_frontier;
+    for (std::size_t a = 0; a < truth_feasible.size(); ++a) {
+      bool dominated = false;
+      for (std::size_t b = 0; b < truth_feasible.size(); ++b)
+        if (b != a && truth_dominates(truth_feasible[b], truth_feasible[a])) {
+          dominated = true;
+          break;
+        }
+      if (!dominated) truth_frontier.push_back(truth_feasible[a]);
+    }
+    std::sort(truth_frontier.begin(), truth_frontier.end(),
+              [](const TruthPoint& a, const TruthPoint& b) {
+                return std::tie(a.time, a.power, a.area, a.flat) <
+                       std::tie(b.time, b.power, b.area, b.flat);
+              });
+
+    const auto diff_pareto = [&](const ParetoDseResult& pareto) -> std::optional<std::string> {
+      if (pareto.feasible_count != truth_feasible.size())
+        return "feasible_count " + std::to_string(pareto.feasible_count) + " != enumerated " +
+               std::to_string(truth_feasible.size());
+      if (pareto.frontier.size() != truth_frontier.size())
+        return "frontier size " + std::to_string(pareto.frontier.size()) + " != enumerated " +
+               std::to_string(truth_frontier.size());
+      for (std::size_t p = 0; p < truth_frontier.size(); ++p) {
+        const FrontierPoint& got = pareto.frontier[p];
+        const TruthPoint& want = truth_frontier[p];
+        if (got.flat_index != want.flat)
+          return "frontier[" + std::to_string(p) + "] flat " +
+                 std::to_string(got.flat_index) + " != " + std::to_string(want.flat);
+        if (!bit_equal(got.time, want.time) || !bit_equal(got.power, want.power) ||
+            !bit_equal(got.area, want.area))
+          return "frontier[" + std::to_string(p) + "] (t,p,a) = (" + fmt(got.time) + ", " +
+                 fmt(got.power) + ", " + fmt(got.area) + ") != (" + fmt(want.time) + ", " +
+                 fmt(want.power) + ", " + fmt(want.area) + ")";
+      }
+      return std::nullopt;
+    };
+
+    // The constrained optimizer and the Pareto mode must reproduce the
+    // enumeration bitwise at every thread count.
+    for (const std::size_t threads : options.thread_counts) {
+      exec::set_thread_count(threads);
+      const FullDseResult full = run_full_dse(context, space);
+      ++report.checks;
+      if (full.best_index != truth_best ||
+          !bit_equal(full.best_time, truth_times[truth_best])) {
+        report.failures.push_back(
+            "constraint set #" + std::to_string(i) + " (" + print_dse_scenario(scenario) +
+            ") threads=" + std::to_string(threads) + ": constrained optimum " +
+            std::to_string(full.best_index) + " (" + fmt(full.best_time) +
+            ") != enumerated " + std::to_string(truth_best) + " (" +
+            fmt(truth_times[truth_best]) + "); repro: " + repro);
+        break;
+      }
+      const ParetoDseResult pareto = run_pareto_dse(context, space);
+      ++report.checks;
+      if (auto diff = diff_pareto(pareto)) {
+        report.failures.push_back("constraint set #" + std::to_string(i) + " (" +
+                                  print_dse_scenario(scenario) + ") threads=" +
+                                  std::to_string(threads) + ": " + *diff +
+                                  "; repro: " + repro);
+        break;
+      }
+    }
+
+    // Warm path: with the cache on, a second Pareto run replays every
+    // simulation from the cache and must still match the enumeration.
+    cache.set_enabled(true);
+    cache.clear();
+    exec::set_thread_count(options.thread_counts.back());
+    const ParetoDseResult cold = run_pareto_dse(context, space);
+    const ParetoDseResult warm = run_pareto_dse(context, space);
+    ++report.checks;
+    if (auto diff = diff_pareto(cold)) {
+      report.failures.push_back("constraint set #" + std::to_string(i) +
+                                " cold cached run diverged: " + *diff + "; repro: " + repro);
+    } else if (auto warm_diff = diff_pareto(warm)) {
+      report.failures.push_back("constraint set #" + std::to_string(i) +
+                                " warm replay diverged: " + *warm_diff + "; repro: " + repro);
+    } else if (warm.batch.cache_hits != warm.feasible_count) {
+      report.failures.push_back(
+          "constraint set #" + std::to_string(i) + " warm run peeled only " +
+          std::to_string(warm.batch.cache_hits) + " of " +
+          std::to_string(warm.feasible_count) + " points from the cache; repro: " + repro);
+    }
+  }
+  return report;
+}
+
 std::vector<OracleReport> run_all_oracles(const OracleOptions& options) {
-  return {run_analytic_vs_sim_oracle(options),  run_determinism_oracle(options),
-          run_invariant_oracle(options),        run_kernel_equivalence_oracle(options),
-          run_batch_equivalence_oracle(options), run_simd_equivalence_oracle(options)};
+  return {run_analytic_vs_sim_oracle(options),   run_determinism_oracle(options),
+          run_invariant_oracle(options),         run_kernel_equivalence_oracle(options),
+          run_batch_equivalence_oracle(options), run_simd_equivalence_oracle(options),
+          run_constraint_oracle(options)};
 }
 
 bool write_tolerance_bands_json(const std::string& path,

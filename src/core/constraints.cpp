@@ -1,0 +1,153 @@
+#include "c2b/core/constraints.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "c2b/common/assert.h"
+
+namespace c2b {
+
+void ConstraintSet::add(Constraint constraint) {
+  C2B_REQUIRE(!constraint.name.empty(), "constraint needs a name");
+  C2B_REQUIRE(static_cast<bool>(constraint.evaluate), "constraint needs an evaluate fn");
+  C2B_REQUIRE(constraint.tolerance >= 0.0, "constraint tolerance must be >= 0");
+  constraints_.push_back(std::move(constraint));
+}
+
+bool ConstraintSet::feasible(const DesignPoint& d) const {
+  for (const Constraint& constraint : constraints_)
+    if (!constraint.satisfied(d)) return false;
+  return true;
+}
+
+// --- power ------------------------------------------------------------------
+
+void PowerModel::validate() const {
+  C2B_REQUIRE(core_dynamic_base >= 0.0, "core_dynamic_base must be >= 0");
+  C2B_REQUIRE(core_area_exponent >= 0.0, "core_area_exponent must be >= 0");
+  C2B_REQUIRE(l1_dynamic_per_area >= 0.0, "l1_dynamic_per_area must be >= 0");
+  C2B_REQUIRE(l2_dynamic_per_area >= 0.0, "l2_dynamic_per_area must be >= 0");
+  C2B_REQUIRE(leakage_per_area >= 0.0, "leakage_per_area must be >= 0");
+  C2B_REQUIRE(uncore_power >= 0.0, "uncore_power must be >= 0");
+}
+
+double PowerModel::core_dynamic(const DesignPoint& d) const {
+  return d.n_cores * core_dynamic_base * std::pow(d.a0, core_area_exponent);
+}
+
+double PowerModel::cache_dynamic(const DesignPoint& d) const {
+  return d.n_cores * (l1_dynamic_per_area * d.a1 + l2_dynamic_per_area * d.a2);
+}
+
+double PowerModel::static_power(const DesignPoint& d, double shared_area) const {
+  return leakage_per_area * (d.n_cores * d.per_core_area() + shared_area);
+}
+
+double PowerModel::total(const DesignPoint& d, double shared_area) const {
+  return core_dynamic(d) + cache_dynamic(d) + static_power(d, shared_area) + uncore_power;
+}
+
+// --- off-chip bandwidth -----------------------------------------------------
+
+void BandwidthModel::validate() const {
+  C2B_REQUIRE(accesses_per_kilocycle_per_core >= 0.0,
+              "accesses_per_kilocycle_per_core must be >= 0");
+  C2B_REQUIRE(base_miss_rate >= 0.0 && base_miss_rate <= 1.0,
+              "base_miss_rate must be in [0, 1]");
+  C2B_REQUIRE(capacity_exponent >= 0.0, "capacity_exponent must be >= 0");
+  C2B_REQUIRE(min_cache_area > 0.0, "min_cache_area must be > 0");
+}
+
+double BandwidthModel::miss_rate(double a2) const {
+  const double area = std::max(a2, min_cache_area);
+  return std::clamp(base_miss_rate * std::pow(area, -capacity_exponent), 0.0, 1.0);
+}
+
+double BandwidthModel::demand_at_miss_rate(const DesignPoint& d, double rate) const {
+  return d.n_cores * accesses_per_kilocycle_per_core * rate;
+}
+
+double BandwidthModel::demand(const DesignPoint& d) const {
+  return demand_at_miss_rate(d, miss_rate(d.a2));
+}
+
+// --- NoC bisection ----------------------------------------------------------
+
+void NocCapacityModel::validate() const {
+  C2B_REQUIRE(accesses_per_kilocycle_per_core >= 0.0,
+              "accesses_per_kilocycle_per_core must be >= 0");
+  C2B_REQUIRE(base_l1_miss_rate >= 0.0 && base_l1_miss_rate <= 1.0,
+              "base_l1_miss_rate must be in [0, 1]");
+  C2B_REQUIRE(capacity_exponent >= 0.0, "capacity_exponent must be >= 0");
+  C2B_REQUIRE(bisection_fraction >= 0.0 && bisection_fraction <= 1.0,
+              "bisection_fraction must be in [0, 1]");
+  C2B_REQUIRE(min_cache_area > 0.0, "min_cache_area must be > 0");
+}
+
+double NocCapacityModel::l1_miss_rate(double a1) const {
+  const double area = std::max(a1, min_cache_area);
+  return std::clamp(base_l1_miss_rate * std::pow(area, -capacity_exponent), 0.0, 1.0);
+}
+
+double NocCapacityModel::bisection_links(double n_cores) const {
+  // MeshNoc rounds the node count up to a square; the bisection of a
+  // side x side mesh is crossed by `side` links.
+  return std::ceil(std::sqrt(std::max(1.0, n_cores)));
+}
+
+double NocCapacityModel::per_link_load(const DesignPoint& d) const {
+  const double crossing = d.n_cores * accesses_per_kilocycle_per_core *
+                          l1_miss_rate(d.a1) * bisection_fraction;
+  return crossing / bisection_links(d.n_cores);
+}
+
+void ConstraintModels::validate() const {
+  power.validate();
+  bandwidth.validate();
+  noc.validate();
+}
+
+// --- factories --------------------------------------------------------------
+
+Constraint make_area_constraint(const ChipConstraints& chip) {
+  Constraint constraint;
+  constraint.name = "area";
+  const double shared = chip.shared_area;
+  constraint.evaluate = [shared](const DesignPoint& d) {
+    return d.n_cores * (d.a0 + d.a1 + d.a2) + shared;
+  };
+  constraint.budget = chip.total_area;
+  constraint.tolerance = 1e-9;
+  return constraint;
+}
+
+Constraint make_power_constraint(const PowerModel& model, double shared_area, double budget) {
+  model.validate();
+  Constraint constraint;
+  constraint.name = "power";
+  constraint.evaluate = [model, shared_area](const DesignPoint& d) {
+    return model.total(d, shared_area);
+  };
+  constraint.budget = budget;
+  return constraint;
+}
+
+Constraint make_bandwidth_constraint(const BandwidthModel& model, double budget) {
+  model.validate();
+  Constraint constraint;
+  constraint.name = "bandwidth";
+  constraint.evaluate = [model](const DesignPoint& d) { return model.demand(d); };
+  constraint.budget = budget;
+  return constraint;
+}
+
+Constraint make_noc_constraint(const NocCapacityModel& model, double budget) {
+  model.validate();
+  Constraint constraint;
+  constraint.name = "noc";
+  constraint.evaluate = [model](const DesignPoint& d) { return model.per_link_load(d); };
+  constraint.budget = budget;
+  return constraint;
+}
+
+}  // namespace c2b

@@ -48,6 +48,14 @@ Evaluation C2BoundOptimizer::best_allocation(long long n_cores) const {
     penalty += violation(chip.min_core_area - a0);
     if (penalty > 0.0) return 1e12 * (1.0 + penalty);
     const DesignPoint d{.n_cores = n, .a0 = a0, .a1 = a1, .a2 = a2};
+    // Resource ceilings beyond Eq. (12): penalize the excess demand the
+    // same way bound violations are, so Nelder-Mead walks toward splits
+    // that fit every budget (when any such split exists at this N).
+    for (const Constraint& constraint : options_.constraints.constraints()) {
+      const double excess = constraint.evaluate(d) - constraint.budget;
+      if (excess > constraint.tolerance) penalty += excess;
+    }
+    if (penalty > 0.0) return 1e12 * (1.0 + penalty);
     if (options_.iterate_observer) options_.iterate_observer(d);
     return model_.evaluate(d).execution_time;
   };
@@ -87,7 +95,8 @@ Evaluation C2BoundOptimizer::best_allocation(long long n_cores) const {
 
   if (options_.lagrange_polish) {
     const PolishResult polished = lagrange_polish(d);
-    if (polished.converged && model_.machine().chip.feasible(polished.design, 1e-4)) {
+    if (polished.converged && model_.machine().chip.feasible(polished.design, 1e-4) &&
+        options_.constraints.feasible(polished.design)) {
       const double polished_time = model_.evaluate(polished.design).execution_time;
       if (polished_time <= best_value * (1.0 + 1e-9)) d = polished.design;
     }
@@ -143,6 +152,12 @@ OptimalDesign C2BoundOptimizer::optimize() const {
     if (budget < chip.min_core_area + chip.min_l1_area + chip.min_l2_area) break;
     C2B_SPAN_ARG("optimizer/per_n", static_cast<std::uint64_t>(n));
     Evaluation eval = best_allocation(n);
+    // A core count whose best split still violates a resource ceiling is
+    // unbuildable; it joins neither the frontier nor the argmax. (Power and
+    // NoC demand grow with N, but bandwidth demand can shrink as per-core
+    // L2 grows back at smaller N — scan on rather than break.)
+    if (!options_.constraints.empty() && !options_.constraints.feasible(eval.design))
+      continue;
     const double score = result.opt_case == OptimizationCase::kMaximizeThroughput
                              ? eval.throughput
                              : -eval.execution_time;

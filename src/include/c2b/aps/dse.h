@@ -9,10 +9,12 @@
 // traversal stays affordable).
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "c2b/core/chip.h"
+#include "c2b/core/constraints.h"
 #include "c2b/sim/system/system.h"
 #include "c2b/solver/grid.h"
 #include "c2b/trace/workloads.h"
@@ -52,7 +54,25 @@ struct DseContext {
   // vectorized-kernel escape hatch, forwarded to BatchedReplayOptions.
   std::uint64_t lockstep_records = 4096;
   bool use_simd = true;
+  // Multi-resource budgets (+infinity = that resource is unconstrained)
+  // and the analytic demand models behind them. Budgets only *filter* the
+  // design space — they never change what a simulation computes, so they
+  // are deliberately absent from trace-class and sim-cache keys.
+  double power_budget = std::numeric_limits<double>::infinity();
+  double bw_budget = std::numeric_limits<double>::infinity();
+  double noc_budget = std::numeric_limits<double>::infinity();
+  ConstraintModels cost{};
 };
+
+/// The DesignPoint view of a 6-coordinate grid point (issue/ROB carry no
+/// resource demand in any current model).
+DesignPoint design_point_of(const std::vector<double>& point);
+
+/// Assemble the context's declarative constraint set: area always (the
+/// historical Eq. (12) filter, bit-identical), then power / bandwidth /
+/// NoC for each finite budget, in that order. A context with all budgets
+/// infinite yields exactly the single area constraint.
+ConstraintSet design_constraints(const DseContext& context);
 
 /// Translate a design point to a full simulator configuration. Cache sizes
 /// are rounded to powers of two (hardware-buildable geometry); functional
@@ -60,10 +80,12 @@ struct DseContext {
 sim::SystemConfig config_for_design(const DseContext& context,
                                     const std::vector<double>& point);
 
-/// Eq. (12) as a grid filter: a candidate is buildable iff
-/// N (A0+A1+A2) + Ac <= A (and ROB >= issue width). The paper's design
-/// space is a chip's design space — configurations that do not fit on the
-/// die are not simulated by any method.
+/// The constraint set as a grid filter: a candidate is buildable iff
+/// ROB >= issue width and every member of design_constraints(context) is
+/// satisfied — Eq. (12) area always, plus power/bandwidth/NoC when their
+/// budgets are finite. The paper's design space is a chip's design space —
+/// configurations that do not fit the die (or its power/BW/NoC envelopes)
+/// are not simulated by any method.
 bool design_feasible(const DseContext& context, const std::vector<double>& point);
 
 /// Ground-truth cost of this design: execution time (cycles) of the
@@ -137,5 +159,45 @@ struct BatchReplayStats {
 std::vector<BatchSimOutcome> simulate_design_times_batched(
     const DseContext& context, const std::vector<std::vector<double>>& points,
     BatchReplayStats* stats = nullptr);
+
+/// One member of the Pareto frontier: the grid point plus its three
+/// objective coordinates (all minimized).
+struct FrontierPoint {
+  std::size_t flat_index = 0;        ///< row-major index into the grid space
+  std::vector<double> point;         ///< the 6 axis values (DseAxisIndex order)
+  double time = 0.0;                 ///< simulated time-per-work (ground truth)
+  double power = 0.0;                ///< analytic PowerModel::total
+  double area = 0.0;                 ///< N (A0+A1+A2) + Ac
+};
+
+/// Per-constraint accounting over one Pareto sweep.
+struct ConstraintUsage {
+  std::string name;
+  double budget = 0.0;
+  std::size_t infeasible = 0;  ///< grid points this constraint rejects
+  std::size_t binding = 0;     ///< frontier points within 5% relative slack
+};
+
+struct ParetoDseResult {
+  std::vector<FrontierPoint> frontier;  ///< sorted by (time, power, area, index)
+  std::vector<ConstraintUsage> usage;   ///< one entry per set member, set order
+  std::size_t grid_points = 0;          ///< full factorial size
+  std::size_t feasible_count = 0;       ///< points passing rob>=issue + the set
+  std::size_t simulations = 0;          ///< == feasible_count (all are simulated)
+  BatchReplayStats batch;
+};
+
+/// Pareto-frontier DSE: filter the factorial grid by design_constraints
+/// (counting per-constraint rejections), evaluate every feasible point with
+/// the batched/SIMD replay engine (sim cache and trace classing unchanged),
+/// attach analytic power and area to each simulated time, and keep the
+/// non-dominated set under minimize-(time, power, area). Ties equal in all
+/// three coordinates are all kept. The frontier is sorted by
+/// (time, power, area, flat_index), so the result is bit-identical at any
+/// thread count and across warm/cold caches — the `constraint` oracle
+/// family and the parallel-determinism tests enforce this. Emits
+/// frontier_point / constraint / pareto_summary journal events when a
+/// flight recorder is active.
+ParetoDseResult run_pareto_dse(const DseContext& context, const GridSpace& space);
 
 }  // namespace c2b

@@ -31,7 +31,14 @@
 //      scalar-lockstep driver vs simulate_system_reference, every
 //      SystemResult field compared bitwise across batch widths {2,4,8,16}
 //      and lockstep granularities {1,7,4096}, plus DSE sweeps with the
-//      vectorized kernel on vs off bit-identical at threads {1,2,8}.
+//      vectorized kernel on vs off bit-identical at threads {1,2,8};
+//   7. constraint ground truth — on random small spaces with finite
+//      power/bandwidth/NoC budgets, a serial full-factorial enumeration
+//      filtered Eq.-(12)-style by the constraint set is the oracle: the
+//      constrained DSE optimum and the Pareto mode's frontier (membership
+//      and every time/power/area coordinate, bitwise) must match it at
+//      every thread count, and warm sim-cache replays must reproduce the
+//      cold frontier exactly.
 //
 // The oracles mutate process-global execution state (thread count, the
 // global sim cache, telemetry counters) and restore defaults on exit; do
@@ -66,6 +73,9 @@ struct OracleOptions {
   /// simd equivalence: random scenarios compared across every batch width
   /// {2,4,8,16} x lockstep granularity {1,7,4096} combination each.
   std::size_t simd_sets = 3;
+  /// constraint ground truth: random budgeted spaces enumerated serially
+  /// and compared against the constrained optimizer + Pareto frontier.
+  std::size_t constraint_sets = 6;
   std::vector<std::size_t> thread_counts{1, 2, 8};
   /// Corpus directory for shrunk property counterexamples ("" = none).
   std::string corpus_dir;
@@ -96,8 +106,9 @@ OracleReport run_invariant_oracle(const OracleOptions& options = {});
 OracleReport run_kernel_equivalence_oracle(const OracleOptions& options = {});
 OracleReport run_batch_equivalence_oracle(const OracleOptions& options = {});
 OracleReport run_simd_equivalence_oracle(const OracleOptions& options = {});
+OracleReport run_constraint_oracle(const OracleOptions& options = {});
 
-/// All six families in order; never throws on oracle failure (inspect
+/// All seven families in order; never throws on oracle failure (inspect
 /// the reports).
 std::vector<OracleReport> run_all_oracles(const OracleOptions& options = {});
 

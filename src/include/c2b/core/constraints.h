@@ -1,0 +1,150 @@
+#pragma once
+
+// Multi-resource constraint sets (ROADMAP item 3; lineage of Yavits et
+// al.'s cache-hierarchy optimization under power/bandwidth/NoC co-equal
+// resources). The paper optimizes under the single Eq. (12) silicon-area
+// budget; real many-core design points are jointly limited by power,
+// off-chip bandwidth, and NoC bisection capacity. Each resource is one
+// declarative Constraint { name, evaluate(design) -> demand, budget }:
+// the optimizer and the DSE grid filter consume the *set*, so a new
+// resource plugs in without touching either.
+//
+// Demand models (abstract units, all analytic — a constraint must be
+// evaluable on the full factorial grid before anything is simulated,
+// exactly like the Eq. (12) filter):
+//   * power:      per-core dynamic ~ A0^exponent (Pollack-style EPI growth,
+//                 same shape as EnergyModel), per-KiB-equivalent cache
+//                 dynamic per area unit, leakage over the occupied area
+//                 (including Ac), plus a constant uncore term;
+//   * bandwidth:  off-chip line traffic = N cores x access rate x off-chip
+//                 miss rate, with the miss rate following the same
+//                 capacity power law the miss curves use (MR ~ A2^-beta);
+//                 the natural budget is the DRAM bus's line throughput,
+//                 1000 / t_bus lines per kilocycle (see DramConfig);
+//   * NoC:        per-bisection-link load of a sqrt(N) x sqrt(N) mesh —
+//                 L1-miss traffic that crosses the chip bisection, divided
+//                 by the sqrt(N) links crossing it (MeshNoc geometry).
+//
+// Every model's demand is non-negative, power is monotone non-decreasing
+// in N, and bandwidth demand is monotone in the miss rate — properties
+// the `constraint` PBT suite pins down (tests/test_core_constraints.cpp).
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "c2b/core/chip.h"
+
+namespace c2b {
+
+/// One resource ceiling: demand(design) must stay within budget. The
+/// default budget is +infinity (unconstrained); `tolerance` absorbs
+/// floating-point noise at the boundary — the area factory uses 1e-9 so
+/// the set reproduces the historical Eq. (12) grid filter bit for bit.
+struct Constraint {
+  std::string name;
+  std::function<double(const DesignPoint&)> evaluate;  ///< resource demand
+  double budget = std::numeric_limits<double>::infinity();
+  double tolerance = 1e-9;
+
+  [[nodiscard]] double slack(const DesignPoint& d) const { return budget - evaluate(d); }
+  [[nodiscard]] bool satisfied(const DesignPoint& d) const {
+    return evaluate(d) <= budget + tolerance;
+  }
+};
+
+/// An ordered collection of constraints; a design is feasible iff every
+/// member is satisfied. Order is preserved (binding statistics and journal
+/// events report per-constraint, by position).
+class ConstraintSet {
+ public:
+  void add(Constraint constraint);
+  [[nodiscard]] bool feasible(const DesignPoint& d) const;
+  [[nodiscard]] const std::vector<Constraint>& constraints() const noexcept {
+    return constraints_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return constraints_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return constraints_.size(); }
+
+ private:
+  std::vector<Constraint> constraints_;
+};
+
+/// Chip power demand (abstract power units). Monotone non-decreasing in
+/// N: every term either scales with N or is constant.
+struct PowerModel {
+  double core_dynamic_base = 1.0;   ///< per-core dynamic at A0 = 1
+  double core_area_exponent = 0.5;  ///< per-core dynamic ~ A0^this
+  double l1_dynamic_per_area = 0.3;
+  double l2_dynamic_per_area = 0.2;
+  double leakage_per_area = 0.05;  ///< static power per occupied area unit
+  double uncore_power = 0.5;       ///< constant shared-logic term
+
+  void validate() const;
+
+  [[nodiscard]] double core_dynamic(const DesignPoint& d) const;
+  [[nodiscard]] double cache_dynamic(const DesignPoint& d) const;
+  [[nodiscard]] double static_power(const DesignPoint& d, double shared_area) const;
+  /// Total chip power demand including leakage over Ac.
+  [[nodiscard]] double total(const DesignPoint& d, double shared_area) const;
+};
+
+/// Off-chip bandwidth demand in DRAM lines per kilocycle. The off-chip
+/// miss rate follows the capacity power law MR(A2) = base * A2^-beta
+/// (clamped to [0, 1]); demand = N x access rate x MR. Monotone
+/// non-decreasing in the miss rate and non-increasing in A2.
+struct BandwidthModel {
+  double accesses_per_kilocycle_per_core = 300.0;
+  double base_miss_rate = 0.2;     ///< off-chip miss rate at A2 = 1
+  double capacity_exponent = 0.5;  ///< MR ~ A2^-this
+  double min_cache_area = 0.05;    ///< clamp floor for the power law
+
+  void validate() const;
+
+  [[nodiscard]] double miss_rate(double a2) const;
+  /// Demand at the model's own miss_rate(A2).
+  [[nodiscard]] double demand(const DesignPoint& d) const;
+  /// Demand at an externally supplied off-chip miss rate in [0, 1] —
+  /// exposed so the monotonicity property is testable directly.
+  [[nodiscard]] double demand_at_miss_rate(const DesignPoint& d, double miss_rate) const;
+};
+
+/// Mesh-bisection NoC load in lines per kilocycle per bisection link. A
+/// sqrt(N) x sqrt(N) mesh (MeshNoc geometry) has ceil(sqrt(N)) links
+/// crossing its bisection; under uniform slice interleaving a fraction of
+/// the L1-miss traffic crosses it. The L1 miss rate follows the same
+/// capacity power law in A1.
+struct NocCapacityModel {
+  double accesses_per_kilocycle_per_core = 300.0;
+  double base_l1_miss_rate = 0.3;  ///< L1 miss rate at A1 = 1
+  double capacity_exponent = 0.5;  ///< MR ~ A1^-this
+  double bisection_fraction = 0.5; ///< share of L1-miss traffic crossing
+  double min_cache_area = 0.05;
+
+  void validate() const;
+
+  [[nodiscard]] double l1_miss_rate(double a1) const;
+  [[nodiscard]] double bisection_links(double n_cores) const;
+  /// Per-bisection-link load (compare against a per-link capacity budget).
+  [[nodiscard]] double per_link_load(const DesignPoint& d) const;
+};
+
+/// The demand models a DSE context carries alongside its budgets.
+struct ConstraintModels {
+  PowerModel power{};
+  BandwidthModel bandwidth{};
+  NocCapacityModel noc{};
+
+  void validate() const;
+};
+
+/// Eq. (12) as a constraint: demand = N (A0+A1+A2) + Ac, budget = A,
+/// tolerance 1e-9 — bit-for-bit the historical single-budget grid filter.
+Constraint make_area_constraint(const ChipConstraints& chip);
+Constraint make_power_constraint(const PowerModel& model, double shared_area, double budget);
+Constraint make_bandwidth_constraint(const BandwidthModel& model, double budget);
+Constraint make_noc_constraint(const NocCapacityModel& model, double budget);
+
+}  // namespace c2b

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "c2b/core/c2bound.h"
+#include "c2b/core/constraints.h"
 #include "c2b/linalg/matrix.h"
 
 namespace c2b {
@@ -35,6 +36,12 @@ struct OptimizerOptions {
   long long n_cap = 1024;
   bool lagrange_polish = true;
   int nelder_mead_restarts = 3;
+  /// Additional resource ceilings beyond the Eq. (12) area equality (power,
+  /// bandwidth, NoC, ... — see c2b/core/constraints.h). Violating splits are
+  /// penalized in the inner search and core counts whose best split still
+  /// violates a member are skipped in the outer scan. An empty set (the
+  /// default) reproduces the area-only optimizer exactly.
+  ConstraintSet constraints;
   /// Invoked on every design the inner search actually evaluates: each
   /// Nelder–Mead candidate past the bound-penalty gate, accepted Lagrange
   /// polishes, and the per-N winners. Every such design satisfies Eq. (12)

@@ -69,6 +69,26 @@ struct RunReport {
   };
   std::vector<PointSample> explored;
 
+  // --- Pareto frontier (from `frontier_point` / `constraint` /
+  // `pareto_summary`, emitted by the Pareto DSE mode) ---
+  struct FrontierSample {
+    double n_cores = 0.0;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0;
+    double time = 0.0;
+    double power = 0.0;
+    double area = 0.0;
+  };
+  std::vector<FrontierSample> frontier;
+  struct ConstraintStat {
+    std::string name;
+    double budget = 0.0;
+    double infeasible = 0.0;  ///< grid points the constraint rejected
+    double binding = 0.0;     ///< frontier points within 5% of the budget
+  };
+  std::vector<ConstraintStat> constraints;
+  double pareto_feasible = 0.0;
+  double pareto_grid_points = 0.0;
+
   JournalReadStats read_stats;
 };
 

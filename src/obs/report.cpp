@@ -92,6 +92,26 @@ RunReport build_report(const std::vector<JournalRecord>& records,
       sample.objective = record.num("objective");
       sample.cached = record.num("cached") != 0.0;
       report.explored.push_back(sample);
+    } else if (record.type == "frontier_point") {
+      RunReport::FrontierSample sample;
+      sample.n_cores = record.num("n");
+      sample.a0 = record.num("a0");
+      sample.a1 = record.num("a1");
+      sample.a2 = record.num("a2");
+      sample.time = record.num("time");
+      sample.power = record.num("power");
+      sample.area = record.num("area");
+      report.frontier.push_back(sample);
+    } else if (record.type == "constraint") {
+      RunReport::ConstraintStat stat;
+      stat.name = record.str("name", "?");
+      stat.budget = record.num("budget");
+      stat.infeasible = record.num("infeasible");
+      stat.binding = record.num("binding");
+      report.constraints.push_back(std::move(stat));
+    } else if (record.type == "pareto_summary") {
+      report.pareto_feasible = record.num("feasible", report.pareto_feasible);
+      report.pareto_grid_points = record.num("grid_points", report.pareto_grid_points);
     }
   }
 
@@ -219,6 +239,27 @@ std::string render_report(const RunReport& report, std::size_t top_k) {
                   "  best    objective=%.6g at n=%.0f a0=%g a1=%g a2=%g\n", best,
                   best_point.n_cores, best_point.a0, best_point.a1, best_point.a2);
     out += line;
+  }
+
+  if (!report.frontier.empty() || !report.constraints.empty()) {
+    out += "\n== pareto frontier ==\n";
+    std::snprintf(line, sizeof line, "  frontier  %zu point(s), %.0f feasible of %.0f grid\n",
+                  report.frontier.size(), report.pareto_feasible,
+                  report.pareto_grid_points);
+    out += line;
+    for (const RunReport::FrontierSample& sample : report.frontier) {
+      std::snprintf(line, sizeof line,
+                    "    n=%.0f a0=%g a1=%g a2=%g  time=%.6g power=%.4g area=%.4g\n",
+                    sample.n_cores, sample.a0, sample.a1, sample.a2, sample.time,
+                    sample.power, sample.area);
+      out += line;
+    }
+    for (const RunReport::ConstraintStat& stat : report.constraints) {
+      std::snprintf(line, sizeof line,
+                    "  %-10s budget %-10.4g rejected %-6.0f binding %.0f\n",
+                    stat.name.c_str(), stat.budget, stat.infeasible, stat.binding);
+      out += line;
+    }
   }
   return out;
 }

@@ -161,6 +161,53 @@ TEST(CliArgsTest, UnqueriedBatchFlagsAreUnknownToOtherCommands) {
   }
 }
 
+TEST(CliArgsTest, BudgetFlagsParseValueAndEqualsForms) {
+  // The constraint budgets on `dse`/`aps` are plain double flags; both
+  // spellings must parse, and absence leaves the caller's default.
+  {
+    Argv argv({"c2b", "dse", "--power-budget", "4.5", "--bw-budget=120",
+               "--noc-budget", "80"});
+    Args args(argv.argc(), argv.argv(), 2);
+    EXPECT_DOUBLE_EQ(args.get("power-budget", 0.0), 4.5);
+    EXPECT_DOUBLE_EQ(args.get("bw-budget", 0.0), 120.0);
+    EXPECT_DOUBLE_EQ(args.get("noc-budget", 0.0), 80.0);
+    args.finish();
+  }
+  {
+    Argv argv({"c2b", "dse"});
+    Args args(argv.argc(), argv.argv(), 2);
+    EXPECT_FALSE(args.has("power-budget"));
+    EXPECT_DOUBLE_EQ(args.get("power-budget", 7.0), 7.0);
+  }
+}
+
+TEST(CliArgsTest, BudgetFlagNumericErrorsNameTheFlag) {
+  // Non-numeric budgets must throw naming the offending flag and value —
+  // main() turns that into a clear message and exit 1 (the non-positive
+  // case is validated by the command itself with exit 2).
+  Argv argv({"c2b", "dse", "--power-budget=cheap", "--bw-budget", "plenty",
+             "--noc-budget=wide"});
+  Args args(argv.argc(), argv.argv(), 2);
+  for (const char* flag : {"power-budget", "bw-budget", "noc-budget"}) {
+    try {
+      args.get(flag, 0.0);
+      FAIL() << "expected invalid_argument for --" << flag;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find(std::string("--") + flag),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(CliArgsTest, ParetoIsBooleanAndDoesNotEatTheNextFlag) {
+  Argv argv({"c2b", "dse", "--pareto", "--power-budget", "4.0"});
+  Args args(argv.argc(), argv.argv(), 2, {"pareto"});
+  EXPECT_TRUE(args.has("pareto"));
+  EXPECT_DOUBLE_EQ(args.get("power-budget", 0.0), 4.0);
+  args.mark_used("pareto");
+  args.finish();
+}
+
 TEST(CliArgsTest, RejectsNonFlagTokens) {
   Argv argv({"c2b", "dse", "stencil"});
   EXPECT_THROW(Args(argv.argc(), argv.argv(), 2), std::invalid_argument);

@@ -1,0 +1,296 @@
+// Property suite for the declarative constraint set (c2b/core/constraints.h)
+// and the Pareto-frontier DSE mode: demand models are non-negative and
+// monotone where promised, the area member alone reproduces the historical
+// single-budget filter exactly, and a swept frontier is genuinely
+// non-dominated and complete.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "c2b/aps/aps.h"
+#include "c2b/aps/dse.h"
+#include "c2b/check/property.h"
+#include "c2b/core/constraints.h"
+#include "c2b/exec/pool.h"
+#include "c2b/exec/sim_cache.h"
+#include "c2b/trace/workloads.h"
+
+namespace c2b {
+namespace {
+
+DesignPoint gen_design_point(Rng& rng) {
+  return DesignPoint{.n_cores = static_cast<double>(1 + rng.uniform_below(16)),
+                     .a0 = rng.uniform(0.05, 4.0),
+                     .a1 = rng.uniform(0.05, 4.0),
+                     .a2 = rng.uniform(0.05, 4.0)};
+}
+
+PowerModel gen_power_model(Rng& rng) {
+  PowerModel model;
+  model.core_dynamic_base = rng.uniform(0.0, 3.0);
+  model.core_area_exponent = rng.uniform(0.0, 1.5);
+  model.l1_dynamic_per_area = rng.uniform(0.0, 1.0);
+  model.l2_dynamic_per_area = rng.uniform(0.0, 1.0);
+  model.leakage_per_area = rng.uniform(0.0, 0.5);
+  model.uncore_power = rng.uniform(0.0, 2.0);
+  return model;
+}
+
+BandwidthModel gen_bandwidth_model(Rng& rng) {
+  BandwidthModel model;
+  model.accesses_per_kilocycle_per_core = rng.uniform(0.0, 1000.0);
+  model.base_miss_rate = rng.uniform(0.0, 1.0);
+  model.capacity_exponent = rng.uniform(0.0, 1.5);
+  return model;
+}
+
+NocCapacityModel gen_noc_model(Rng& rng) {
+  NocCapacityModel model;
+  model.accesses_per_kilocycle_per_core = rng.uniform(0.0, 1000.0);
+  model.base_l1_miss_rate = rng.uniform(0.0, 1.0);
+  model.capacity_exponent = rng.uniform(0.0, 1.5);
+  model.bisection_fraction = rng.uniform(0.0, 1.0);
+  return model;
+}
+
+struct ModelCase {
+  PowerModel power;
+  BandwidthModel bandwidth;
+  NocCapacityModel noc;
+  DesignPoint d;
+  double shared_area = 0.0;
+};
+
+ModelCase gen_model_case(Rng& rng) {
+  ModelCase c;
+  c.power = gen_power_model(rng);
+  c.bandwidth = gen_bandwidth_model(rng);
+  c.noc = gen_noc_model(rng);
+  c.d = gen_design_point(rng);
+  c.shared_area = rng.uniform(0.0, 16.0);
+  return c;
+}
+
+std::string print_model_case(const ModelCase& c) {
+  return "n=" + std::to_string(c.d.n_cores) + " a0=" + std::to_string(c.d.a0) +
+         " a1=" + std::to_string(c.d.a1) + " a2=" + std::to_string(c.d.a2) +
+         " shared=" + std::to_string(c.shared_area);
+}
+
+TEST(CoreConstraints, EveryDemandEvaluationIsNonNegative) {
+  check::Property<ModelCase> p;
+  p.name = "constraint_evaluate_non_negative";
+  p.generate = gen_model_case;
+  p.print = print_model_case;
+  p.holds = [](const ModelCase& c) -> std::optional<std::string> {
+    ChipConstraints chip;
+    chip.shared_area = c.shared_area;
+    const Constraint members[] = {
+        make_area_constraint(chip),
+        make_power_constraint(c.power, c.shared_area, 10.0),
+        make_bandwidth_constraint(c.bandwidth, 10.0),
+        make_noc_constraint(c.noc, 10.0),
+    };
+    for (const Constraint& constraint : members) {
+      const double demand = constraint.evaluate(c.d);
+      if (!(demand >= 0.0) || !std::isfinite(demand))
+        return constraint.name + " demand " + std::to_string(demand);
+    }
+    return std::nullopt;
+  };
+  const check::CheckResult result = check::check(p, check::options_from_env({}));
+  EXPECT_TRUE(result.passed) << result.summary();
+}
+
+TEST(CoreConstraints, PowerDemandIsMonotoneInCoreCount) {
+  check::Property<ModelCase> p;
+  p.name = "power_monotone_in_n";
+  p.generate = gen_model_case;
+  p.print = print_model_case;
+  p.holds = [](const ModelCase& c) -> std::optional<std::string> {
+    DesignPoint more = c.d;
+    more.n_cores = c.d.n_cores + 1.0;
+    const double at_n = c.power.total(c.d, c.shared_area);
+    const double at_n1 = c.power.total(more, c.shared_area);
+    if (at_n1 < at_n)
+      return "power shrank when a core was added: " + std::to_string(at_n) + " -> " +
+             std::to_string(at_n1);
+    return std::nullopt;
+  };
+  const check::CheckResult result = check::check(p, check::options_from_env({}));
+  EXPECT_TRUE(result.passed) << result.summary();
+}
+
+TEST(CoreConstraints, BandwidthDemandIsMonotoneInMissRateAndCacheArea) {
+  check::Property<ModelCase> p;
+  p.name = "bandwidth_monotone";
+  p.generate = gen_model_case;
+  p.print = print_model_case;
+  p.holds = [](const ModelCase& c) -> std::optional<std::string> {
+    // Monotone in the miss rate at a fixed design...
+    const double lo = c.bandwidth.demand_at_miss_rate(c.d, 0.25);
+    const double hi = c.bandwidth.demand_at_miss_rate(c.d, 0.75);
+    if (hi < lo)
+      return "demand shrank as the miss rate grew: " + std::to_string(lo) + " -> " +
+             std::to_string(hi);
+    // ...and non-increasing in L2 area (bigger cache, fewer misses).
+    DesignPoint bigger = c.d;
+    bigger.a2 = c.d.a2 * 2.0;
+    if (c.bandwidth.demand(bigger) > c.bandwidth.demand(c.d))
+      return "demand grew when the L2 doubled";
+    return std::nullopt;
+  };
+  const check::CheckResult result = check::check(p, check::options_from_env({}));
+  EXPECT_TRUE(result.passed) << result.summary();
+}
+
+// --- regression guard: area-only contexts behave exactly as before --------
+
+struct GridCase {
+  DseContext context;
+  std::vector<double> point;
+};
+
+TEST(CoreConstraints, AreaOnlyConstraintSetReproducesLegacyFilterExactly) {
+  check::Property<GridCase> p;
+  p.name = "area_only_regression_guard";
+  p.generate = [](Rng& rng) {
+    GridCase c;
+    c.context.chip.total_area = rng.uniform(2.0, 64.0);
+    c.context.chip.shared_area = rng.uniform(0.0, 4.0);
+    const double issue = static_cast<double>(1 + rng.uniform_below(8));
+    c.point = {rng.uniform(0.05, 4.0),
+               rng.uniform(0.05, 4.0),
+               rng.uniform(0.05, 4.0),
+               static_cast<double>(1 + rng.uniform_below(8)),
+               issue,
+               issue + static_cast<double>(rng.uniform_below(64))};
+    return c;
+  };
+  p.holds = [](const GridCase& c) -> std::optional<std::string> {
+    // The historical inline filter, verbatim.
+    const double n = c.point[kAxisN];
+    const double per_core = c.point[kAxisA0] + c.point[kAxisA1] + c.point[kAxisA2];
+    const bool legacy = c.point[kAxisRob] >= c.point[kAxisIssue] &&
+                        n * per_core + c.context.chip.shared_area <=
+                            c.context.chip.total_area + 1e-9;
+    if (design_feasible(c.context, c.point) != legacy)
+      return "constraint-set verdict diverged from the legacy area filter";
+    const ConstraintSet set = design_constraints(c.context);
+    if (set.size() != 1)
+      return "infinite budgets assembled " + std::to_string(set.size()) + " constraints";
+    return std::nullopt;
+  };
+  const check::CheckResult result = check::check(p, check::options_from_env({}));
+  EXPECT_TRUE(result.passed) << result.summary();
+}
+
+// --- frontier invariants on a real constrained sweep ----------------------
+
+class ExecEnvGuard {
+ public:
+  ExecEnvGuard() = default;
+  ~ExecEnvGuard() {
+    exec::set_thread_count(0);
+    exec::SimCache::global().set_enabled(true);
+    exec::SimCache::global().clear();
+  }
+};
+
+DseContext constrained_tiny_context() {
+  DseContext context;
+  sim::SystemConfig base;
+  base.core.issue_width = 4;
+  base.core.rob_size = 128;
+  base.hierarchy.l1_geometry = {.size_bytes = 16 * 1024, .line_bytes = 64,
+                                .associativity = 4};
+  base.hierarchy.l2_geometry = {.size_bytes = 256 * 1024, .line_bytes = 64,
+                                .associativity = 8};
+  context.base = base;
+  context.workload = make_stencil_workload(96);
+  context.instructions0 = 20000;
+  context.per_core_cap = 10000;
+  context.chip.total_area = 9.0;
+  context.chip.shared_area = 1.0;
+  // Bisects the tiny grid: default-model power demands there span ~2.0
+  // (n=1, minimal areas) to ~6.65 (n=2, maximal areas).
+  context.power_budget = 4.0;
+  return context;
+}
+
+GridSpace tiny_space() {
+  DseAxes axes;
+  axes.a0 = {1.0, 4.0};
+  axes.a1 = {0.5, 1.0};
+  axes.a2 = {1.0, 2.0};
+  axes.n = {1, 2};
+  axes.issue = {2, 4};
+  axes.rob = {32, 64};
+  return make_design_space(axes);
+}
+
+bool dominates(double t1, double p1, double a1, double t2, double p2, double a2) {
+  if (t1 > t2 || p1 > p2 || a1 > a2) return false;
+  return t1 < t2 || p1 < p2 || a1 < a2;
+}
+
+TEST(CoreConstraints, FrontierIsNonDominatedAndComplete) {
+  ExecEnvGuard guard;
+  exec::set_thread_count(2);
+  exec::SimCache::global().set_enabled(true);
+  exec::SimCache::global().clear();
+
+  const DseContext context = constrained_tiny_context();
+  const GridSpace space = tiny_space();
+  const ConstraintSet set = design_constraints(context);
+  ASSERT_EQ(set.size(), 2u);  // area + power
+
+  const ParetoDseResult pareto = run_pareto_dse(context, space);
+  ASSERT_FALSE(pareto.frontier.empty());
+
+  // Every frontier member is a feasible grid point satisfying the full set.
+  for (const FrontierPoint& fp : pareto.frontier) {
+    EXPECT_EQ(space.point(fp.flat_index), fp.point);
+    EXPECT_TRUE(design_feasible(context, fp.point));
+    EXPECT_TRUE(set.feasible(design_point_of(fp.point)));
+  }
+
+  // No frontier member dominates another.
+  for (std::size_t i = 0; i < pareto.frontier.size(); ++i)
+    for (std::size_t j = 0; j < pareto.frontier.size(); ++j) {
+      if (i == j) continue;
+      const FrontierPoint& a = pareto.frontier[i];
+      const FrontierPoint& b = pareto.frontier[j];
+      EXPECT_FALSE(dominates(a.time, a.power, a.area, b.time, b.power, b.area))
+          << "frontier member " << i << " dominates member " << j;
+    }
+
+  // Completeness: every feasible grid point is on the frontier or dominated
+  // by a frontier member. The plain DSE run reuses the sim cache the Pareto
+  // run populated, so its times are the identical coordinates.
+  const FullDseResult full = run_full_dse(context, space);
+  EXPECT_EQ(full.feasible_count, pareto.feasible_count);
+  space.for_each([&](std::size_t flat, const std::vector<double>& point) {
+    if (!design_feasible(context, point)) return;
+    const DesignPoint d = design_point_of(point);
+    const double time = full.times[flat];
+    const double power = context.cost.power.total(d, context.chip.shared_area);
+    const double area = d.n_cores * (d.a0 + d.a1 + d.a2) + context.chip.shared_area;
+    bool on_or_dominated = false;
+    for (const FrontierPoint& fp : pareto.frontier) {
+      if (fp.flat_index == flat ||
+          dominates(fp.time, fp.power, fp.area, time, power, area)) {
+        on_or_dominated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(on_or_dominated) << "feasible point " << flat
+                                 << " neither on nor dominated by the frontier";
+  });
+}
+
+}  // namespace
+}  // namespace c2b

@@ -172,6 +172,82 @@ TEST(ParallelDeterminism, CachedTimesMatchUncachedOnes) {
   EXPECT_EQ(warm.best_time, uncached.best_time);
 }
 
+/// tiny_context with a power ceiling that bisects the tiny grid: demands on
+/// the default PowerModel range from ~2.0 (n=1, minimal areas) to ~6.65
+/// (n=2, maximal areas), so 4.0 keeps some designs and rejects others.
+DseContext constrained_context() {
+  DseContext context = tiny_context();
+  context.power_budget = 4.0;
+  return context;
+}
+
+void expect_same_frontier(const ParetoDseResult& got, const ParetoDseResult& want) {
+  EXPECT_EQ(got.feasible_count, want.feasible_count);
+  EXPECT_EQ(got.grid_points, want.grid_points);
+  ASSERT_EQ(got.frontier.size(), want.frontier.size());
+  for (std::size_t p = 0; p < want.frontier.size(); ++p) {
+    EXPECT_EQ(got.frontier[p].flat_index, want.frontier[p].flat_index) << "frontier " << p;
+    EXPECT_EQ(got.frontier[p].time, want.frontier[p].time) << "frontier " << p;
+    EXPECT_EQ(got.frontier[p].power, want.frontier[p].power) << "frontier " << p;
+    EXPECT_EQ(got.frontier[p].area, want.frontier[p].area) << "frontier " << p;
+  }
+  ASSERT_EQ(got.usage.size(), want.usage.size());
+  for (std::size_t c = 0; c < want.usage.size(); ++c) {
+    EXPECT_EQ(got.usage[c].name, want.usage[c].name);
+    EXPECT_EQ(got.usage[c].infeasible, want.usage[c].infeasible);
+    EXPECT_EQ(got.usage[c].binding, want.usage[c].binding);
+  }
+}
+
+TEST(ParallelDeterminism, ParetoFrontierBitIdenticalAcrossThreadCounts) {
+  ExecEnvGuard guard;
+  const DseContext context = constrained_context();
+  const GridSpace space = make_design_space(tiny_axes());
+
+  exec::SimCache::global().set_enabled(false);
+  exec::SimCache::global().clear();
+
+  std::vector<ParetoDseResult> results;
+  for (const std::size_t threads : kThreadCounts) {
+    exec::set_thread_count(threads);
+    results.push_back(run_pareto_dse(context, space));
+  }
+  const ParetoDseResult& serial = results.front();
+  // The power ceiling must actually bisect the grid, or the test proves
+  // nothing about constrained sweeps.
+  const DseContext unconstrained = tiny_context();
+  std::size_t area_only_feasible = 0;
+  space.for_each([&](std::size_t, const std::vector<double>& point) {
+    if (design_feasible(unconstrained, point)) ++area_only_feasible;
+  });
+  EXPECT_GT(serial.feasible_count, 0u);
+  EXPECT_LT(serial.feasible_count, area_only_feasible);
+  EXPECT_FALSE(serial.frontier.empty());
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    SCOPED_TRACE("threads=" + std::to_string(kThreadCounts[i]));
+    expect_same_frontier(results[i], serial);
+  }
+}
+
+TEST(ParallelDeterminism, ParetoFrontierWarmCacheMatchesCold) {
+  ExecEnvGuard guard;
+  const DseContext context = constrained_context();
+  const GridSpace space = make_design_space(tiny_axes());
+
+  exec::set_thread_count(4);
+  exec::SimCache::global().set_enabled(false);
+  exec::SimCache::global().clear();
+  const ParetoDseResult uncached = run_pareto_dse(context, space);
+
+  exec::SimCache::global().set_enabled(true);
+  exec::SimCache::global().clear();
+  const ParetoDseResult cold = run_pareto_dse(context, space);
+  const ParetoDseResult warm = run_pareto_dse(context, space);
+  expect_same_frontier(cold, uncached);
+  expect_same_frontier(warm, uncached);
+  EXPECT_EQ(warm.batch.cache_hits, warm.feasible_count);
+}
+
 TEST(ParallelDeterminism, NelderMeadRestartsBitIdenticalAcrossThreadCounts) {
   // The optimizer's multi-start Nelder-Mead runs its restarts on the
   // thread pool with a serial strict-< reduction in restart order; the

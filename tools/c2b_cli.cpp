@@ -28,22 +28,31 @@
 //       (watch exec.simcache.hit in --metrics-out).
 //   c2b dse [--workload <name>] [--instructions N] [--per-core-cap N]
 //           [--area A] [--shared-area A] [--seed S]
-//           [--lockstep-records N] [--no-simd]
+//           [--lockstep-records N] [--no-simd] [--pareto]
+//           [--power-budget P] [--bw-budget B] [--noc-budget L]
 //       Run the full-factorial DSE (every feasible grid point simulated,
 //       batched over shared trace streams) and print the ground-truth best
 //       design plus the batch/cache effectiveness summary.
 //       --lockstep-records sets the batched-replay lockstep granularity;
 //       --no-simd forces the scalar lockstep driver (results are identical
 //       either way — both are tuning/escape knobs, shared with `c2b aps`).
+//       --power-budget / --bw-budget / --noc-budget (all > 0; also accepted
+//       by `c2b aps`) add power, off-chip-bandwidth, and NoC-bisection
+//       ceilings to the Eq. (12) area constraint; infeasible points are
+//       never simulated. --pareto switches to the Pareto-frontier mode:
+//       every feasible point is swept with the same batched engine and the
+//       non-dominated (time, power, area) set is printed along with
+//       per-constraint rejection/binding statistics.
 //   c2b report --journal <file> [--top K] [--heatmap-out <csv>]
 //       Replay a run journal (see --journal-out) into a post-mortem: phase
 //       time breakdown, cache/batch effectiveness, top-K slowest trace
 //       classes, per-class sim-time percentiles, and (with --heatmap-out)
 //       an objective-vs-(N, cache split) CSV heatmap.
-//   c2b check [--family all|analytic|determinism|invariants|kernel|batch|simd]
+//   c2b check [--family all|analytic|determinism|invariants|kernel|batch|simd|constraint]
 //             [--seed S] [--configs N] [--aps-configs N] [--cases N]
 //             [--designs N] [--kernel-configs N] [--batch-sets N]
-//             [--simd-sets N] [--bands-out <file>] [--corpus <dir>]
+//             [--simd-sets N] [--constraint-sets N] [--bands-out <file>]
+//             [--corpus <dir>]
 //       Run the differential oracle families (analytic model vs simulator
 //       tolerance bands, serial-vs-parallel determinism on random configs,
 //       invariant registry). Deterministic for a fixed --seed; failures
@@ -69,6 +78,7 @@
 // Every command prints plain text to stdout; exit code 0 on success.
 // Unknown flags are an error: each command lists them and exits nonzero.
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -414,6 +424,30 @@ bool apply_batch_flags(const Args& args, const char* command, DseContext& contex
   return true;
 }
 
+/// Shared `--power-budget` / `--bw-budget` / `--noc-budget` handling for
+/// the sweep commands. Unset flags leave the budget infinite (constraint
+/// not assembled); set values must be finite and > 0 — zero, negative, and
+/// NaN budgets are rejected here with a clear message (non-numeric text is
+/// rejected by the parser itself), exit nonzero either way.
+bool apply_constraint_flags(const Args& args, const char* command, DseContext& context) {
+  const struct {
+    const char* flag;
+    double* budget;
+  } budgets[] = {{"power-budget", &context.power_budget},
+                 {"bw-budget", &context.bw_budget},
+                 {"noc-budget", &context.noc_budget}};
+  for (const auto& entry : budgets) {
+    if (!args.has(entry.flag)) continue;
+    const double value = args.get(entry.flag, 0.0);
+    if (!(value > 0.0) || !std::isfinite(value)) {
+      std::fprintf(stderr, "%s: --%s must be a finite value > 0\n", command, entry.flag);
+      return false;
+    }
+    *entry.budget = value;
+  }
+  return true;
+}
+
 int cmd_aps(const Args& args) {
   const std::string name = args.get("workload", std::string("stencil"));
   const auto catalog = workload_catalog();
@@ -432,6 +466,7 @@ int cmd_aps(const Args& args) {
   context.chip.shared_area = args.get("shared-area", 1.0);
   context.seed = static_cast<std::uint64_t>(args.get("seed", 99LL));
   if (!apply_batch_flags(args, "aps", context)) return 2;
+  if (!apply_constraint_flags(args, "aps", context)) return 2;
 
   // A small buildable grid (the paper-scale space is bench territory; the
   // CLI command is for inspecting one APS run end to end).
@@ -510,6 +545,9 @@ int cmd_dse(const Args& args) {
   context.chip.shared_area = args.get("shared-area", 1.0);
   context.seed = static_cast<std::uint64_t>(args.get("seed", 99LL));
   if (!apply_batch_flags(args, "dse", context)) return 2;
+  if (!apply_constraint_flags(args, "dse", context)) return 2;
+  const bool pareto = args.has("pareto");
+  args.mark_used("pareto");
   args.finish();
 
   // Same small buildable grid as `c2b aps`, so the two commands are directly
@@ -524,6 +562,31 @@ int cmd_dse(const Args& args) {
 
   const GridSpace space = make_design_space(axes);
   journal_sweep_config("dse", context, space.size());
+
+  if (pareto) {
+    const ParetoDseResult result = run_pareto_dse(context, space);
+    std::printf("Pareto DSE on workload %s (%s), %zu-point grid\n", spec->name.c_str(),
+                spec->emulates.c_str(), space.size());
+    std::printf("feasible          %zu of %zu points\n", result.feasible_count,
+                result.grid_points);
+    std::printf("frontier          %zu non-dominated design(s) (time, power, area)\n",
+                result.frontier.size());
+    for (const FrontierPoint& fp : result.frontier)
+      std::printf("  a0 %.2f | a1 %.2f | a2 %.2f | N %.0f | issue %.0f | rob %.0f"
+                  "  -> time %.6g | power %.4g | area %.4g\n",
+                  fp.point[kAxisA0], fp.point[kAxisA1], fp.point[kAxisA2],
+                  fp.point[kAxisN], fp.point[kAxisIssue], fp.point[kAxisRob], fp.time,
+                  fp.power, fp.area);
+    std::printf("constraints:\n");
+    for (const ConstraintUsage& usage : result.usage)
+      std::printf("  %-10s budget %-10.4g rejected %-6zu binding %zu/%zu frontier\n",
+                  usage.name.c_str(), usage.budget, usage.infeasible, usage.binding,
+                  result.frontier.size());
+    print_batch_summary(result.batch);
+    journal_batch_stats(result.batch);
+    return 0;
+  }
+
   const FullDseResult full = run_full_dse(context, space);
 
   std::printf("full-factorial DSE on workload %s (%s), %zu-point grid\n",
@@ -620,6 +683,7 @@ int cmd_check(const Args& args) {
   options.kernel_configs = static_cast<std::size_t>(args.get("kernel-configs", 40LL));
   options.batch_sets = static_cast<std::size_t>(args.get("batch-sets", 50LL));
   options.simd_sets = static_cast<std::size_t>(args.get("simd-sets", 3LL));
+  options.constraint_sets = static_cast<std::size_t>(args.get("constraint-sets", 6LL));
   options.corpus_dir = args.get("corpus", std::string(""));
   const std::string bands_out = args.get("bands-out", std::string(""));
   const std::string family = args.get("family", std::string("all"));
@@ -640,9 +704,11 @@ int cmd_check(const Args& args) {
     reports.push_back(check::run_batch_equivalence_oracle(options));
   } else if (family == "simd") {
     reports.push_back(check::run_simd_equivalence_oracle(options));
+  } else if (family == "constraint") {
+    reports.push_back(check::run_constraint_oracle(options));
   } else {
     std::fprintf(stderr,
-                 "check: unknown --family '%s' (want all|analytic|determinism|invariants|kernel|batch|simd)\n",
+                 "check: unknown --family '%s' (want all|analytic|determinism|invariants|kernel|batch|simd|constraint)\n",
                  family.c_str());
     return 2;
   }
@@ -685,7 +751,7 @@ int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const std::set<std::string> boolean_flags{"simpoints", "asymmetric", "coherence",
-                                            "progress", "no-simd"};
+                                            "progress", "no-simd", "pareto"};
   const Args args(argc, argv, 2, boolean_flags);
 
   // Cross-command flags; read before dispatch so the per-command finish()
