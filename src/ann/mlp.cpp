@@ -24,14 +24,19 @@ void FeatureScaler::fit(const std::vector<Vector>& samples) {
 }
 
 Vector FeatureScaler::transform(const Vector& x) const {
+  Vector out;
+  transform_into(x, out);
+  return out;
+}
+
+void FeatureScaler::transform_into(const Vector& x, Vector& out) const {
   C2B_REQUIRE(fitted(), "scaler not fitted");
   C2B_REQUIRE(x.size() == lo_.size(), "dimension mismatch");
-  Vector out(x.size());
+  out.resize(x.size());
   for (std::size_t d = 0; d < x.size(); ++d) {
     const double span = hi_[d] - lo_[d];
     out[d] = span <= 0.0 ? 0.0 : 2.0 * (x[d] - lo_[d]) / span - 1.0;
   }
-  return out;
 }
 
 Mlp::Mlp(const MlpConfig& config) : config_(config), rng_(config.seed) {
@@ -179,13 +184,40 @@ double Mlp::predict(const Vector& input) const {
   return out[0] * target_scale_ + target_mean_;
 }
 
+std::vector<double> Mlp::predict_batch(const std::vector<Vector>& inputs) const {
+  // Same arithmetic in the same order as forward(), but the scaled input
+  // and the two layer buffers are allocated once and reused across the
+  // batch (forward() allocates a fresh vector per layer per query).
+  std::vector<double> out(inputs.size());
+  std::size_t widest = 0;
+  for (const std::size_t width : config_.layer_sizes) widest = std::max(widest, width);
+  Vector scaled;
+  Vector current(widest, 0.0);
+  Vector next(widest, 0.0);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    scaler_.transform_into(inputs[i], scaled);
+    std::copy(scaled.begin(), scaled.end(), current.begin());
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+      const Matrix& w = weights_[l];
+      for (std::size_t r = 0; r < w.rows(); ++r) {
+        double sum = w(r, w.cols() - 1);  // bias
+        for (std::size_t c = 0; c + 1 < w.cols(); ++c) sum += w(r, c) * current[c];
+        next[r] = (l + 1 == weights_.size()) ? sum : activate(sum);
+      }
+      std::swap(current, next);
+    }
+    out[i] = current[0] * target_scale_ + target_mean_;
+  }
+  return out;
+}
+
 double Mlp::mean_relative_error(const std::vector<Vector>& inputs,
                                 const std::vector<double>& targets) const {
   C2B_REQUIRE(inputs.size() == targets.size() && !inputs.empty(), "bad evaluation set");
   double sum = 0.0;
   std::size_t used = 0;
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    if (std::fabs(targets[i]) < 1e-12) continue;
+    if (std::fabs(targets[i]) < kMreEpsilon) continue;  // see kMreEpsilon's contract
     sum += std::fabs(predict(inputs[i]) - targets[i]) / std::fabs(targets[i]);
     ++used;
   }

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "c2b/aps/surrogate.h"
+
 #include "c2b/common/assert.h"
 #include "c2b/common/math_util.h"
 #include "c2b/common/log.h"
@@ -33,15 +35,27 @@ FullDseResult run_full_dse(const DseContext& context, const GridSpace& space) {
     });
   }
   obs::PhaseScope phase("sweep");
-  const std::vector<BatchSimOutcome> outcomes =
-      simulate_design_times_batched(context, points, &result.batch);
-  for (std::size_t i = 0; i < flats.size(); ++i) {
-    result.times[flats[i]] = outcomes[i].time;
-    C2B_COUNTER_INC("aps.full_dse.simulations");
+  result.feasible_count = flats.size();
+  C2B_REQUIRE(result.feasible_count > 0, "no feasible design in the space");
+  if (context.surrogate_enabled) {
+    SurrogateSweepResult sweep = surrogate_sweep(context, points);
+    for (std::size_t i = 0; i < flats.size(); ++i) {
+      if (!sweep.simulated[i]) continue;  // pruned: stays +infinity
+      result.times[flats[i]] = sweep.outcomes[i].time;
+      C2B_COUNTER_INC("aps.full_dse.simulations");
+    }
+    result.batch = sweep.batch;
+    result.surrogate = sweep.stats;
+    result.simulations = sweep.stats.points_simulated;
+  } else {
+    const std::vector<BatchSimOutcome> outcomes =
+        simulate_design_times_batched(context, points, &result.batch);
+    for (std::size_t i = 0; i < flats.size(); ++i) {
+      result.times[flats[i]] = outcomes[i].time;
+      C2B_COUNTER_INC("aps.full_dse.simulations");
+    }
+    result.simulations = flats.size();
   }
-  result.simulations = flats.size();
-  result.feasible_count = result.simulations;
-  C2B_REQUIRE(result.simulations > 0, "no feasible design in the space");
   result.best_index = static_cast<std::size_t>(
       std::min_element(result.times.begin(), result.times.end()) - result.times.begin());
   result.best_time = result.times[result.best_index];

@@ -8,6 +8,7 @@
 #include <map>
 #include <utility>
 
+#include "c2b/aps/surrogate.h"
 #include "c2b/common/assert.h"
 #include "c2b/common/math_util.h"
 #include "c2b/common/rng.h"
@@ -171,6 +172,21 @@ GridSpace make_design_space(const DseAxes& axes) {
   return GridSpace({GridAxis{"a0", axes.a0}, GridAxis{"a1", axes.a1}, GridAxis{"a2", axes.a2},
                     GridAxis{"n", axes.n}, GridAxis{"issue", axes.issue},
                     GridAxis{"rob", axes.rob}});
+}
+
+DseAxes make_large_axes() {
+  DseAxes axes;
+  axes.a0 = {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0};
+  axes.a1 = {0.125, 0.25, 0.375, 0.5, 0.75, 1.0, 1.5, 2.0};
+  axes.a2 = {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0};
+  // The dense core-count axis is what makes this preset surrogate-friendly:
+  // each N is its own trace-equivalence class, and simulation cost grows
+  // with N, so pruning the predicted-cold large-N classes is where the
+  // wall-clock lives.
+  axes.n = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32};
+  axes.issue = {1, 2, 4, 8};
+  axes.rob = {16, 32, 64, 128, 192, 256};
+  return axes;
 }
 
 sim::SystemConfig config_for_design(const DseContext& context,
@@ -702,12 +718,36 @@ ParetoDseResult run_pareto_dse(const DseContext& context, const GridSpace& space
   result.simulations = flats.size();
   C2B_REQUIRE(result.feasible_count > 0, "no feasible design in the space");
 
+  // The analytic objective coordinates are cheap; compute them for every
+  // feasible point up front — the surrogate's dominance pruning needs them
+  // before any simulation happens, and the frontier attachment reuses them.
+  std::vector<double> powers(points.size());
+  std::vector<double> areas(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const DesignPoint d = design_point_of(points[i]);
+    powers[i] = context.cost.power.total(d, context.chip.shared_area);
+    areas[i] = d.n_cores * (d.a0 + d.a1 + d.a2) + context.chip.shared_area;
+  }
+
   // Sweep: identical engine, identical streams, identical cache keys as the
-  // plain DSE — a Pareto run after a plain run is all cache hits.
+  // plain DSE — a Pareto run after a plain run is all cache hits. With the
+  // surrogate enabled, classes confidently dominated by the simulated
+  // frontier are skipped; `simulated` marks which outcomes are real.
   std::vector<BatchSimOutcome> outcomes;
+  std::vector<std::uint8_t> simulated;  // empty = every point was simulated
   {
     obs::PhaseScope phase("sweep");
-    outcomes = simulate_design_times_batched(context, points, &result.batch);
+    if (context.surrogate_enabled) {
+      const SurrogateObjectives objectives{powers, areas};
+      SurrogateSweepResult sweep = surrogate_sweep(context, points, &objectives);
+      outcomes = std::move(sweep.outcomes);
+      simulated = std::move(sweep.simulated);
+      result.batch = sweep.batch;
+      result.surrogate = sweep.stats;
+      result.simulations = sweep.stats.points_simulated;
+    } else {
+      outcomes = simulate_design_times_batched(context, points, &result.batch);
+    }
   }
 
   // Frontier: attach the analytic power/area coordinates to each simulated
@@ -718,13 +758,13 @@ ParetoDseResult run_pareto_dse(const DseContext& context, const GridSpace& space
   std::vector<FrontierPoint> candidates;
   candidates.reserve(flats.size());
   for (std::size_t i = 0; i < flats.size(); ++i) {
-    const DesignPoint d = design_point_of(points[i]);
+    if (!simulated.empty() && !simulated[i]) continue;  // surrogate-pruned
     FrontierPoint fp;
     fp.flat_index = flats[i];
     fp.point = points[i];
     fp.time = outcomes[i].time;
-    fp.power = context.cost.power.total(d, context.chip.shared_area);
-    fp.area = d.n_cores * (d.a0 + d.a1 + d.a2) + context.chip.shared_area;
+    fp.power = powers[i];
+    fp.area = areas[i];
     candidates.push_back(std::move(fp));
   }
   for (std::size_t i = 0; i < candidates.size(); ++i) {

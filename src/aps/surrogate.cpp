@@ -1,0 +1,354 @@
+#include "c2b/aps/surrogate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "c2b/ann/mlp.h"
+#include "c2b/common/assert.h"
+#include "c2b/common/rng.h"
+#include "c2b/obs/journal.h"
+#include "c2b/obs/obs.h"
+
+namespace c2b {
+namespace {
+
+// Training-schedule constants. The first fit gets the long budget (the net
+// starts from Xavier noise); later rounds warm-start from the previous
+// weights and only need to absorb the newly admitted class. Both fits stop
+// early on an MSE plateau (Mlp::fit), so these are ceilings.
+constexpr int kWarmupEpochs = 300;
+constexpr int kRoundEpochs = 120;
+/// Stream-seed salt for the surrogate's MLP, distinct from every other
+/// derive_stream_seed consumer (check oracles use 7e3..9e4, run_ann_dse
+/// uses the raw option seed).
+constexpr std::uint64_t kSurrogateSeedSalt = 7'777'000;
+/// Exact fallback sizing: at least this many points, or 1% of the space,
+/// whichever is larger — plus the predicted-best member of every pruned
+/// class (added separately so no class goes entirely unverified).
+constexpr std::size_t kFallbackMin = 32;
+constexpr std::size_t kFallbackFraction = 100;
+/// Fit-cost ceiling: past this many streamed samples, each round trains on
+/// a deterministic strided subsample instead of the full set. Without the
+/// cap a sweep whose landscape is flat across classes (nothing prunable,
+/// everything admitted) would spend more time in backprop than the
+/// exhaustive sweep spends simulating.
+constexpr std::size_t kTrainCap = 2048;
+
+/// The MLP sees log2 coordinates: every axis (areas, N, issue, ROB) is
+/// sampled at near-power-of-two steps, so the log2 grid is close to
+/// uniform and the min/max scaler wastes no range on the 16x spread.
+Vector features_of(const std::vector<double>& point) {
+  Vector f(point.size());
+  for (std::size_t d = 0; d < point.size(); ++d) f[d] = std::log2(point[d]);
+  return f;
+}
+
+std::uint32_t cores_of(const std::vector<double>& point) {
+  return static_cast<std::uint32_t>(std::lround(point[kAxisN]));
+}
+
+struct ClassState {
+  std::uint32_t cores = 0;
+  std::vector<std::size_t> members;  ///< indices into the point list
+  bool admitted = false;
+};
+
+/// A simulated point's objective coordinates, for Pareto-mode pruning.
+struct SimPoint {
+  double time = 0.0;
+  double power = 0.0;
+  double area = 0.0;
+};
+
+bool sim_dominates(const SimPoint& a, const SimPoint& b) {
+  if (a.time > b.time || a.power > b.power || a.area > b.area) return false;
+  return a.time < b.time || a.power < b.power || a.area < b.area;
+}
+
+}  // namespace
+
+SurrogateSweepResult surrogate_sweep(const DseContext& context,
+                                     const std::vector<std::vector<double>>& points,
+                                     const SurrogateObjectives* pareto) {
+  C2B_SPAN("aps/surrogate_sweep");
+  SurrogateSweepResult result;
+  result.outcomes.resize(points.size());
+  result.simulated.assign(points.size(), 0);
+  result.stats.points_total = points.size();
+  if (points.empty()) return result;
+  if (pareto) {
+    C2B_REQUIRE(pareto->power.size() == points.size() && pareto->area.size() == points.size(),
+                "Pareto objectives must parallel the point list");
+  }
+
+  // Group by trace-equivalence class. Within one context the class key
+  // varies only through N (see trace_class_key), so the core count *is*
+  // the class; a std::map keeps the round ordering deterministic.
+  std::map<std::uint32_t, std::vector<std::size_t>> by_cores;
+  for (std::size_t i = 0; i < points.size(); ++i) by_cores[cores_of(points[i])].push_back(i);
+  std::vector<ClassState> classes;
+  classes.reserve(by_cores.size());
+  for (auto& [cores, members] : by_cores)
+    classes.push_back(ClassState{cores, std::move(members), false});
+  result.stats.classes_total = classes.size();
+
+  // Training set: (log2 point -> log time) in the order results streamed
+  // in — a pure function of prior simulation results, so identical at any
+  // thread count.
+  std::vector<Vector> train_x;
+  std::vector<double> train_y;
+  auto simulate = [&](const std::vector<std::size_t>& indices) {
+    if (indices.empty()) return;
+    std::vector<std::vector<double>> subset;
+    subset.reserve(indices.size());
+    for (const std::size_t idx : indices) subset.push_back(points[idx]);
+    BatchReplayStats round_batch;
+    const std::vector<BatchSimOutcome> outcomes =
+        simulate_design_times_batched(context, subset, &round_batch);
+    result.batch.merge(round_batch);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const std::size_t idx = indices[k];
+      result.outcomes[idx] = outcomes[k];
+      result.simulated[idx] = 1;
+      if (outcomes[k].time > 0.0) {
+        train_x.push_back(features_of(points[idx]));
+        train_y.push_back(std::log(outcomes[k].time));
+      }
+    }
+    result.stats.points_simulated += indices.size();
+  };
+
+  // --- warmup: a strided exact sample from every class ---------------------
+  const std::size_t warmup = std::max<std::size_t>(1, context.surrogate_warmup);
+  std::vector<std::size_t> warmup_indices;
+  for (const ClassState& cls : classes) {
+    const std::size_t take = std::min(warmup, cls.members.size());
+    const std::size_t stride = cls.members.size() / take;
+    for (std::size_t j = 0; j < take; ++j) warmup_indices.push_back(cls.members[j * stride]);
+  }
+  simulate(warmup_indices);
+  result.stats.warmup_sims = warmup_indices.size();
+
+  MlpConfig mlp_config;
+  mlp_config.layer_sizes = {points[0].size(), 16, 16, 1};
+  mlp_config.seed = Rng::derive_stream_seed(context.seed, kSurrogateSeedSalt);
+  Mlp model(mlp_config);
+  auto refit = [&](int epochs) {
+    if (train_x.size() <= kTrainCap) {
+      model.fit(train_x, train_y, epochs);
+      return;
+    }
+    // Strided subsample over the streamed order: pure function of the
+    // sample count, so retraining stays thread-count independent.
+    const std::size_t stride = (train_x.size() + kTrainCap - 1) / kTrainCap;
+    std::vector<Vector> sub_x;
+    std::vector<double> sub_y;
+    sub_x.reserve(kTrainCap);
+    sub_y.reserve(kTrainCap);
+    for (std::size_t k = 0; k < train_x.size(); k += stride) {
+      sub_x.push_back(train_x[k]);
+      sub_y.push_back(train_y[k]);
+    }
+    model.fit(sub_x, sub_y, epochs);
+  };
+  refit(kWarmupEpochs);
+  ++result.stats.rounds;
+
+  const double band = std::max(0.0, context.surrogate_band);
+  const double admit_factor = 1.0 + band;
+
+  // Per-round scratch, refreshed from the current model: predicted time for
+  // every unsimulated point (+inf where simulated, so mins ignore them).
+  std::vector<double> predicted(points.size(), std::numeric_limits<double>::infinity());
+  auto repredict = [&]() {
+    std::vector<std::size_t> pending;
+    std::vector<Vector> feats;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (result.simulated[i]) {
+        predicted[i] = std::numeric_limits<double>::infinity();
+      } else {
+        pending.push_back(i);
+        feats.push_back(features_of(points[i]));
+      }
+    }
+    const std::vector<double> log_pred = model.predict_batch(feats);
+    for (std::size_t k = 0; k < pending.size(); ++k)
+      predicted[pending[k]] = std::exp(log_pred[k]);
+    return pending;
+  };
+
+  double incumbent = std::numeric_limits<double>::infinity();
+  std::vector<SimPoint> frontier;
+  auto refresh_incumbent = [&]() {
+    incumbent = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < points.size(); ++i)
+      if (result.simulated[i]) incumbent = std::min(incumbent, result.outcomes[i].time);
+    if (!pareto) return;
+    std::vector<SimPoint> sims;
+    for (std::size_t i = 0; i < points.size(); ++i)
+      if (result.simulated[i])
+        sims.push_back(SimPoint{result.outcomes[i].time, pareto->power[i], pareto->area[i]});
+    frontier.clear();
+    for (std::size_t a = 0; a < sims.size(); ++a) {
+      bool dominated = false;
+      for (std::size_t b = 0; b < sims.size(); ++b)
+        if (b != a && sim_dominates(sims[b], sims[a])) {
+          dominated = true;
+          break;
+        }
+      if (!dominated) frontier.push_back(sims[a]);
+    }
+  };
+
+  // A point is confidently prunable when its *inflated-by-the-band* truth
+  // would still lose: plain mode against the incumbent time, Pareto mode
+  // against some frontier point that is no worse in power and area. Ties
+  // and near-ties always fall inside the band, so equal-coordinate frontier
+  // members are never pruned away.
+  auto prunable = [&](std::size_t i) {
+    if (!pareto) return predicted[i] > incumbent * admit_factor;
+    for (const SimPoint& s : frontier)
+      if (s.power <= pareto->power[i] && s.area <= pareto->area[i] &&
+          s.time * admit_factor <= predicted[i])
+        return true;
+    return false;
+  };
+
+  // --- scheduling rounds: admit the most promising class, retrain ----------
+  for (;;) {
+    repredict();
+    refresh_incumbent();
+    std::size_t best_class = classes.size();
+    double best_pred = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      if (classes[c].admitted) continue;
+      double class_pred = std::numeric_limits<double>::infinity();
+      bool keepable = false;
+      for (const std::size_t idx : classes[c].members) {
+        if (result.simulated[idx]) continue;
+        if (!prunable(idx)) {
+          keepable = true;
+          class_pred = std::min(class_pred, predicted[idx]);
+        }
+      }
+      if (keepable && class_pred < best_pred) {
+        best_pred = class_pred;
+        best_class = c;
+      }
+    }
+    if (best_class == classes.size()) break;  // every remaining class is outside the band
+
+    ClassState& cls = classes[best_class];
+    cls.admitted = true;
+    std::vector<std::size_t> todo;
+    for (const std::size_t idx : cls.members)
+      if (!result.simulated[idx]) todo.push_back(idx);
+    simulate(todo);
+    refit(kRoundEpochs);
+    ++result.stats.rounds;
+    if (obs::RunJournal* journal = obs::active_journal())
+      journal->emit(obs::JournalEvent("surrogate_round")
+                        .count("round", result.stats.rounds)
+                        .num("class_n", static_cast<double>(cls.cores))
+                        .count("class_members", todo.size())
+                        .num("predicted_best", best_pred)
+                        .num("incumbent", incumbent)
+                        .count("trained_samples", train_y.size()));
+  }
+
+  // --- exact fallback pass --------------------------------------------------
+  // Re-rank what is left under the final model and simulate the predicted
+  // neighborhood of the optimum for real: the global top K plus the
+  // predicted-best member of every pruned class. This is what turns the
+  // band from a heuristic into a checked one — the reported optimum can
+  // only come from a simulated point.
+  const std::vector<std::size_t> pending = repredict();
+  refresh_incumbent();
+  if (!pending.empty()) {
+    std::vector<std::size_t> ranked = pending;
+    std::sort(ranked.begin(), ranked.end(), [&](std::size_t a, std::size_t b) {
+      if (predicted[a] != predicted[b]) return predicted[a] < predicted[b];
+      return a < b;
+    });
+    const std::size_t top_k =
+        std::min(ranked.size(), std::max(kFallbackMin, points.size() / kFallbackFraction));
+    std::vector<std::uint8_t> take(points.size(), 0);
+    for (std::size_t k = 0; k < top_k; ++k) take[ranked[k]] = 1;
+    for (const ClassState& cls : classes) {
+      if (cls.admitted) continue;
+      std::size_t best_idx = points.size();
+      for (const std::size_t idx : cls.members) {
+        if (result.simulated[idx]) continue;
+        if (best_idx == points.size() || predicted[idx] < predicted[best_idx]) best_idx = idx;
+      }
+      if (best_idx != points.size()) take[best_idx] = 1;
+    }
+    std::vector<std::size_t> fallback;
+    for (std::size_t i = 0; i < points.size(); ++i)
+      if (take[i]) fallback.push_back(i);
+    simulate(fallback);
+    result.stats.fallback_sims = fallback.size();
+  }
+
+  // --- accounting + final model quality ------------------------------------
+  for (const ClassState& cls : classes) {
+    bool full = true;
+    for (const std::size_t idx : cls.members)
+      if (!result.simulated[idx]) {
+        full = false;
+        break;
+      }
+    if (cls.admitted || full)
+      ++result.stats.classes_simulated;
+    else
+      ++result.stats.classes_pruned;
+  }
+  result.stats.trained_samples = train_y.size();
+
+  // Final-model mean relative error in the *time* domain over everything
+  // simulated (fallback points included, which the net never trained on).
+  {
+    std::vector<Vector> eval_x;
+    std::vector<std::size_t> eval_idx;
+    for (std::size_t i = 0; i < points.size(); ++i)
+      if (result.simulated[i] && result.outcomes[i].time > 0.0) {
+        eval_x.push_back(features_of(points[i]));
+        eval_idx.push_back(i);
+      }
+    if (!eval_x.empty()) {
+      const std::vector<double> log_pred = model.predict_batch(eval_x);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < eval_idx.size(); ++k) {
+        const double truth = result.outcomes[eval_idx[k]].time;
+        sum += std::fabs(std::exp(log_pred[k]) - truth) / truth;
+      }
+      result.stats.mre = sum / static_cast<double>(eval_idx.size());
+    }
+  }
+
+  C2B_COUNTER_ADD("exec.surrogate.trained_samples", result.stats.trained_samples);
+  C2B_COUNTER_ADD("exec.surrogate.classes_pruned", result.stats.classes_pruned);
+  C2B_COUNTER_ADD("exec.surrogate.classes_simulated", result.stats.classes_simulated);
+  C2B_COUNTER_ADD("exec.surrogate.fallback_sims", result.stats.fallback_sims);
+  C2B_GAUGE_SET("exec.surrogate.mre", result.stats.mre);
+  if (obs::RunJournal* journal = obs::active_journal())
+    journal->emit(obs::JournalEvent("surrogate_summary")
+                      .count("classes_total", result.stats.classes_total)
+                      .count("classes_simulated", result.stats.classes_simulated)
+                      .count("classes_pruned", result.stats.classes_pruned)
+                      .count("points_total", result.stats.points_total)
+                      .count("points_simulated", result.stats.points_simulated)
+                      .count("warmup_sims", result.stats.warmup_sims)
+                      .count("fallback_sims", result.stats.fallback_sims)
+                      .count("trained_samples", result.stats.trained_samples)
+                      .count("rounds", result.stats.rounds)
+                      .num("mre", result.stats.mre));
+  return result;
+}
+
+}  // namespace c2b

@@ -1196,11 +1196,200 @@ OracleReport run_constraint_oracle(const OracleOptions& options) {
   return report;
 }
 
+OracleReport run_surrogate_oracle(const OracleOptions& options) {
+  OracleReport report;
+  report.family = "surrogate";
+  C2B_REQUIRE(!options.thread_counts.empty(), "surrogate oracle needs thread counts");
+  ExecStateGuard guard;
+  exec::SimCache& cache = exec::SimCache::global();
+
+  // Scenario set: one fixed multi-class space engineered so the pruner must
+  // actually skip classes (several N values, area headroom that strands the
+  // slow end of the N axis outside the band), plus random tiny scenarios.
+  // The fixed case asserts classes_pruned >= 1 — without it, a pruner that
+  // degenerates into "admit everything" would pass the identity checks
+  // vacuously.
+  struct SurrogateCase {
+    DseScenario scenario;
+    bool require_pruning = false;
+    std::string label;
+    std::string repro;
+  };
+  std::vector<SurrogateCase> cases;
+  {
+    SurrogateCase fixed;
+    fixed.scenario.context.base = oracle_baseline();
+    fixed.scenario.context.base.hierarchy.coherence = false;
+    fixed.scenario.context.base.hierarchy.l2_geometry = {
+        .size_bytes = 512 * 1024, .line_bytes = 64, .associativity = 8};
+    fixed.scenario.context.workload = make_stencil_workload(96);
+    fixed.scenario.context.instructions0 = 4'000;
+    fixed.scenario.context.per_core_cap = 2'000;
+    fixed.scenario.context.seed = 1'234;  // fixed: the space, not the draw, is the test
+    fixed.scenario.context.chip.shared_area = 2.0;
+    fixed.scenario.context.chip.total_area = 10.0;
+    fixed.scenario.axes.a0 = {0.25, 0.5, 1.0, 2.0};
+    fixed.scenario.axes.a1 = {0.125, 0.25, 0.5};
+    fixed.scenario.axes.a2 = {0.25, 0.5, 1.0};
+    fixed.scenario.axes.n = {1, 2, 3, 4, 6, 8, 12};
+    fixed.scenario.axes.issue = {2, 4};
+    fixed.scenario.axes.rob = {32, 64};
+    fixed.require_pruning = true;
+    fixed.label = "fixed";
+    fixed.repro = repro_line(options.seed, 90'000);
+    cases.push_back(std::move(fixed));
+  }
+  for (std::size_t i = 0; i < options.surrogate_sets; ++i) {
+    Rng rng(Rng::derive_stream_seed(options.seed, 90'001 + i));
+    SurrogateCase random;
+    random.scenario = gen_dse_scenario(rng);
+    random.label = "random #" + std::to_string(i);
+    random.repro = repro_line(options.seed, 90'001 + i);
+    cases.push_back(std::move(random));
+  }
+
+  for (const SurrogateCase& sc : cases) {
+    const GridSpace space = make_design_space(sc.scenario.axes);
+    DseContext exhaustive_context = sc.scenario.context;
+    exhaustive_context.surrogate_enabled = false;
+    DseContext surrogate_context = sc.scenario.context;
+    surrogate_context.surrogate_enabled = true;
+
+    // Ground truth: the exhaustive sweep, serial, cache off.
+    cache.set_enabled(false);
+    exec::set_thread_count(1);
+    const FullDseResult truth_full = run_full_dse(exhaustive_context, space);
+    const ParetoDseResult truth_pareto = run_pareto_dse(exhaustive_context, space);
+
+    const auto diff_full = [&](const FullDseResult& got) -> std::optional<std::string> {
+      if (got.best_index != truth_full.best_index ||
+          !bit_equal(got.best_time, truth_full.best_time))
+        return "optimum " + std::to_string(got.best_index) + " (" + fmt(got.best_time) +
+               ") != exhaustive " + std::to_string(truth_full.best_index) + " (" +
+               fmt(truth_full.best_time) + ")";
+      if (got.feasible_count != truth_full.feasible_count)
+        return "feasible_count " + std::to_string(got.feasible_count) + " != exhaustive " +
+               std::to_string(truth_full.feasible_count);
+      // Everything the surrogate did simulate must be bitwise what the
+      // exhaustive sweep measured (pruned entries stay +infinity).
+      for (std::size_t flat = 0; flat < got.times.size(); ++flat)
+        if (std::isfinite(got.times[flat]) &&
+            !bit_equal(got.times[flat], truth_full.times[flat]))
+          return "times[" + std::to_string(flat) + "] " + fmt(got.times[flat]) +
+                 " != exhaustive " + fmt(truth_full.times[flat]);
+      return std::nullopt;
+    };
+    const auto diff_pareto = [&](const ParetoDseResult& got) -> std::optional<std::string> {
+      if (got.feasible_count != truth_pareto.feasible_count)
+        return "pareto feasible_count " + std::to_string(got.feasible_count) +
+               " != exhaustive " + std::to_string(truth_pareto.feasible_count);
+      if (got.frontier.size() != truth_pareto.frontier.size())
+        return "frontier size " + std::to_string(got.frontier.size()) + " != exhaustive " +
+               std::to_string(truth_pareto.frontier.size());
+      for (std::size_t p = 0; p < truth_pareto.frontier.size(); ++p) {
+        const FrontierPoint& got_p = got.frontier[p];
+        const FrontierPoint& want = truth_pareto.frontier[p];
+        if (got_p.flat_index != want.flat_index)
+          return "frontier[" + std::to_string(p) + "] flat " +
+                 std::to_string(got_p.flat_index) + " != " + std::to_string(want.flat_index);
+        if (!bit_equal(got_p.time, want.time) || !bit_equal(got_p.power, want.power) ||
+            !bit_equal(got_p.area, want.area))
+          return "frontier[" + std::to_string(p) + "] (t,p,a) = (" + fmt(got_p.time) + ", " +
+                 fmt(got_p.power) + ", " + fmt(got_p.area) + ") != (" + fmt(want.time) +
+                 ", " + fmt(want.power) + ", " + fmt(want.area) + ")";
+      }
+      return std::nullopt;
+    };
+    // require_pruning applies to the plain sweep only: the 3-objective
+    // Pareto frontier usually touches most trace classes (small-N points
+    // hold the power/area corner), so Pareto mode legitimately admits far
+    // more — identity is the contract there, class skipping is best-effort.
+    const auto diff_stats = [&](const SurrogateStats& stats,
+                                bool check_pruning) -> std::optional<std::string> {
+      if (stats.classes_simulated + stats.classes_pruned != stats.classes_total)
+        return "class accounting " + std::to_string(stats.classes_simulated) + " + " +
+               std::to_string(stats.classes_pruned) +
+               " != " + std::to_string(stats.classes_total);
+      if (stats.points_simulated > stats.points_total)
+        return "points_simulated " + std::to_string(stats.points_simulated) +
+               " > points_total " + std::to_string(stats.points_total);
+      if (check_pruning && sc.require_pruning && stats.classes_pruned == 0)
+        return "expected at least one pruned class, every class was simulated";
+      return std::nullopt;
+    };
+    const auto fail = [&](std::size_t threads, const std::string& what) {
+      report.failures.push_back("surrogate " + sc.label + " (" +
+                                print_dse_scenario(sc.scenario) + ") threads=" +
+                                std::to_string(threads) + ": " + what +
+                                "; repro: " + sc.repro);
+    };
+
+    // Cold cache: the pruned sweep must land on the exhaustive optimum and
+    // frontier bitwise at every thread count.
+    bool diverged = false;
+    for (const std::size_t threads : options.thread_counts) {
+      exec::set_thread_count(threads);
+      const FullDseResult full = run_full_dse(surrogate_context, space);
+      ++report.checks;
+      if (auto diff = diff_full(full)) {
+        fail(threads, *diff);
+        diverged = true;
+        break;
+      }
+      if (auto diff = diff_stats(full.surrogate, /*check_pruning=*/true)) {
+        fail(threads, *diff);
+        diverged = true;
+        break;
+      }
+      const ParetoDseResult pareto = run_pareto_dse(surrogate_context, space);
+      ++report.checks;
+      if (auto diff = diff_pareto(pareto)) {
+        fail(threads, *diff);
+        diverged = true;
+        break;
+      }
+      if (auto diff = diff_stats(pareto.surrogate, /*check_pruning=*/false)) {
+        fail(threads, *diff);
+        diverged = true;
+        break;
+      }
+    }
+    if (diverged) continue;
+
+    // Warm path: cache on, a cold run then a replay — the surrogate's
+    // scheduling decisions are pure functions of (bitwise-identical) sim
+    // results, so both must still match the exhaustive ground truth.
+    cache.set_enabled(true);
+    cache.clear();
+    exec::set_thread_count(options.thread_counts.back());
+    const FullDseResult cold_full = run_full_dse(surrogate_context, space);
+    const ParetoDseResult cold = run_pareto_dse(surrogate_context, space);
+    const ParetoDseResult warm = run_pareto_dse(surrogate_context, space);
+    ++report.checks;
+    if (auto diff = diff_full(cold_full)) {
+      fail(options.thread_counts.back(), "cold cached run diverged: " + *diff);
+    } else if (auto diff = diff_pareto(cold)) {
+      fail(options.thread_counts.back(), "cold cached pareto diverged: " + *diff);
+    } else if (auto warm_diff = diff_pareto(warm)) {
+      fail(options.thread_counts.back(), "warm replay diverged: " + *warm_diff);
+    } else if (warm.surrogate.points_simulated != cold.surrogate.points_simulated ||
+               warm.surrogate.classes_pruned != cold.surrogate.classes_pruned) {
+      fail(options.thread_counts.back(),
+           "warm replay took a different path: " +
+               std::to_string(warm.surrogate.points_simulated) + " sims / " +
+               std::to_string(warm.surrogate.classes_pruned) + " pruned vs cold " +
+               std::to_string(cold.surrogate.points_simulated) + " / " +
+               std::to_string(cold.surrogate.classes_pruned));
+    }
+  }
+  return report;
+}
+
 std::vector<OracleReport> run_all_oracles(const OracleOptions& options) {
   return {run_analytic_vs_sim_oracle(options),   run_determinism_oracle(options),
           run_invariant_oracle(options),         run_kernel_equivalence_oracle(options),
           run_batch_equivalence_oracle(options), run_simd_equivalence_oracle(options),
-          run_constraint_oracle(options)};
+          run_constraint_oracle(options),        run_surrogate_oracle(options)};
 }
 
 bool write_tolerance_bands_json(const std::string& path,

@@ -27,11 +27,16 @@ struct MlpConfig {
 };
 
 /// Min/max feature scaling to [-1, 1], fitted on the training set and
-/// applied to every query (constant features map to 0).
+/// applied to every query (constant features map to 0). The map is affine
+/// per dimension, so any training sample round-trips exactly:
+/// x == lo + (transform(x) + 1) / 2 * (hi - lo).
 class FeatureScaler {
  public:
   void fit(const std::vector<Vector>& samples);
   Vector transform(const Vector& x) const;
+  /// Allocation-free transform for hot loops: writes into `out` (resized to
+  /// x.size()); bitwise-identical to transform().
+  void transform_into(const Vector& x, Vector& out) const;
   bool fitted() const noexcept { return !lo_.empty(); }
 
  private:
@@ -52,11 +57,29 @@ class Mlp {
 
   double predict(const Vector& input) const;
 
-  /// Mean relative error |pred - truth| / |truth| over a labeled set.
+  /// Batched prediction, bitwise-identical to calling predict() per input
+  /// but reusing one layer-output scratch buffer across the whole batch
+  /// instead of allocating two vectors per layer per call — the space-wide
+  /// surrogate ranking queries the net 10^5-10^6 times per round.
+  std::vector<double> predict_batch(const std::vector<Vector>& inputs) const;
+
+  /// Targets with |truth| below this are skipped by mean_relative_error —
+  /// a relative error against a (near-)zero denominator is unbounded noise,
+  /// not signal. Documented here so callers know a zero-valued target never
+  /// produces inf/NaN.
+  static constexpr double kMreEpsilon = 1e-12;
+
+  /// Mean relative error |pred - truth| / |truth| over a labeled set;
+  /// targets with |truth| < kMreEpsilon are skipped (0.0 if all are).
   double mean_relative_error(const std::vector<Vector>& inputs,
                              const std::vector<double>& targets) const;
 
   const MlpConfig& config() const noexcept { return config_; }
+
+  /// Trained weight matrices, layer l shaped (out, in+1) with a trailing
+  /// bias column — exposed so determinism tests can assert that equal
+  /// (seed, training set) pairs yield bitwise-equal nets.
+  const std::vector<Matrix>& weights() const noexcept { return weights_; }
 
  private:
   Vector forward(const Vector& scaled_input, std::vector<Vector>* layer_outputs) const;

@@ -29,7 +29,9 @@ namespace c2b {
 
 struct FullDseResult {
   /// Ground-truth time per flat grid index; +infinity marks designs that
-  /// violate the chip's Eq. (12) area budget (never simulated by anyone).
+  /// violate the chip's Eq. (12) area budget (never simulated by anyone) —
+  /// and, under context.surrogate_enabled, feasible designs the surrogate
+  /// pruned (also never simulated; best_index/best_time stay ground truth).
   std::vector<double> times;
   std::size_t best_index = 0;
   double best_time = 0.0;
@@ -38,9 +40,14 @@ struct FullDseResult {
   /// How the batched replay engine covered the sweep (classes, shared
   /// chunks, sim-cache peels).
   BatchReplayStats batch;
+  SurrogateStats surrogate;  ///< all zero unless context.surrogate_enabled
 };
 
-/// Traverse the whole space (the brute-force baseline).
+/// Traverse the whole space (the brute-force baseline) — or, with
+/// context.surrogate_enabled, only the classes the surrogate driver admits
+/// plus its exact fallback pass (see c2b/aps/surrogate.h). A surrogate
+/// result is not a ground-truth table for run_ann_dse: pruned entries are
+/// +infinity, not times.
 FullDseResult run_full_dse(const DseContext& context, const GridSpace& space);
 
 struct ApsOptions {

@@ -40,6 +40,14 @@ struct DseAxes {
   std::vector<double> rob{32, 128, 256};
 };
 
+/// Fig.-12-scale preset: the paper's 10^6-point study sampled at
+/// (near-)power-of-two steps — 8x8x8 area splits x 10 core counts x 4
+/// issue widths x 6 ROB sizes = 122,880 raw grid points, with the many-N
+/// axis giving the surrogate driver real trace classes to prune. Exhaust
+/// this grid only through surrogate-guided or heavily budget-filtered
+/// sweeps.
+DseAxes make_large_axes();
+
 GridSpace make_design_space(const DseAxes& axes);
 
 struct DseContext {
@@ -62,6 +70,18 @@ struct DseContext {
   double bw_budget = std::numeric_limits<double>::infinity();
   double noc_budget = std::numeric_limits<double>::infinity();
   ConstraintModels cost{};
+  // Surrogate-guided sweep pruning (c2b/aps/surrogate.h): when enabled,
+  // run_full_dse / run_pareto_dse train an MLP on streaming batched-replay
+  // results and skip trace classes predicted to be more than
+  // `surrogate_band` (relative) away from the incumbent optimum/frontier.
+  // The reported optimum is always simulator ground truth (an exact
+  // fallback pass re-simulates the predicted neighborhood), and every
+  // decision is a serial function of deterministic simulation results, so
+  // sweeps stay bit-identical at any thread count. Pruned points are the
+  // only observable difference: their times stay +infinity.
+  bool surrogate_enabled = false;
+  double surrogate_band = 0.25;     ///< relative pruning band around incumbent
+  std::size_t surrogate_warmup = 3; ///< exact warmup samples per trace class
 };
 
 /// The DesignPoint view of a 6-coordinate grid point (issue/ROB carry no
@@ -145,6 +165,26 @@ struct BatchReplayStats {
   }
 };
 
+/// What the surrogate driver did over one sweep (all zero when
+/// surrogate_enabled is false). The same numbers are emitted as
+/// exec.surrogate.* telemetry and journaled as surrogate_round /
+/// surrogate_summary events. A class counts as *simulated* when every one
+/// of its members was simulated (admitted by the band test, or so small the
+/// warmup covered it); otherwise it is *pruned* — even though the warmup
+/// and fallback passes may still have sampled a few of its members.
+struct SurrogateStats {
+  std::size_t classes_total = 0;
+  std::size_t classes_simulated = 0;
+  std::size_t classes_pruned = 0;
+  std::size_t points_total = 0;      ///< feasible points handed to the driver
+  std::size_t points_simulated = 0;  ///< ground-truth simulations performed
+  std::size_t warmup_sims = 0;       ///< per-class seeding samples
+  std::size_t fallback_sims = 0;     ///< exact pass over the predicted neighborhood
+  std::size_t trained_samples = 0;   ///< (point -> time) pairs the MLP saw
+  std::size_t rounds = 0;            ///< scheduling rounds (training epochs batches)
+  double mre = 0.0;  ///< final model mean relative error on simulated points
+};
+
 /// Batched evaluation of many design points: sim-cache hits are peeled off
 /// up front, the misses are grouped into trace-equivalence classes (see
 /// trace_class_key), each class generates its streams once into a shared
@@ -183,8 +223,11 @@ struct ParetoDseResult {
   std::vector<ConstraintUsage> usage;   ///< one entry per set member, set order
   std::size_t grid_points = 0;          ///< full factorial size
   std::size_t feasible_count = 0;       ///< points passing rob>=issue + the set
-  std::size_t simulations = 0;          ///< == feasible_count (all are simulated)
+  /// Feasible points actually simulated: == feasible_count for exhaustive
+  /// sweeps, fewer when context.surrogate_enabled pruned classes.
+  std::size_t simulations = 0;
   BatchReplayStats batch;
+  SurrogateStats surrogate;  ///< all zero unless context.surrogate_enabled
 };
 
 /// Pareto-frontier DSE: filter the factorial grid by design_constraints
@@ -197,7 +240,10 @@ struct ParetoDseResult {
 /// thread count and across warm/cold caches — the `constraint` oracle
 /// family and the parallel-determinism tests enforce this. Emits
 /// frontier_point / constraint / pareto_summary journal events when a
-/// flight recorder is active.
+/// flight recorder is active. With context.surrogate_enabled, classes
+/// confidently dominated by the simulated frontier are pruned instead of
+/// simulated (see c2b/aps/surrogate.h); the `surrogate` oracle family
+/// checks the returned frontier stays identical to the exhaustive one.
 ParetoDseResult run_pareto_dse(const DseContext& context, const GridSpace& space);
 
 }  // namespace c2b

@@ -1,0 +1,65 @@
+#pragma once
+
+// Surrogate-guided sweep pruning: fuse the paper's Fig.-12 ANN baseline
+// (Ipek-style MLP, src/ann) into the DSE driver so 10^6-point spaces run
+// at interactive latency. The driver
+//
+//   1. seeds itself with a deterministic strided *warmup* sample from every
+//      trace-equivalence class and trains the MLP on (log2 design point ->
+//      log time) as those batched-replay results stream in;
+//   2. each scheduling round, ranks the still-unexplored classes by the
+//      predicted time of their best member and *admits* the most promising
+//      one — but only while that prediction falls within a relative error
+//      band of the incumbent optimum (or, in Pareto mode, while some member
+//      is not confidently dominated by the simulated frontier); admitted
+//      members are simulated exactly and become new training data (batched
+//      epochs between rounds);
+//   3. when no class survives the band test, runs a guaranteed *exact
+//      fallback pass*: the top predicted neighborhood of the incumbent plus
+//      the predicted-best member of every pruned class are simulated for
+//      real. The returned optimum is therefore always simulator ground
+//      truth, never a prediction — the band and the fallback only decide
+//      how much of the space pays for that proof.
+//
+// Every decision is a serial function of batched-replay results (which are
+// bit-identical at any thread count) and a seed derived from the context,
+// so a surrogate sweep is reproducible at threads {1,2,8}, warm or cold
+// cache — the `surrogate` oracle family enforces that pruned and
+// exhaustive sweeps select identical optima and identical Pareto frontiers
+// on seeded spaces.
+
+#include <cstdint>
+#include <vector>
+
+#include "c2b/aps/dse.h"
+
+namespace c2b {
+
+/// Analytic objective coordinates for Pareto-aware pruning, parallel to
+/// the point list handed to surrogate_sweep: with these present a class is
+/// kept alive while any member could still join the (time, power, area)
+/// frontier; without them only proximity to the time optimum matters.
+struct SurrogateObjectives {
+  std::vector<double> power;
+  std::vector<double> area;
+};
+
+/// One surrogate-guided sweep over a feasible point list. `outcomes[i]` is
+/// only meaningful where `simulated[i]` is nonzero; pruned points were
+/// never simulated by anyone.
+struct SurrogateSweepResult {
+  std::vector<BatchSimOutcome> outcomes;
+  std::vector<std::uint8_t> simulated;
+  SurrogateStats stats;
+  BatchReplayStats batch;
+};
+
+/// Run the surrogate driver over `points` (already feasibility-filtered,
+/// as produced by the run_full_dse / run_pareto_dse plan phase) using
+/// context.surrogate_band / context.surrogate_warmup. Pass `pareto` to
+/// prune against the simulated frontier instead of the scalar incumbent.
+SurrogateSweepResult surrogate_sweep(const DseContext& context,
+                                     const std::vector<std::vector<double>>& points,
+                                     const SurrogateObjectives* pareto = nullptr);
+
+}  // namespace c2b

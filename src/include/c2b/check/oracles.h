@@ -38,7 +38,14 @@
 //      constrained DSE optimum and the Pareto mode's frontier (membership
 //      and every time/power/area coordinate, bitwise) must match it at
 //      every thread count, and warm sim-cache replays must reproduce the
-//      cold frontier exactly.
+//      cold frontier exactly;
+//   8. surrogate pruning — the MLP-guided sweep pruner vs the exhaustive
+//      sweep: on a fixed multi-class space that provably prunes at least
+//      one class and on random scenarios, the surrogate run's optimum
+//      (index and time, bitwise) and Pareto frontier (membership and every
+//      coordinate, bitwise) must equal the exhaustive ground truth at
+//      every thread count, cold and warm sim-cache, and every simulated
+//      point's time must be bitwise equal to its exhaustive counterpart.
 //
 // The oracles mutate process-global execution state (thread count, the
 // global sim cache, telemetry counters) and restore defaults on exit; do
@@ -76,6 +83,9 @@ struct OracleOptions {
   /// constraint ground truth: random budgeted spaces enumerated serially
   /// and compared against the constrained optimizer + Pareto frontier.
   std::size_t constraint_sets = 6;
+  /// surrogate pruning: random scenarios swept surrogate-on vs exhaustive
+  /// (on top of one fixed scenario that must prune at least one class).
+  std::size_t surrogate_sets = 3;
   std::vector<std::size_t> thread_counts{1, 2, 8};
   /// Corpus directory for shrunk property counterexamples ("" = none).
   std::string corpus_dir;
@@ -107,8 +117,9 @@ OracleReport run_kernel_equivalence_oracle(const OracleOptions& options = {});
 OracleReport run_batch_equivalence_oracle(const OracleOptions& options = {});
 OracleReport run_simd_equivalence_oracle(const OracleOptions& options = {});
 OracleReport run_constraint_oracle(const OracleOptions& options = {});
+OracleReport run_surrogate_oracle(const OracleOptions& options = {});
 
-/// All seven families in order; never throws on oracle failure (inspect
+/// All eight families in order; never throws on oracle failure (inspect
 /// the reports).
 std::vector<OracleReport> run_all_oracles(const OracleOptions& options = {});
 

@@ -89,6 +89,29 @@ struct RunReport {
   double pareto_feasible = 0.0;
   double pareto_grid_points = 0.0;
 
+  // --- surrogate pruning (from `surrogate_round` / `surrogate_summary`,
+  // emitted by the surrogate-guided sweep driver) ---
+  struct SurrogateRound {
+    double round = 0.0;
+    double class_n = 0.0;          ///< core count of the admitted class
+    double class_members = 0.0;    ///< members simulated by the admission
+    double predicted_best = 0.0;   ///< model's best guess that triggered it
+    double incumbent = 0.0;        ///< best ground-truth time before the round
+    double trained_samples = 0.0;
+  };
+  std::vector<SurrogateRound> surrogate_rounds;
+  bool surrogate_seen = false;  ///< a surrogate_summary event was journaled
+  double surrogate_classes_total = 0.0;
+  double surrogate_classes_simulated = 0.0;
+  double surrogate_classes_pruned = 0.0;
+  double surrogate_points_total = 0.0;
+  double surrogate_points_simulated = 0.0;
+  double surrogate_warmup_sims = 0.0;
+  double surrogate_fallback_sims = 0.0;
+  double surrogate_trained_samples = 0.0;
+  double surrogate_rounds_total = 0.0;
+  double surrogate_mre = 0.0;
+
   JournalReadStats read_stats;
 };
 

@@ -112,6 +112,27 @@ RunReport build_report(const std::vector<JournalRecord>& records,
     } else if (record.type == "pareto_summary") {
       report.pareto_feasible = record.num("feasible", report.pareto_feasible);
       report.pareto_grid_points = record.num("grid_points", report.pareto_grid_points);
+    } else if (record.type == "surrogate_round") {
+      RunReport::SurrogateRound round;
+      round.round = record.num("round");
+      round.class_n = record.num("class_n");
+      round.class_members = record.num("class_members");
+      round.predicted_best = record.num("predicted_best");
+      round.incumbent = record.num("incumbent");
+      round.trained_samples = record.num("trained_samples");
+      report.surrogate_rounds.push_back(round);
+    } else if (record.type == "surrogate_summary") {
+      report.surrogate_seen = true;
+      report.surrogate_classes_total = record.num("classes_total");
+      report.surrogate_classes_simulated = record.num("classes_simulated");
+      report.surrogate_classes_pruned = record.num("classes_pruned");
+      report.surrogate_points_total = record.num("points_total");
+      report.surrogate_points_simulated = record.num("points_simulated");
+      report.surrogate_warmup_sims = record.num("warmup_sims");
+      report.surrogate_fallback_sims = record.num("fallback_sims");
+      report.surrogate_trained_samples = record.num("trained_samples");
+      report.surrogate_rounds_total = record.num("rounds");
+      report.surrogate_mre = record.num("mre");
     }
   }
 
@@ -258,6 +279,44 @@ std::string render_report(const RunReport& report, std::size_t top_k) {
       std::snprintf(line, sizeof line,
                     "  %-10s budget %-10.4g rejected %-6.0f binding %.0f\n",
                     stat.name.c_str(), stat.budget, stat.infeasible, stat.binding);
+      out += line;
+    }
+  }
+
+  if (report.surrogate_seen || !report.surrogate_rounds.empty()) {
+    out += "\n== surrogate ==\n";
+    const double class_pct =
+        report.surrogate_classes_total > 0.0
+            ? 100.0 * report.surrogate_classes_simulated / report.surrogate_classes_total
+            : 0.0;
+    const double point_pct =
+        report.surrogate_points_total > 0.0
+            ? 100.0 * report.surrogate_points_simulated / report.surrogate_points_total
+            : 0.0;
+    std::snprintf(line, sizeof line,
+                  "  classes   %.0f total | %.0f simulated (%.1f%%) | %.0f pruned\n",
+                  report.surrogate_classes_total, report.surrogate_classes_simulated,
+                  class_pct, report.surrogate_classes_pruned);
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "  points    %.0f total | %.0f simulated (%.1f%%)\n",
+                  report.surrogate_points_total, report.surrogate_points_simulated,
+                  point_pct);
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "  sims      %.0f warmup | %.0f fallback | %.0f trained samples\n",
+                  report.surrogate_warmup_sims, report.surrogate_fallback_sims,
+                  report.surrogate_trained_samples);
+    out += line;
+    std::snprintf(line, sizeof line, "  model     %.0f round(s), final MRE %.2f%%\n",
+                  report.surrogate_rounds_total, 100.0 * report.surrogate_mre);
+    out += line;
+    for (const RunReport::SurrogateRound& round : report.surrogate_rounds) {
+      std::snprintf(line, sizeof line,
+                    "    round %-3.0f admitted n=%-4.0f (%.0f members)  predicted %.6g "
+                    "vs incumbent %.6g\n",
+                    round.round, round.class_n, round.class_members, round.predicted_best,
+                    round.incumbent);
       out += line;
     }
   }

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "c2b/common/rng.h"
+#include "c2b/exec/pool.h"
 
 namespace c2b {
 namespace {
@@ -134,6 +136,132 @@ TEST(Mlp, RejectsBadTrainingSets) {
   EXPECT_THROW(mlp.fit({}, {}, 10), std::invalid_argument);
   EXPECT_THROW(mlp.fit({{1.0}}, {1.0, 2.0}, 10), std::invalid_argument);
   EXPECT_THROW((void)mlp.train_epoch({{1.0}}, {1.0}), std::invalid_argument);  // fit first
+}
+
+bool bit_equal(double a, double b) {
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof a);
+  std::memcpy(&ub, &b, sizeof b);
+  return ua == ub;
+}
+
+std::pair<std::vector<Vector>, std::vector<double>> curved_set(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::pair<std::vector<Vector>, std::vector<double>> set;
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.uniform(0.25, 4.0), b = rng.uniform(0.25, 4.0);
+    set.first.push_back({a, b});
+    set.second.push_back(a * b + std::sqrt(a) + 0.5 * b);
+  }
+  return set;
+}
+
+TEST(Mlp, PredictBatchMatchesPredictBitwise) {
+  Mlp mlp(small_config(2));
+  const auto train = curved_set(120, 5);
+  mlp.fit(train.first, train.second, 300);
+  const auto query = curved_set(64, 6);
+  const std::vector<double> batch = mlp.predict_batch(query.first);
+  ASSERT_EQ(batch.size(), query.first.size());
+  for (std::size_t i = 0; i < query.first.size(); ++i)
+    EXPECT_TRUE(bit_equal(batch[i], mlp.predict(query.first[i]))) << "query " << i;
+  EXPECT_TRUE(mlp.predict_batch({}).empty());
+}
+
+TEST(Mlp, MeanRelativeErrorSkipsZeroTargets) {
+  Mlp mlp(small_config(1));
+  mlp.fit({{0.0}, {1.0}, {2.0}}, {1.0, 2.0, 3.0}, 200);
+  // A zero-valued target must not poison the mean with inf/NaN: it is
+  // skipped under kMreEpsilon and the error is averaged over the rest.
+  const double with_zero = mlp.mean_relative_error({{0.0}, {1.0}}, {0.0, 2.0});
+  EXPECT_TRUE(std::isfinite(with_zero));
+  EXPECT_DOUBLE_EQ(with_zero, mlp.mean_relative_error({{1.0}}, {2.0}));
+  // All-zero targets: nothing to average, defined as 0.0, not NaN.
+  EXPECT_DOUBLE_EQ(mlp.mean_relative_error({{1.0}}, {0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(mlp.mean_relative_error({{1.0}}, {Mlp::kMreEpsilon / 2.0}), 0.0);
+}
+
+// The surrogate driver's reproducibility contract: training is a pure
+// function of (config.seed, training set) — the caller's thread-pool width
+// must not leak into the weights or the predictions.
+TEST(Mlp, TrainingDeterministicAcrossThreadCounts) {
+  const auto train = curved_set(80, 9);
+  const auto query = curved_set(32, 10);
+  auto fit_under_pool = [&](std::size_t threads) {
+    exec::set_thread_count(threads);
+    Mlp mlp(small_config(2));
+    mlp.fit(train.first, train.second, 250);
+    return mlp;
+  };
+  const Mlp reference = fit_under_pool(1);
+  const std::vector<double> reference_pred = reference.predict_batch(query.first);
+  for (const std::size_t threads : {2UL, 8UL}) {
+    const Mlp other = fit_under_pool(threads);
+    ASSERT_EQ(other.weights().size(), reference.weights().size());
+    for (std::size_t l = 0; l < reference.weights().size(); ++l) {
+      const Matrix& a = reference.weights()[l];
+      const Matrix& b = other.weights()[l];
+      ASSERT_EQ(a.rows(), b.rows());
+      ASSERT_EQ(a.cols(), b.cols());
+      for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+          EXPECT_TRUE(bit_equal(a(r, c), b(r, c)))
+              << "layer " << l << " (" << r << "," << c << ") threads=" << threads;
+    }
+    const std::vector<double> pred = other.predict_batch(query.first);
+    for (std::size_t i = 0; i < pred.size(); ++i)
+      EXPECT_TRUE(bit_equal(pred[i], reference_pred[i])) << "query " << i;
+  }
+  exec::set_thread_count(0);
+}
+
+TEST(FeatureScaler, OutputsStayInUnitRangeOnTrainingSamples) {
+  Rng rng(17);
+  std::vector<Vector> samples;
+  for (int i = 0; i < 100; ++i)
+    samples.push_back({rng.uniform(-50.0, 50.0), rng.uniform(0.0, 1e6), 3.25});
+  FeatureScaler scaler;
+  scaler.fit(samples);
+  for (const Vector& s : samples) {
+    const Vector t = scaler.transform(s);
+    for (std::size_t d = 0; d < t.size(); ++d) {
+      EXPECT_GE(t[d], -1.0) << "dim " << d;
+      EXPECT_LE(t[d], 1.0) << "dim " << d;
+    }
+    EXPECT_DOUBLE_EQ(t[2], 0.0);  // constant feature maps to 0
+  }
+}
+
+TEST(FeatureScaler, TransformIsAffineRoundTrip) {
+  Rng rng(23);
+  std::vector<Vector> samples;
+  for (int i = 0; i < 40; ++i) samples.push_back({rng.uniform(2.0, 9.0)});
+  FeatureScaler scaler;
+  scaler.fit(samples);
+  double lo = samples[0][0], hi = samples[0][0];
+  for (const Vector& s : samples) {
+    lo = std::min(lo, s[0]);
+    hi = std::max(hi, s[0]);
+  }
+  // The map is affine per dimension, so the documented inverse recovers
+  // every training sample (up to rounding) from its transformed image.
+  for (const Vector& s : samples) {
+    const double t = scaler.transform(s)[0];
+    EXPECT_NEAR(lo + (t + 1.0) / 2.0 * (hi - lo), s[0], 1e-9);
+  }
+}
+
+TEST(FeatureScaler, TransformIntoMatchesTransformBitwise) {
+  FeatureScaler scaler;
+  scaler.fit({{0.0, 10.0, 7.0}, {4.0, 20.0, 7.0}});
+  Vector out;
+  for (const Vector& q :
+       {Vector{1.0, 12.0, 7.0}, Vector{-3.0, 25.0, 8.0}, Vector{4.0, 10.0, 7.0}}) {
+    scaler.transform_into(q, out);
+    const Vector want = scaler.transform(q);
+    ASSERT_EQ(out.size(), want.size());
+    for (std::size_t d = 0; d < want.size(); ++d) EXPECT_TRUE(bit_equal(out[d], want[d]));
+  }
 }
 
 }  // namespace

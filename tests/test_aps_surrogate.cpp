@@ -1,0 +1,207 @@
+#include "c2b/aps/surrogate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "c2b/aps/aps.h"
+#include "c2b/aps/dse.h"
+#include "c2b/exec/pool.h"
+#include "c2b/exec/sim_cache.h"
+#include "c2b/trace/workloads.h"
+
+namespace c2b {
+namespace {
+
+bool bit_equal(double a, double b) {
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof a);
+  std::memcpy(&ub, &b, sizeof b);
+  return ua == ub;
+}
+
+/// Multi-class stencil space with a steep time gradient across N: the
+/// small-N classes are several times slower than the incumbent, so the
+/// pruner has something real to skip, while the grid stays test-sized.
+DseContext stratified_context() {
+  DseContext context;
+  context.base.core.issue_width = 4;
+  context.base.core.rob_size = 128;
+  context.base.hierarchy.l1_geometry = {.size_bytes = 16 * 1024, .line_bytes = 64,
+                                        .associativity = 4};
+  context.base.hierarchy.l2_geometry = {.size_bytes = 512 * 1024, .line_bytes = 64,
+                                        .associativity = 8};
+  context.base.hierarchy.coherence = false;
+  context.workload = make_stencil_workload(64);
+  context.instructions0 = 2'000;
+  context.per_core_cap = 1'000;
+  context.seed = 77;
+  context.chip.shared_area = 2.0;
+  context.chip.total_area = 10.0;
+  return context;
+}
+
+DseAxes stratified_axes() {
+  DseAxes axes;
+  axes.a0 = {0.25, 0.5, 1.0};
+  axes.a1 = {0.125, 0.25};
+  axes.a2 = {0.25, 0.5};
+  axes.n = {1, 2, 4, 8};
+  axes.issue = {2, 4};
+  axes.rob = {32, 64};
+  return axes;
+}
+
+/// Restores the process-global knobs each test twiddles.
+struct ExecGuard {
+  bool cache_was_enabled = exec::SimCache::global().enabled();
+  ~ExecGuard() {
+    exec::set_thread_count(0);
+    exec::SimCache::global().set_enabled(cache_was_enabled);
+    exec::SimCache::global().clear();
+  }
+};
+
+TEST(SurrogateSweep, EmptyPointListIsANoOp) {
+  const SurrogateSweepResult result = surrogate_sweep(stratified_context(), {});
+  EXPECT_TRUE(result.outcomes.empty());
+  EXPECT_TRUE(result.simulated.empty());
+  EXPECT_EQ(result.stats.points_total, 0u);
+  EXPECT_EQ(result.stats.classes_total, 0u);
+}
+
+TEST(SurrogateSweep, MatchesExhaustiveOptimumAndPrunesClasses) {
+  ExecGuard guard;
+  exec::SimCache::global().set_enabled(false);
+  const DseContext context = stratified_context();
+  const GridSpace space = make_design_space(stratified_axes());
+
+  const FullDseResult truth = run_full_dse(context, space);
+
+  DseContext surrogate_context = context;
+  surrogate_context.surrogate_enabled = true;
+  const FullDseResult pruned = run_full_dse(surrogate_context, space);
+
+  EXPECT_EQ(pruned.best_index, truth.best_index);
+  EXPECT_TRUE(bit_equal(pruned.best_time, truth.best_time));
+  EXPECT_EQ(pruned.feasible_count, truth.feasible_count);
+  // Everything the surrogate simulated is bitwise the exhaustive truth;
+  // pruned entries stay +infinity.
+  ASSERT_EQ(pruned.times.size(), truth.times.size());
+  std::size_t finite = 0;
+  for (std::size_t flat = 0; flat < truth.times.size(); ++flat)
+    if (std::isfinite(pruned.times[flat])) {
+      EXPECT_TRUE(bit_equal(pruned.times[flat], truth.times[flat])) << "flat " << flat;
+      ++finite;
+    }
+  EXPECT_EQ(finite, pruned.surrogate.points_simulated);
+  EXPECT_GE(pruned.surrogate.classes_pruned, 1u);
+  EXPECT_LT(pruned.simulations, truth.simulations);
+}
+
+TEST(SurrogateSweep, StatsAccountingIsConsistent) {
+  ExecGuard guard;
+  exec::SimCache::global().set_enabled(false);
+  DseContext context = stratified_context();
+  context.surrogate_enabled = true;
+  const GridSpace space = make_design_space(stratified_axes());
+  const FullDseResult result = run_full_dse(context, space);
+  const SurrogateStats& stats = result.surrogate;
+
+  EXPECT_EQ(stats.classes_simulated + stats.classes_pruned, stats.classes_total);
+  EXPECT_EQ(stats.points_total, result.feasible_count);
+  EXPECT_LE(stats.points_simulated, stats.points_total);
+  EXPECT_LE(stats.warmup_sims + stats.fallback_sims, stats.points_simulated);
+  EXPECT_GE(stats.rounds, 1u);  // the warmup fit counts as round 1
+  EXPECT_GT(stats.trained_samples, 0u);
+  EXPECT_GE(stats.mre, 0.0);
+  EXPECT_EQ(result.simulations, stats.points_simulated);
+}
+
+TEST(SurrogateSweep, ParetoFrontierIdenticalToExhaustive) {
+  ExecGuard guard;
+  exec::SimCache::global().set_enabled(false);
+  const DseContext context = stratified_context();
+  const GridSpace space = make_design_space(stratified_axes());
+
+  const ParetoDseResult truth = run_pareto_dse(context, space);
+
+  DseContext surrogate_context = context;
+  surrogate_context.surrogate_enabled = true;
+  const ParetoDseResult pruned = run_pareto_dse(surrogate_context, space);
+
+  EXPECT_EQ(pruned.feasible_count, truth.feasible_count);
+  ASSERT_EQ(pruned.frontier.size(), truth.frontier.size());
+  for (std::size_t p = 0; p < truth.frontier.size(); ++p) {
+    EXPECT_EQ(pruned.frontier[p].flat_index, truth.frontier[p].flat_index) << "point " << p;
+    EXPECT_TRUE(bit_equal(pruned.frontier[p].time, truth.frontier[p].time));
+    EXPECT_TRUE(bit_equal(pruned.frontier[p].power, truth.frontier[p].power));
+    EXPECT_TRUE(bit_equal(pruned.frontier[p].area, truth.frontier[p].area));
+  }
+}
+
+TEST(SurrogateSweep, DeterministicAcrossThreadCountsAndWarmCache) {
+  ExecGuard guard;
+  exec::SimCache& cache = exec::SimCache::global();
+  cache.set_enabled(false);
+  DseContext context = stratified_context();
+  context.surrogate_enabled = true;
+  const GridSpace space = make_design_space(stratified_axes());
+
+  exec::set_thread_count(1);
+  const FullDseResult reference = run_full_dse(context, space);
+
+  auto expect_same = [&](const FullDseResult& other, const std::string& what) {
+    EXPECT_EQ(other.best_index, reference.best_index) << what;
+    EXPECT_TRUE(bit_equal(other.best_time, reference.best_time)) << what;
+    ASSERT_EQ(other.times.size(), reference.times.size());
+    for (std::size_t flat = 0; flat < reference.times.size(); ++flat)
+      EXPECT_TRUE(bit_equal(other.times[flat], reference.times[flat]))
+          << what << " flat " << flat;
+    EXPECT_EQ(other.surrogate.points_simulated, reference.surrogate.points_simulated)
+        << what;
+    EXPECT_EQ(other.surrogate.classes_pruned, reference.surrogate.classes_pruned) << what;
+    EXPECT_EQ(other.surrogate.rounds, reference.surrogate.rounds) << what;
+  };
+
+  for (const std::size_t threads : {2UL, 8UL}) {
+    exec::set_thread_count(threads);
+    expect_same(run_full_dse(context, space), "threads=" + std::to_string(threads));
+  }
+
+  // Warm cache: the replayed results are bitwise identical, so the
+  // scheduler must take the exact same admit/prune path.
+  cache.set_enabled(true);
+  cache.clear();
+  exec::set_thread_count(8);
+  expect_same(run_full_dse(context, space), "cold cached");
+  expect_same(run_full_dse(context, space), "warm replay");
+}
+
+TEST(SurrogateSweep, WiderBandSimulatesNoMorePoints) {
+  ExecGuard guard;
+  exec::SimCache::global().set_enabled(false);
+  const GridSpace space = make_design_space(stratified_axes());
+
+  DseContext tight = stratified_context();
+  tight.surrogate_enabled = true;
+  tight.surrogate_band = 0.05;
+  const FullDseResult tight_result = run_full_dse(tight, space);
+
+  DseContext loose = stratified_context();
+  loose.surrogate_enabled = true;
+  loose.surrogate_band = 10.0;  // admit anything within 11x of the incumbent
+  const FullDseResult loose_result = run_full_dse(loose, space);
+
+  // A wider band admits a superset of classes; both still land on the
+  // exhaustive optimum (identity is checked above, ordering here).
+  EXPECT_LE(tight_result.surrogate.classes_simulated,
+            loose_result.surrogate.classes_simulated);
+  EXPECT_EQ(tight_result.best_index, loose_result.best_index);
+  EXPECT_TRUE(bit_equal(tight_result.best_time, loose_result.best_time));
+}
+
+}  // namespace
+}  // namespace c2b

@@ -30,9 +30,19 @@
 //           [--area A] [--shared-area A] [--seed S]
 //           [--lockstep-records N] [--no-simd] [--pareto]
 //           [--power-budget P] [--bw-budget B] [--noc-budget L]
+//           [--surrogate | --no-surrogate] [--surrogate-band B]
+//           [--surrogate-warmup N] [--large-axes]
 //       Run the full-factorial DSE (every feasible grid point simulated,
 //       batched over shared trace streams) and print the ground-truth best
 //       design plus the batch/cache effectiveness summary.
+//       --surrogate enables the MLP-guided sweep pruner: trace-equivalence
+//       classes whose predicted best member falls outside the relative
+//       --surrogate-band (default 0.25) of the incumbent are skipped, after
+//       --surrogate-warmup (default 3) exact samples per class seed the
+//       model; a guaranteed exact fallback pass makes the printed optimum
+//       (and the --pareto frontier) simulator ground truth either way.
+//       --large-axes swaps in the Fig.-12-scale preset grid (~10^5 points)
+//       instead of the default smoke-sized grid.
 //       --lockstep-records sets the batched-replay lockstep granularity;
 //       --no-simd forces the scalar lockstep driver (results are identical
 //       either way — both are tuning/escape knobs, shared with `c2b aps`).
@@ -48,11 +58,11 @@
 //       time breakdown, cache/batch effectiveness, top-K slowest trace
 //       classes, per-class sim-time percentiles, and (with --heatmap-out)
 //       an objective-vs-(N, cache split) CSV heatmap.
-//   c2b check [--family all|analytic|determinism|invariants|kernel|batch|simd|constraint]
+//   c2b check [--family all|analytic|determinism|invariants|kernel|batch|simd|constraint|surrogate]
 //             [--seed S] [--configs N] [--aps-configs N] [--cases N]
 //             [--designs N] [--kernel-configs N] [--batch-sets N]
-//             [--simd-sets N] [--constraint-sets N] [--bands-out <file>]
-//             [--corpus <dir>]
+//             [--simd-sets N] [--constraint-sets N] [--surrogate-sets N]
+//             [--bands-out <file>] [--corpus <dir>]
 //       Run the differential oracle families (analytic model vs simulator
 //       tolerance bands, serial-vs-parallel determinism on random configs,
 //       invariant registry). Deterministic for a fixed --seed; failures
@@ -448,6 +458,59 @@ bool apply_constraint_flags(const Args& args, const char* command, DseContext& c
   return true;
 }
 
+/// Shared `--surrogate` / `--no-surrogate` / `--surrogate-band` /
+/// `--surrogate-warmup` handling for the sweep commands. The two boolean
+/// flags are mutually exclusive; the band must be finite and >= 0 and the
+/// warmup >= 1 (non-numeric text is rejected by the parser itself). Returns
+/// false after printing an error, exit nonzero either way.
+bool apply_surrogate_flags(const Args& args, const char* command, DseContext& context) {
+  const bool on = args.get("surrogate", std::string("false")) == "true";
+  const bool off = args.get("no-surrogate", std::string("false")) == "true";
+  if (on && off) {
+    std::fprintf(stderr, "%s: --surrogate and --no-surrogate are mutually exclusive\n",
+                 command);
+    return false;
+  }
+  if (on) context.surrogate_enabled = true;
+  if (off) context.surrogate_enabled = false;
+  if (args.has("surrogate-band")) {
+    const double band = args.get("surrogate-band", 0.0);
+    if (!(band >= 0.0) || !std::isfinite(band)) {
+      std::fprintf(stderr, "%s: --surrogate-band must be a finite value >= 0\n", command);
+      return false;
+    }
+    context.surrogate_band = band;
+  }
+  if (args.has("surrogate-warmup")) {
+    const auto warmup = args.get("surrogate-warmup", 0LL);
+    if (warmup < 1) {
+      std::fprintf(stderr, "%s: --surrogate-warmup must be >= 1\n", command);
+      return false;
+    }
+    context.surrogate_warmup = static_cast<std::size_t>(warmup);
+  }
+  return true;
+}
+
+void print_surrogate_summary(const SurrogateStats& stats) {
+  if (stats.classes_total == 0) return;
+  const double class_pct =
+      100.0 * static_cast<double>(stats.classes_simulated) /
+      static_cast<double>(stats.classes_total);
+  const double point_pct = stats.points_total > 0
+                               ? 100.0 * static_cast<double>(stats.points_simulated) /
+                                     static_cast<double>(stats.points_total)
+                               : 0.0;
+  std::printf("surrogate         %zu/%zu classes simulated (%.1f%%), %zu pruned\n",
+              stats.classes_simulated, stats.classes_total, class_pct,
+              stats.classes_pruned);
+  std::printf("  points          %zu/%zu simulated (%.1f%%), warmup %zu, fallback %zu\n",
+              stats.points_simulated, stats.points_total, point_pct, stats.warmup_sims,
+              stats.fallback_sims);
+  std::printf("  model           %zu round(s), %zu trained samples, final MRE %.2f%%\n",
+              stats.rounds, stats.trained_samples, 100.0 * stats.mre);
+}
+
 int cmd_aps(const Args& args) {
   const std::string name = args.get("workload", std::string("stencil"));
   const auto catalog = workload_catalog();
@@ -546,19 +609,26 @@ int cmd_dse(const Args& args) {
   context.seed = static_cast<std::uint64_t>(args.get("seed", 99LL));
   if (!apply_batch_flags(args, "dse", context)) return 2;
   if (!apply_constraint_flags(args, "dse", context)) return 2;
+  if (!apply_surrogate_flags(args, "dse", context)) return 2;
   const bool pareto = args.has("pareto");
   args.mark_used("pareto");
+  const bool large_axes = args.get("large-axes", std::string("false")) == "true";
   args.finish();
 
   // Same small buildable grid as `c2b aps`, so the two commands are directly
   // comparable (full factorial here vs analytic narrowing there).
+  // --large-axes swaps in the Fig.-12-scale preset instead.
   DseAxes axes;
-  axes.a0 = {1.0, 4.0};
-  axes.a1 = {0.5, 1.0};
-  axes.a2 = {1.0, 2.0};
-  axes.n = {1, 2};
-  axes.issue = {2, 4};
-  axes.rob = {32, 64};
+  if (large_axes) {
+    axes = make_large_axes();
+  } else {
+    axes.a0 = {1.0, 4.0};
+    axes.a1 = {0.5, 1.0};
+    axes.a2 = {1.0, 2.0};
+    axes.n = {1, 2};
+    axes.issue = {2, 4};
+    axes.rob = {32, 64};
+  }
 
   const GridSpace space = make_design_space(axes);
   journal_sweep_config("dse", context, space.size());
@@ -582,6 +652,7 @@ int cmd_dse(const Args& args) {
       std::printf("  %-10s budget %-10.4g rejected %-6zu binding %zu/%zu frontier\n",
                   usage.name.c_str(), usage.budget, usage.infeasible, usage.binding,
                   result.frontier.size());
+    print_surrogate_summary(result.surrogate);
     print_batch_summary(result.batch);
     journal_batch_stats(result.batch);
     return 0;
@@ -598,6 +669,7 @@ int cmd_dse(const Args& args) {
   std::printf("best time/work    %.6g cycles\n", full.best_time);
   std::printf("simulations       %zu (%zu feasible of %zu points)\n", full.simulations,
               full.feasible_count, space.size());
+  print_surrogate_summary(full.surrogate);
   print_batch_summary(full.batch);
   journal_batch_stats(full.batch);
   return 0;
@@ -684,6 +756,7 @@ int cmd_check(const Args& args) {
   options.batch_sets = static_cast<std::size_t>(args.get("batch-sets", 50LL));
   options.simd_sets = static_cast<std::size_t>(args.get("simd-sets", 3LL));
   options.constraint_sets = static_cast<std::size_t>(args.get("constraint-sets", 6LL));
+  options.surrogate_sets = static_cast<std::size_t>(args.get("surrogate-sets", 3LL));
   options.corpus_dir = args.get("corpus", std::string(""));
   const std::string bands_out = args.get("bands-out", std::string(""));
   const std::string family = args.get("family", std::string("all"));
@@ -706,9 +779,11 @@ int cmd_check(const Args& args) {
     reports.push_back(check::run_simd_equivalence_oracle(options));
   } else if (family == "constraint") {
     reports.push_back(check::run_constraint_oracle(options));
+  } else if (family == "surrogate") {
+    reports.push_back(check::run_surrogate_oracle(options));
   } else {
     std::fprintf(stderr,
-                 "check: unknown --family '%s' (want all|analytic|determinism|invariants|kernel|batch|simd|constraint)\n",
+                 "check: unknown --family '%s' (want all|analytic|determinism|invariants|kernel|batch|simd|constraint|surrogate)\n",
                  family.c_str());
     return 2;
   }
@@ -750,8 +825,9 @@ struct RecorderSession {
 int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const std::set<std::string> boolean_flags{"simpoints", "asymmetric", "coherence",
-                                            "progress", "no-simd", "pareto"};
+  const std::set<std::string> boolean_flags{"simpoints",  "asymmetric",   "coherence",
+                                            "progress",   "no-simd",      "pareto",
+                                            "surrogate",  "no-surrogate", "large-axes"};
   const Args args(argc, argv, 2, boolean_flags);
 
   // Cross-command flags; read before dispatch so the per-command finish()

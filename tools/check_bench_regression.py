@@ -5,12 +5,14 @@ Usage: check_bench_regression.py CURRENT_JSON BASELINE_JSON [--tolerance FRAC]
 
 Compares the metrics each baseline scenario names — `accesses_per_sec` and
 `speedup` when present are floors (current must reach baseline minus
---tolerance, default 0.20), and `max_overhead_pct` when present is a hard
-ceiling on the measured `overhead_pct` (no tolerance: the scenario is an
-A/B delta, already machine-speed independent). Fails (exit 1) on any
-violation. The committed floor baselines are deliberately set below typical
-runner numbers so machine-to-machine variance does not trip the gate — only
-a genuine regression should.
+--tolerance, default 0.20), and any `max_<metric>` key is a hard ceiling on
+the measured `<metric>` (no tolerance: ceilings gate A/B deltas and
+coverage ratios, already machine-speed independent) — e.g.
+`max_overhead_pct` caps `overhead_pct` and `max_classes_simulated_pct`
+caps `classes_simulated_pct`. Fails (exit 1) on any violation. The
+committed floor baselines are deliberately set below typical runner
+numbers so machine-to-machine variance does not trip the gate — only a
+genuine regression should.
 """
 
 import argparse
@@ -57,13 +59,20 @@ def main():
                   f"(baseline {base_value:,.2f}, floor {floor:,.2f})")
             if cur_value < floor:
                 failed = True
-        if "max_overhead_pct" in base:
+        for key, base_value in base.items():
+            if not key.startswith("max_"):
+                continue
+            metric = key[len("max_"):]
+            if metric not in current[name]:
+                print(f"FAIL {name}: ceiling {key} names missing metric {metric}")
+                failed = True
+                continue
             checked = True
-            ceiling = float(base["max_overhead_pct"])
-            cur_value = float(current[name]["overhead_pct"])
+            ceiling = float(base_value)
+            cur_value = float(current[name][metric])
             verdict = "FAIL" if cur_value > ceiling else "ok"
-            print(f"{verdict:4} {name}: overhead_pct {cur_value:+.2f}% "
-                  f"(ceiling {ceiling:.2f}%)")
+            print(f"{verdict:4} {name}: {metric} {cur_value:+.2f} "
+                  f"(ceiling {ceiling:.2f})")
             if cur_value > ceiling:
                 failed = True
         if not checked:
