@@ -56,6 +56,33 @@ void bm_cache_fill_evict(benchmark::State& state) {
 }
 BENCHMARK(bm_cache_fill_evict);
 
+// A/B: per-key SimCache::find vs the bulk find_many used by the DSE
+// cache-peel loop. Arg(0) probes key by key (kShardCount lock takes per
+// batch-sized slice in the worst case), Arg(1) probes the whole batch in
+// one call (one lock take per shard). Same keys, same hit pattern.
+void bm_simcache_probe_batch(benchmark::State& state) {
+  exec::SimCache cache(1 << 12);
+  constexpr std::size_t kBatch = 256;
+  std::vector<std::string> keys;
+  keys.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    std::string key = "n=4 a0=1 a1=0.5 a2=1 probe=";
+    key += std::to_string(i);
+    keys.push_back(key);
+    if (i % 2 == 0) cache.insert(key, {static_cast<double>(i), i});  // 50% hits
+  }
+  const bool bulk = state.range(0) != 0;
+  for (auto _ : state) {
+    if (bulk) {
+      benchmark::DoNotOptimize(cache.find_many(keys));
+    } else {
+      for (const std::string& key : keys) benchmark::DoNotOptimize(cache.find(key));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(bm_simcache_probe_batch)->Arg(0)->Arg(1);
+
 void bm_mshr_request(benchmark::State& state) {
   sim::MshrFile mshr(16);
   std::uint64_t line = 0, cycle = 0;

@@ -491,15 +491,20 @@ std::vector<BatchSimOutcome> simulate_design_times_batched(const DseContext& con
   for (std::size_t i = 0; i < points.size(); ++i) {
     configs.push_back(config_for_design(context, points[i]));
     keys[i] = simulation_cache_key(context, configs[i]);
-    if (!keys[i].empty()) {
-      if (const auto cached = cache.find(keys[i])) {
-        C2B_COUNTER_ADD("exec.simcache.replayed_accesses", cached->memory_accesses);
-        outcomes[i] = {cached->time, cached->memory_accesses};
-        keys[i].clear();  // nothing to insert later
-        ++local.cache_hits;
-        if (!peeled.empty()) peeled[i] = 1;
-        continue;
-      }
+  }
+  // One bulk probe for the whole sweep: find_many takes each shard lock
+  // once (and the disk-tier index lock once) instead of once per point.
+  std::uint64_t peel_disk_hits = 0;
+  const auto cached = cache.find_many(keys, &peel_disk_hits);
+  local.cache_hits_disk = static_cast<std::size_t>(peel_disk_hits);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (cached[i].has_value()) {
+      C2B_COUNTER_ADD("exec.simcache.replayed_accesses", cached[i]->memory_accesses);
+      outcomes[i] = {cached[i]->time, cached[i]->memory_accesses};
+      keys[i].clear();  // nothing to insert later
+      ++local.cache_hits;
+      if (!peeled.empty()) peeled[i] = 1;
+      continue;
     }
     classes[configs[i].hierarchy.cores].push_back(i);
   }
@@ -508,6 +513,7 @@ std::vector<BatchSimOutcome> simulate_design_times_batched(const DseContext& con
     journal->emit(obs::JournalEvent("cache_peel")
                       .count("points", points.size())
                       .count("hits", local.cache_hits)
+                      .count("disk_hits", local.cache_hits_disk)
                       .count("misses", points.size() - local.cache_hits));
   if (local.cache_hits > 0)
     if (obs::ProgressMeter* progress = obs::active_progress())

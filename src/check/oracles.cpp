@@ -1,9 +1,13 @@
 #include "c2b/check/oracles.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -1385,11 +1389,140 @@ OracleReport run_surrogate_oracle(const OracleOptions& options) {
   return report;
 }
 
+OracleReport run_persistent_cache_oracle(const OracleOptions& options) {
+  OracleReport report;
+  report.family = "persistent_cache";
+  C2B_REQUIRE(!options.thread_counts.empty(), "cache oracle needs thread counts");
+  namespace fs = std::filesystem;
+  ExecStateGuard guard;
+  exec::SimCache& cache = exec::SimCache::global();
+  // This family re-points the global cache's disk tier at scratch
+  // directories; put back whatever the environment configured afterwards
+  // (the only supported standing attachment).
+  struct DiskTierRestore {
+    ~DiskTierRestore() {
+      exec::SimCache::global().detach_disk_tier();
+      const char* dir = std::getenv("C2B_SIM_CACHE_DIR");
+      if (dir != nullptr && dir[0] != '\0')
+        exec::SimCache::global().attach_disk_tier(dir);
+    }
+  } restore;
+  (void)restore;
+
+  for (std::size_t i = 0; i < options.cache_sets; ++i) {
+    Rng rng(Rng::derive_stream_seed(options.seed, 90'000 + i));
+    const DseScenario scenario = gen_dse_scenario(rng);
+    const GridSpace space = make_design_space(scenario.axes);
+    const std::string repro = repro_line(options.seed, 90'000 + i);
+    const auto fail = [&](const std::string& what) {
+      report.failures.push_back("persistent-cache (" + print_dse_scenario(scenario) +
+                                "): " + what + "; repro: " + repro);
+    };
+
+    // Reference: no cache anywhere — the ground truth every cached variant
+    // must reproduce bitwise.
+    cache.detach_disk_tier();
+    cache.set_enabled(false);
+    const std::size_t ref_threads = options.thread_counts.back();
+    exec::set_thread_count(ref_threads);
+    const SweepFingerprint ref = fingerprint(run_full_dse(scenario.context, space));
+    cache.set_enabled(true);
+
+    std::error_code ec;
+    const fs::path dir =
+        fs::temp_directory_path(ec) /
+        ("c2b-cache-oracle-" + std::to_string(static_cast<unsigned long>(::getpid())) +
+         "-" + std::to_string(options.seed) + "-" + std::to_string(i));
+    fs::remove_all(dir, ec);
+
+    // Cold fill (first pass over the empty directory), then warm restarts:
+    // drop the memory tier and re-attach the same directory — the
+    // process-restart emulation — once per thread count.
+    bool diverged = false;
+    for (const std::size_t threads : options.thread_counts) {
+      cache.detach_disk_tier();
+      cache.clear();
+      if (!cache.attach_disk_tier(dir.string())) {
+        fail("attach_disk_tier('" + dir.string() + "') failed");
+        diverged = true;
+        break;
+      }
+      exec::set_thread_count(threads);
+      const bool cold = cache.stats().disk_entries == 0;
+      const SweepFingerprint fp = fingerprint(run_full_dse(scenario.context, space));
+      ++report.checks;
+      if (auto diff = compare_fingerprints(ref, ref_threads, fp, threads)) {
+        fail(std::string(cold ? "cold" : "warm-restart") + " disk-backed run diverged: " +
+             *diff);
+        diverged = true;
+        break;
+      }
+      cache.flush_disk();
+      if (!cold && cache.stats().disk_hits == 0) {
+        fail("warm restart at threads=" + std::to_string(threads) +
+             " never hit the disk tier");
+        diverged = true;
+        break;
+      }
+    }
+
+    // Warm in-memory replay on top of the populated tiers.
+    if (!diverged) {
+      const SweepFingerprint warm = fingerprint(run_full_dse(scenario.context, space));
+      ++report.checks;
+      if (auto diff = compare_fingerprints(ref, ref_threads, warm, ref_threads))
+        fail("warm in-memory replay diverged: " + *diff);
+    }
+
+    // Corruption: flip a byte in the middle of every non-empty segment and
+    // shear one tail mid-record. Re-attaching must count the damage as
+    // drops and the next sweep must degrade to a (partially) cold run with
+    // bitwise-identical results — never an error.
+    if (!diverged) {
+      cache.detach_disk_tier();
+      bool mutated = false;
+      for (const auto& entry : fs::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file(ec)) continue;
+        const std::uintmax_t size = entry.file_size(ec);
+        if (size == 0) continue;
+        std::FILE* file = std::fopen(entry.path().c_str(), "r+b");
+        if (file == nullptr) continue;
+        const long pos = static_cast<long>(size / 2);
+        std::fseek(file, pos, SEEK_SET);
+        const int byte = std::fgetc(file);
+        std::fseek(file, pos, SEEK_SET);
+        std::fputc(byte == EOF ? 0xff : (byte ^ 0x5a), file);
+        std::fclose(file);
+        if (!mutated && size > 4) fs::resize_file(entry.path(), size - 3, ec);
+        mutated = true;
+      }
+      cache.clear();
+      if (!cache.attach_disk_tier(dir.string())) {
+        fail("re-attach of corrupted directory failed (must degrade, not error)");
+      } else {
+        ++report.checks;
+        if (mutated && cache.stats().disk_drops == 0)
+          fail("corrupted records were not counted as drops");
+        const SweepFingerprint fp = fingerprint(run_full_dse(scenario.context, space));
+        ++report.checks;
+        if (auto diff = compare_fingerprints(ref, ref_threads, fp, ref_threads))
+          fail("corrupted cache directory changed results: " + *diff);
+      }
+    }
+
+    cache.detach_disk_tier();
+    cache.clear();
+    fs::remove_all(dir, ec);
+  }
+  return report;
+}
+
 std::vector<OracleReport> run_all_oracles(const OracleOptions& options) {
   return {run_analytic_vs_sim_oracle(options),   run_determinism_oracle(options),
           run_invariant_oracle(options),         run_kernel_equivalence_oracle(options),
           run_batch_equivalence_oracle(options), run_simd_equivalence_oracle(options),
-          run_constraint_oracle(options),        run_surrogate_oracle(options)};
+          run_constraint_oracle(options),        run_surrogate_oracle(options),
+          run_persistent_cache_oracle(options)};
 }
 
 bool write_tolerance_bands_json(const std::string& path,

@@ -144,7 +144,8 @@ struct BatchSimOutcome {
 struct BatchReplayStats {
   std::size_t classes = 0;     ///< trace-equivalence classes simulated
   std::size_t members = 0;     ///< design points simulated via batched replay
-  std::size_t cache_hits = 0;  ///< points peeled off by the sim cache
+  std::size_t cache_hits = 0;  ///< points peeled off by the sim cache (either tier)
+  std::size_t cache_hits_disk = 0;  ///< the subset of cache_hits served from the disk tier
   std::uint64_t chunks_shared = 0;            ///< extra consumers over generated chunks
   std::uint64_t regen_avoided_accesses = 0;   ///< memory accesses not regenerated
   // Vectorized-kernel accounting (sim::BatchKernelStats, summed over
@@ -157,6 +158,7 @@ struct BatchReplayStats {
     classes += other.classes;
     members += other.members;
     cache_hits += other.cache_hits;
+    cache_hits_disk += other.cache_hits_disk;
     chunks_shared += other.chunks_shared;
     regen_avoided_accesses += other.regen_avoided_accesses;
     simd_steps += other.simd_steps;

@@ -45,7 +45,15 @@
 //      (index and time, bitwise) and Pareto frontier (membership and every
 //      coordinate, bitwise) must equal the exhaustive ground truth at
 //      every thread count, cold and warm sim-cache, and every simulated
-//      point's time must be bitwise equal to its exhaustive counterpart.
+//      point's time must be bitwise equal to its exhaustive counterpart;
+//   9. persistent cache — the two-tier SimCache's cross-run contract: on
+//      random scenarios, a no-cache reference sweep, a cold disk-backed
+//      sweep, a warm in-memory replay, and warm *restarts* (memory tier
+//      dropped, disk tier re-attached — the process-restart emulation)
+//      must all be bitwise identical at every thread count; a corrupted
+//      cache directory (bit flips, truncated tails, stale schema) must
+//      degrade to a cold run with the damage counted as drops, never
+//      change a result and never error.
 //
 // The oracles mutate process-global execution state (thread count, the
 // global sim cache, telemetry counters) and restore defaults on exit; do
@@ -86,6 +94,9 @@ struct OracleOptions {
   /// surrogate pruning: random scenarios swept surrogate-on vs exhaustive
   /// (on top of one fixed scenario that must prune at least one class).
   std::size_t surrogate_sets = 3;
+  /// persistent cache: random scenarios run no-cache / cold / warm /
+  /// warm-restart / corrupted-dir against a fresh disk tier each.
+  std::size_t cache_sets = 3;
   std::vector<std::size_t> thread_counts{1, 2, 8};
   /// Corpus directory for shrunk property counterexamples ("" = none).
   std::string corpus_dir;
@@ -118,8 +129,9 @@ OracleReport run_batch_equivalence_oracle(const OracleOptions& options = {});
 OracleReport run_simd_equivalence_oracle(const OracleOptions& options = {});
 OracleReport run_constraint_oracle(const OracleOptions& options = {});
 OracleReport run_surrogate_oracle(const OracleOptions& options = {});
+OracleReport run_persistent_cache_oracle(const OracleOptions& options = {});
 
-/// All eight families in order; never throws on oracle failure (inspect
+/// All nine families in order; never throws on oracle failure (inspect
 /// the reports).
 std::vector<OracleReport> run_all_oracles(const OracleOptions& options = {});
 

@@ -1,0 +1,107 @@
+#pragma once
+
+// On-disk second tier for SimCache: a content-addressed, append-only
+// result store that survives process restarts, so repeated sweeps
+// warm-start across invocations instead of resimulating.
+//
+// Layout: the cache directory holds a fixed set of segment files
+// (seg-00.c2b .. seg-NN.c2b); a record's segment is chosen by hashing its
+// key, so concurrent flushes append to independent files and startup
+// recovery can stream each segment independently. Records are
+// self-delimiting and individually checksummed (FNV-1a64, the trace-v2
+// discipline): a torn tail from a crash mid-append, a flipped bit, or a
+// record written by an older schema is skipped and counted as a drop —
+// never an error, never a wrong value. The store degrades to "cold" under
+// any corruption because a dropped record is indistinguishable from one
+// that was never written.
+//
+// Write path: enqueue() registers the record in the in-memory index
+// immediately (so later probes hit) and hands the bytes to a write-behind
+// flusher thread; the hot path never touches the filesystem. The pending
+// queue is bounded — when it is full the record is dropped from the disk
+// queue (counted, like journal-line drops) but stays in the index, so the
+// only cost of overload is a recompute after the next restart.
+//
+// Keys already canonically spell out every field a result depends on
+// (simulation_cache_key in aps/dse.cpp, including WorkloadSpec::uid); the
+// record header additionally carries kSimCacheSchemaVersion so entries
+// written before a Value-layout or key-grammar change self-invalidate.
+//
+// Telemetry: exec.simcache.disk.{drop,flush} counters and
+// exec.simcache.disk.entries gauge live here; exec.simcache.disk.{hit,miss}
+// are counted by SimCache, which owns the probe.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "c2b/exec/sim_cache.h"
+
+namespace c2b::exec {
+
+/// Bump when SimCache::Value's layout or the cache-key grammar changes:
+/// records stamped with an older version are dropped at load.
+inline constexpr std::uint32_t kSimCacheSchemaVersion = 1;
+
+struct DiskTierStats {
+  std::size_t entries = 0;        ///< keys in the in-memory index
+  std::uint64_t loaded = 0;       ///< records recovered at open()
+  std::uint64_t appended = 0;     ///< records written since open()
+  std::uint64_t drops = 0;        ///< corrupt/stale records skipped + queue overflows
+  std::uint64_t flushes = 0;      ///< write-behind flush rounds
+};
+
+class DiskTier {
+ public:
+  struct Options {
+    std::size_t segment_count = 8;    ///< append-only segment files in the dir
+    std::size_t queue_limit = 8192;   ///< bounded write-behind queue (records)
+  };
+
+  /// Opens (creating if needed) a cache directory and recovers every intact
+  /// record from its segments — torn tails, bit flips, and version-mismatched
+  /// records are skipped with counted drops. Returns nullptr when the
+  /// directory cannot be created or opened; callers treat that as "no disk
+  /// tier" and fall through to simulation.
+  static std::unique_ptr<DiskTier> open(const std::string& dir, Options options);
+  static std::unique_ptr<DiskTier> open(const std::string& dir);
+
+  /// Drains the pending queue and joins the flusher.
+  ~DiskTier();
+  DiskTier(const DiskTier&) = delete;
+  DiskTier& operator=(const DiskTier&) = delete;
+
+  std::optional<SimCache::Value> find(const std::string& key) const;
+
+  /// Bulk probe mirroring SimCache::find_many: one index-lock acquisition
+  /// for the whole batch. out[i] is filled only for found keys.
+  void find_many(const std::vector<std::string>& keys, const std::vector<std::size_t>& indices,
+                 std::vector<std::optional<SimCache::Value>>& out,
+                 std::uint64_t& found, std::uint64_t& missed) const;
+
+  /// Registers the record in the index and schedules its append. A key
+  /// already present (recovered or previously enqueued) is not re-appended,
+  /// so warm reruns do not grow the segments.
+  void enqueue(const std::string& key, const SimCache::Value& value);
+
+  /// Synchronously drains the pending queue to the segment files.
+  void flush();
+
+  DiskTierStats stats() const;
+  std::size_t entries() const;
+
+  /// Segment file name for slot `index` ("seg-03.c2b") — exposed so tests
+  /// and tools can locate segments for corruption fuzzing.
+  static std::string segment_name(std::size_t index);
+
+ private:
+  DiskTier();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace c2b::exec

@@ -98,9 +98,13 @@ class RunJournal {
   Impl* impl_;
 };
 
-/// The journal the current run records into, or nullptr when not
-/// recording. Compiled-out builds see a constant nullptr so emission sites
-/// vanish entirely.
+/// The journal the current *thread* records into, or nullptr when not
+/// recording. Thread-local so concurrent jobs can each stream their own
+/// record; ThreadPool::parallel_for captures the submitting thread's
+/// context and installs it around every chunk (see obs/context.h), so a
+/// journal installed before a sweep follows the sweep across workers.
+/// Compiled-out builds see a constant nullptr so emission sites vanish
+/// entirely.
 #if defined(C2B_OBS_DISABLED)
 // `static` (internal linkage) so these can never bind to the library's
 // real symbols — each disabled TU sees a constant nullptr the optimizer

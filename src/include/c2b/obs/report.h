@@ -49,11 +49,28 @@ struct RunReport {
 
   // --- cache/batch effectiveness (from `cache_peel` / `run_end`) ---
   double points = 0.0;             ///< design points entering the sweep
-  double cache_hits = 0.0;         ///< points peeled by the sim cache
+  double cache_hits = 0.0;         ///< points peeled by the sim cache (any tier)
+  double cache_hits_disk = 0.0;    ///< the subset served by the disk tier
   double chunks_shared = 0.0;
   double regen_avoided_accesses = 0.0;
   double est_saved_ms = 0.0;       ///< cache_hits × mean per-member sim wall
+  double est_saved_mem_ms = 0.0;   ///< attribution: memory-tier hits' share
+  double est_saved_disk_ms = 0.0;  ///< attribution: disk-tier hits' share
   double batch_speedup = 1.0;      ///< (sim wall + est saved) / sim wall
+
+  // --- two-tier sim cache (from the end-of-sweep `cache_tiers` snapshot;
+  // counters are process-wide, last snapshot wins) ---
+  bool cache_tiers_seen = false;
+  bool disk_attached = false;
+  double mem_hits = 0.0;
+  double mem_misses = 0.0;        ///< missed every attached tier
+  double mem_entries = 0.0;
+  double evictions = 0.0;
+  double disk_hits = 0.0;
+  double disk_misses = 0.0;
+  double disk_entries = 0.0;
+  double disk_flushes = 0.0;
+  double disk_drops = 0.0;        ///< corrupt/stale/overflowed records skipped
   // Vectorized-kernel accounting (exec.batch.simd.*); all zero when every
   // unit ran the scalar lockstep fallback.
   double simd_steps = 0.0;

@@ -1,0 +1,67 @@
+#pragma once
+
+// Minimal HTTP/1.1 transport for `c2b serve`, POSIX sockets only — no
+// third-party dependency. The server accepts loopback connections and
+// handles one request per connection (Connection: close); every handler is
+// quick (submit enqueues, status snapshots, metrics serializes), because
+// job execution itself is asynchronous on the job manager's runner
+// threads, so a sequential accept loop is both sufficient and immune to
+// handler-thread races. The client side is a one-shot request helper used
+// by `c2b submit` / `c2b fetch` and the smoke tests.
+
+#include <atomic>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace c2b::serve {
+
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ...
+  std::string path;    ///< path without query ("/jobs/3")
+  std::string query;   ///< raw query string without '?' ("from=4"), may be empty
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer();
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds and listens on host:port (port 0 = kernel-assigned ephemeral
+  /// port, readable via port() afterwards). False + *error on failure.
+  bool listen(const std::string& host, int port, std::string* error);
+  int port() const noexcept { return port_; }
+
+  /// Accept-and-dispatch loop; returns after stop(). Connections are
+  /// handled sequentially on the calling thread.
+  void serve(const HttpHandler& handler);
+
+  /// Signals serve() to return after the in-flight request, if any. Safe
+  /// from handlers and from other threads.
+  void stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+
+ private:
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+};
+
+/// One-shot client request ("GET"/"POST"); nullopt + *error on connect,
+/// I/O, or parse failure.
+std::optional<HttpResponse> http_request(const std::string& host, int port,
+                                         const std::string& method, const std::string& path,
+                                         const std::string& body = {},
+                                         std::string* error = nullptr);
+
+}  // namespace c2b::serve

@@ -1,0 +1,50 @@
+#pragma once
+
+// Job payloads for `c2b serve`: a flat JSON request body is parsed with
+// the journal-line parser (one object per job, same grammar the flight
+// recorder reads back), mapped onto the same DseContext the CLI builds,
+// and executed synchronously on the calling (runner) thread — the sweeps
+// inside fan out on the shared ThreadPool exactly as a CLI run would.
+// Supported types: "dse" (full factorial or --pareto), "aps", "check"
+// (one oracle family).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace c2b::serve {
+
+struct JobRequest {
+  std::string type;  ///< "dse" | "aps" | "check"
+  std::map<std::string, std::string> strings;
+  std::map<std::string, double> numbers;
+
+  double num(const std::string& key, double fallback) const;
+  std::string str(const std::string& key, const std::string& fallback) const;
+  bool flag(const std::string& key) const;  ///< numeric field != 0
+
+  /// How many pool threads this job claims for admission control
+  /// ("threads" field, default 1, clamped to [1, threads_total] by the
+  /// manager). Purely an admission weight: the sweep itself runs on the
+  /// shared work-stealing pool either way.
+  std::size_t threads_share() const;
+
+  /// Parses a flat JSON object ({"type":"dse","workload":"stencil",...}).
+  /// nullopt + *error on malformed JSON, missing/unknown type, or an
+  /// unknown workload/family name.
+  static std::optional<JobRequest> parse(const std::string& body, std::string* error);
+};
+
+struct JobOutcome {
+  bool ok = false;
+  std::string error;
+  std::string result_json = "{}";  ///< summary for GET /jobs/<id>
+};
+
+/// Executes one job on the calling thread. Never throws: failures land in
+/// outcome.error. Observation context (per-job journal) is installed by
+/// the caller — everything emitted during the run streams there.
+JobOutcome run_job(const JobRequest& request);
+
+}  // namespace c2b::serve

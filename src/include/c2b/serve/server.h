@@ -1,0 +1,82 @@
+#pragma once
+
+// `c2b serve`: a long-running DSE service wrapping the job layer in a
+// loopback HTTP daemon. One process hosts the warm two-tier SimCache
+// (memory + optional C2B_SIM_CACHE_DIR disk tier), the shared ThreadPool,
+// and a bounded job manager, so successive sweeps submitted over the wire
+// warm-start each other exactly like successive CLI runs sharing a cache
+// directory — minus the process startup and disk reload.
+//
+// Admission control is two-layered and rejection is explicit, never
+// silent: at most `max_queue` accepted-but-unfinished jobs exist at once
+// (submit past that is 429), and the runner threads only start a job when
+// its declared `threads` share fits under `threads_total` alongside the
+// shares of the jobs already running — a weight on admission order only;
+// execution always fans out on the one shared pool.
+//
+// Every job streams its own flight record: the manager opens
+// <spool>/job-<id>.jsonl, installs it thread-locally on the runner (see
+// obs/context.h — the pool propagates it across workers per batch), and
+// GET /jobs/<id>/events replays validated lines from that file, so
+// progress streaming reuses the journal grammar end to end.
+//
+// Routes (all JSON):
+//   POST /jobs            submit ({"type":"dse"|"aps"|"check", ...}) -> 202
+//   GET  /jobs/<id>       status + result summary when done
+//   GET  /jobs/<id>/events[?from=K]  journal lines K.. as a JSON array
+//   GET  /metrics         obs::metrics_json() for the whole process
+//   GET  /stats           job-manager occupancy snapshot
+//   GET  /healthz         liveness probe
+//   POST /shutdown        drain accepted jobs, then exit the serve loop
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "c2b/serve/http.h"
+#include "c2b/serve/jobs.h"
+
+namespace c2b::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;                ///< 0 = ephemeral; read back via Server::port()
+  std::size_t max_active = 2;  ///< runner threads = max concurrently running jobs
+  std::size_t max_queue = 64;  ///< accepted-but-unfinished cap; beyond it: 429
+  /// Denominator for per-job `threads` admission shares; 0 = the global
+  /// pool's thread count.
+  std::size_t threads_total = 0;
+  /// Directory for per-job journals (job-<id>.jsonl). Empty = no per-job
+  /// journals; the events endpoint then returns an empty array.
+  std::string spool_dir;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the listening socket. False + *error on failure.
+  bool start(std::string* error);
+  int port() const noexcept;
+
+  /// Serve until POST /shutdown (or stop()), then drain: every accepted
+  /// job still runs to completion before run() returns.
+  void run();
+
+  /// Thread-safe: makes run() return (after draining), e.g. from a test.
+  void stop();
+
+  /// The request router, exposed for in-process tests that want to poke
+  /// routes without a socket.
+  HttpResponse handle(const HttpRequest& request);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace c2b::serve

@@ -53,7 +53,12 @@ void append_escaped(std::string& out, std::string_view text) {
 }
 
 #if !defined(C2B_OBS_DISABLED)
-RunJournal* g_active_journal = nullptr;
+// Thread-local: concurrent jobs (c2b serve) each install their own journal
+// on the thread driving the job; ThreadPool::parallel_for propagates the
+// submitting thread's obs context to whichever worker runs a chunk, so
+// emissions from inside a sweep land in that job's journal. Single-job CLI
+// runs behave exactly as before (install on main, sweeps propagate).
+thread_local RunJournal* g_active_journal = nullptr;
 #endif
 
 }  // namespace

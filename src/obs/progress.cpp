@@ -28,7 +28,9 @@ std::string format_duration(double ms) {
 }
 
 #if !defined(C2B_OBS_DISABLED)
-ProgressMeter* g_active_progress = nullptr;
+// Thread-local for the same reason as g_active_journal: each concurrent
+// job installs its own meter, and the pool propagates it per batch.
+thread_local ProgressMeter* g_active_progress = nullptr;
 #endif
 
 }  // namespace

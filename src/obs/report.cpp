@@ -83,6 +83,19 @@ RunReport build_report(const std::vector<JournalRecord>& records,
     } else if (record.type == "cache_peel") {
       report.points += record.num("points");
       report.cache_hits += record.num("hits");
+      report.cache_hits_disk += record.num("disk_hits");
+    } else if (record.type == "cache_tiers") {
+      report.cache_tiers_seen = true;
+      report.disk_attached = record.num("disk_attached") != 0.0;
+      report.mem_hits = record.num("mem_hits");
+      report.mem_misses = record.num("misses");
+      report.mem_entries = record.num("mem_entries");
+      report.evictions = record.num("evictions");
+      report.disk_hits = record.num("disk_hits");
+      report.disk_misses = record.num("disk_misses");
+      report.disk_entries = record.num("disk_entries");
+      report.disk_flushes = record.num("disk_flushes");
+      report.disk_drops = record.num("disk_drops");
     } else if (record.type == "point") {
       RunReport::PointSample sample;
       sample.n_cores = record.num("n");
@@ -146,6 +159,11 @@ RunReport build_report(const std::vector<JournalRecord>& records,
   if (report.simulated_members > 0.0 && report.cache_hits > 0.0) {
     const double per_member_ms = report.simulated_wall_ms / report.simulated_members;
     report.est_saved_ms = report.cache_hits * per_member_ms;
+    // Attribute savings per tier: a disk hit and a memory hit each peel one
+    // simulation, so the split follows the hit counts.
+    const double disk_hits = std::min(report.cache_hits_disk, report.cache_hits);
+    report.est_saved_disk_ms = disk_hits * per_member_ms;
+    report.est_saved_mem_ms = report.est_saved_ms - report.est_saved_disk_ms;
     if (report.simulated_wall_ms > 0.0)
       report.batch_speedup =
           (report.simulated_wall_ms + report.est_saved_ms) / report.simulated_wall_ms;
@@ -225,6 +243,45 @@ std::string render_report(const RunReport& report, std::size_t top_k) {
                 "  est. cache savings     %s  (%.2fx speedup attribution)\n",
                 format_duration(report.est_saved_ms).c_str(), report.batch_speedup);
   out += line;
+
+  if (report.cache_tiers_seen || report.cache_hits_disk > 0.0) {
+    out += "\n== cache ==\n";
+    std::snprintf(line, sizeof line,
+                  "  memory tier            %.0f hits | %.0f entries | %.0f evictions\n",
+                  report.mem_hits, report.mem_entries, report.evictions);
+    out += line;
+    if (report.disk_attached) {
+      std::snprintf(line, sizeof line,
+                    "  disk tier              %.0f hits / %.0f misses | %.0f entries | "
+                    "%.0f flushes | %.0f drops\n",
+                    report.disk_hits, report.disk_misses, report.disk_entries,
+                    report.disk_flushes, report.disk_drops);
+      out += line;
+    } else {
+      out += "  disk tier              not attached\n";
+    }
+    std::snprintf(line, sizeof line, "  misses (all tiers)     %.0f\n",
+                  report.mem_misses);
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "  sweep peels            %.0f from memory, %.0f from disk\n",
+                  report.cache_hits - report.cache_hits_disk, report.cache_hits_disk);
+    out += line;
+    if (report.est_saved_ms > 0.0) {
+      std::snprintf(line, sizeof line,
+                    "  est. savings by tier   %s memory + %s disk\n",
+                    format_duration(report.est_saved_mem_ms).c_str(),
+                    format_duration(report.est_saved_disk_ms).c_str());
+      out += line;
+    }
+    if (report.disk_drops > 0.0) {
+      std::snprintf(line, sizeof line,
+                    "  WARNING: %.0f corrupt/stale disk records dropped "
+                    "(self-healing; affected keys re-simulate)\n",
+                    report.disk_drops);
+      out += line;
+    }
+  }
 
   if (!report.classes.empty()) {
     out += "\n== per-class sim time ==\n";

@@ -1,0 +1,247 @@
+#include "c2b/serve/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace c2b::serve {
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 4u << 20;  ///< hard cap on header+body
+
+void set_io_timeout(int fd) {
+  // A stalled peer must not wedge the sequential accept loop.
+  timeval tv{};
+  tv.tv_sec = 10;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    default: return "OK";
+  }
+}
+
+/// Reads one request off `fd`. False on malformed/oversized/timeout.
+bool read_request(int fd, HttpRequest& out) {
+  std::string buffer;
+  std::size_t header_end = std::string::npos;
+  char chunk[4096];
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > kMaxRequestBytes) return false;
+    header_end = buffer.find("\r\n\r\n");
+  }
+
+  // Request line: METHOD SP target SP version.
+  const std::size_t line_end = buffer.find("\r\n");
+  const std::string line = buffer.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
+  out.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    out.query = target.substr(qmark + 1);
+    target.resize(qmark);
+  }
+  out.path = std::move(target);
+
+  // Headers: only Content-Length matters to us.
+  std::size_t content_length = 0;
+  std::size_t cursor = line_end + 2;
+  while (cursor < header_end) {
+    const std::size_t eol = buffer.find("\r\n", cursor);
+    const std::string header = buffer.substr(cursor, eol - cursor);
+    cursor = eol + 2;
+    const std::size_t colon = header.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = header.substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (name == "content-length") {
+      const char* value = header.c_str() + colon + 1;
+      content_length = static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+      if (content_length > kMaxRequestBytes) return false;
+    }
+  }
+
+  const std::size_t body_start = header_end + 4;
+  while (buffer.size() - body_start < content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  out.body = buffer.substr(body_start, content_length);
+  return true;
+}
+
+void write_response(int fd, const HttpResponse& response) {
+  char header[256];
+  const int header_len = std::snprintf(
+      header, sizeof header,
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      response.status, status_reason(response.status), response.content_type.c_str(),
+      response.body.size());
+  if (!send_all(fd, header, static_cast<std::size_t>(header_len))) return;
+  send_all(fd, response.body.data(), response.body.size());
+}
+
+}  // namespace
+
+HttpServer::HttpServer() = default;
+
+HttpServer::~HttpServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+bool HttpServer::listen(const std::string& host, int port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = "socket() failed";
+    return false;
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad host '" + host + "' (want a dotted IPv4 address)";
+    ::close(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error != nullptr) *error = "cannot bind " + host + ":" + std::to_string(port);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 64) != 0) {
+    if (error != nullptr) *error = "listen() failed";
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    if (error != nullptr) *error = "getsockname() failed";
+    ::close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  return true;
+}
+
+void HttpServer::serve(const HttpHandler& handler) {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout (re-check stop) or EINTR
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    set_io_timeout(conn);
+    HttpRequest request;
+    if (read_request(conn, request)) {
+      HttpResponse response;
+      try {
+        response = handler(request);
+      } catch (const std::exception& e) {
+        response.status = 500;
+        response.body = std::string("{\"error\":\"") + e.what() + "\"}";
+      } catch (...) {
+        response.status = 500;
+        response.body = "{\"error\":\"unknown\"}";
+      }
+      write_response(conn, response);
+    }
+    ::shutdown(conn, SHUT_RDWR);
+    ::close(conn);
+  }
+}
+
+std::optional<HttpResponse> http_request(const std::string& host, int port,
+                                         const std::string& method, const std::string& path,
+                                         const std::string& body, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = "socket() failed";
+    return std::nullopt;
+  }
+  set_io_timeout(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad host '" + host + "'";
+    ::close(fd);
+    return std::nullopt;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error != nullptr)
+      *error = "cannot connect to " + host + ":" + std::to_string(port);
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  std::string request = method + " " + path + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nContent-Length: " + std::to_string(body.size()) +
+                        "\r\nConnection: close\r\n\r\n" + body;
+  if (!send_all(fd, request.data(), request.size())) {
+    if (error != nullptr) *error = "send failed";
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  std::string buffer;
+  char chunk[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, chunk, sizeof chunk, 0)) > 0) {
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > kMaxRequestBytes) break;
+  }
+  ::close(fd);
+
+  const std::size_t header_end = buffer.find("\r\n\r\n");
+  if (header_end == std::string::npos || buffer.rfind("HTTP/1.", 0) != 0) {
+    if (error != nullptr) *error = "malformed response";
+    return std::nullopt;
+  }
+  HttpResponse response;
+  response.status = std::atoi(buffer.c_str() + 9);
+  response.body = buffer.substr(header_end + 4);
+  return response;
+}
+
+}  // namespace c2b::serve

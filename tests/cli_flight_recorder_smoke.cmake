@@ -6,8 +6,12 @@ set(journal "${WORK_DIR}/smoke_journal.jsonl")
 set(heatmap "${WORK_DIR}/smoke_heatmap.csv")
 file(REMOVE "${journal}" "${heatmap}")
 
+# Blank C2B_SIM_CACHE_DIR: a disk tier warmed by an earlier run would
+# serve the whole sweep, and a fully-cached run legitimately journals no
+# per-class events — this smoke needs the cold-path sections to exist.
 execute_process(
-  COMMAND "${C2B_BIN}" dse --workload stencil --journal-out "${journal}" --progress=0
+  COMMAND "${CMAKE_COMMAND}" -E env "C2B_SIM_CACHE_DIR="
+          "${C2B_BIN}" dse --workload stencil --journal-out "${journal}" --progress=0
   RESULT_VARIABLE dse_rc
   OUTPUT_VARIABLE dse_out
   ERROR_VARIABLE dse_err)

@@ -1,0 +1,19 @@
+# Smoke test for `c2b serve`: the actual flow lives in cli_serve_smoke.sh
+# (a daemon must run in the background, which execute_process cannot do
+# directly). Invoked by ctest with -DC2B_BIN=<c2b> -DWORK_DIR=<scratch>
+# -DSCRIPT_DIR=<tests source dir>.
+
+execute_process(
+  COMMAND sh "${SCRIPT_DIR}/cli_serve_smoke.sh" "${C2B_BIN}" "${WORK_DIR}"
+  RESULT_VARIABLE smoke_rc
+  OUTPUT_VARIABLE smoke_out
+  ERROR_VARIABLE smoke_err)
+if(NOT smoke_rc EQUAL 0)
+  message(FATAL_ERROR "serve smoke failed (${smoke_rc}):\n${smoke_out}\n${smoke_err}")
+endif()
+
+string(FIND "${smoke_out}" "serve smoke OK" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "serve smoke did not report success:\n${smoke_out}\n${smoke_err}")
+endif()
+message(STATUS "serve smoke OK")

@@ -34,6 +34,10 @@ class SimCacheKeyTest : public ::testing::Test {
  protected:
   void SetUp() override {
     exec::SimCache::global().set_enabled(true);
+    // Key-coverage tests reason about exact hit/miss counts on a cold
+    // cache; a $C2B_SIM_CACHE_DIR disk tier warmed by an earlier run
+    // would serve the probes (clear() keeps it by design), so drop it.
+    exec::SimCache::global().detach_disk_tier();
     exec::SimCache::global().clear();
   }
   void TearDown() override { exec::SimCache::global().clear(); }

@@ -2,12 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace c2b::exec {
 namespace {
+
+namespace fs = std::filesystem;
 
 TEST(SimCache, FindAfterInsertReturnsExactValue) {
   SimCache cache(64);
@@ -113,6 +120,189 @@ TEST(SimCache, GlobalIsSingleton) {
   SimCache& a = SimCache::global();
   SimCache& b = SimCache::global();
   EXPECT_EQ(&a, &b);
+}
+
+TEST(SimCache, SecondChanceKeepsHotKeyThroughFullEvictionCycles) {
+  // Capacity 64 over 16 shards = 4 entries per shard. The hot key is
+  // touched after every insert, so its referenced bit is always set when
+  // the clock hand reaches it — it must survive a filler stream an order
+  // of magnitude past capacity, while the untouched fillers churn.
+  SimCache cache(64);
+  cache.insert("hot", {123.5, 9});
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(cache.find("hot").has_value()) << "evicted after filler " << i;
+    std::string filler = "filler";
+    filler += std::to_string(i);
+    cache.insert(filler, {static_cast<double>(i), 0});
+  }
+  const auto hit = cache.find("hot");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->time, 123.5);
+  EXPECT_EQ(hit->memory_accesses, 9u);
+  const SimCacheStats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);  // the fillers did churn
+  EXPECT_LE(stats.entries, 64u);
+}
+
+TEST(SimCache, EvictionAccountingIsExact) {
+  // Without any hits, every entry is inserted exactly once and evicted at
+  // most once: live entries + evictions must equal total distinct inserts.
+  SimCache cache(16);  // one entry per shard — maximum churn
+  constexpr int kInserts = 100;
+  for (int i = 0; i < kInserts; ++i) {
+    std::string key = "key";
+    key += std::to_string(i);
+    cache.insert(key, {static_cast<double>(i), 0});
+  }
+  const SimCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries + stats.evictions, static_cast<std::uint64_t>(kInserts));
+  EXPECT_LE(stats.entries, 16u);
+}
+
+TEST(SimCache, FindManyMatchesPerKeyFindAndSkipsEmptyKeys) {
+  const std::vector<std::pair<std::string, SimCache::Value>> seed = {
+      {"alpha", {1.0, 1}}, {"beta", {2.0, 2}}, {"gamma", {3.0, 3}}};
+  const std::vector<std::string> probes = {"alpha", "", "absent", "gamma", "beta",
+                                           "alpha", ""};
+
+  SimCache per_key(64);
+  for (const auto& [key, value] : seed) per_key.insert(key, value);
+  std::vector<std::optional<SimCache::Value>> expected;
+  for (const auto& key : probes)
+    expected.push_back(key.empty() ? std::nullopt : per_key.find(key));
+
+  SimCache bulk(64);
+  bulk.insert_many(seed);
+  std::uint64_t disk_hits = 123;  // must be zeroed even without a disk tier
+  const auto got = bulk.find_many(probes, &disk_hits);
+
+  ASSERT_EQ(got.size(), probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    ASSERT_EQ(got[i].has_value(), expected[i].has_value()) << "probe " << i;
+    if (got[i].has_value()) {
+      EXPECT_EQ(got[i]->time, expected[i]->time);
+      EXPECT_EQ(got[i]->memory_accesses, expected[i]->memory_accesses);
+    }
+  }
+  EXPECT_EQ(disk_hits, 0u);
+  // Same telemetry as the per-key path: 4 hits, 1 miss — the two empty
+  // probes are never probed and never counted.
+  EXPECT_EQ(bulk.stats().hits, per_key.stats().hits);
+  EXPECT_EQ(bulk.stats().misses, per_key.stats().misses);
+  EXPECT_EQ(bulk.stats().hits, 4u);
+  EXPECT_EQ(bulk.stats().misses, 1u);
+}
+
+class SimCacheDiskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("sim_cache_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+  fs::path dir_;
+};
+
+TEST_F(SimCacheDiskTest, DiskHitIsPromotedIntoMemoryTier) {
+  SimCache cache(64);
+  ASSERT_TRUE(cache.attach_disk_tier(dir()));
+  ASSERT_TRUE(cache.has_disk_tier());
+  cache.insert("design", {7.25, 11});
+  cache.flush_disk();
+  cache.clear();  // memory tier gone, disk survives
+
+  const auto first = cache.find("design");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->time, 7.25);
+  SimCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);       // not a memory hit...
+  EXPECT_EQ(stats.disk_hits, 1u);  // ...served from disk
+  EXPECT_EQ(stats.misses, 0u);     // a disk hit is not a miss
+
+  const auto second = cache.find("design");
+  ASSERT_TRUE(second.has_value());
+  stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);  // promotion made the second probe a memory hit
+  EXPECT_EQ(stats.disk_hits, 1u);
+  cache.detach_disk_tier();
+}
+
+TEST_F(SimCacheDiskTest, WarmRestartReattachServesFromDisk) {
+  SimCache cache(64);
+  ASSERT_TRUE(cache.attach_disk_tier(dir()));
+  for (int i = 0; i < 20; ++i) {
+    std::string key = "point";
+    key += std::to_string(i);
+    cache.insert(key, {static_cast<double>(i) + 0.5, static_cast<std::uint64_t>(i)});
+  }
+  cache.flush_disk();
+
+  // Emulate a process restart: drop the tier and the memory state, then
+  // re-attach the same directory.
+  cache.detach_disk_tier();
+  cache.clear();
+  ASSERT_TRUE(cache.attach_disk_tier(dir()));
+  EXPECT_EQ(cache.stats().disk_entries, 20u);
+  for (int i = 0; i < 20; ++i) {
+    std::string key = "point";
+    key += std::to_string(i);
+    const auto hit = cache.find(key);
+    ASSERT_TRUE(hit.has_value()) << key;
+    EXPECT_EQ(hit->time, static_cast<double>(i) + 0.5);
+  }
+  EXPECT_EQ(cache.stats().disk_hits, 20u);
+  cache.detach_disk_tier();
+}
+
+TEST_F(SimCacheDiskTest, ClearKeepsDiskTierContents) {
+  SimCache cache(64);
+  ASSERT_TRUE(cache.attach_disk_tier(dir()));
+  cache.insert("kept", {1.5, 3});
+  cache.flush_disk();
+  cache.clear();
+  EXPECT_TRUE(cache.has_disk_tier());
+  EXPECT_GE(cache.stats().disk_entries, 1u);
+  EXPECT_TRUE(cache.find("kept").has_value());
+  cache.detach_disk_tier();
+}
+
+TEST_F(SimCacheDiskTest, FindManyAttributesDiskHitsPerCall) {
+  SimCache cache(64);
+  ASSERT_TRUE(cache.attach_disk_tier(dir()));
+  cache.insert("a", {1.0, 1});
+  cache.insert("b", {2.0, 2});
+  cache.flush_disk();
+  cache.clear();
+
+  std::uint64_t disk_hits = 0;
+  const auto got = cache.find_many({"a", "", "b", "absent"}, &disk_hits);
+  EXPECT_EQ(disk_hits, 2u);
+  ASSERT_TRUE(got[0].has_value());
+  EXPECT_FALSE(got[1].has_value());
+  ASSERT_TRUE(got[2].has_value());
+  EXPECT_FALSE(got[3].has_value());
+  const SimCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.disk_hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);  // "absent" missed both tiers
+  cache.detach_disk_tier();
+}
+
+TEST_F(SimCacheDiskTest, AttachFailureLeavesCacheWorkingWithoutTier) {
+  fs::create_directories(dir_.parent_path());
+  {
+    std::ofstream blocker(dir_);  // a *file* where the tier wants a directory
+    blocker << "in the way";
+  }
+  SimCache cache(64);
+  EXPECT_FALSE(cache.attach_disk_tier(dir()));
+  EXPECT_FALSE(cache.has_disk_tier());
+  cache.insert("still-works", {4.0, 4});
+  EXPECT_TRUE(cache.find("still-works").has_value());
+  EXPECT_EQ(cache.stats().disk_entries, 0u);
 }
 
 }  // namespace

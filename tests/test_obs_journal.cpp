@@ -244,9 +244,11 @@ TEST(JournalTest, ConcurrentWritersProduceEquivalentMultiset) {
       std::vector<std::thread> workers;
       for (unsigned t = 0; t < threads; ++t)
         workers.emplace_back([&journal, t, threads] {
-          for (std::uint64_t i = t; i < 64; i += threads)
-            journal->emit(JournalEvent("work").count("item", i).str(
-                "tag", "t" + std::to_string(i % 7)));
+          for (std::uint64_t i = t; i < 64; i += threads) {
+            std::string tag = "t";
+            tag += std::to_string(i % 7);
+            journal->emit(JournalEvent("work").count("item", i).str("tag", tag));
+          }
         });
       for (std::thread& worker : workers) worker.join();
       EXPECT_EQ(journal->written_events(), 64u);
@@ -300,6 +302,9 @@ TEST(JournalSweepTest, ClassEventMultisetIdenticalAcrossThreadCounts) {
 
   std::vector<std::vector<std::string>> scheduled, completed;
   std::vector<std::vector<double>> all_times;
+  // clear() deliberately keeps the disk tier (the cross-run layer); this
+  // test needs genuinely cold runs, so drop any $C2B_SIM_CACHE_DIR tier.
+  exec::SimCache::global().detach_disk_tier();
   for (const std::size_t threads : {1u, 2u, 8u}) {
     exec::SimCache::global().clear();  // every run simulates from scratch
     exec::set_thread_count(threads);
@@ -360,6 +365,9 @@ TEST(JournalSweepTest, CachePeelEventAccountsSecondRun) {
   const DseContext context = small_context();
   const std::vector<std::vector<double>> points = small_points(context);
 
+  // The first sweep must be a true cold miss for every point: detach any
+  // $C2B_SIM_CACHE_DIR disk tier (clear() keeps it by design).
+  exec::SimCache::global().detach_disk_tier();
   exec::SimCache::global().clear();
   const std::string path = temp_path("peel.jsonl");
   {

@@ -58,17 +58,42 @@
 //       time breakdown, cache/batch effectiveness, top-K slowest trace
 //       classes, per-class sim-time percentiles, and (with --heatmap-out)
 //       an objective-vs-(N, cache split) CSV heatmap.
-//   c2b check [--family all|analytic|determinism|invariants|kernel|batch|simd|constraint|surrogate]
+//   c2b check [--family all|analytic|determinism|invariants|kernel|batch|simd|constraint|surrogate|cache]
 //             [--seed S] [--configs N] [--aps-configs N] [--cases N]
 //             [--designs N] [--kernel-configs N] [--batch-sets N]
 //             [--simd-sets N] [--constraint-sets N] [--surrogate-sets N]
-//             [--bands-out <file>] [--corpus <dir>]
+//             [--cache-sets N] [--bands-out <file>] [--corpus <dir>]
 //       Run the differential oracle families (analytic model vs simulator
 //       tolerance bands, serial-vs-parallel determinism on random configs,
 //       invariant registry). Deterministic for a fixed --seed; failures
 //       print a one-line C2B_CHECK_SEED/C2B_CHECK_CASE repro and exit
 //       nonzero. --bands-out exports the per-workload tolerance bands as
 //       JSON; --corpus persists shrunk property counterexamples.
+//   c2b serve [--port P] [--host H] [--port-file <file>] [--spool <dir>]
+//             [--max-active N] [--max-queue N] [--cache-dir <dir>]
+//       Run the DSE service: a loopback HTTP daemon accepting concurrent
+//       dse/aps/check jobs (POST /jobs with a flat JSON body) on the shared
+//       thread pool, with bounded admission (--max-queue unfinished jobs,
+//       --max-active running at once), per-job journal streaming
+//       (GET /jobs/<id>/events, needs --spool), process-wide telemetry at
+//       GET /metrics, and graceful drain on POST /shutdown. --port 0 picks
+//       an ephemeral port, written to --port-file for scripts. --cache-dir
+//       attaches the persistent sim-cache tier (same as C2B_SIM_CACHE_DIR),
+//       so every job warm-starts from all previous runs.
+//   c2b submit --port P [--type dse|aps|check] [--workload <name>]
+//              [--family <oracle>] [--instructions N] [--per-core-cap N]
+//              [--area A] [--shared-area A] [--seed S] [--radius R]
+//              [--characterize-instructions N] [--large-axes] [--pareto]
+//              [--surrogate] [--job-threads N] [--body <json>]
+//              [--wait] [--poll-ms N]
+//       Submit one job to a running `c2b serve` and print the job id.
+//       Flags assemble the JSON body (--body overrides with raw JSON);
+//       --job-threads is the job's admission weight. --wait polls the
+//       status endpoint until the job finishes and prints the result.
+//   c2b fetch --port P [--path /metrics] [--post]
+//       One-shot HTTP helper against a running daemon: GET (or POST) the
+//       path and print the response body (e.g. /metrics, /stats,
+//       /jobs/0/events?from=0, /shutdown with --post).
 //
 // Flags accepted by every command:
 //   --threads N            parallel execution width for the DSE/APS sweeps
@@ -88,12 +113,14 @@
 // Every command prints plain text to stdout; exit code 0 on success.
 // Unknown flags are an error: each command lists them and exits nonzero.
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "c2b/aps/aps.h"
 #include "c2b/aps/characterize.h"
@@ -109,6 +136,8 @@
 #include "c2b/obs/obs.h"
 #include "c2b/obs/progress.h"
 #include "c2b/obs/report.h"
+#include "c2b/serve/http.h"
+#include "c2b/serve/server.h"
 #include "c2b/sim/system/system.h"
 #include "c2b/trace/trace_io.h"
 #include "c2b/trace/workloads.h"
@@ -120,7 +149,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: c2b <command> [flags]\n"
-               "commands: workloads | characterize | optimize | simulate | trace | aps | dse | report | check\n"
+               "commands: workloads | characterize | optimize | simulate | trace | aps | dse | report | check | serve | submit | fetch\n"
                "run `c2b <command> --help` is not needed — see the header of\n"
                "tools/c2b_cli.cpp or README.md for the flag lists.\n");
   return 2;
@@ -376,11 +405,20 @@ int cmd_simulate(const Args& args) {
 // replay engine covered this command's sweeps.
 void print_batch_summary(const BatchReplayStats& batch) {
   const exec::SimCacheStats cache = exec::SimCache::global().stats();
-  std::printf("cache hits %llu / misses %llu | batch classes %zu (%zu members) | "
-              "regen avoided %llu accesses\n",
+  std::printf("cache hits %llu (%llu mem + %llu disk) / misses %llu | "
+              "batch classes %zu (%zu members) | regen avoided %llu accesses\n",
+              static_cast<unsigned long long>(cache.hits + cache.disk_hits),
               static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.disk_hits),
               static_cast<unsigned long long>(cache.misses), batch.classes, batch.members,
               static_cast<unsigned long long>(batch.regen_avoided_accesses));
+  if (exec::SimCache::global().has_disk_tier())
+    std::printf("disk tier: %llu hits / %llu misses | %zu entries | "
+                "%llu flushes | %llu drops\n",
+                static_cast<unsigned long long>(cache.disk_hits),
+                static_cast<unsigned long long>(cache.disk_misses), cache.disk_entries,
+                static_cast<unsigned long long>(cache.disk_flushes),
+                static_cast<unsigned long long>(cache.disk_drops));
   if (batch.simd_steps > 0)
     std::printf("simd kernel: %llu steps | %llu peeled records | %llu lane-rounds\n",
                 static_cast<unsigned long long>(batch.simd_steps),
@@ -407,16 +445,33 @@ void journal_sweep_config(const char* command, const DseContext& context,
 }
 
 void journal_batch_stats(const BatchReplayStats& batch) {
-  if (auto* journal = obs::active_journal())
-    journal->emit(obs::JournalEvent("batch_stats")
-                      .count("classes", batch.classes)
-                      .count("members", batch.members)
-                      .count("cache_hits", batch.cache_hits)
-                      .count("chunks_shared", batch.chunks_shared)
-                      .count("regen_avoided_accesses", batch.regen_avoided_accesses)
-                      .count("simd_steps", batch.simd_steps)
-                      .count("simd_peels", batch.simd_peels)
-                      .count("simd_lanes_active", batch.simd_lanes_active));
+  auto* journal = obs::active_journal();
+  if (journal == nullptr) return;
+  journal->emit(obs::JournalEvent("batch_stats")
+                    .count("classes", batch.classes)
+                    .count("members", batch.members)
+                    .count("cache_hits", batch.cache_hits)
+                    .count("cache_hits_disk", batch.cache_hits_disk)
+                    .count("chunks_shared", batch.chunks_shared)
+                    .count("regen_avoided_accesses", batch.regen_avoided_accesses)
+                    .count("simd_steps", batch.simd_steps)
+                    .count("simd_peels", batch.simd_peels)
+                    .count("simd_lanes_active", batch.simd_lanes_active));
+  // Tier attribution snapshot for the `c2b report` "== cache ==" section:
+  // process-wide sim-cache traffic split memory vs disk at the end of the
+  // sweep.
+  const exec::SimCacheStats cache = exec::SimCache::global().stats();
+  journal->emit(obs::JournalEvent("cache_tiers")
+                    .count("mem_hits", cache.hits)
+                    .count("misses", cache.misses)
+                    .count("mem_entries", cache.entries)
+                    .count("evictions", cache.evictions)
+                    .count("disk_attached", exec::SimCache::global().has_disk_tier() ? 1 : 0)
+                    .count("disk_hits", cache.disk_hits)
+                    .count("disk_misses", cache.disk_misses)
+                    .count("disk_entries", cache.disk_entries)
+                    .count("disk_flushes", cache.disk_flushes)
+                    .count("disk_drops", cache.disk_drops));
 }
 
 /// Shared `--lockstep-records` / `--no-simd` handling for the sweep
@@ -757,6 +812,7 @@ int cmd_check(const Args& args) {
   options.simd_sets = static_cast<std::size_t>(args.get("simd-sets", 3LL));
   options.constraint_sets = static_cast<std::size_t>(args.get("constraint-sets", 6LL));
   options.surrogate_sets = static_cast<std::size_t>(args.get("surrogate-sets", 3LL));
+  options.cache_sets = static_cast<std::size_t>(args.get("cache-sets", 3LL));
   options.corpus_dir = args.get("corpus", std::string(""));
   const std::string bands_out = args.get("bands-out", std::string(""));
   const std::string family = args.get("family", std::string("all"));
@@ -781,9 +837,11 @@ int cmd_check(const Args& args) {
     reports.push_back(check::run_constraint_oracle(options));
   } else if (family == "surrogate") {
     reports.push_back(check::run_surrogate_oracle(options));
+  } else if (family == "cache") {
+    reports.push_back(check::run_persistent_cache_oracle(options));
   } else {
     std::fprintf(stderr,
-                 "check: unknown --family '%s' (want all|analytic|determinism|invariants|kernel|batch|simd|constraint|surrogate)\n",
+                 "check: unknown --family '%s' (want all|analytic|determinism|invariants|kernel|batch|simd|constraint|surrogate|cache)\n",
                  family.c_str());
     return 2;
   }
@@ -811,6 +869,134 @@ int cmd_check(const Args& args) {
   return all_passed ? 0 : 1;
 }
 
+int cmd_serve(const Args& args) {
+  serve::ServerOptions options;
+  options.host = args.get("host", std::string("127.0.0.1"));
+  options.port = static_cast<int>(args.get("port", 0LL));
+  options.max_active = static_cast<std::size_t>(args.get("max-active", 2LL));
+  options.max_queue = static_cast<std::size_t>(args.get("max-queue", 64LL));
+  options.spool_dir = args.get("spool", std::string(""));
+  const std::string port_file = args.get("port-file", std::string(""));
+  const std::string cache_dir = args.get("cache-dir", std::string(""));
+  args.finish();
+
+  if (!cache_dir.empty() && !exec::SimCache::global().attach_disk_tier(cache_dir)) {
+    std::fprintf(stderr, "serve: cannot attach cache dir '%s'\n", cache_dir.c_str());
+    return 1;
+  }
+  serve::Server server(options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "serve: %s\n", error.c_str());
+    return 1;
+  }
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    out << server.port() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "serve: cannot write port file '%s'\n", port_file.c_str());
+      return 1;
+    }
+  }
+  std::printf("serving on %s:%d (max-active %zu, max-queue %zu)\n", options.host.c_str(),
+              server.port(), options.max_active, options.max_queue);
+  std::fflush(stdout);
+  server.run();
+  exec::SimCache::global().flush_disk();
+  std::printf("serve: drained, exiting\n");
+  return 0;
+}
+
+int cmd_submit(const Args& args) {
+  const std::string host = args.get("host", std::string("127.0.0.1"));
+  const int port = static_cast<int>(args.get("port", 0LL));
+  std::string body = args.get("body", std::string(""));
+  if (body.empty()) {
+    // Assemble the flat JSON job body from flags; only flags actually
+    // given are serialized, so server-side defaults stay in one place.
+    body = "{\"type\":\"" + args.get("type", std::string("dse")) + "\"";
+    for (const char* key : {"workload", "family"})
+      if (args.has(key)) body += ",\"" + std::string(key) + "\":\"" + args.get(key, std::string("")) + "\"";
+    for (const char* key :
+         {"instructions", "per-core-cap", "area", "shared-area", "seed", "radius",
+          "characterize-instructions", "power-budget", "bw-budget", "noc-budget",
+          "surrogate-band", "surrogate-warmup"})
+      if (args.has(key)) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", args.get(key, 0.0));
+        body += ",\"" + std::string(key) + "\":" + buf;
+      }
+    for (const char* key : {"large-axes", "pareto", "surrogate"})
+      if (args.get(key, std::string("false")) == "true")
+        body += ",\"" + std::string(key) + "\":1";
+    if (args.has("job-threads"))
+      body += ",\"threads\":" + std::to_string(args.get("job-threads", 1LL));
+    body += "}";
+  } else {
+    // A raw body overrides the assembler; still mark the flags used so
+    // finish() does not reject mixed invocations.
+    for (const char* key : {"type", "workload", "family", "job-threads"})
+      (void)args.get(key, std::string(""));
+  }
+  const bool wait = args.get("wait", std::string("false")) == "true";
+  const long long poll_ms = args.get("poll-ms", 200LL);
+  args.finish();
+  if (port <= 0) {
+    std::fprintf(stderr, "submit: --port is required (see `c2b serve --port-file`)\n");
+    return 2;
+  }
+
+  std::string error;
+  const auto response = serve::http_request(host, port, "POST", "/jobs", body, &error);
+  if (!response.has_value()) {
+    std::fprintf(stderr, "submit: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->body.c_str());
+  if (response->status >= 300) return 1;
+  if (!wait) return 0;
+
+  const std::size_t id_pos = response->body.find("\"id\":");
+  if (id_pos == std::string::npos) return 1;
+  const unsigned long long id = std::strtoull(response->body.c_str() + id_pos + 5, nullptr, 10);
+  const std::string path = "/jobs/" + std::to_string(id);
+  for (;;) {
+    const auto status = serve::http_request(host, port, "GET", path, {}, &error);
+    if (!status.has_value()) {
+      std::fprintf(stderr, "submit: %s\n", error.c_str());
+      return 1;
+    }
+    const bool done = status->body.find("\"status\":\"done\"") != std::string::npos;
+    const bool failed = status->body.find("\"status\":\"failed\"") != std::string::npos;
+    if (done || failed) {
+      std::printf("%s\n", status->body.c_str());
+      return done ? 0 : 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms > 0 ? poll_ms : 200));
+  }
+}
+
+int cmd_fetch(const Args& args) {
+  const std::string host = args.get("host", std::string("127.0.0.1"));
+  const int port = static_cast<int>(args.get("port", 0LL));
+  const std::string target = args.get("path", std::string("/metrics"));
+  const bool post = args.get("post", std::string("false")) == "true";
+  args.finish();
+  if (port <= 0) {
+    std::fprintf(stderr, "fetch: --port is required\n");
+    return 2;
+  }
+  std::string error;
+  const auto response =
+      serve::http_request(host, port, post ? "POST" : "GET", target, {}, &error);
+  if (!response.has_value()) {
+    std::fprintf(stderr, "fetch: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->body.c_str());
+  return response->status < 400 ? 0 : 1;
+}
+
 /// Owns the run's recorder state and guarantees the process-global active
 /// pointers never outlive it, whichever way run() exits.
 struct RecorderSession {
@@ -827,7 +1013,8 @@ int run(int argc, char** argv) {
   const std::string command = argv[1];
   const std::set<std::string> boolean_flags{"simpoints",  "asymmetric",   "coherence",
                                             "progress",   "no-simd",      "pareto",
-                                            "surrogate",  "no-surrogate", "large-axes"};
+                                            "surrogate",  "no-surrogate", "large-axes",
+                                            "wait",       "post"};
   const Args args(argc, argv, 2, boolean_flags);
 
   // Cross-command flags; read before dispatch so the per-command finish()
@@ -886,6 +1073,9 @@ int run(int argc, char** argv) {
   else if (command == "dse") rc = cmd_dse(args);
   else if (command == "report") rc = cmd_report(args);
   else if (command == "check") rc = cmd_check(args);
+  else if (command == "serve") rc = cmd_serve(args);
+  else if (command == "submit") rc = cmd_submit(args);
+  else if (command == "fetch") rc = cmd_fetch(args);
   else return usage();
 
   if (recorder.progress != nullptr) {
